@@ -1,0 +1,19 @@
+"""E-FIG2 — regenerate Figure 2: the meta-model and its rendering."""
+
+from conftest import banner
+
+from repro.core import metamodel_dictionary, render_metamodel
+
+
+def test_fig2_metamodel(benchmark):
+    def regenerate():
+        graph = metamodel_dictionary()
+        return graph, render_metamodel()
+
+    graph, graphemes = benchmark(regenerate)
+    banner("Figure 2 — the meta-model (Gamma_MM rendering)")
+    for grapheme in graphemes:
+        print(" ", grapheme)
+    assert graph.node_count == 3
+    assert graph.edge_count == 4
+    assert sum(1 for g in graphemes if g.kind == "node-box") == 3

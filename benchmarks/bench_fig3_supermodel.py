@@ -1,0 +1,28 @@
+"""E-FIG3 — regenerate Figure 3: the super-model dictionary and the
+tabular Gamma_SM rendering function."""
+
+from conftest import banner
+
+from repro.core import SUPER_MODEL_DICTIONARY, supermodel_table
+from repro.core.metamodel import META_CONSTRUCTS
+
+
+def test_fig3_supermodel_table(benchmark):
+    table = benchmark(supermodel_table)
+    banner("Figure 3 — the super-model dictionary / Gamma_SM")
+    print(table)
+    names = {e.name for e in SUPER_MODEL_DICTIONARY}
+    # The element and link super-constructs of the paper's table.
+    assert {
+        "SM_Node", "SM_Edge", "SM_Type", "SM_Attribute",
+        "SM_AttributeModifier", "SM_Generalization",
+        "SM_HAS_NODE_PROPERTY", "SM_HAS_EDGE_PROPERTY", "SM_FROM", "SM_TO",
+        "SM_HAS_NODE_TYPE", "SM_HAS_EDGE_TYPE", "SM_PARENT", "SM_CHILD",
+        "SM_HAS_MODIFIER",
+    } <= names
+    assert all(e.specializes in META_CONSTRUCTS for e in SUPER_MODEL_DICTIONARY)
+    # Four generalization grapheme variants (total x disjoint).
+    generalization_rows = [
+        e for e in SUPER_MODEL_DICTIONARY if e.name == "SM_Generalization"
+    ]
+    assert len(generalization_rows) == 4

@@ -1,0 +1,38 @@
+"""E-FIG4 — regenerate Figure 4: the Company KG GSL diagram."""
+
+from conftest import banner
+
+from repro.core import render_super_schema, schema_to_dot
+from repro.finkg.company_schema import company_super_schema
+
+
+def test_fig4_company_schema(benchmark):
+    def regenerate():
+        schema = company_super_schema()
+        return schema, render_super_schema(schema), schema_to_dot(schema)
+
+    schema, graphemes, dot = benchmark(regenerate)
+    banner("Figure 4 — the Company KG GSL diagram")
+    print(schema.summary())
+    for grapheme in graphemes:
+        print(" ", grapheme)
+    print(f"\n(DOT rendering: {len(dot.splitlines())} lines)")
+
+    node_names = {n.type_name for n in schema.nodes}
+    assert node_names == {
+        "Person", "PhysicalPerson", "LegalPerson", "Business", "NonBusiness",
+        "PublicListedCompany", "Share", "StockShare", "Place", "Family",
+        "BusinessEvent",
+    }
+    edge_names = {e.type_name for e in schema.edges}
+    assert {
+        "HOLDS", "BELONGS_TO", "OWNS", "CONTROLS", "HAS_ROLE", "RESIDES",
+        "REPRESENTS", "PARTICIPATES", "IS_RELATED_TO", "BELONGS_TO_FAMILY",
+        "FAMILY_OWNS",
+    } <= edge_names
+    intensional = {e.type_name for e in schema.edges if e.is_intensional}
+    assert intensional == {
+        "OWNS", "CONTROLS", "IS_RELATED_TO", "BELONGS_TO_FAMILY", "FAMILY_OWNS",
+    }
+    assert len(schema.generalizations) == 4
+    assert schema.validate() == []

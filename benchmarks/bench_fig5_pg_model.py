@@ -1,0 +1,24 @@
+"""E-FIG5 — regenerate Figure 5: the PG model as super-model constructs."""
+
+from conftest import banner
+
+from repro.models import PROPERTY_GRAPH_MODEL
+
+
+def test_fig5_pg_model_table(benchmark):
+    table = benchmark(PROPERTY_GRAPH_MODEL.construct_table)
+    banner("Figure 5 — the essential PG model (construct: super-construct)")
+    print(table)
+    specializations = {c.name: c.specializes for c in PROPERTY_GRAPH_MODEL.constructs}
+    assert specializations == {
+        "Node": "SM_Node",
+        "Label": "SM_Type",
+        "Relationship": "SM_Edge",
+        "Property": "SM_Attribute",
+        "UniquePropertyModifier": "SM_UniqueAttributeModifier",
+        "HAS_LABEL": "SM_HAS_NODE_TYPE",
+        "FROM": "SM_FROM",
+        "TO": "SM_TO",
+        "HAS_PROPERTY": "SM_HAS_NODE_PROPERTY",
+        "HAS_MODIFIER": "SM_HAS_MODIFIER",
+    }

@@ -1,0 +1,23 @@
+"""E-FIG7 — regenerate Figure 7: the relational model constructs."""
+
+from conftest import banner
+
+from repro.models import RELATIONAL_MODEL
+
+
+def test_fig7_relational_model_table(benchmark):
+    table = benchmark(RELATIONAL_MODEL.construct_table)
+    banner("Figure 7 — the essential relational model")
+    print(table)
+    specializations = {c.name: c.specializes for c in RELATIONAL_MODEL.constructs}
+    assert specializations == {
+        "Predicate": "SM_Node",
+        "Relation": "SM_Type",
+        "Field": "SM_Attribute",
+        "ForeignKey": "SM_Edge",
+        "HAS_RELATION": "SM_HAS_NODE_TYPE",
+        "HAS_FIELD": "SM_HAS_NODE_PROPERTY",
+        "FK_FROM": "SM_FROM",
+        "FK_TO": "SM_TO",
+        "HAS_SOURCE_FIELD": "SM_HAS_EDGE_PROPERTY",
+    }

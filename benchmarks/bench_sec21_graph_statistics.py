@@ -1,0 +1,46 @@
+"""E-STATS — regenerate the Section 2.1 graph-statistics table on the
+synthetic shareholding registry, side by side with the paper's values.
+
+Absolute counts differ (the paper's registry has 11.97M nodes; we run at
+laptop scale), so the assertions target the *shape*: edge/node ratio,
+degenerate SCCs, a giant WCC, hub-dominated degrees, scale-free tail.
+"""
+
+import pytest
+from conftest import banner
+
+from repro.graph import PAPER_STATISTICS, summarize
+
+
+@pytest.mark.parametrize("companies", [1000, 5000, 20000])
+def test_sec21_statistics_table(benchmark, shareholding_graphs, companies):
+    graph = shareholding_graphs[companies]
+
+    def compute():
+        return summarize(graph)
+
+    stats = benchmark.pedantic(compute, rounds=2, iterations=1)
+    banner(f"Section 2.1 statistics — synthetic registry, {companies} companies")
+    print(stats.format_table())
+
+    paper_edge_ratio = PAPER_STATISTICS["edges"] / PAPER_STATISTICS["nodes"]
+    measured_edge_ratio = stats.edges / stats.nodes
+    print(f"\n  edges/nodes: paper {paper_edge_ratio:.2f} vs "
+          f"measured {measured_edge_ratio:.2f}")
+
+    # Shape assertions mirroring the paper's characterization:
+    # "11.96M SCCs composed on average of one node"
+    assert stats.avg_scc_size < 1.05
+    assert stats.largest_scc < 0.01 * stats.nodes
+    # "the largest WCC has more than six million nodes" (~50%)
+    assert stats.largest_wcc > 0.30 * stats.nodes
+    # "average in-degree 3.12, out-degree 1.78": in exceeds out
+    assert stats.avg_in_degree > stats.avg_out_degree
+    # "maximum in-degree more than 16.9k": hubs far above the average
+    assert stats.max_in_degree > 4 * stats.avg_in_degree
+    # "the degree distribution follows a power-law"
+    assert stats.power_law is not None
+    assert stats.power_law.is_plausibly_scale_free
+    assert 1.5 < stats.power_law.alpha < 4.5
+    # "average clustering coefficient ~ 0.0086": small
+    assert stats.avg_clustering < 0.08

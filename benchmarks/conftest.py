@@ -1,0 +1,35 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark regenerates one artifact of the paper (a figure, the
+Section 2.1 statistics table, or the Section 6 performance breakdown),
+prints the regenerated content (run with ``-s`` to see it), asserts its
+shape, and times the regeneration with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.finkg.company_schema import company_super_schema
+from repro.finkg.generator import ShareholdingConfig, generate_shareholding_graph
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+@pytest.fixture(scope="session")
+def company_schema():
+    return company_super_schema()
+
+
+@pytest.fixture(scope="session")
+def shareholding_graphs():
+    """Synthetic shareholding graphs at three scales (shared)."""
+    return {
+        n: generate_shareholding_graph(ShareholdingConfig(companies=n, seed=42))
+        for n in (1000, 5000, 20000)
+    }

@@ -1,0 +1,100 @@
+"""ECB close links and family detection over a synthetic registry.
+
+Derives integrated ownership (the unrolled MetaLog program of [43]),
+then the CLOSE_LINK relation of Guideline (EU) 2018/876, and finally the
+family structure via linker Skolem functors — each cross-checked against
+its direct baseline.
+
+Run with:  python examples/close_links_analysis.py
+"""
+
+from repro.finkg import (
+    ShareholdingConfig,
+    close_links,
+    families_by_surname,
+    generate_company_kg,
+    generate_shareholding_data,
+    generate_shareholding_graph,
+    integrated_ownership,
+    integrated_ownership_series,
+    programs,
+    stakes_as_tuples,
+)
+from repro.finkg.close_links import close_link_pairs_from_graph
+from repro.finkg.company_schema import company_super_schema
+from repro.finkg.ownership import iown_pairs_from_graph
+from repro.metalog import parse_metalog, run_on_graph
+from repro.ssst import IntensionalMaterializer
+
+DEPTH = 6
+
+
+def main():
+    config = ShareholdingConfig(companies=150, seed=8, cycle_probability=0.0)
+    graph = generate_shareholding_graph(config)
+    stakes = stakes_as_tuples(generate_shareholding_data(config))
+
+    # --- integrated ownership -------------------------------------------
+    print(f"registry: {graph.node_count} nodes, {graph.edge_count} stakes")
+    exact = integrated_ownership(stakes)
+    series = integrated_ownership_series(stakes, depth=DEPTH)
+    error = max(
+        (abs(exact[k] - series.get(k, 0.0)) for k in exact), default=0.0
+    )
+    print(f"integrated ownership: {len(exact)} pairs "
+          f"(depth-{DEPTH} truncation error {error:.2e})")
+
+    # MetaLog unrolling over the flat graph (label-free variant).
+    program_text = (
+        programs.integrated_ownership_program(depth=DEPTH)
+        .replace("(x: Person)", "(x)")
+        .replace("(y: Business)", "(y)")
+        .replace("(z: Business)", "(z)")
+    )
+    with_io = run_on_graph(parse_metalog(program_text), graph)
+    meta_io = {
+        k: v for k, v in iown_pairs_from_graph(with_io.graph).items()
+        if k[0] != k[1]
+    }
+    agreement = all(
+        abs(meta_io.get(k, 0.0) - series.get(k, 0.0)) < 1e-9
+        for k in set(meta_io) | set(series)
+    )
+    print(f"MetaLog IOWN pipeline: {len(meta_io)} pairs, "
+          f"matches truncated series: {agreement}")
+
+    # --- close links ------------------------------------------------------
+    outcome = run_on_graph(
+        parse_metalog(programs.close_links_program()), with_io.graph
+    )
+    meta_links = close_link_pairs_from_graph(outcome.graph)
+    baseline_links = close_links(stakes, io=series)
+    print(f"close links: {len(meta_links) // 2} symmetric pairs "
+          f"(baseline agreement: {meta_links == baseline_links})")
+    sample = sorted(meta_links)[:5]
+    for pair in sample:
+        print("   close link:", pair)
+
+    # --- families via linker Skolem functors ------------------------------
+    schema = company_super_schema()
+    kg = generate_company_kg(ShareholdingConfig(companies=60, seed=8))
+    materializer = IntensionalMaterializer()
+    staged = materializer.materialize(
+        schema, kg, parse_metalog(programs.OWNS_PROGRAM), 1
+    )
+    enriched = materializer.materialize(
+        schema, staged.instance.data, parse_metalog(programs.FAMILY_PROGRAM), 2
+    )
+    families = list(enriched.instance.data.nodes("Family"))
+    baseline_families = families_by_surname(kg)
+    print(f"\nfamilies: {len(families)} Family nodes "
+          f"(baseline surnames: {len(baseline_families)})")
+    family_owns = list(enriched.instance.data.edges("FAMILY_OWNS"))
+    print(f"family-owned businesses: {len(family_owns)} FAMILY_OWNS edges")
+    for edge in family_owns[:5]:
+        family = enriched.instance.data.node(edge.source)
+        print(f"   family {family.get('familyName')!r} owns {edge.target}")
+
+
+if __name__ == "__main__":
+    main()

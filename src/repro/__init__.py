@@ -1,0 +1,65 @@
+"""KGModel — model-independent design of knowledge graphs.
+
+A from-scratch reproduction of *Model-Independent Design of Knowledge
+Graphs — Lessons Learnt From Complex Financial Graphs* (EDBT 2022):
+the meta-model / super-model stack and the GSL design language
+(:mod:`repro.core`), the MetaLog language and the MTV compiler
+(:mod:`repro.metalog`), a warded Datalog± engine standing in for the
+Vadalog System (:mod:`repro.vadalog`), target models with their
+Eliminate/Copy mappings (:mod:`repro.models`), the SSST translator and
+the Algorithm 2 materializer (:mod:`repro.ssst`), in-memory deployment
+targets (:mod:`repro.deploy`), the property-graph substrate
+(:mod:`repro.graph`), and the financial Company KG with its synthetic
+registry (:mod:`repro.finkg`).
+
+Quickstart::
+
+    from repro import SuperSchema, SSST, IntensionalMaterializer
+    from repro.metalog import parse_metalog
+
+    schema = SuperSchema("Mini", schema_oid=1)
+    company = schema.node("Company")
+    company.attribute("vat", is_id=True)
+    schema.edge("OWNS", company, company).attribute("percentage", "float")
+
+    result = SSST().translate(schema, "relational")
+    print(result.target_schema.summary())
+"""
+
+from repro.core import (
+    GraphDictionary,
+    SuperInstance,
+    SuperSchema,
+    parse_gsl,
+    render_super_schema,
+    schema_to_dot,
+    supermodel_table,
+)
+from repro.errors import KGModelError
+from repro.graph import PropertyGraph, summarize
+from repro.metalog import compile_metalog, parse_metalog, run_on_graph
+from repro.ssst import SSST, IntensionalMaterializer
+from repro.vadalog import Engine, parse_program
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GraphDictionary",
+    "SuperInstance",
+    "SuperSchema",
+    "parse_gsl",
+    "render_super_schema",
+    "schema_to_dot",
+    "supermodel_table",
+    "KGModelError",
+    "PropertyGraph",
+    "summarize",
+    "compile_metalog",
+    "parse_metalog",
+    "run_on_graph",
+    "SSST",
+    "IntensionalMaterializer",
+    "Engine",
+    "parse_program",
+    "__version__",
+]

@@ -1,0 +1,207 @@
+"""Command-line interface: the KGModel software modules as a tool.
+
+Section 2.2 lists the framework's software modules — the KGSE (schema
+environment), MTV (MetaLog-to-Vadalog translator), and SSST (schema
+translator / materializer).  This CLI exposes each:
+
+.. code-block:: console
+
+    kgmodel validate  schema.gsl
+    kgmodel render    schema.gsl --format dot
+    kgmodel translate schema.gsl --model relational --ddl
+    kgmodel compile   rules.metalog
+    kgmodel reason    schema.gsl data.json rules.metalog -o enriched.json
+    kgmodel stats     --companies 5000 --seed 42
+
+(Equivalently ``python -m repro.cli ...``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core import (
+    parse_gsl,
+    render_super_schema,
+    schema_to_dot,
+    supermodel_table,
+)
+from repro.deploy import generate_cypher_constraints, generate_ddl, generate_rdfs
+from repro.errors import KGModelError
+from repro.graph.io import load_graph, save_graph
+from repro.metalog import compile_metalog, parse_metalog
+from repro.ssst import SSST, IntensionalMaterializer
+
+
+def _read(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def cmd_validate(args) -> int:
+    schema = parse_gsl(_read(args.schema))
+    problems = schema.validate(strict=False)
+    print(schema.summary())
+    if problems:
+        for problem in problems:
+            print(f"  problem: {problem}")
+        return 1
+    print("  schema is well-formed")
+    return 0
+
+
+def cmd_render(args) -> int:
+    if args.format == "supermodel":
+        print(supermodel_table())
+        return 0
+    schema = parse_gsl(_read(args.schema))
+    if args.format == "dot":
+        print(schema_to_dot(schema))
+    else:
+        for grapheme in render_super_schema(schema):
+            print(grapheme)
+    return 0
+
+
+def cmd_translate(args) -> int:
+    schema = parse_gsl(_read(args.schema))
+    schema.validate()
+    result = SSST().translate(schema, args.model, strategy=args.strategy)
+    target = result.target_schema
+    print(target.summary(), file=sys.stderr)
+    if args.ddl:
+        if args.model != "relational":
+            raise KGModelError("--ddl requires --model relational")
+        print(generate_ddl(target))
+    elif args.cypher:
+        if args.model != "property-graph":
+            raise KGModelError("--cypher requires --model property-graph")
+        print(generate_cypher_constraints(target))
+    elif args.rdfs:
+        if args.model != "rdf":
+            raise KGModelError("--rdfs requires --model rdf")
+        print(generate_rdfs(target))
+    else:
+        print(target.summary())
+    return 0
+
+
+def cmd_compile(args) -> int:
+    program = parse_metalog(_read(args.program))
+    compiled = compile_metalog(program)
+    print(compiled.program)
+    return 0
+
+
+def cmd_reason(args) -> int:
+    schema = parse_gsl(_read(args.schema))
+    data = load_graph(args.data)
+    sigma = parse_metalog(_read(args.program))
+    report = IntensionalMaterializer().materialize(
+        schema, data, sigma, instance_oid=args.instance_oid
+    )
+    print("derived:", report.derived_counts, file=sys.stderr)
+    print(
+        "phases:",
+        {k: f"{v:.2f}s" for k, v in report.phase_breakdown().items()},
+        file=sys.stderr,
+    )
+    if args.output:
+        save_graph(report.instance.data, args.output)
+        print(f"enriched instance written to {args.output}", file=sys.stderr)
+    else:
+        from repro.graph.io import graph_to_json
+
+        print(graph_to_json(report.instance.data))
+    return 0
+
+
+def cmd_stats(args) -> int:
+    from repro.finkg import ShareholdingConfig, generate_shareholding_graph
+    from repro.graph import summarize
+
+    graph = generate_shareholding_graph(
+        ShareholdingConfig(companies=args.companies, seed=args.seed)
+    )
+    stats = summarize(graph)
+    print(stats.format_table())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="kgmodel",
+        description="KGModel: model-independent knowledge-graph design tools",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("validate", help="validate a GSL schema file")
+    p.add_argument("schema")
+    p.set_defaults(func=cmd_validate)
+
+    p = sub.add_parser("render", help="render a GSL schema (KGSE)")
+    p.add_argument("schema", nargs="?", help="GSL file (not needed for --format supermodel)")
+    p.add_argument(
+        "--format", choices=["graphemes", "dot", "supermodel"],
+        default="graphemes",
+    )
+    p.set_defaults(func=cmd_render)
+
+    p = sub.add_parser("translate", help="translate a schema (SSST, Alg. 1)")
+    p.add_argument("schema")
+    p.add_argument(
+        "--model", required=True,
+        choices=["property-graph", "relational", "rdf", "csv"],
+    )
+    p.add_argument("--strategy", default=None)
+    p.add_argument("--ddl", action="store_true", help="emit SQL DDL")
+    p.add_argument("--cypher", action="store_true", help="emit Cypher constraints")
+    p.add_argument("--rdfs", action="store_true", help="emit an RDF-S document")
+    p.set_defaults(func=cmd_translate)
+
+    p = sub.add_parser("compile", help="compile MetaLog to Vadalog (MTV)")
+    p.add_argument("program")
+    p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser(
+        "reason", help="materialize an intensional component (Alg. 2)"
+    )
+    p.add_argument("schema")
+    p.add_argument("data", help="instance graph (JSON interchange format)")
+    p.add_argument("program", help="MetaLog rules file")
+    p.add_argument("-o", "--output", default=None)
+    p.add_argument("--instance-oid", default=1, type=int)
+    p.set_defaults(func=cmd_reason)
+
+    p = sub.add_parser("stats", help="synthetic-registry statistics (Sec. 2.1)")
+    p.add_argument("--companies", type=int, default=1000)
+    p.add_argument("--seed", type=int, default=42)
+    p.set_defaults(func=cmd_stats)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except KGModelError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,72 @@
+"""KGModel core: the meta-level stack, GSL, and graph dictionaries."""
+
+from repro.core.dictionary import GraphDictionary, dictionary_catalog
+from repro.core.gsl_text import parse_gsl, to_gsl_text
+from repro.core.instances import SuperInstance
+from repro.core.metamodel import (
+    META_CONSTRUCTS,
+    META_MODEL,
+    MetaConstruct,
+    meta_construct,
+    metamodel_dictionary,
+)
+from repro.core.oid import construct_oid, fresh_oid
+from repro.core.rendering import (
+    Grapheme,
+    render_metamodel,
+    render_super_schema,
+    schema_to_dot,
+    supermodel_table,
+)
+from repro.core.schema import SuperSchema
+from repro.core.supermodel import (
+    LINK_SUPER_CONSTRUCTS,
+    SUPER_CONSTRUCT_NAMES,
+    SUPER_MODEL_DICTIONARY,
+    SMAttribute,
+    SMAttributeModifier,
+    SMDefaultAttributeModifier,
+    SMEdge,
+    SMEnumAttributeModifier,
+    SMFormatAttributeModifier,
+    SMGeneralization,
+    SMNode,
+    SMRangeAttributeModifier,
+    SMUniqueAttributeModifier,
+)
+from repro.core.validation import validate_super_schema
+
+__all__ = [
+    "GraphDictionary",
+    "dictionary_catalog",
+    "parse_gsl",
+    "to_gsl_text",
+    "SuperInstance",
+    "META_CONSTRUCTS",
+    "META_MODEL",
+    "MetaConstruct",
+    "meta_construct",
+    "metamodel_dictionary",
+    "construct_oid",
+    "fresh_oid",
+    "Grapheme",
+    "render_metamodel",
+    "render_super_schema",
+    "schema_to_dot",
+    "supermodel_table",
+    "SuperSchema",
+    "LINK_SUPER_CONSTRUCTS",
+    "SUPER_CONSTRUCT_NAMES",
+    "SUPER_MODEL_DICTIONARY",
+    "SMAttribute",
+    "SMAttributeModifier",
+    "SMDefaultAttributeModifier",
+    "SMEdge",
+    "SMEnumAttributeModifier",
+    "SMFormatAttributeModifier",
+    "SMGeneralization",
+    "SMNode",
+    "SMRangeAttributeModifier",
+    "SMUniqueAttributeModifier",
+    "validate_super_schema",
+]

@@ -1,0 +1,369 @@
+"""Textual GSL: a declarative concrete syntax for super-schemas.
+
+The paper's GSL is visual (the KGSE tool); for a code-first library we
+complement the programmatic :class:`~repro.core.schema.SuperSchema` API
+with an equivalent textual format, so that examples and tests can declare
+schemas the way the KGSE would draw them:
+
+.. code-block:: none
+
+    schema CompanyKG oid 123 {
+      node Person {
+        id fiscalCode: string
+        name: string
+        optional birthDate: date
+      }
+      node Business {
+        shareholdingCapital: float
+        intensional numberOfStakeholders: int
+      }
+      generalization total disjoint Person -> PhysicalPerson, LegalPerson
+      edge HOLDS Person 0..N -> 0..N Share {
+        right: string enum("ownership", "bare ownership", "usufruct")
+        percentage: float range(0, 1)
+      }
+      intensional edge CONTROLS Person -> Business
+    }
+
+Attribute flags: ``id``, ``optional``, ``intensional``.  Modifiers after
+the type: ``unique``, ``enum(v, ...)``, ``range(lo, hi)``,
+``format("re")``, ``default(v)``.  Cardinalities default to ``0..N`` on
+both sides.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from repro.core.schema import SuperSchema
+from repro.core.supermodel import (
+    SMDefaultAttributeModifier,
+    SMEnumAttributeModifier,
+    SMFormatAttributeModifier,
+    SMRangeAttributeModifier,
+    SMUniqueAttributeModifier,
+)
+from repro.errors import ParseError, SchemaError
+from repro.lexing import TokenStream
+
+_ATTRIBUTE_FLAGS = {"id", "optional", "intensional"}
+_MODIFIER_NAMES = {"unique", "enum", "range", "format", "default"}
+
+
+def parse_gsl(text: str) -> SuperSchema:
+    """Parse one textual GSL schema declaration."""
+    stream = TokenStream.from_text(text)
+    schema = _schema(stream)
+    if not stream.at_eof():
+        raise stream.error("trailing content after schema declaration")
+    return schema
+
+
+def to_gsl_text(schema: SuperSchema) -> str:
+    """Serialize a super-schema back to the textual GSL format.
+
+    ``parse_gsl(to_gsl_text(s))`` reconstructs an equivalent schema (the
+    KGSE save/load round-trip).
+    """
+    lines = [f"schema {schema.name} oid {_oid_literal(schema.schema_oid)} {{"]
+    for node in schema.nodes:
+        prefix = "intensional " if node.is_intensional else ""
+        lines.append(f"  {prefix}node {node.type_name} {{")
+        for attribute in node.attributes:
+            lines.append(f"    {_attribute_text(attribute)}")
+        lines.append("  }")
+    for generalization in schema.generalizations:
+        flags = []
+        if generalization.is_total:
+            flags.append("total")
+        flags.append("disjoint" if generalization.is_disjoint else "overlapping")
+        children = ", ".join(c.type_name for c in generalization.children)
+        lines.append(
+            f"  generalization {' '.join(flags)} "
+            f"{generalization.parent.type_name} -> {children}"
+        )
+    for edge in schema.edges:
+        prefix = "intensional " if edge.is_intensional else ""
+        source_card, target_card = edge.cardinality_labels()
+        header = (
+            f"  {prefix}edge {edge.type_name} {edge.source.type_name} "
+            f"{source_card} -> {target_card} {edge.target.type_name}"
+        )
+        if edge.attributes:
+            lines.append(header + " {")
+            for attribute in edge.attributes:
+                lines.append(f"    {_attribute_text(attribute)}")
+            lines.append("  }")
+        else:
+            lines.append(header)
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def _oid_literal(oid: Any) -> str:
+    if isinstance(oid, int):
+        return str(oid)
+    return f'"{oid}"'
+
+
+def _attribute_text(attribute) -> str:
+    flags = []
+    if attribute.is_id:
+        flags.append("id")
+    if attribute.is_optional:
+        flags.append("optional")
+    if attribute.is_intensional:
+        flags.append("intensional")
+    parts = flags + [f"{attribute.name}: {attribute.data_type}"]
+    for modifier in attribute.modifiers:
+        parts.append(_modifier_text(modifier))
+    return " ".join(parts)
+
+
+def _modifier_text(modifier) -> str:
+    from repro.core.supermodel import (
+        SMDefaultAttributeModifier as _Default,
+        SMEnumAttributeModifier as _Enum,
+        SMFormatAttributeModifier as _Format,
+        SMRangeAttributeModifier as _Range,
+        SMUniqueAttributeModifier as _Unique,
+    )
+
+    if isinstance(modifier, _Unique):
+        return "unique"
+    if isinstance(modifier, _Enum):
+        values = ", ".join(_constant_text(v) for v in modifier.values)
+        return f"enum({values})"
+    if isinstance(modifier, _Range):
+        return f"range({_constant_text(modifier.minimum)}, " \
+               f"{_constant_text(modifier.maximum)})"
+    if isinstance(modifier, _Format):
+        return f"format({_constant_text(modifier.pattern)})"
+    if isinstance(modifier, _Default):
+        return f"default({_constant_text(modifier.value)})"
+    raise SchemaError(f"unknown modifier {modifier!r}")
+
+
+def _constant_text(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if value is None:
+        return "none"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    escaped = str(value).replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def _schema(stream: TokenStream) -> SuperSchema:
+    stream.expect("IDENT", "schema")
+    name = str(stream.expect("IDENT").value)
+    schema_oid: Any = name
+    if stream.accept("IDENT", "oid"):
+        token = stream.current
+        if token.kind in ("NUMBER", "STRING", "IDENT"):
+            stream.advance()
+            schema_oid = token.value
+        else:
+            raise stream.error("expected a schema OID")
+    schema = SuperSchema(name, schema_oid)
+    stream.expect_punct("{")
+
+    # Two passes over declarations: nodes first, then edges and
+    # generalizations, so forward references work.
+    declarations: List[Tuple[str, Any]] = []
+    while not stream.at_punct("}"):
+        declarations.append(_declaration(stream))
+    stream.expect_punct("}")
+
+    for kind, payload in declarations:
+        if kind == "node":
+            _apply_node(schema, payload)
+    for kind, payload in declarations:
+        if kind == "edge":
+            _apply_edge(schema, payload)
+        elif kind == "generalization":
+            _apply_generalization(schema, payload)
+    return schema
+
+
+def _declaration(stream: TokenStream):
+    intensional = bool(stream.accept("IDENT", "intensional"))
+    if stream.accept("IDENT", "node"):
+        name = str(stream.expect("IDENT").value)
+        attributes = _attribute_block(stream)
+        return ("node", (name, intensional, attributes))
+    if stream.accept("IDENT", "edge"):
+        name = str(stream.expect("IDENT").value)
+        source = str(stream.expect("IDENT").value)
+        source_card = _cardinality(stream, default="0..N")
+        stream.expect_punct("->")
+        target_card = _cardinality(stream, default="0..N")
+        target = str(stream.expect("IDENT").value)
+        attributes = _attribute_block(stream) if stream.at_punct("{") else []
+        return (
+            "edge",
+            (name, source, target, intensional, source_card, target_card, attributes),
+        )
+    if stream.accept("IDENT", "generalization"):
+        if intensional:
+            raise stream.error("generalizations cannot be intensional")
+        total = bool(stream.accept("IDENT", "total"))
+        disjoint = True
+        if stream.accept("IDENT", "overlapping"):
+            disjoint = False
+        elif stream.accept("IDENT", "disjoint"):
+            disjoint = True
+        # Flags may come in either order.
+        if not total:
+            total = bool(stream.accept("IDENT", "total"))
+        parent = str(stream.expect("IDENT").value)
+        stream.expect_punct("->")
+        children = [str(stream.expect("IDENT").value)]
+        while stream.accept_punct(","):
+            children.append(str(stream.expect("IDENT").value))
+        return ("generalization", (parent, children, total, disjoint))
+    raise stream.error("expected 'node', 'edge', or 'generalization'")
+
+
+def _cardinality(stream: TokenStream, default: str) -> str:
+    """Parse ``min..max`` (lexed as NUMBER '.' '.' NUMBER|IDENT)."""
+    if not stream.at("NUMBER"):
+        return default
+    minimum = stream.advance().value
+    stream.expect_punct(".")
+    stream.expect_punct(".")
+    token = stream.current
+    if token.kind == "NUMBER":
+        maximum: Any = stream.advance().value
+    elif token.kind == "IDENT" and str(token.value) in ("N", "n"):
+        stream.advance()
+        maximum = "N"
+    elif token.kind == "PUNCT" and token.value == "*":
+        stream.advance()
+        maximum = "N"
+    else:
+        raise stream.error("expected a maximum cardinality (1, N, or *)")
+    return f"{minimum}..{maximum}"
+
+
+def _attribute_block(stream: TokenStream) -> List[dict]:
+    stream.expect_punct("{")
+    attributes: List[dict] = []
+    while not stream.at_punct("}"):
+        attributes.append(_attribute(stream))
+    stream.expect_punct("}")
+    return attributes
+
+
+def _attribute(stream: TokenStream) -> dict:
+    flags = set()
+    while (
+        stream.at("IDENT")
+        and str(stream.current.value) in _ATTRIBUTE_FLAGS
+        and stream.peek().kind == "IDENT"
+    ):
+        flags.add(str(stream.advance().value))
+    name = str(stream.expect("IDENT").value)
+    data_type = "string"
+    if stream.accept_punct(":"):
+        data_type = str(stream.expect("IDENT").value)
+    modifiers = []
+    while stream.at("IDENT") and str(stream.current.value) in _MODIFIER_NAMES:
+        modifiers.append(_modifier(stream))
+    return {
+        "name": name,
+        "data_type": data_type,
+        "is_id": "id" in flags,
+        "is_optional": "optional" in flags,
+        "is_intensional": "intensional" in flags,
+        "modifiers": modifiers,
+    }
+
+
+def _modifier(stream: TokenStream):
+    name = str(stream.expect("IDENT").value)
+    if name == "unique":
+        return SMUniqueAttributeModifier()
+    stream.expect_punct("(")
+    arguments: List[Any] = []
+    if not stream.at_punct(")"):
+        arguments.append(_constant(stream))
+        while stream.accept_punct(","):
+            arguments.append(_constant(stream))
+    stream.expect_punct(")")
+    if name == "enum":
+        return SMEnumAttributeModifier(arguments)
+    if name == "range":
+        if len(arguments) != 2:
+            raise stream.error("range(lo, hi) takes exactly two arguments")
+        return SMRangeAttributeModifier(arguments[0], arguments[1])
+    if name == "format":
+        if len(arguments) != 1:
+            raise stream.error("format(pattern) takes exactly one argument")
+        return SMFormatAttributeModifier(str(arguments[0]))
+    if name == "default":
+        if len(arguments) != 1:
+            raise stream.error("default(value) takes exactly one argument")
+        return SMDefaultAttributeModifier(arguments[0])
+    raise stream.error(f"unknown modifier {name!r}")
+
+
+def _constant(stream: TokenStream) -> Any:
+    token = stream.current
+    if token.kind in ("STRING", "NUMBER"):
+        stream.advance()
+        return token.value
+    if token.kind == "PUNCT" and token.value == "-":
+        stream.advance()
+        return -stream.expect("NUMBER").value
+    if token.kind == "IDENT":
+        stream.advance()
+        word = str(token.value)
+        if word == "true":
+            return True
+        if word == "false":
+            return False
+        if word == "none":
+            return None
+        return word
+    raise stream.error("expected a constant")
+
+
+def _apply_node(schema: SuperSchema, payload) -> None:
+    name, intensional, attributes = payload
+    node = schema.node(name, intensional)
+    for spec in attributes:
+        node.attribute(
+            spec["name"],
+            data_type=spec["data_type"],
+            is_id=spec["is_id"],
+            is_optional=spec["is_optional"],
+            is_intensional=spec["is_intensional"],
+            modifiers=spec["modifiers"],
+        )
+
+
+def _apply_edge(schema: SuperSchema, payload) -> None:
+    name, source, target, intensional, source_card, target_card, attributes = payload
+    edge = schema.edge(
+        name, source, target,
+        is_intensional=intensional,
+        source_card=source_card,
+        target_card=target_card,
+    )
+    for spec in attributes:
+        if spec["is_id"]:
+            raise SchemaError(f"edge attribute {spec['name']!r} cannot be id")
+        edge.attribute(
+            spec["name"],
+            data_type=spec["data_type"],
+            is_optional=spec["is_optional"],
+            is_intensional=spec["is_intensional"],
+            modifiers=spec["modifiers"],
+        )
+
+
+def _apply_generalization(schema: SuperSchema, payload) -> None:
+    parent, children, total, disjoint = payload
+    schema.generalization(parent, children, total=total, disjoint=disjoint)

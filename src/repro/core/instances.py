@@ -1,0 +1,235 @@
+"""Instance-level constructs (Figure 9) and super-schema instances.
+
+Section 6: "We enrich the super-model dictionary to make it directly
+suitable to store instances of super-schemas ... for each super-construct
+C an I_C instance super-construct, representing the respective instance
+counterpart.  Each instance super-construct is connected to the
+respective super-construct by a SM_References edge.  In general, instance
+super-constructs only have the implicit OID attributes and instanceOID
+... except for I_SM_Attribute, which holds a value attribute."
+
+:class:`SuperInstance` wraps a plain typed property graph (nodes labeled
+with the schema's type names) and converts it to/from the ``I_SM_*``
+encoding inside a dictionary graph — the load/flush halves of
+Algorithm 2.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.core.oid import construct_oid
+from repro.core.schema import SuperSchema
+from repro.errors import SchemaError
+from repro.graph.property_graph import PropertyGraph
+
+
+class SuperInstance:
+    """An instance of a super-schema.
+
+    ``data`` is a plain property graph whose node labels are the schema's
+    node type names and whose edge labels are the schema's edge type
+    names; properties are attribute values.
+    """
+
+    def __init__(self, schema: SuperSchema, instance_oid: Any, data: PropertyGraph):
+        self.schema = schema
+        self.instance_oid = instance_oid
+        self.data = data
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_plain_graph(
+        cls,
+        schema: SuperSchema,
+        graph: PropertyGraph,
+        instance_oid: Any,
+        strict: bool = True,
+    ) -> "SuperInstance":
+        """Wrap a plain data graph, checking labels against the schema."""
+        if strict:
+            known_nodes = {n.type_name for n in schema.nodes}
+            known_edges = {e.type_name for e in schema.edges}
+            for node in graph.nodes():
+                if node.label is not None and node.label not in known_nodes:
+                    raise SchemaError(
+                        f"node label {node.label!r} is not a type of schema "
+                        f"{schema.name!r}"
+                    )
+            for edge in graph.edges():
+                if edge.label is not None and edge.label not in known_edges:
+                    raise SchemaError(
+                        f"edge label {edge.label!r} is not a type of schema "
+                        f"{schema.name!r}"
+                    )
+        return cls(schema, instance_oid, graph)
+
+    # ------------------------------------------------------------------
+    # Load: plain graph -> I_SM_* constructs (Algorithm 2, line 4)
+    # ------------------------------------------------------------------
+    def to_dictionary(self, graph: PropertyGraph) -> PropertyGraph:
+        """Encode this instance as ``I_SM_*`` constructs in ``graph``.
+
+        The schema must already be serialized in the same graph (its
+        construct OIDs are the ``SM_REFERENCES`` targets).
+        """
+        ioid = self.instance_oid
+        schema = self.schema
+
+        def iid(kind: str, *parts: Any) -> str:
+            return construct_oid(ioid, f"i-{kind}", *parts)
+
+        def reference(source: str, target: str) -> None:
+            edge_id = f"{source}-[SM_REFERENCES]->{target}"
+            if not graph.has_edge(edge_id):
+                graph.add_edge(
+                    source, target, "SM_REFERENCES", edge_id=edge_id,
+                    instanceOID=ioid,
+                )
+
+        def attach(owner_iid: str, label: str, attr_iid: str) -> None:
+            graph.add_edge(
+                owner_iid, attr_iid, label,
+                edge_id=f"{owner_iid}-[{label}]->{attr_iid}",
+                instanceOID=ioid,
+            )
+
+        node_iids: Dict[Any, str] = {}
+        for node in self.data.nodes():
+            if node.label is None:
+                continue
+            sm_node = schema.get_node(node.label)
+            node_iid = iid("node", node.id)
+            node_iids[node.id] = node_iid
+            graph.add_node(
+                node_iid, "I_SM_Node", instanceOID=ioid, sourceOID=node.id
+            )
+            reference(node_iid, sm_node.oid)
+            attributes = {a.name: a for a in schema.inherited_attributes(sm_node)}
+            for name, value in node.properties.items():
+                attribute = attributes.get(name)
+                if attribute is None:
+                    continue  # property not modeled by the schema
+                attr_iid = iid("nattr", node.id, name)
+                graph.add_node(
+                    attr_iid, "I_SM_Attribute", instanceOID=ioid, value=value
+                )
+                reference(attr_iid, attribute.oid)
+                attach(node_iid, "I_SM_HAS_NODE_PROPERTY", attr_iid)
+
+        for edge in self.data.edges():
+            if edge.label is None:
+                continue
+            sm_edge = schema.get_edge(edge.label)
+            edge_iid = iid("edge", edge.id)
+            graph.add_node(
+                edge_iid, "I_SM_Edge", instanceOID=ioid, sourceOID=edge.id
+            )
+            reference(edge_iid, sm_edge.oid)
+            graph.add_edge(
+                edge_iid, node_iids[edge.source], "I_SM_FROM",
+                edge_id=f"{edge_iid}-[I_SM_FROM]", instanceOID=ioid,
+            )
+            graph.add_edge(
+                edge_iid, node_iids[edge.target], "I_SM_TO",
+                edge_id=f"{edge_iid}-[I_SM_TO]", instanceOID=ioid,
+            )
+            attributes = {a.name: a for a in sm_edge.attributes}
+            for name, value in edge.properties.items():
+                attribute = attributes.get(name)
+                if attribute is None:
+                    continue
+                attr_iid = iid("eattr", edge.id, name)
+                graph.add_node(
+                    attr_iid, "I_SM_Attribute", instanceOID=ioid, value=value
+                )
+                reference(attr_iid, attribute.oid)
+                attach(edge_iid, "I_SM_HAS_EDGE_PROPERTY", attr_iid)
+        return graph
+
+    # ------------------------------------------------------------------
+    # Flush: I_SM_* constructs -> plain graph (Algorithm 2, line 9)
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dictionary(
+        cls,
+        graph: PropertyGraph,
+        schema: SuperSchema,
+        instance_oid: Any,
+        name: str = "instance",
+    ) -> "SuperInstance":
+        """Decode the ``I_SM_*`` constructs of ``instance_oid`` back into a
+        plain typed property graph."""
+        node_type_by_oid = {n.oid: n.type_name for n in schema.nodes}
+        edge_type_by_oid = {e.oid: e.type_name for e in schema.edges}
+        attribute_name_by_oid: Dict[Any, str] = {}
+        for node in schema.nodes:
+            for attribute in node.attributes:
+                attribute_name_by_oid[attribute.oid] = attribute.name
+        for edge in schema.edges:
+            for attribute in edge.attributes:
+                attribute_name_by_oid[attribute.oid] = attribute.name
+
+        def referenced(iid: Any) -> Optional[Any]:
+            for edge in graph.out_edges(iid, "SM_REFERENCES"):
+                return edge.target
+            return None
+
+        def attributes_of(iid: Any, link: str) -> Dict[str, Any]:
+            values: Dict[str, Any] = {}
+            for edge in graph.out_edges(iid, link):
+                attr_node = graph.node(edge.target)
+                if attr_node.get("instanceOID") != instance_oid:
+                    continue
+                target = referenced(edge.target)
+                attr_name = attribute_name_by_oid.get(target)
+                if attr_name is not None:
+                    values[attr_name] = attr_node.get("value")
+            return values
+
+        data = PropertyGraph(name)
+        plain_id_by_iid: Dict[Any, Any] = {}
+        for inode in sorted(graph.nodes("I_SM_Node"), key=lambda n: str(n.id)):
+            if inode.get("instanceOID") != instance_oid:
+                continue
+            type_name = node_type_by_oid.get(referenced(inode.id))
+            if type_name is None:
+                continue
+            plain_id = inode.get("sourceOID")
+            if plain_id is None:
+                plain_id = inode.id  # derived node: keep the invented OID
+            plain_id_by_iid[inode.id] = plain_id
+            data.add_node(
+                plain_id, type_name,
+                **attributes_of(inode.id, "I_SM_HAS_NODE_PROPERTY"),
+            )
+        for iedge in sorted(graph.nodes("I_SM_Edge"), key=lambda n: str(n.id)):
+            if iedge.get("instanceOID") != instance_oid:
+                continue
+            type_name = edge_type_by_oid.get(referenced(iedge.id))
+            if type_name is None:
+                continue
+            source = target = None
+            for e in graph.out_edges(iedge.id, "I_SM_FROM"):
+                source = plain_id_by_iid.get(e.target)
+            for e in graph.out_edges(iedge.id, "I_SM_TO"):
+                target = plain_id_by_iid.get(e.target)
+            if source is None or target is None:
+                continue
+            if not data.has_node(source) or not data.has_node(target):
+                continue
+            plain_edge_id = iedge.get("sourceOID")
+            if plain_edge_id is None:
+                plain_edge_id = iedge.id
+            data.add_edge(
+                source, target, type_name, edge_id=plain_edge_id,
+                **attributes_of(iedge.id, "I_SM_HAS_EDGE_PROPERTY"),
+            )
+        return cls(schema, instance_oid, data)
+
+    def __repr__(self) -> str:
+        return (
+            f"SuperInstance(schema={self.schema.name!r}, "
+            f"oid={self.instance_oid!r}, nodes={self.data.node_count}, "
+            f"edges={self.data.edge_count})"
+        )

@@ -1,0 +1,29 @@
+"""Object identifiers for the meta-level stack.
+
+Section 3.1: "Each meta-construct is identified by a unique internal
+Object Identifier (OID)."  This module centralizes how the library mints
+those OIDs.  They are deterministic, human-readable strings derived from
+the schema OID and the construct's coordinates, so that dictionary
+round-trips, SSST reruns, and test assertions are stable.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any
+
+_counter = itertools.count(1)
+
+
+def construct_oid(schema_oid: Any, kind: str, *parts: Any) -> str:
+    """Deterministic OID for a schema construct.
+
+    ``construct_oid(123, "node", "Person") == "123:node:Person"``.
+    """
+    suffix = ":".join(str(p) for p in parts)
+    return f"{schema_oid}:{kind}:{suffix}" if suffix else f"{schema_oid}:{kind}"
+
+
+def fresh_oid(prefix: str = "oid") -> str:
+    """A process-unique OID for anonymous objects."""
+    return f"{prefix}#{next(_counter)}"

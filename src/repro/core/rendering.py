@@ -1,0 +1,220 @@
+"""Rendering functions: Gamma_MM, Gamma_SM, and the GSL visual language.
+
+Section 3.1 introduces "an instance rendering function Gamma_M, a
+bijection that specifies how to visualize the instances of a model M" —
+mapping each construct instance to a *grapheme*, an elementary graphic
+item.  This module implements:
+
+- :class:`Grapheme` — the structured, testable rendering target;
+- :func:`render_metamodel` (Gamma_MM over Figure 2);
+- :func:`supermodel_table` — the tabular form of Gamma_SM printed in
+  Figure 3;
+- :func:`render_super_schema` (Gamma_SM over a schema: the GSL diagram
+  as a grapheme stream, Figure 4);
+- :func:`schema_to_dot` — Graphviz DOT text for actual visualization.
+
+Grapheme conventions follow the paper: extensional constructs are solid,
+intensional ones dashed; identifying attributes are underlined (rendered
+as ``<u>...</u>`` markers in DOT); optional attributes use the hollow
+lollipop; generalizations use thick arrows, solid when total and
+single-headed when disjoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.core.metamodel import META_MODEL, META_MODEL_LINKS
+from repro.core.supermodel import SUPER_MODEL_DICTIONARY
+
+
+@dataclass(frozen=True)
+class Grapheme:
+    """One elementary graphic item of a GSL diagram."""
+
+    kind: str  # node-box | attribute-lollipop | edge-arrow | generalization-arrow
+    text: str
+    line_style: str = "solid"  # solid | dashed
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        extras = ", ".join(f"{k}={v}" for k, v in sorted(self.detail.items()))
+        suffix = f" ({extras})" if extras else ""
+        return f"[{self.kind}/{self.line_style}] {self.text}{suffix}"
+
+
+# ---------------------------------------------------------------------------
+# Gamma_MM — Figure 2
+# ---------------------------------------------------------------------------
+
+
+def render_metamodel() -> List[Grapheme]:
+    """Render the meta-model (Figure 2) as graphemes."""
+    graphemes: List[Grapheme] = []
+    for construct in META_MODEL:
+        graphemes.append(
+            Grapheme("node-box", construct.name, detail={
+                "description": construct.description,
+            })
+        )
+        for name, data_type in construct.properties:
+            graphemes.append(
+                Grapheme(
+                    "attribute-lollipop",
+                    f"{construct.name}.{name}",
+                    detail={"type": data_type},
+                )
+            )
+    for label, source, target in META_MODEL_LINKS:
+        graphemes.append(
+            Grapheme(
+                "edge-arrow",
+                f"{source} -[{label}]-> {target}",
+                detail={"cardinality": "0..N"},
+            )
+        )
+    return graphemes
+
+
+# ---------------------------------------------------------------------------
+# Gamma_SM — Figure 3 table and schema diagrams
+# ---------------------------------------------------------------------------
+
+
+def supermodel_table() -> str:
+    """The Figure 3 dictionary as a fixed-width text table."""
+    name_w = max(len(e.name) for e in SUPER_MODEL_DICTIONARY) + 2
+    attr_w = max(len(e.attributes) for e in SUPER_MODEL_DICTIONARY) + 2
+    lines = [
+        f"{'super-construct':<{name_w}}{'attributes':<{attr_w}}grapheme",
+        "-" * (name_w + attr_w + 32),
+    ]
+    for entry in SUPER_MODEL_DICTIONARY:
+        grapheme = entry.grapheme
+        if not entry.has_explicit_notation:
+            grapheme += "  [no explicit notation]"
+        lines.append(f"{entry.name:<{name_w}}{entry.attributes:<{attr_w}}{grapheme}")
+    return "\n".join(lines)
+
+
+def render_super_schema(schema) -> List[Grapheme]:
+    """Gamma_SM over a super-schema: the GSL diagram as graphemes."""
+    graphemes: List[Grapheme] = []
+    for node in schema.nodes:
+        style = "dashed" if node.is_intensional else "solid"
+        graphemes.append(
+            Grapheme("node-box", node.type_name, style)
+        )
+        for attribute in node.attributes:
+            graphemes.append(_attribute_grapheme(node.type_name, attribute))
+    for edge in schema.edges:
+        style = "dashed" if edge.is_intensional else "solid"
+        left, right = edge.cardinality_labels()
+        graphemes.append(
+            Grapheme(
+                "edge-arrow",
+                f"{edge.source.type_name} -[{edge.type_name}]-> "
+                f"{edge.target.type_name}",
+                style,
+                detail={"source_card": left, "target_card": right},
+            )
+        )
+        for attribute in edge.attributes:
+            graphemes.append(_attribute_grapheme(edge.type_name, attribute))
+    for generalization in schema.generalizations:
+        for child in generalization.children:
+            graphemes.append(
+                Grapheme(
+                    "generalization-arrow",
+                    f"{child.type_name} => {generalization.parent.type_name}",
+                    "solid" if generalization.is_total else "outlined",
+                    detail={
+                        "total": generalization.is_total,
+                        "disjoint": generalization.is_disjoint,
+                        "heads": 1 if generalization.is_disjoint else 2,
+                    },
+                )
+            )
+    return graphemes
+
+
+def _attribute_grapheme(owner: str, attribute) -> Grapheme:
+    if attribute.is_id:
+        lollipop = "underlined filled"
+    elif attribute.is_optional:
+        lollipop = "hollow"
+    else:
+        lollipop = "filled"
+    return Grapheme(
+        "attribute-lollipop",
+        f"{owner}.{attribute.name}",
+        "dashed" if attribute.is_intensional else "solid",
+        detail={"lollipop": lollipop, "type": attribute.data_type},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Graphviz DOT output
+# ---------------------------------------------------------------------------
+
+
+def schema_to_dot(schema, rankdir: str = "LR") -> str:
+    """Render a super-schema as Graphviz DOT (GSL diagram, Figure 4)."""
+    lines = [
+        f'digraph "{schema.name}" {{',
+        f"  rankdir={rankdir};",
+        "  node [shape=none, fontname=Helvetica];",
+        "  edge [fontname=Helvetica, fontsize=10];",
+    ]
+    for node in schema.nodes:
+        lines.append(_dot_node(node))
+    for edge in schema.edges:
+        style = "dashed" if edge.is_intensional else "solid"
+        left, right = edge.cardinality_labels()
+        label = edge.type_name
+        if edge.attributes:
+            label += "\\n" + ", ".join(a.name for a in edge.attributes)
+        lines.append(
+            f'  "{edge.source.type_name}" -> "{edge.target.type_name}" '
+            f'[label="{label}", style={style}, taillabel="{left}", '
+            f'headlabel="{right}"];'
+        )
+    for generalization in schema.generalizations:
+        style = "solid" if generalization.is_total else "dashed"
+        arrowhead = "normal" if generalization.is_disjoint else "diamond"
+        for child in generalization.children:
+            lines.append(
+                f'  "{child.type_name}" -> "{generalization.parent.type_name}" '
+                f"[style={style}, penwidth=2.5, arrowhead={arrowhead}, "
+                'color=black];'
+            )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _dot_node(node) -> str:
+    style = "dashed" if node.is_intensional else "solid"
+    rows = [
+        f'<tr><td border="1" style="{style}"><b>{_escape(node.type_name)}</b></td></tr>'
+    ]
+    for attribute in node.attributes:
+        name = _escape(attribute.name)
+        if attribute.is_id:
+            name = f"<u>{name}</u>"
+        if attribute.is_optional:
+            name = f"{name}?"
+        if attribute.is_intensional:
+            name = f"<i>{name}</i>"
+        rows.append(f'<tr><td align="left">{name}: {attribute.data_type}</td></tr>')
+    table = (
+        '<<table border="0" cellborder="1" cellspacing="0">' + "".join(rows)
+        + "</table>>"
+    )
+    return f'  "{node.type_name}" [label={table}];'
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )

@@ -1,0 +1,130 @@
+"""Well-formedness validation of super-schemas.
+
+The paper's design guidelines (Section 3.2) imply structural invariants
+that a GSL diagram must satisfy before the SSST can translate it:
+
+- every ``SM_Node`` "always has one single identifier, composed of a set
+  of identifying attributes" — we require it on every generalization
+  root (children inherit the parent's identifier);
+- generalization hierarchies are acyclic and single-parent per
+  generalization (a node may participate in several generalizations as a
+  parent, but being a child of two different parents is flagged);
+- edge endpoints belong to the schema; attribute names are unique per
+  construct; enum/range modifiers are internally consistent;
+- intensional constructs may freely reference extensional ones, but an
+  extensional edge must not connect intensional nodes (ground data cannot
+  reference derived nodes).
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.core.supermodel import (
+    SMEnumAttributeModifier,
+    SMRangeAttributeModifier,
+)
+from repro.errors import SchemaError
+
+
+def validate_super_schema(schema, strict: bool = True) -> List[str]:
+    """Validate ``schema``; returns the problem list (raises when strict)."""
+    problems: List[str] = []
+    problems.extend(_check_generalizations(schema))
+    problems.extend(_check_identifiers(schema))
+    problems.extend(_check_edges(schema))
+    problems.extend(_check_attributes(schema))
+    if strict and problems:
+        raise SchemaError(
+            f"super-schema {schema.name!r} is not well-formed: "
+            + "; ".join(problems)
+        )
+    return problems
+
+
+def _check_generalizations(schema) -> List[str]:
+    problems: List[str] = []
+    # Acyclicity: no node may be its own ancestor.  ancestors_of() is
+    # cycle-safe (it never revisits the start node), so a cycle shows up
+    # as the node being a parent of one of its ancestors.
+    for node in schema.nodes:
+        ancestors = schema.ancestors_of(node)
+        if any(node in schema.parents_of(ancestor) for ancestor in ancestors):
+            problems.append(
+                f"generalization cycle through {node.type_name!r}"
+            )
+            break
+    # Multiple inheritance is flagged (the PG mapping would duplicate).
+    child_counts = {}
+    for generalization in schema.generalizations:
+        for child in generalization.children:
+            child_counts[child.type_name] = child_counts.get(child.type_name, 0) + 1
+    for type_name, count in sorted(child_counts.items()):
+        if count > 1:
+            problems.append(
+                f"node {type_name!r} is a child in {count} generalizations"
+            )
+    return problems
+
+
+def _check_identifiers(schema) -> List[str]:
+    """Every generalization root (and free-standing node) needs an id."""
+    problems: List[str] = []
+    for node in schema.nodes:
+        if node.is_intensional:
+            continue  # derived nodes get OIDs from Skolem functors
+        if schema.parents_of(node):
+            continue  # children inherit the parent's identifier
+        if not node.id_attributes():
+            problems.append(
+                f"node {node.type_name!r} has no identifying attribute"
+            )
+    return problems
+
+
+def _check_edges(schema) -> List[str]:
+    problems: List[str] = []
+    node_objects = set(id(n) for n in schema.nodes)
+    for edge in schema.edges:
+        for endpoint, role in ((edge.source, "source"), (edge.target, "target")):
+            if id(endpoint) not in node_objects:
+                problems.append(
+                    f"edge {edge.type_name!r} has a {role} outside the schema"
+                )
+        if not edge.is_intensional:
+            if edge.source.is_intensional or edge.target.is_intensional:
+                problems.append(
+                    f"extensional edge {edge.type_name!r} touches an "
+                    "intensional node"
+                )
+    return problems
+
+
+def _check_attributes(schema) -> List[str]:
+    problems: List[str] = []
+    owners = [(n.type_name, n.attributes) for n in schema.nodes]
+    owners += [(e.type_name, e.attributes) for e in schema.edges]
+    for owner_name, attributes in owners:
+        seen: Set[str] = set()
+        for attribute in attributes:
+            if attribute.name in seen:
+                problems.append(
+                    f"duplicate attribute {attribute.name!r} on {owner_name!r}"
+                )
+            seen.add(attribute.name)
+            for modifier in attribute.modifiers:
+                if isinstance(modifier, SMRangeAttributeModifier):
+                    if (
+                        modifier.minimum is not None
+                        and modifier.maximum is not None
+                        and modifier.minimum > modifier.maximum
+                    ):
+                        problems.append(
+                            f"empty range on {owner_name}.{attribute.name}"
+                        )
+                if isinstance(modifier, SMEnumAttributeModifier):
+                    if len(set(modifier.values)) != len(modifier.values):
+                        problems.append(
+                            f"duplicate enum values on {owner_name}.{attribute.name}"
+                        )
+    return problems

@@ -1,0 +1,30 @@
+"""Deployment backends: in-memory target systems and schema renderers."""
+
+from repro.deploy.csv_dataset import CSVDataset
+from repro.deploy.cypher import (
+    generate_cypher_constraints,
+    generate_label_documentation,
+)
+from repro.deploy.graph_store import GraphStore
+from repro.deploy.loaders import load_graph_store, load_triple_store
+from repro.deploy.rdfs_doc import generate_rdfs
+from repro.deploy.relational_engine import RelationalEngine
+from repro.deploy.sql_ddl import generate_ddl, parse_ddl
+from repro.deploy.sql_views import PushdownResult, generate_sql_views
+from repro.deploy.triple_store import TripleStore
+
+__all__ = [
+    "CSVDataset",
+    "generate_cypher_constraints",
+    "generate_label_documentation",
+    "GraphStore",
+    "load_graph_store",
+    "load_triple_store",
+    "generate_rdfs",
+    "RelationalEngine",
+    "generate_ddl",
+    "parse_ddl",
+    "PushdownResult",
+    "generate_sql_views",
+    "TripleStore",
+]

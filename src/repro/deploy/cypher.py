@@ -1,0 +1,55 @@
+"""Cypher-style schema enforcement scripts for PG targets.
+
+Real property-graph systems are schema-less; Section 5 points to
+"ad-hoc methodologies [21]" for enforcement.  The practical ad-hoc
+methodology on Neo4J-like systems is a script of constraint DDL plus
+existence checks; :func:`generate_cypher_constraints` emits it from a
+translated :class:`~repro.models.property_graph.PGSchema`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.models.property_graph import PGSchema
+
+
+def generate_cypher_constraints(schema: PGSchema) -> str:
+    """Render uniqueness and existence constraints for ``schema``."""
+    statements: List[str] = []
+    for label, prop in schema.unique_constraints():
+        statements.append(
+            f"CREATE CONSTRAINT unique_{label}_{prop} IF NOT EXISTS "
+            f"FOR (n:{label}) REQUIRE n.{prop} IS UNIQUE;"
+        )
+    for node_class in schema.node_classes:
+        label = node_class.primary_label
+        for prop in node_class.properties:
+            if prop.optional or prop.intensional:
+                continue
+            statements.append(
+                f"CREATE CONSTRAINT exists_{label}_{prop.name} IF NOT EXISTS "
+                f"FOR (n:{label}) REQUIRE n.{prop.name} IS NOT NULL;"
+            )
+    return "\n".join(statements) + "\n"
+
+
+def generate_label_documentation(schema: PGSchema) -> str:
+    """A human-readable summary of labels and relationship types."""
+    lines: List[str] = ["// node classes (primary label: all labels)"]
+    for node_class in schema.node_classes:
+        properties = ", ".join(
+            p.name + ("?" if p.optional else "") for p in node_class.properties
+        )
+        labels = ":".join(node_class.labels)
+        lines.append(f"// (:{labels}) {{{properties}}}")
+    lines.append("// relationship classes")
+    seen = set()
+    for relationship in schema.relationship_classes:
+        properties = ", ".join(p.name for p in relationship.properties)
+        key = (relationship.name, properties)
+        if key in seen:
+            continue
+        seen.add(key)
+        lines.append(f"// -[:{relationship.name} {{{properties}}}]->")
+    return "\n".join(lines) + "\n"

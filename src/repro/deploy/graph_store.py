@@ -1,0 +1,210 @@
+"""A schema-enforcing in-memory property-graph store.
+
+Section 5: "for schema-less systems, like graph databases, schemas can
+be enforced with ad-hoc methodologies [21]".  This store is such a
+methodology in miniature: it accepts a translated
+:class:`~repro.models.property_graph.PGSchema` and validates every
+mutation against it — allowed labels, relationship endpoint labels,
+declared properties, mandatory properties, and uniqueness constraints.
+
+The store implements the ``@input`` :class:`~repro.vadalog.annotations.Source`
+protocol using exactly the Cypher-like query shapes MTV emits
+(Example 4.4): ``(n:Business) return n`` extracts node facts,
+``(a)-[e:OWNS]->(b) return (e, a, b)`` extracts edge facts, laid out per
+the store's catalog.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import DeploymentError, IntegrityError
+from repro.graph.property_graph import Edge, Node, PropertyGraph
+from repro.metalog.analysis import GraphCatalog
+from repro.models.property_graph import PGSchema
+
+_NODE_QUERY_RE = re.compile(r"^\(\s*\w*\s*:\s*(\w+)\s*\)\s*return\s+\w+$", re.IGNORECASE)
+_EDGE_QUERY_RE = re.compile(
+    r"^\(\s*\w*\s*\)\s*-\s*\[\s*\w*\s*:\s*(\w+)\s*\]\s*->\s*\(\s*\w*\s*\)\s*"
+    r"return\s*\(.*\)$",
+    re.IGNORECASE,
+)
+
+
+class GraphStore:
+    """An in-memory graph database enforcing a PG-model schema."""
+
+    def __init__(self, name: str = "graph-store"):
+        self.name = name
+        self.graph = PropertyGraph(name)
+        self._schema: Optional[PGSchema] = None
+        self._node_properties: Dict[str, Dict[str, Any]] = {}
+        self._relationships: Dict[str, List[Tuple[Set[str], Set[str], Dict[str, Any]]]] = {}
+        self._unique: Dict[Tuple[str, str], Dict[Any, Any]] = {}
+        self._labels_by_node: Dict[Any, Set[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Schema deployment
+    # ------------------------------------------------------------------
+    def deploy(self, schema: PGSchema) -> None:
+        """Enforce a translated PG schema from now on."""
+        if self._schema is not None:
+            raise DeploymentError("a schema is already deployed")
+        self._schema = schema
+        for node_class in schema.node_classes:
+            # Property declarations key off the class's own (primary)
+            # label; the extra accumulated labels only mark membership.
+            properties = {p.name: p for p in node_class.properties}
+            self._node_properties[node_class.primary_label] = properties
+            for label in node_class.labels[1:]:
+                self._node_properties.setdefault(label, {})
+        for relationship in schema.relationship_classes:
+            try:
+                source_labels = set(
+                    schema.node_class_by_oid(relationship.source_oid).labels
+                )
+                target_labels = set(
+                    schema.node_class_by_oid(relationship.target_oid).labels
+                )
+            except Exception:
+                source_labels, target_labels = set(), set()
+            self._relationships.setdefault(relationship.name, []).append(
+                (
+                    source_labels,
+                    target_labels,
+                    {p.name: p for p in relationship.properties},
+                )
+            )
+        for label, prop in schema.unique_constraints():
+            self._unique[(label, prop)] = {}
+
+    @property
+    def schema(self) -> Optional[PGSchema]:
+        return self._schema
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+    def create_node(
+        self, node_id: Any, labels, **properties: Any
+    ) -> Node:
+        """Create a node with one or more labels (multi-tagging)."""
+        if isinstance(labels, str):
+            labels = [labels]
+        labels = list(labels)
+        if not labels:
+            raise IntegrityError("a node needs at least one label")
+        if self._schema is not None:
+            for label in labels:
+                if label not in self._node_properties:
+                    raise IntegrityError(f"label {label!r} is not in the schema")
+            declared: Dict[str, Any] = {}
+            for label in labels:
+                declared.update(self._node_properties[label])
+            for name in properties:
+                if name not in declared:
+                    raise IntegrityError(
+                        f"property {name!r} not declared for labels {labels}"
+                    )
+            for name, prop in declared.items():
+                if prop.optional or prop.intensional:
+                    continue  # intensional values appear after reasoning
+                if name not in properties:
+                    raise IntegrityError(
+                        f"mandatory property {name!r} missing for {labels}"
+                    )
+            for (label, prop_name), index in self._unique.items():
+                if label in labels and prop_name in properties:
+                    value = properties[prop_name]
+                    if value in index:
+                        raise IntegrityError(
+                            f"unique constraint on {label}.{prop_name} "
+                            f"violated by {value!r}"
+                        )
+        node = self.graph.add_node(node_id, labels[0], **properties)
+        self._labels_by_node[node.id] = set(labels)
+        for (label, prop_name), index in self._unique.items():
+            if label in labels and prop_name in properties:
+                index[properties[prop_name]] = node.id
+        return node
+
+    def create_relationship(
+        self, source: Any, target: Any, name: str, **properties: Any
+    ) -> Edge:
+        if self._schema is not None:
+            candidates = self._relationships.get(name)
+            if not candidates:
+                raise IntegrityError(f"relationship {name!r} is not in the schema")
+            source_labels = self._labels_by_node.get(source, set())
+            target_labels = self._labels_by_node.get(target, set())
+            matched = None
+            for allowed_source, allowed_target, declared in candidates:
+                if (not allowed_source or source_labels & allowed_source) and (
+                    not allowed_target or target_labels & allowed_target
+                ):
+                    matched = declared
+                    break
+            if matched is None:
+                raise IntegrityError(
+                    f"relationship {name!r} not allowed between "
+                    f"{sorted(source_labels)} and {sorted(target_labels)}"
+                )
+            for prop_name in properties:
+                if prop_name not in matched:
+                    raise IntegrityError(
+                        f"property {prop_name!r} not declared on {name!r}"
+                    )
+        return self.graph.add_edge(source, target, name, **properties)
+
+    def labels_of(self, node_id: Any) -> Set[str]:
+        return set(self._labels_by_node.get(node_id, set()))
+
+    def nodes_with_label(self, label: str) -> Iterator[Node]:
+        for node_id, labels in self._labels_by_node.items():
+            if label in labels:
+                yield self.graph.node(node_id)
+
+    # ------------------------------------------------------------------
+    # @input extraction (Source protocol)
+    # ------------------------------------------------------------------
+    def catalog(self) -> GraphCatalog:
+        """Catalog derived from the deployed schema (declared order)."""
+        catalog = GraphCatalog()
+        for label, properties in self._node_properties.items():
+            catalog.extend_node(label, sorted(properties))
+        for name, variants in self._relationships.items():
+            names: Set[str] = set()
+            for _, _, declared in variants:
+                names |= set(declared)
+            catalog.extend_edge(name, sorted(names))
+        return catalog
+
+    def extract(self, query: str) -> Iterator[Tuple[Any, ...]]:
+        """Execute an MTV-style extraction query."""
+        query = query.strip()
+        node_match = _NODE_QUERY_RE.match(query)
+        catalog = self.catalog()
+        if node_match:
+            label = node_match.group(1)
+            names = catalog.node_properties.get(label, [])
+            for node in self.nodes_with_label(label):
+                yield (node.id, *(node.properties.get(n) for n in names))
+            return
+        edge_match = _EDGE_QUERY_RE.match(query)
+        if edge_match:
+            label = edge_match.group(1)
+            names = catalog.edge_properties.get(label, [])
+            for edge in self.graph.edges(label):
+                yield (
+                    edge.id, edge.source, edge.target,
+                    *(edge.properties.get(n) for n in names),
+                )
+            return
+        raise DeploymentError(f"unsupported extraction query {query!r}")
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphStore({self.name!r}, nodes={self.graph.node_count}, "
+            f"edges={self.graph.edge_count})"
+        )

@@ -1,0 +1,51 @@
+"""RDF-S document generation (Turtle syntax).
+
+Section 5: "for RDF stores, schemas can be rendered as RDF-S (RDF
+Schema) documents, to be validated by dedicated tools".
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.models.rdf import RDFSchema
+
+_XSD_TYPES = {
+    "string": "xsd:string",
+    "int": "xsd:integer",
+    "float": "xsd:double",
+    "bool": "xsd:boolean",
+    "date": "xsd:date",
+}
+
+
+def generate_rdfs(schema: RDFSchema, prefix: str = "kg") -> str:
+    """Render an RDF-S document in Turtle for a translated RDF schema."""
+    lines: List[str] = [
+        "@prefix rdf:  <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .",
+        "@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .",
+        "@prefix xsd:  <http://www.w3.org/2001/XMLSchema#> .",
+        f"@prefix {prefix}:   <urn:kgmodel:{schema.schema_oid}#> .",
+        "",
+    ]
+    for rdf_class in schema.classes:
+        lines.append(f"{prefix}:{rdf_class.name} a rdfs:Class .")
+    subclass_pairs = set(schema.subclass_of)
+    for child, parent in sorted(subclass_pairs):
+        lines.append(f"{prefix}:{child} rdfs:subClassOf {prefix}:{parent} .")
+    lines.append("")
+    for prop in schema.datatype_properties:
+        xsd = _XSD_TYPES.get(prop.data_type, "xsd:string")
+        lines.append(
+            f"{prefix}:{prop.name} a rdf:Property ;\n"
+            f"    rdfs:domain {prefix}:{prop.domain} ;\n"
+            f"    rdfs:range  {xsd} ."
+        )
+    lines.append("")
+    for prop in schema.object_properties:
+        lines.append(
+            f"{prefix}:{prop.name} a rdf:Property ;\n"
+            f"    rdfs:domain {prefix}:{prop.domain} ;\n"
+            f"    rdfs:range  {prefix}:{prop.range} ."
+        )
+    return "\n".join(lines) + "\n"

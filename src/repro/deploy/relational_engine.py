@@ -1,0 +1,223 @@
+"""A small in-memory relational engine used as a deployment target.
+
+Section 5: "for relational systems, [schemas] can be rendered as DDL
+statements, which include the respective constraints such as keys,
+foreign keys, domain constraints, and so on".  This engine *enforces*
+what the SSST generates: primary keys, NOT NULL, UNIQUE, and foreign
+keys, plus loose domain checking on the declared column types.
+
+It also implements the :class:`repro.vadalog.annotations.Source`
+protocol, so ``@input`` annotations can pull facts straight out of a
+deployed database (``extract("Business")`` yields the rows of the
+``Business`` table in column order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import DeploymentError, IntegrityError
+from repro.models.relational import Column, ForeignKey, RelationalSchema, Table
+
+#: Loose domain checks per declared column type.
+_TYPE_CHECKS = {
+    "int": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "float": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "bool": lambda v: isinstance(v, bool),
+    "string": lambda v: isinstance(v, str),
+    "date": lambda v: isinstance(v, str),
+}
+
+
+@dataclass
+class _StoredTable:
+    table: Table
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    pk_index: Dict[Tuple[Any, ...], int] = field(default_factory=dict)
+    unique_indexes: Dict[str, Dict[Any, int]] = field(default_factory=dict)
+
+
+class RelationalEngine:
+    """An in-memory RDBMS enforcing the translated schema."""
+
+    def __init__(self, name: str = "rdbms"):
+        self.name = name
+        self._tables: Dict[str, _StoredTable] = {}
+        self._foreign_keys: List[ForeignKey] = []
+        self._deferred: bool = False
+
+    # ------------------------------------------------------------------
+    # Schema deployment
+    # ------------------------------------------------------------------
+    def deploy(self, schema: RelationalSchema) -> None:
+        """Create every table and register the foreign keys."""
+        for table in schema.tables.values():
+            self.create_table(table)
+        for foreign_key in schema.foreign_keys:
+            self.add_foreign_key(foreign_key)
+
+    def create_table(self, table: Table) -> None:
+        if table.name in self._tables:
+            raise DeploymentError(f"table {table.name!r} already exists")
+        self._tables[table.name] = _StoredTable(table)
+
+    def add_foreign_key(self, foreign_key: ForeignKey) -> None:
+        for table_name in (foreign_key.source_table, foreign_key.target_table):
+            if table_name not in self._tables:
+                raise DeploymentError(
+                    f"foreign key {foreign_key.name!r} references unknown "
+                    f"table {table_name!r}"
+                )
+        self._foreign_keys.append(foreign_key)
+
+    def tables(self) -> List[str]:
+        return sorted(self._tables)
+
+    def table_schema(self, name: str) -> Table:
+        return self._stored(name).table
+
+    # ------------------------------------------------------------------
+    # Data manipulation
+    # ------------------------------------------------------------------
+    def insert(self, table_name: str, **values: Any) -> None:
+        """Insert one row, enforcing every declared constraint."""
+        stored = self._stored(table_name)
+        table = stored.table
+        row: Dict[str, Any] = {}
+        known = {c.name for c in table.columns}
+        for column_name in values:
+            if column_name not in known:
+                raise IntegrityError(
+                    f"{table_name}: unknown column {column_name!r}"
+                )
+        for column in table.columns:
+            value = values.get(column.name)
+            if value is None:
+                if column.is_pk or not column.optional:
+                    raise IntegrityError(
+                        f"{table_name}.{column.name}: NULL violates "
+                        f"{'PRIMARY KEY' if column.is_pk else 'NOT NULL'}"
+                    )
+            else:
+                check = _TYPE_CHECKS.get(column.data_type)
+                if check is not None and not check(value):
+                    raise IntegrityError(
+                        f"{table_name}.{column.name}: value {value!r} "
+                        f"violates domain {column.data_type!r}"
+                    )
+            row[column.name] = value
+        pk_columns = table.primary_key()
+        if pk_columns:
+            key = tuple(row[c] for c in pk_columns)
+            if key in stored.pk_index:
+                raise IntegrityError(
+                    f"{table_name}: duplicate primary key {key!r}"
+                )
+        if not self._deferred:
+            self._check_row_references(table_name, row)
+        stored.rows.append(row)
+        if pk_columns:
+            stored.pk_index[tuple(row[c] for c in pk_columns)] = len(stored.rows) - 1
+
+    def insert_many(self, table_name: str, rows: Iterable[Dict[str, Any]]) -> int:
+        count = 0
+        for row in rows:
+            self.insert(table_name, **row)
+            count += 1
+        return count
+
+    class _DeferredConstraints:
+        def __init__(self, engine: "RelationalEngine"):
+            self.engine = engine
+
+        def __enter__(self):
+            self.engine._deferred = True
+            return self.engine
+
+        def __exit__(self, exc_type, exc, tb):
+            self.engine._deferred = False
+            if exc_type is None:
+                self.engine.check_integrity()
+            return False
+
+    def deferred(self) -> "_DeferredConstraints":
+        """Context manager deferring FK checks to the end of the block
+        (needed for cyclic references and bulk loads)."""
+        return RelationalEngine._DeferredConstraints(self)
+
+    # ------------------------------------------------------------------
+    # Integrity
+    # ------------------------------------------------------------------
+    def _check_row_references(self, table_name: str, row: Dict[str, Any]) -> None:
+        for foreign_key in self._foreign_keys:
+            if foreign_key.source_table != table_name:
+                continue
+            self._check_reference(foreign_key, row)
+
+    def _check_reference(self, foreign_key: ForeignKey, row: Dict[str, Any]) -> None:
+        values = tuple(row.get(c) for c in foreign_key.source_columns)
+        if not values or any(v is None for v in values):
+            return  # NULL references are permitted (optional edges)
+        target = self._stored(foreign_key.target_table)
+        pk_columns = target.table.primary_key()
+        if pk_columns == foreign_key.target_columns and target.pk_index:
+            if values in target.pk_index:
+                return
+        else:
+            for candidate in target.rows:
+                if tuple(candidate.get(c) for c in foreign_key.target_columns) == values:
+                    return
+        raise IntegrityError(
+            f"{foreign_key.source_table}: foreign key {foreign_key.name!r} "
+            f"value {values!r} has no match in {foreign_key.target_table!r}"
+        )
+
+    def check_integrity(self) -> None:
+        """Re-validate every foreign key (used after deferred loads)."""
+        for foreign_key in self._foreign_keys:
+            stored = self._stored(foreign_key.source_table)
+            for row in stored.rows:
+                self._check_reference(foreign_key, row)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def rows(self, table_name: str) -> List[Dict[str, Any]]:
+        return [dict(r) for r in self._stored(table_name).rows]
+
+    def count(self, table_name: str) -> int:
+        return len(self._stored(table_name).rows)
+
+    def select(
+        self, table_name: str, **equals: Any
+    ) -> Iterator[Dict[str, Any]]:
+        for row in self._stored(table_name).rows:
+            if all(row.get(k) == v for k, v in equals.items()):
+                yield dict(row)
+
+    def extract(self, query: str) -> Iterator[Tuple[Any, ...]]:
+        """Source protocol: ``extract("Table")`` or
+        ``extract("Table(col1, col2)")`` yields tuples."""
+        query = query.strip()
+        if "(" in query:
+            name, _, rest = query.partition("(")
+            columns = [c.strip() for c in rest.rstrip(")").split(",") if c.strip()]
+        else:
+            name = query
+            columns = None
+        stored = self._stored(name.strip())
+        if columns is None:
+            columns = [c.name for c in stored.table.columns]
+        for row in stored.rows:
+            yield tuple(row.get(c) for c in columns)
+
+    def _stored(self, table_name: str) -> _StoredTable:
+        stored = self._tables.get(table_name)
+        if stored is None:
+            raise DeploymentError(f"unknown table {table_name!r}")
+        return stored
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{n}:{len(t.rows)}" for n, t in sorted(self._tables.items()))
+        return f"RelationalEngine({self.name!r}, {parts})"

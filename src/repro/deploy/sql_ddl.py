@@ -1,0 +1,131 @@
+"""SQL DDL generation (and a matching mini-parser) for relational schemas.
+
+Section 5: translated schemas "can be rendered as DDL statements, which
+include the respective constraints such as keys, foreign keys, domain
+constraints".  :func:`generate_ddl` renders a
+:class:`~repro.models.relational.RelationalSchema` as portable SQL;
+:func:`parse_ddl` reads the same dialect back (useful for round-trip
+tests and for deploying textual DDL into the in-memory engine).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from repro.errors import DeploymentError, ParseError
+from repro.models.relational import Column, ForeignKey, RelationalSchema, Table
+
+_SQL_TYPES = {
+    "string": "VARCHAR(255)",
+    "int": "INTEGER",
+    "float": "DOUBLE PRECISION",
+    "bool": "BOOLEAN",
+    "date": "DATE",
+}
+_SQL_TYPES_BACK = {v: k for k, v in _SQL_TYPES.items()}
+
+
+def generate_ddl(schema: RelationalSchema) -> str:
+    """Render CREATE TABLE / ALTER TABLE statements for ``schema``."""
+    statements: List[str] = []
+    for name in sorted(schema.tables):
+        table = schema.tables[name]
+        lines: List[str] = []
+        for column in table.columns:
+            sql_type = _SQL_TYPES.get(column.data_type, "VARCHAR(255)")
+            null = "" if column.optional else " NOT NULL"
+            lines.append(f"    {column.name} {sql_type}{null}")
+        pk = table.primary_key()
+        if pk:
+            lines.append(f"    PRIMARY KEY ({', '.join(pk)})")
+        statements.append(
+            f"CREATE TABLE {table.name} (\n" + ",\n".join(lines) + "\n);"
+        )
+    for fk in schema.foreign_keys:
+        if not fk.source_columns:
+            continue  # unkeyed target: constraint cannot be expressed
+        statements.append(
+            f"ALTER TABLE {fk.source_table} ADD CONSTRAINT {fk.name} "
+            f"FOREIGN KEY ({', '.join(fk.source_columns)}) "
+            f"REFERENCES {fk.target_table} ({', '.join(fk.target_columns)});"
+        )
+    return "\n\n".join(statements) + "\n"
+
+
+_CREATE_RE = re.compile(
+    r"CREATE\s+TABLE\s+(\w+)\s*\((.*?)\)\s*;", re.IGNORECASE | re.DOTALL
+)
+_FK_RE = re.compile(
+    r"ALTER\s+TABLE\s+(\w+)\s+ADD\s+CONSTRAINT\s+(\w+)\s+FOREIGN\s+KEY\s*"
+    r"\(([^)]*)\)\s*REFERENCES\s+(\w+)\s*\(([^)]*)\)\s*;",
+    re.IGNORECASE,
+)
+
+
+def parse_ddl(text: str) -> RelationalSchema:
+    """Parse the dialect produced by :func:`generate_ddl`."""
+    schema = RelationalSchema(schema_oid="ddl")
+    for match in _CREATE_RE.finditer(text):
+        table_name, body = match.group(1), match.group(2)
+        columns: List[Column] = []
+        pk: List[str] = []
+        for piece in _split_top_level(body):
+            piece = piece.strip()
+            if not piece:
+                continue
+            upper = piece.upper()
+            if upper.startswith("PRIMARY KEY"):
+                inner = piece[piece.index("(") + 1 : piece.rindex(")")]
+                pk = [c.strip() for c in inner.split(",")]
+                continue
+            parts = piece.split()
+            if len(parts) < 2:
+                raise ParseError(f"bad column declaration {piece!r}")
+            name = parts[0]
+            type_tokens = parts[1:]
+            optional = "NOT NULL" not in upper
+            if not optional:
+                type_tokens = type_tokens[:-2]  # strip NOT NULL
+            sql_type = " ".join(type_tokens)
+            if sql_type.upper().startswith("VARCHAR"):
+                data_type = "string"
+            else:
+                data_type = _SQL_TYPES_BACK.get(sql_type.upper(), "string")
+            columns.append(Column(name, data_type, optional=optional))
+        for column in columns:
+            if column.name in pk:
+                column.is_pk = True
+                column.optional = False
+        schema.tables[table_name] = Table(table_name, columns)
+    for match in _FK_RE.finditer(text):
+        source, name, source_cols, target, target_cols = match.groups()
+        schema.foreign_keys.append(
+            ForeignKey(
+                name,
+                source,
+                [c.strip() for c in source_cols.split(",") if c.strip()],
+                target,
+                [c.strip() for c in target_cols.split(",") if c.strip()],
+            )
+        )
+    return schema
+
+
+def _split_top_level(text: str) -> List[str]:
+    """Split on commas that are not nested in parentheses."""
+    parts: List[str] = []
+    depth = 0
+    current: List[str] = []
+    for ch in text:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    parts.append("".join(current))
+    return parts

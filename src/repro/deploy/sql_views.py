@@ -1,0 +1,295 @@
+"""SQL pushdown of (parts of) the intensional component.
+
+Section 6, closing remark: "future optimized versions of our system
+could delegate part of the reasoning rules to the underlying database
+systems, when convenient.  However, this improvement requires care, as
+intensional components typically involve ... a complex interplay of
+recursion and existential quantification, which can be very laborious or
+even impossible to express in target languages."
+
+This module implements exactly that delegation for the expressible
+fragment: given the relational translation of a MetaLog rule
+(:mod:`repro.ssst.sigma_relational`), each **non-recursive** rule is
+rendered as a ``CREATE VIEW`` over the translated tables — joins from
+the body atoms, ``WHERE`` from constants and conditions, ``GROUP BY`` +
+aggregate for the ``msum``-style assignments.  Rules involved in
+recursion (the control fixpoint) are reported as *retained*: they stay
+on the chase engine, as the paper predicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.errors import TranslationError
+from repro.vadalog.ast import (
+    AggregateCall,
+    Assignment,
+    Atom,
+    BinOp,
+    Condition,
+    FunctionCall,
+    NegatedAtom,
+    Program,
+    Rule,
+    TermExpr,
+)
+from repro.vadalog.stratify import recursive_predicates
+from repro.vadalog.terms import Variable, is_variable
+
+_SQL_OPS = {"==": "=", "!=": "<>", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+_AGG_SQL = {
+    "sum": "SUM", "msum": "SUM", "count": "COUNT", "mcount": "COUNT",
+    "min": "MIN", "mmin": "MIN", "max": "MAX", "mmax": "MAX", "avg": "AVG",
+}
+
+
+@dataclass
+class PushdownResult:
+    """Outcome of :func:`generate_sql_views`."""
+
+    views: List[str] = field(default_factory=list)
+    #: Rules that must stay on the reasoner (recursion or unsupported
+    #: features), with the reason.
+    retained: List[Tuple[Rule, str]] = field(default_factory=list)
+
+    def sql(self) -> str:
+        return "\n\n".join(self.views) + ("\n" if self.views else "")
+
+
+def generate_sql_views(
+    program: Program,
+    relational_schema,
+    view_prefix: str = "v_",
+) -> PushdownResult:
+    """Render the expressible rules of a table-level program as SQL views.
+
+    ``program`` is the output of
+    :func:`repro.ssst.sigma_relational.translate_sigma_for_relational`;
+    ``relational_schema`` provides the column names per table.
+    """
+    result = PushdownResult()
+    recursive = recursive_predicates(program)
+    counters: Dict[str, int] = {}
+    for rule in program.rules:
+        heads = rule.head_predicates()
+        if heads & recursive:
+            result.retained.append(
+                (rule, "recursive rule: not expressible as a plain view")
+            )
+            continue
+        try:
+            for head in rule.head:
+                counters[head.predicate] = counters.get(head.predicate, 0) + 1
+                suffix = (
+                    f"_{counters[head.predicate]}"
+                    if counters[head.predicate] > 1 else ""
+                )
+                result.views.append(
+                    _render_view(
+                        rule, head, relational_schema,
+                        f"{view_prefix}{head.predicate}{suffix}",
+                    )
+                )
+        except TranslationError as exc:
+            result.retained.append((rule, str(exc)))
+    return result
+
+
+def _columns(relational_schema, table: str) -> List[str]:
+    try:
+        return [c.name for c in relational_schema.table(table).columns]
+    except Exception:
+        raise TranslationError(f"unknown table {table!r}") from None
+
+
+def _render_view(rule: Rule, head: Atom, relational_schema, view_name: str) -> str:
+    aliases: List[Tuple[str, str]] = []  # (alias, table)
+    #: first SQL expression seen per variable.
+    bound: Dict[Variable, str] = {}
+    where: List[str] = []
+
+    for i, atom in enumerate(rule.body_atoms()):
+        alias = f"t{i}"
+        aliases.append((alias, atom.predicate))
+        columns = _columns(relational_schema, atom.predicate)
+        if len(columns) != len(atom.terms):
+            raise TranslationError(
+                f"arity mismatch on {atom.predicate!r}"
+            )
+        for column, term in zip(columns, atom.terms):
+            expression = f"{alias}.{column}"
+            if is_variable(term):
+                if term.name == "_":
+                    continue
+                if term in bound:
+                    where.append(f"{expression} = {bound[term]}")
+                else:
+                    bound[term] = expression
+            elif term is None:
+                continue  # unconstrained position
+            else:
+                where.append(f"{expression} = {_sql_literal(term)}")
+
+    for negated in rule.negated_atoms():
+        where.append(_render_not_exists(negated, relational_schema, bound))
+
+    aggregate: Optional[Tuple[Variable, AggregateCall]] = None
+    having: List[str] = []
+    for literal in rule.body:
+        if isinstance(literal, Assignment):
+            if literal.is_aggregate:
+                call = _find_aggregate(literal.expression)
+                aggregate = (literal.target, call)
+            else:
+                bound[literal.target] = _sql_expression(
+                    literal.expression, bound
+                )
+        elif isinstance(literal, Condition):
+            clause = _sql_condition(literal, bound, aggregate)
+            if aggregate is not None and aggregate[0] in literal.variables():
+                having.append(clause)
+            else:
+                where.append(clause)
+
+    select: List[str] = []
+    group_by: List[str] = []
+    for position, term in enumerate(head.terms):
+        column = _columns(relational_schema, head.predicate)[position] \
+            if head.predicate in getattr(relational_schema, "tables", {}) \
+            else f"c{position}"
+        if is_variable(term):
+            if aggregate is not None and term == aggregate[0]:
+                select.append(
+                    f"{_sql_aggregate(aggregate[1], bound)} AS {column}"
+                )
+                continue
+            if term not in bound:
+                raise TranslationError(
+                    f"head variable {term.name!r} not bound by the body"
+                )
+            select.append(f"{bound[term]} AS {column}")
+            if aggregate is not None:
+                group_by.append(bound[term])
+        elif term is None:
+            select.append(f"NULL AS {column}")
+        else:
+            select.append(f"{_sql_literal(term)} AS {column}")
+
+    lines = [f"CREATE VIEW {view_name} AS"]
+    lines.append("SELECT " + ",\n       ".join(select))
+    lines.append(
+        "FROM " + ",\n     ".join(f"{table} {alias}" for alias, table in aliases)
+    )
+    if where:
+        lines.append("WHERE " + "\n  AND ".join(where))
+    if group_by:
+        lines.append("GROUP BY " + ", ".join(group_by))
+    if having:
+        lines.append("HAVING " + "\n   AND ".join(having))
+    return "\n".join(lines) + ";"
+
+
+def _render_not_exists(negated: NegatedAtom, relational_schema, bound) -> str:
+    atom = negated.atom
+    alias = "n0"
+    columns = _columns(relational_schema, atom.predicate)
+    clauses: List[str] = []
+    for column, term in zip(columns, atom.terms):
+        if is_variable(term):
+            if term.name == "_":
+                continue
+            if term not in bound:
+                raise TranslationError(
+                    f"negated variable {term.name!r} is not positively bound"
+                )
+            clauses.append(f"{alias}.{column} = {bound[term]}")
+        elif term is not None:
+            clauses.append(f"{alias}.{column} = {_sql_literal(term)}")
+    condition = " AND ".join(clauses) if clauses else "1 = 1"
+    return (
+        f"NOT EXISTS (SELECT 1 FROM {atom.predicate} {alias} "
+        f"WHERE {condition})"
+    )
+
+
+def _sql_condition(condition: Condition, bound, aggregate=None) -> str:
+    """One comparison, with NULL semantics for None literals."""
+    for side, other in (
+        (condition.right, condition.left),
+        (condition.left, condition.right),
+    ):
+        if isinstance(side, TermExpr) and side.term is None:
+            rendered = _sql_expression(other, bound, aggregate)
+            if condition.op == "==":
+                return f"{rendered} IS NULL"
+            if condition.op == "!=":
+                return f"{rendered} IS NOT NULL"
+            raise TranslationError("NULL only supports ==/!= comparisons")
+    return (
+        f"{_sql_expression(condition.left, bound, aggregate)} "
+        f"{_SQL_OPS[condition.op]} "
+        f"{_sql_expression(condition.right, bound, aggregate)}"
+    )
+
+
+def _sql_literal(value: Any) -> str:
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    escaped = str(value).replace("'", "''")
+    return f"'{escaped}'"
+
+
+def _sql_expression(expression, bound, aggregate=None) -> str:
+    if isinstance(expression, TermExpr):
+        term = expression.term
+        if is_variable(term):
+            if aggregate is not None and term == aggregate[0]:
+                return _sql_aggregate(aggregate[1], bound)
+            if term not in bound:
+                raise TranslationError(
+                    f"variable {term.name!r} not bound in SQL context"
+                )
+            return bound[term]
+        return _sql_literal(term)
+    if isinstance(expression, BinOp):
+        return (
+            f"({_sql_expression(expression.left, bound, aggregate)} "
+            f"{expression.op} "
+            f"{_sql_expression(expression.right, bound, aggregate)})"
+        )
+    if isinstance(expression, AggregateCall):
+        return _sql_aggregate(expression, bound)
+    if isinstance(expression, FunctionCall):
+        raise TranslationError(
+            f"function {expression.name!r} has no SQL rendering"
+        )
+    raise TranslationError(f"unsupported expression {expression!r}")
+
+
+def _sql_aggregate(call: AggregateCall, bound) -> str:
+    sql_name = _AGG_SQL.get(call.function)
+    if sql_name is None:
+        raise TranslationError(f"aggregate {call.function!r} has no SQL form")
+    inner = _sql_expression(call.value, bound)
+    # Distinct contributors: the <z> tuple; SQL's closest faithful form
+    # sums one value per contributor, which DISTINCT approximates when
+    # the value is functionally determined by the contributors.
+    if call.contributors:
+        return f"{sql_name}(DISTINCT {inner})"
+    return f"{sql_name}({inner})"
+
+
+def _find_aggregate(expression) -> AggregateCall:
+    if isinstance(expression, AggregateCall):
+        return expression
+    if isinstance(expression, BinOp):
+        for side in (expression.left, expression.right):
+            try:
+                return _find_aggregate(side)
+            except TranslationError:
+                continue
+    raise TranslationError("no aggregate in expression")

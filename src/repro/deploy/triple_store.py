@@ -1,0 +1,151 @@
+"""A small in-memory triple store with RDFS semantics.
+
+Deployment target for the RDF model (Section 5 mentions rendering
+schemas "as RDF-S documents, to be validated by dedicated tools" — here
+the store itself is the dedicated tool).  It materializes the standard
+RDFS entailments needed for validation and querying:
+
+- ``rdfs:subClassOf`` transitivity and type inheritance (rdfs9/rdfs11);
+- ``rdfs:domain`` / ``rdfs:range`` typing of subjects/objects
+  (rdfs2/rdfs3).
+
+Validation mode rejects statements whose predicate is not declared by
+the deployed schema, or whose inferred subject/object classes are not
+subsumed by the declared domain/range.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import DeploymentError, IntegrityError
+from repro.models.rdf import RDFSchema
+
+Triple = Tuple[Any, str, Any]
+
+RDF_TYPE = "rdf:type"
+RDFS_SUBCLASS = "rdfs:subClassOf"
+
+
+class TripleStore:
+    """An RDFS-aware triple store."""
+
+    def __init__(self, name: str = "triple-store"):
+        self.name = name
+        self._triples: Set[Triple] = set()
+        self._schema: Optional[RDFSchema] = None
+        self._superclasses: Dict[str, Set[str]] = {}
+        self._domains: Dict[str, str] = {}
+        self._ranges: Dict[str, str] = {}
+        self._datatype_properties: Set[str] = set()
+
+    # ------------------------------------------------------------------
+    def deploy(self, schema: RDFSchema) -> None:
+        """Load the translated RDF-S schema (classes, properties, axioms)."""
+        if self._schema is not None:
+            raise DeploymentError("a schema is already deployed")
+        self._schema = schema
+        for child, parent in schema.subclass_of:
+            self._triples.add((child, RDFS_SUBCLASS, parent))
+        for prop in schema.object_properties:
+            self._domains[prop.name] = prop.domain
+            self._ranges[prop.name] = prop.range
+        for prop in schema.datatype_properties:
+            self._domains[prop.name] = prop.domain
+            self._datatype_properties.add(prop.name)
+        # Reflexive-transitive closure of subClassOf.
+        closure: Dict[str, Set[str]] = {
+            c.name: {c.name} for c in schema.classes
+        }
+        changed = True
+        while changed:
+            changed = False
+            for child, parent in schema.subclass_of:
+                before = len(closure.setdefault(child, {child}))
+                closure[child] |= closure.get(parent, {parent})
+                if len(closure[child]) != before:
+                    changed = True
+        self._superclasses = closure
+
+    def superclasses_of(self, class_name: str) -> Set[str]:
+        """Reflexive-transitive superclasses of a class."""
+        return set(self._superclasses.get(class_name, {class_name}))
+
+    # ------------------------------------------------------------------
+    def add(self, subject: Any, predicate: str, obj: Any, validate: bool = True) -> None:
+        """Assert a triple, applying RDFS entailment (and validation)."""
+        if validate and self._schema is not None:
+            self._validate(subject, predicate, obj)
+        self._triples.add((subject, predicate, obj))
+        # rdfs9/rdfs11: propagate types along the subclass hierarchy.
+        if predicate == RDF_TYPE:
+            for ancestor in self.superclasses_of(obj):
+                self._triples.add((subject, RDF_TYPE, ancestor))
+        # rdfs2/rdfs3: domain/range typing.
+        domain = self._domains.get(predicate)
+        if domain is not None:
+            self.add(subject, RDF_TYPE, domain, validate=False)
+        range_ = self._ranges.get(predicate)
+        if range_ is not None and predicate not in self._datatype_properties:
+            self.add(obj, RDF_TYPE, range_, validate=False)
+
+    def _validate(self, subject: Any, predicate: str, obj: Any) -> None:
+        if predicate in (RDF_TYPE, RDFS_SUBCLASS):
+            if predicate == RDF_TYPE and self._schema is not None:
+                if obj not in self._superclasses:
+                    raise IntegrityError(f"unknown class {obj!r}")
+            return
+        if predicate not in self._domains:
+            raise IntegrityError(f"undeclared predicate {predicate!r}")
+        declared_types = {
+            o for s, p, o in self._triples if s == subject and p == RDF_TYPE
+        }
+        domain = self._domains[predicate]
+        if declared_types and domain not in declared_types:
+            # Allow when some declared type is a subclass of the domain.
+            if not any(domain in self.superclasses_of(t) for t in declared_types):
+                raise IntegrityError(
+                    f"subject {subject!r} of {predicate!r} is not a "
+                    f"{domain!r} (types: {sorted(map(str, declared_types))})"
+                )
+
+    # ------------------------------------------------------------------
+    def triples(
+        self,
+        subject: Any = None,
+        predicate: Optional[str] = None,
+        obj: Any = None,
+    ) -> Iterator[Triple]:
+        """Pattern-match triples (None is a wildcard)."""
+        for triple in self._triples:
+            if subject is not None and triple[0] != subject:
+                continue
+            if predicate is not None and triple[1] != predicate:
+                continue
+            if obj is not None and triple[2] != obj:
+                continue
+            yield triple
+
+    def instances_of(self, class_name: str) -> Set[Any]:
+        """Subjects typed (directly or by inference) with the class."""
+        return {s for s, p, o in self._triples if p == RDF_TYPE and o == class_name}
+
+    def count(self) -> int:
+        return len(self._triples)
+
+    def extract(self, query: str) -> Iterator[Tuple[Any, ...]]:
+        """Source protocol: ``extract("predicate")`` yields (s, o) pairs;
+        ``extract("rdf:type ClassName")`` yields the instances."""
+        query = query.strip()
+        if query.startswith(RDF_TYPE):
+            class_name = query[len(RDF_TYPE):].strip()
+            for subject in sorted(self.instances_of(class_name), key=str):
+                yield (subject,)
+            return
+        for subject, _, obj in sorted(
+            self.triples(predicate=query), key=lambda t: (str(t[0]), str(t[2]))
+        ):
+            yield (subject, obj)
+
+    def __repr__(self) -> str:
+        return f"TripleStore({self.name!r}, {len(self._triples)} triples)"

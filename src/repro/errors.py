@@ -1,0 +1,71 @@
+"""Exception hierarchy for the KGModel reproduction.
+
+Every error raised by this library derives from :class:`KGModelError`, so
+client code can catch a single exception type at the API boundary.  The
+subclasses mirror the subsystems: the graph substrate, the two languages
+(Vadalog and MetaLog), the meta-level design layer, the translators, and
+the deployment backends.
+"""
+
+from __future__ import annotations
+
+
+class KGModelError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class GraphError(KGModelError):
+    """Invalid operation on a property graph (unknown node, bad arity...)."""
+
+
+class ParseError(KGModelError):
+    """A concrete-syntax program could not be parsed.
+
+    Carries the offending position so tooling can point at the error.
+    """
+
+    def __init__(self, message, line=None, column=None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class VadalogError(KGModelError):
+    """Semantic error in a Vadalog program (unsafe rule, bad stratification...)."""
+
+
+class WardednessError(VadalogError):
+    """The program falls outside the decidable warded fragment."""
+
+
+class EvaluationError(VadalogError):
+    """Runtime failure during chase-based evaluation."""
+
+
+class MetaLogError(KGModelError):
+    """Semantic error in a MetaLog program."""
+
+
+class TranslationError(KGModelError):
+    """MTV or SSST failed to translate a program or a schema."""
+
+
+class SchemaError(KGModelError):
+    """Ill-formed super-schema or schema (validation failure)."""
+
+
+class ModelError(KGModelError):
+    """Unknown target model, construct, or mapping strategy."""
+
+
+class DeploymentError(KGModelError):
+    """A target system rejected a schema or an instance."""
+
+
+class IntegrityError(DeploymentError):
+    """A constraint (key, foreign key, domain, uniqueness) was violated."""

@@ -1,0 +1,64 @@
+"""The financial Company KG: schema, generator, programs, baselines."""
+
+from repro.finkg.close_links import close_link_pairs_from_graph, close_links
+from repro.finkg.company_schema import (
+    COMPANY_SCHEMA_OID,
+    SHARE_RIGHTS,
+    company_super_schema,
+)
+from repro.finkg.control import (
+    control_closure,
+    control_pairs,
+    controls_pairs_from_graph,
+    run_control_metalog,
+    stakes_from_graph,
+)
+from repro.finkg.generator import (
+    ShareholdingConfig,
+    ShareholdingData,
+    generate_company_kg,
+    generate_shareholding_data,
+    generate_shareholding_graph,
+    stakes_as_tuples,
+)
+from repro.finkg.groups import (
+    company_groups,
+    families_by_surname,
+    partnerships,
+    related_pairs,
+)
+from repro.finkg.ownership import (
+    integrated_ownership,
+    integrated_ownership_series,
+    iown_pairs_from_graph,
+    ownership_matrix,
+)
+from repro.finkg import programs
+
+__all__ = [
+    "close_link_pairs_from_graph",
+    "close_links",
+    "COMPANY_SCHEMA_OID",
+    "SHARE_RIGHTS",
+    "company_super_schema",
+    "control_closure",
+    "control_pairs",
+    "controls_pairs_from_graph",
+    "run_control_metalog",
+    "stakes_from_graph",
+    "ShareholdingConfig",
+    "ShareholdingData",
+    "generate_company_kg",
+    "generate_shareholding_data",
+    "generate_shareholding_graph",
+    "stakes_as_tuples",
+    "company_groups",
+    "families_by_surname",
+    "partnerships",
+    "related_pairs",
+    "integrated_ownership",
+    "integrated_ownership_series",
+    "iown_pairs_from_graph",
+    "ownership_matrix",
+    "programs",
+]

@@ -1,0 +1,60 @@
+"""ECB close links [42]: baseline and MetaLog pipeline.
+
+Section 2.1: "close links, where the European Central Bank specifies
+peculiar forms of financial conflict of interest between graph entities
+involved in the issuance and use as collateral of asset-backed
+securities."  Following the Guideline (EU) 2018/876 definition, two
+entities are *closely linked* when
+
+- one owns, directly or indirectly, at least 20% of the other's capital
+  (either direction), or
+- a third party owns at least 20% of both.
+
+The baseline computes the symmetric relation from the exact integrated
+ownership matrix; the MetaLog pipeline derives CLOSE_LINK edges from the
+materialized IOWN edges (:func:`repro.finkg.programs.close_links_program`).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Set, Tuple
+
+from repro.finkg.ownership import Stake, integrated_ownership
+
+
+def close_links(
+    stakes: Iterable[Stake],
+    threshold: float = 0.2,
+    io: Dict[Tuple[str, str], float] = None,
+) -> Set[Tuple[str, str]]:
+    """Compute the close-links relation (as a symmetric set of pairs).
+
+    ``io`` may carry a precomputed integrated-ownership dict; otherwise
+    the exact one is computed from the stakes.
+    """
+    if io is None:
+        io = integrated_ownership(list(stakes))
+    links: Set[Tuple[str, str]] = set()
+    strong_holdings: Dict[str, Set[str]] = defaultdict(set)
+    for (owner, company), fraction in io.items():
+        if fraction >= threshold:
+            links.add((owner, company))
+            links.add((company, owner))
+            strong_holdings[owner].add(company)
+    for owner, companies in strong_holdings.items():
+        held = sorted(companies)
+        for i, first in enumerate(held):
+            for second in held[i + 1:]:
+                links.add((first, second))
+                links.add((second, first))
+    return links
+
+
+def close_link_pairs_from_graph(graph) -> Set[Tuple[str, str]]:
+    """Extract materialized CLOSE_LINK edges as a symmetric pair set."""
+    links: Set[Tuple[str, str]] = set()
+    for edge in graph.edges("CLOSE_LINK"):
+        links.add((edge.source, edge.target))
+        links.add((edge.target, edge.source))
+    return links

@@ -1,0 +1,161 @@
+"""The Company KG super-schema of Figure 4.
+
+This module rebuilds, with the GSL programmatic API, the design the paper
+narrates in Section 3.3: persons specialized into physical and legal
+persons, legal persons into businesses and non-businesses, businesses
+into public listed companies, shares (and stock shares) decoupling
+ownership, places, families, business events — plus the intensional
+constructs (OWNS, CONTROLS, IS_RELATED_TO, BELONGS_TO_FAMILY,
+FAMILY_OWNS, numberOfStakeholders) marked dashed in the diagram.
+"""
+
+from __future__ import annotations
+
+from repro.core.schema import SuperSchema
+from repro.core.supermodel import (
+    SMEnumAttributeModifier,
+    SMRangeAttributeModifier,
+    SMUniqueAttributeModifier,
+)
+
+#: The schema OID the paper uses in its examples (Example 5.1: s = 123).
+COMPANY_SCHEMA_OID = 123
+
+#: The legal rights a share can be held with (Section 2.1: "ownership,
+#: bare ownership and so on").
+SHARE_RIGHTS = ("ownership", "bare ownership", "usufruct")
+
+
+def company_super_schema(schema_oid=COMPANY_SCHEMA_OID) -> SuperSchema:
+    """Build the Figure 4 Company KG super-schema."""
+    schema = SuperSchema("CompanyKG", schema_oid)
+
+    # --- Persons ------------------------------------------------------
+    person = schema.node("Person")
+    person.attribute(
+        "fiscalCode", "string", is_id=True,
+        modifiers=[SMUniqueAttributeModifier()],
+    )
+
+    physical = schema.node("PhysicalPerson")
+    physical.attribute("name", "string")
+    physical.attribute("surname", "string", is_optional=True)
+    physical.attribute(
+        "gender", "string",
+        modifiers=[SMEnumAttributeModifier(["female", "male"])],
+    )
+    physical.attribute("birthDate", "date", is_optional=True)
+
+    legal = schema.node("LegalPerson")
+    legal.attribute("businessName", "string")
+    legal.attribute("legalNature", "string")
+    legal.attribute("website", "string", is_optional=True)
+
+    schema.generalization(person, [physical, legal], total=True, disjoint=True)
+
+    # --- Businesses ----------------------------------------------------
+    business = schema.node("Business")
+    business.attribute(
+        "shareholdingCapital", "float",
+        modifiers=[SMRangeAttributeModifier(0.0, None)],
+    )
+    business.attribute("numberOfStakeholders", "int", is_intensional=True)
+
+    non_business = schema.node("NonBusiness")
+    non_business.attribute("isGovernmental", "bool")
+
+    schema.generalization(legal, [business, non_business], total=True, disjoint=True)
+
+    listed = schema.node("PublicListedCompany")
+    listed.attribute("stockExchange", "string")
+    listed.attribute("tickerSymbol", "string", is_optional=True)
+
+    schema.generalization(business, [listed], total=False, disjoint=True)
+
+    # --- Shares ----------------------------------------------------------
+    share = schema.node("Share")
+    share.attribute("shareId", "string", is_id=True)
+    share.attribute(
+        "percentage", "float",
+        modifiers=[SMRangeAttributeModifier(0.0, 1.0)],
+    )
+
+    stock_share = schema.node("StockShare")
+    stock_share.attribute("numberOfStocks", "int")
+
+    schema.generalization(share, [stock_share], total=False, disjoint=True)
+
+    # --- Places, families, events ---------------------------------------
+    place = schema.node("Place")
+    place.attribute("placeId", "string", is_id=True)
+    place.attribute("street", "string")
+    place.attribute("streetNumber", "string", is_optional=True)
+    place.attribute("city", "string")
+    place.attribute("postalCode", "string")
+
+    family = schema.node("Family", is_intensional=True)
+    family.attribute("familyId", "string", is_id=True, is_intensional=True)
+    family.attribute("familyName", "string", is_intensional=True)
+
+    event = schema.node("BusinessEvent")
+    event.attribute("eventId", "string", is_id=True)
+    event.attribute(
+        "type", "string",
+        modifiers=[SMEnumAttributeModifier(["merger", "acquisition", "split"])],
+    )
+    event.attribute("date", "date")
+
+    # --- Extensional edges ----------------------------------------------
+    holds = schema.edge(
+        "HOLDS", person, share, source_card="1..N", target_card="0..N"
+    )
+    holds.attribute(
+        "right", "string",
+        modifiers=[SMEnumAttributeModifier(list(SHARE_RIGHTS))],
+    )
+
+    schema.edge(
+        "BELONGS_TO", share, business, source_card="0..N", target_card="1..1"
+    )
+    has_role = schema.edge(
+        "HAS_ROLE", person, legal, source_card="0..N", target_card="0..N"
+    )
+    has_role.attribute("role", "string")
+
+    schema.edge(
+        "RESIDES", person, place, source_card="0..N", target_card="0..1"
+    )
+    schema.edge(
+        "REPRESENTS", physical, business, source_card="0..N", target_card="0..N"
+    )
+    participates = schema.edge(
+        "PARTICIPATES", business, event, source_card="0..N", target_card="0..N"
+    )
+    participates.attribute("role", "string")
+
+    # --- Intensional edges (Section 3.3, dashed in Figure 4) -------------
+    owns = schema.edge(
+        "OWNS", person, business, is_intensional=True,
+        source_card="0..N", target_card="0..N",
+    )
+    owns.attribute("percentage", "float", is_intensional=True)
+
+    schema.edge(
+        "CONTROLS", person, business, is_intensional=True,
+        source_card="0..N", target_card="0..N",
+    )
+    schema.edge(
+        "IS_RELATED_TO", physical, physical, is_intensional=True,
+        source_card="0..N", target_card="0..N",
+    )
+    schema.edge(
+        "BELONGS_TO_FAMILY", physical, family, is_intensional=True,
+        source_card="0..N", target_card="0..1",
+    )
+    schema.edge(
+        "FAMILY_OWNS", family, business, is_intensional=True,
+        source_card="0..N", target_card="0..N",
+    )
+
+    schema.validate()
+    return schema

@@ -1,0 +1,87 @@
+"""Company groups, families, and partnerships: baselines.
+
+Section 2.1: intensional components "capture relevant phenomena for
+analysis purposes, such as company groups, virtual concepts denoting a
+center of interest [families], shared among many firms, or partnerships
+between shareholders sharing the assets of some firm."
+
+The MetaLog programs live in :mod:`repro.finkg.programs`
+(:data:`FAMILY_PROGRAM`, :data:`GROUP_PROGRAM`); the functions here are
+the direct Python baselines the tests cross-check against.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.finkg.control import Stake, control_closure
+from repro.graph.property_graph import PropertyGraph
+
+
+def company_groups(
+    stakes: Iterable[Stake], threshold: float = 0.5
+) -> Dict[str, Set[str]]:
+    """Groups keyed by ultimate controller.
+
+    A company belongs to the group of a controller that is itself not
+    controlled by anyone (the group leader); companies controlled by
+    several independent leaders appear in each group, mirroring the
+    non-disjoint semantics of the Skolem-minted Group nodes.
+    """
+    closure = control_closure(list(stakes), threshold)
+    controlled_by: Dict[str, Set[str]] = defaultdict(set)
+    for controller, controlled in closure.items():
+        for company in controlled:
+            controlled_by[company].add(controller)
+    groups: Dict[str, Set[str]] = {}
+    for controller, controlled in closure.items():
+        if controlled_by.get(controller):
+            continue  # not an ultimate controller
+        if controlled:
+            groups[controller] = set(controlled)
+    return groups
+
+
+def families_by_surname(graph: PropertyGraph) -> Dict[str, Set[str]]:
+    """Families of PhysicalPersons sharing a surname (baseline for the
+    Skolem-linker FAMILY_PROGRAM: one family per surname)."""
+    families: Dict[str, Set[str]] = defaultdict(set)
+    for node in graph.nodes("PhysicalPerson"):
+        surname = node.get("surname")
+        if surname:
+            families[surname].add(node.id)
+    return dict(families)
+
+
+def related_pairs(graph: PropertyGraph) -> Set[Tuple[str, str]]:
+    """IS_RELATED_TO baseline: ordered pairs of distinct same-surname
+    physical persons."""
+    pairs: Set[Tuple[str, str]] = set()
+    for members in families_by_surname(graph).values():
+        ordered = sorted(members)
+        for first in ordered:
+            for second in ordered:
+                if first != second:
+                    pairs.add((first, second))
+    return pairs
+
+
+def partnerships(graph: PropertyGraph) -> Set[Tuple[str, str]]:
+    """Shareholders sharing the assets of some firm: unordered pairs of
+    distinct persons holding shares of the same business."""
+    holders_by_business: Dict[str, Set[str]] = defaultdict(set)
+    share_to_business: Dict[str, str] = {}
+    for edge in graph.edges("BELONGS_TO"):
+        share_to_business[edge.source] = edge.target
+    for edge in graph.edges("HOLDS"):
+        business = share_to_business.get(edge.target)
+        if business is not None:
+            holders_by_business[business].add(edge.source)
+    pairs: Set[Tuple[str, str]] = set()
+    for holders in holders_by_business.values():
+        ordered = sorted(holders)
+        for i, first in enumerate(ordered):
+            for second in ordered[i + 1:]:
+                pairs.add((first, second))
+    return pairs

@@ -1,0 +1,127 @@
+"""Integrated ownership [43]: exact baseline and MetaLog pipeline.
+
+Integrated ownership "measures the total shares owned by a shareholder,
+directly and indirectly throughout the whole graph" (Section 2.1).  With
+``W`` the direct-ownership matrix (``W[i, j]`` = fraction of ``j`` held
+by ``i``), the integrated ownership matrix is the series
+
+    Y = W + W^2 + W^3 + ...  =  W (I - W)^{-1}
+
+which converges whenever every cycle leaks capital (spectral radius of
+``W`` below 1 — guaranteed by the generator's dispersed-ownership
+float).  :func:`integrated_ownership` computes it exactly with a sparse
+linear solve (falling back to dense numpy for small inputs);
+:func:`integrated_ownership_series` is the truncated power-series used
+to bound the MetaLog unrolling error.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
+
+Stake = Tuple[str, str, float]
+
+
+def _index_entities(stakes: List[Stake]) -> Tuple[List[str], Dict[str, int]]:
+    entities: List[str] = sorted(
+        {owner for owner, _, _ in stakes} | {company for _, company, _ in stakes}
+    )
+    return entities, {entity: i for i, entity in enumerate(entities)}
+
+
+def ownership_matrix(stakes: Iterable[Stake]):
+    """(entities, W) with ``W[i, j]`` the fraction of ``j`` owned by ``i``."""
+    stakes = list(stakes)
+    entities, index = _index_entities(stakes)
+    n = len(entities)
+    matrix = np.zeros((n, n))
+    for owner, company, fraction in stakes:
+        matrix[index[owner], index[company]] += fraction
+    return entities, matrix
+
+
+def integrated_ownership(
+    stakes: Iterable[Stake],
+    min_value: float = 1e-9,
+) -> Dict[Tuple[str, str], float]:
+    """Exact integrated ownership with the absorbing-root correction.
+
+    For root ``x``, the integrated ownership of ``y`` sums the products
+    of stakes along every ownership path from ``x`` to ``y`` **that does
+    not pass through ``x`` again** — the cycle-correct definition of the
+    layered-ownership literature [43] (a naive path sum double-counts
+    through cross-shareholding loops and can exceed 1).
+
+    Formally, with ``W'_x`` equal to ``W`` with row ``x`` zeroed:
+    ``y_x = w_x (I - W'_x)^{-1}``.  Each root differs from ``(I - W)``
+    by a rank-1 update, so all roots are computed from a single matrix
+    inverse via the Sherman-Morrison formula — O(n^2) per root after
+    one O(n^3) factorization.
+
+    Returns a sparse dict {(owner, company): fraction}, entries below
+    ``min_value`` dropped; the diagonal is excluded.
+    """
+    stakes = list(stakes)
+    if not stakes:
+        return {}
+    entities, matrix = ownership_matrix(stakes)
+    n = len(entities)
+    identity = np.eye(n)
+    base_inverse = np.linalg.solve(identity - matrix, identity)
+
+    result: Dict[Tuple[str, str], float] = {}
+    for i in range(n):
+        row = matrix[i]
+        if not row.any():
+            continue
+        # A' = (I - W + e_i w_i)^{-1} = A - (A e_i)(w_i A) / (1 + w_i A e_i)
+        a_col = base_inverse[:, i]
+        wa = row @ base_inverse
+        denominator = 1.0 + wa[i]
+        # y_i = w_i A' = wa - (wa[i] / denom) * wa  = wa / denom
+        y = wa / denominator
+        for j in np.nonzero(y > min_value)[0]:
+            if j == i:
+                continue
+            result[(entities[i], entities[int(j)])] = float(y[int(j)])
+    return result
+
+
+def integrated_ownership_series(
+    stakes: Iterable[Stake],
+    depth: int = 6,
+    min_value: float = 1e-9,
+) -> Dict[Tuple[str, str], float]:
+    """Truncated power series ``W + ... + W^depth``.
+
+    This mirrors the MetaLog unrolling of
+    :func:`repro.finkg.programs.integrated_ownership_program`, and is
+    used to measure the truncation error against the exact solution.
+    """
+    stakes = list(stakes)
+    if not stakes:
+        return {}
+    entities, matrix = ownership_matrix(stakes)
+    power = matrix.copy()
+    total = matrix.copy()
+    for _ in range(depth - 1):
+        power = power @ matrix
+        total += power
+    result: Dict[Tuple[str, str], float] = {}
+    rows, cols = np.nonzero(total > min_value)
+    for i, j in zip(rows, cols):
+        if i == j:
+            continue
+        result[(entities[i], entities[j])] = float(total[i, j])
+    return result
+
+
+def iown_pairs_from_graph(graph, label: str = "IOWN") -> Dict[Tuple[str, str], float]:
+    """Extract the materialized integrated-ownership edges of a graph."""
+    result: Dict[Tuple[str, str], float] = {}
+    for edge in graph.edges(label):
+        result[(edge.source, edge.target)] = float(edge.get("percentage", 0.0))
+    return result

@@ -1,0 +1,154 @@
+"""The MetaLog programs of the Company KG intensional component.
+
+Section 2.1: "In the Central Bank of Italy KG, an interesting case is
+the control link between companies ...; another one is integrated
+ownership ...; finally close links ....  Intensional components are also
+used to capture relevant phenomena for analysis purposes, such as
+company groups, virtual concepts denoting a center of interest
+[families], or partnerships between shareholders sharing the assets of
+some firm."
+
+Each constant below is MetaLog source text (parse with
+:func:`repro.metalog.parse_metalog`); builders are provided where the
+program is parameterized (thresholds, unrolling depth).
+"""
+
+from __future__ import annotations
+
+#: Derive the intensional OWNS edge from the reified shareholding
+#: structure (Section 3.3: "I will introduce an intensional OWNS SM_Edge
+#: that compactly represents only property rights").  Stakes are summed
+#: per owner over the distinct shares held with right "ownership".
+OWNS_PROGRAM = """
+(p: Person)[: HOLDS; right: "ownership"](s: Share; percentage: w)
+    [: BELONGS_TO](b: Business),
+v = msum(w, <s>)
+  -> exists o : (p)[o: OWNS; percentage: v](b).
+"""
+
+def control_program(
+    node_label: str = "Business",
+    owns_label: str = "OWNS",
+    threshold: float = 0.5,
+) -> str:
+    """Build the Example 4.1 company-control program for any labeling.
+
+    The default matches the typed Company KG; pass
+    ``node_label="Company"`` for the flat Section 2.1 shareholding graph.
+    """
+    return f"""
+(x: {node_label}) -> exists c : (x)[c: CONTROLS](x).
+(x: {node_label})[:CONTROLS](z: {node_label})
+    [:{owns_label}; percentage: w](y: {node_label}),
+    v = msum(w, <z>), v > {threshold}
+  -> exists c : (x)[c: CONTROLS](y).
+"""
+
+
+#: Example 4.1 — company control.  "A business x controls a business y,
+#: if: (i) x directly owns more than 50% of y; or, (ii) x controls a set
+#: of companies that jointly (i.e., summing the share amounts), and
+#: possibly together with x, own more than 50% of y."
+CONTROL_PROGRAM = control_program()
+
+#: Control exercised by any person (physical or legal) over businesses:
+#: the self-control seed ranges over Persons, the step is identical.
+PERSON_CONTROL_PROGRAM = """
+(x: Person) -> exists c : (x)[c: CONTROLS](x).
+(x: Person)[:CONTROLS](z)[:OWNS; percentage: w](y: Business),
+    v = msum(w, <z>), v > 0.5
+  -> exists c : (x)[c: CONTROLS](y).
+"""
+
+#: The intensional numberOfStakeholders property of Business
+#: (Section 3.3): how many distinct persons own a piece of the company.
+STAKEHOLDERS_PROGRAM = """
+(p: Person)[: OWNS](b: Business), c = mcount(p, <p>)
+  -> (b: Business; numberOfStakeholders: c).
+"""
+
+#: Families (Section 3.3): physical persons sharing a surname are
+#: related; each surname spawns one Family node through a linker Skolem
+#: functor (one family per surname, deterministic), persons belong to it,
+#: and a family owns the businesses its members own.
+FAMILY_PROGRAM = """
+(p: PhysicalPerson; surname: s), (q: PhysicalPerson; surname: s),
+    p != q
+  -> exists r : (p)[r: IS_RELATED_TO](q).
+
+(p: PhysicalPerson; surname: s)
+  -> exists f = skFamily(s), b : (p)[b: BELONGS_TO_FAMILY]
+     (f: Family; familyId: s, familyName: s).
+
+(p: PhysicalPerson)[: BELONGS_TO_FAMILY](f: Family),
+(p)[: OWNS](b: Business)
+  -> exists o : (f)[o: FAMILY_OWNS](b).
+"""
+
+
+def integrated_ownership_program(depth: int = 6, edge_label: str = "IOWN") -> str:
+    """Build the k-level unrolled integrated-ownership program.
+
+    Integrated ownership [43] is the total fraction of ``y`` that ``x``
+    holds directly and indirectly through every ownership path.  The
+    exact value solves ``Y = W + W·Y``; in MetaLog we unroll the series
+    ``W + W^2 + ... + W^depth`` (the tail decays geometrically because
+    company capital is never 100% assigned in the synthetic registry —
+    see EXPERIMENTS.md for the truncation-error check).  Level
+    ``k`` facts are ``iownK`` edges; the final rule sums the levels.
+    """
+    if depth < 1:
+        raise ValueError("depth must be at least 1")
+    rules = ["""
+(x: Person)[: OWNS; percentage: w](y: Business)
+  -> exists e : (x)[e: iown1; percentage: w](y).
+"""]
+    for level in range(1, depth):
+        rules.append(f"""
+(x: Person)[: iown{level}; percentage: u](z: Business)
+    [: OWNS; percentage: w](y: Business),
+p = u * w, v = msum(p, <z>)
+  -> exists e : (x)[e: iown{level + 1}; percentage: v](y).
+""")
+    sum_rules = []
+    for level in range(1, depth + 1):
+        sum_rules.append(f"""
+(x: Person)[: iown{level}; percentage: w](y: Business)
+  -> exists e : (x)[e: iownLevel; level: {level}, percentage: w](y).
+""")
+    final = f"""
+(x: Person)[: iownLevel; level: l, percentage: w](y: Business),
+v = msum(w, <l>)
+  -> exists e : (x)[e: {edge_label}; percentage: v](y).
+"""
+    return "".join(rules + sum_rules + [final])
+
+
+def close_links_program(threshold: float = 0.2, io_label: str = "IOWN") -> str:
+    """Build the ECB close-links program [42] over integrated ownership.
+
+    Two entities are closely linked when one owns (directly or
+    indirectly) at least 20% of the other, or a third party owns at
+    least 20% of both.
+    """
+    return f"""
+(x)[: {io_label}; percentage: w](y), w >= {threshold}, x != y
+  -> exists c : (x)[c: CLOSE_LINK](y).
+
+(x)[: {io_label}; percentage: w](y), w >= {threshold}, x != y
+  -> exists c : (y)[c: CLOSE_LINK](x).
+
+(z)[: {io_label}; percentage: u](x), u >= {threshold},
+(z)[: {io_label}; percentage: w](y), w >= {threshold},
+x != y
+  -> exists c : (x)[c: CLOSE_LINK](y).
+"""
+
+
+#: Company groups: two businesses controlled by the same ultimate
+#: controller belong to one group, minted per controller by a linker
+#: Skolem functor.
+GROUP_PROGRAM = """
+(x: Person)[: CONTROLS](y: Business), x != y
+  -> exists g = skGroup(x), b : (y)[b: IN_GROUP](g: Group; leader: x).
+"""

@@ -1,0 +1,16 @@
+"""Property-graph substrate: storage, algorithms, and statistics."""
+
+from repro.graph.property_graph import Edge, Node, PropertyGraph
+from repro.graph.statistics import GraphStatistics, PAPER_STATISTICS, summarize
+from repro.graph.powerlaw import PowerLawFit, fit_power_law
+
+__all__ = [
+    "Edge",
+    "Node",
+    "PropertyGraph",
+    "GraphStatistics",
+    "PAPER_STATISTICS",
+    "summarize",
+    "PowerLawFit",
+    "fit_power_law",
+]

@@ -1,0 +1,72 @@
+"""Property-graph serialization: a small JSON interchange format.
+
+Used by the CLI and the examples to persist instances:
+
+.. code-block:: json
+
+    {
+      "name": "companies",
+      "nodes": [{"id": "b1", "label": "Business", "properties": {...}}],
+      "edges": [{"id": "e1", "source": "b1", "target": "b2",
+                 "label": "OWNS", "properties": {"percentage": 0.6}}]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, TextIO, Union
+
+from repro.errors import GraphError
+from repro.graph.property_graph import PropertyGraph
+
+
+def graph_to_json(graph: PropertyGraph, indent: int = 2) -> str:
+    """Serialize a property graph to the JSON interchange format."""
+    payload: Dict[str, Any] = {
+        "name": graph.name,
+        "nodes": [
+            {"id": node.id, "label": node.label, "properties": node.properties}
+            for node in sorted(graph.nodes(), key=lambda n: str(n.id))
+        ],
+        "edges": [
+            {
+                "id": edge.id,
+                "source": edge.source,
+                "target": edge.target,
+                "label": edge.label,
+                "properties": edge.properties,
+            }
+            for edge in sorted(graph.edges(), key=lambda e: str(e.id))
+        ],
+    }
+    return json.dumps(payload, indent=indent, default=str)
+
+
+def graph_from_json(text: str) -> PropertyGraph:
+    """Parse the JSON interchange format back into a property graph."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise GraphError(f"invalid graph JSON: {exc}") from exc
+    graph = PropertyGraph(payload.get("name", "graph"))
+    for node in payload.get("nodes", []):
+        graph.add_node(node["id"], node.get("label"), **node.get("properties", {}))
+    for edge in payload.get("edges", []):
+        graph.add_edge(
+            edge["source"], edge["target"], edge.get("label"),
+            edge_id=edge.get("id"), **edge.get("properties", {}),
+        )
+    return graph
+
+
+def save_graph(graph: PropertyGraph, path: str) -> None:
+    """Write the JSON interchange format to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(graph_to_json(graph))
+
+
+def load_graph(path: str) -> PropertyGraph:
+    """Read the JSON interchange format from ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return graph_from_json(handle.read())

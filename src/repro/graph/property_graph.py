@@ -1,0 +1,355 @@
+"""In-memory property graph, following the paper's formal definition.
+
+Section 4 of the paper defines a (regular) property graph as a tuple
+``G = (N, E, mu, lambda, sigma)`` where ``N`` is a finite set of nodes,
+``E`` a finite set of edges disjoint from ``N``, ``mu : E -> N x N`` the
+incidence function, ``lambda`` a partial labelling of nodes and edges, and
+``sigma`` a partial property-assignment function.
+
+This module provides :class:`PropertyGraph`, the storage substrate used
+throughout the reproduction: it backs the graph dictionaries of the
+meta-level stack (super-schemas and schemas are themselves stored as
+property graphs), the extensional component of the Company KG, and the
+in-memory graph store of :mod:`repro.deploy`.
+
+The implementation keeps adjacency indexes (by node, by label) so that the
+MetaLog-to-relational extraction of Section 4 and the statistics of
+Section 2.1 run in time linear in the size of the output.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import GraphError
+
+
+@dataclass(frozen=True)
+class Node:
+    """A node of a property graph.
+
+    Nodes are identified by an internal OID (``id``), carry at most one
+    label (``lambda`` is a partial function in the paper's definition) and
+    a dictionary of properties (``sigma``).
+    """
+
+    id: Any
+    label: Optional[str] = None
+    properties: Dict[str, Any] = field(default_factory=dict, compare=False)
+
+    def get(self, name: str, default: Any = None) -> Any:
+        """Return property ``name`` or ``default`` when absent."""
+        return self.properties.get(name, default)
+
+    def __getitem__(self, name: str) -> Any:
+        return self.properties[name]
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed edge of a property graph.
+
+    ``source``/``target`` store node OIDs (the incidence function ``mu``),
+    ``label`` the partial labelling, and ``properties`` the ``sigma``
+    assignments of the edge.
+    """
+
+    id: Any
+    source: Any
+    target: Any
+    label: Optional[str] = None
+    properties: Dict[str, Any] = field(default_factory=dict, compare=False)
+
+    def get(self, name: str, default: Any = None) -> Any:
+        """Return property ``name`` or ``default`` when absent."""
+        return self.properties.get(name, default)
+
+    def __getitem__(self, name: str) -> Any:
+        return self.properties[name]
+
+
+class PropertyGraph:
+    """A mutable, directed, labeled property graph.
+
+    The class exposes the vocabulary of the paper (nodes, edges, labels,
+    properties) plus the indexed accessors the rest of the library needs:
+
+    - ``nodes_by_label`` / ``edges_by_label`` for the PG-to-relational
+      mapping of MTV (Section 4, step 1);
+    - ``out_edges`` / ``in_edges`` for path-pattern navigation and for the
+      degree statistics of Section 2.1.
+    """
+
+    def __init__(self, name: str = "graph"):
+        self.name = name
+        self._nodes: Dict[Any, Node] = {}
+        self._edges: Dict[Any, Edge] = {}
+        self._out: Dict[Any, List[Any]] = {}
+        self._in: Dict[Any, List[Any]] = {}
+        self._nodes_by_label: Dict[str, Set[Any]] = {}
+        self._edges_by_label: Dict[str, Set[Any]] = {}
+        self._auto_id = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(
+        self,
+        node_id: Any = None,
+        label: Optional[str] = None,
+        **properties: Any,
+    ) -> Node:
+        """Add a node and return it.
+
+        When ``node_id`` is omitted a fresh integer OID is generated.
+        Re-adding an existing OID is an error: nodes are identified by OID
+        (use :meth:`set_node_property` to update).
+        """
+        if node_id is None:
+            node_id = self._fresh_id("n")
+        if node_id in self._nodes:
+            raise GraphError(f"node {node_id!r} already exists in {self.name!r}")
+        node = Node(node_id, label, dict(properties))
+        self._nodes[node_id] = node
+        self._out[node_id] = []
+        self._in[node_id] = []
+        if label is not None:
+            self._nodes_by_label.setdefault(label, set()).add(node_id)
+        return node
+
+    def add_edge(
+        self,
+        source: Any,
+        target: Any,
+        label: Optional[str] = None,
+        edge_id: Any = None,
+        **properties: Any,
+    ) -> Edge:
+        """Add a directed edge ``source -> target`` and return it.
+
+        Both endpoints must already exist (``mu`` is total on ``E``).
+        """
+        if source not in self._nodes:
+            raise GraphError(f"unknown source node {source!r} in {self.name!r}")
+        if target not in self._nodes:
+            raise GraphError(f"unknown target node {target!r} in {self.name!r}")
+        if edge_id is None:
+            edge_id = self._fresh_id("e")
+        if edge_id in self._edges:
+            raise GraphError(f"edge {edge_id!r} already exists in {self.name!r}")
+        edge = Edge(edge_id, source, target, label, dict(properties))
+        self._edges[edge_id] = edge
+        self._out[source].append(edge_id)
+        self._in[target].append(edge_id)
+        if label is not None:
+            self._edges_by_label.setdefault(label, set()).add(edge_id)
+        return edge
+
+    def _fresh_id(self, prefix: str) -> str:
+        while True:
+            candidate = f"{prefix}{next(self._auto_id)}"
+            if candidate not in self._nodes and candidate not in self._edges:
+                return candidate
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def set_node_property(self, node_id: Any, name: str, value: Any) -> None:
+        """Assign ``sigma(node, name) = value``."""
+        self.node(node_id).properties[name] = value
+
+    def set_edge_property(self, edge_id: Any, name: str, value: Any) -> None:
+        """Assign ``sigma(edge, name) = value``."""
+        self.edge(edge_id).properties[name] = value
+
+    def remove_edge(self, edge_id: Any) -> None:
+        """Remove an edge; endpoints are untouched."""
+        edge = self._edges.pop(edge_id, None)
+        if edge is None:
+            raise GraphError(f"unknown edge {edge_id!r} in {self.name!r}")
+        self._out[edge.source].remove(edge_id)
+        self._in[edge.target].remove(edge_id)
+        if edge.label is not None:
+            self._edges_by_label[edge.label].discard(edge_id)
+
+    def remove_node(self, node_id: Any) -> None:
+        """Remove a node together with all its incident edges."""
+        if node_id not in self._nodes:
+            raise GraphError(f"unknown node {node_id!r} in {self.name!r}")
+        for edge_id in list(self._out[node_id]) + list(self._in[node_id]):
+            if edge_id in self._edges:
+                self.remove_edge(edge_id)
+        node = self._nodes.pop(node_id)
+        del self._out[node_id]
+        del self._in[node_id]
+        if node.label is not None:
+            self._nodes_by_label[node.label].discard(node_id)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def node(self, node_id: Any) -> Node:
+        """Return the node with the given OID."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise GraphError(f"unknown node {node_id!r} in {self.name!r}") from None
+
+    def edge(self, edge_id: Any) -> Edge:
+        """Return the edge with the given OID."""
+        try:
+            return self._edges[edge_id]
+        except KeyError:
+            raise GraphError(f"unknown edge {edge_id!r} in {self.name!r}") from None
+
+    def has_node(self, node_id: Any) -> bool:
+        return node_id in self._nodes
+
+    def has_edge(self, edge_id: Any) -> bool:
+        return edge_id in self._edges
+
+    def nodes(self, label: Optional[str] = None) -> Iterator[Node]:
+        """Iterate over nodes, optionally restricted to one label."""
+        if label is None:
+            yield from self._nodes.values()
+        else:
+            for node_id in self._nodes_by_label.get(label, ()):
+                yield self._nodes[node_id]
+
+    def edges(self, label: Optional[str] = None) -> Iterator[Edge]:
+        """Iterate over edges, optionally restricted to one label."""
+        if label is None:
+            yield from self._edges.values()
+        else:
+            for edge_id in self._edges_by_label.get(label, ()):
+                yield self._edges[edge_id]
+
+    def out_edges(self, node_id: Any, label: Optional[str] = None) -> Iterator[Edge]:
+        """Iterate over the outgoing edges of a node."""
+        for edge_id in self._out.get(node_id, ()):
+            edge = self._edges[edge_id]
+            if label is None or edge.label == label:
+                yield edge
+
+    def in_edges(self, node_id: Any, label: Optional[str] = None) -> Iterator[Edge]:
+        """Iterate over the incoming edges of a node."""
+        for edge_id in self._in.get(node_id, ()):
+            edge = self._edges[edge_id]
+            if label is None or edge.label == label:
+                yield edge
+
+    def successors(self, node_id: Any, label: Optional[str] = None) -> Iterator[Node]:
+        """Iterate over nodes reachable through one outgoing edge."""
+        for edge in self.out_edges(node_id, label):
+            yield self._nodes[edge.target]
+
+    def predecessors(self, node_id: Any, label: Optional[str] = None) -> Iterator[Node]:
+        """Iterate over nodes reaching this node through one edge."""
+        for edge in self.in_edges(node_id, label):
+            yield self._nodes[edge.source]
+
+    def node_labels(self) -> Set[str]:
+        """Return the set of node labels in use."""
+        return {label for label, ids in self._nodes_by_label.items() if ids}
+
+    def edge_labels(self) -> Set[str]:
+        """Return the set of edge labels in use."""
+        return {label for label, ids in self._edges_by_label.items() if ids}
+
+    def out_degree(self, node_id: Any) -> int:
+        return len(self._out.get(node_id, ()))
+
+    def in_degree(self, node_id: Any) -> int:
+        return len(self._in.get(node_id, ()))
+
+    @property
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def edge_count(self) -> int:
+        return len(self._edges)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node_id: Any) -> bool:
+        return node_id in self._nodes
+
+    def __repr__(self) -> str:
+        return (
+            f"PropertyGraph({self.name!r}, nodes={self.node_count}, "
+            f"edges={self.edge_count})"
+        )
+
+    # ------------------------------------------------------------------
+    # Interop
+    # ------------------------------------------------------------------
+    def find_nodes(self, label: Optional[str] = None, **properties: Any) -> Iterator[Node]:
+        """Iterate over nodes matching a label and exact property values."""
+        for node in self.nodes(label):
+            if all(node.properties.get(k) == v for k, v in properties.items()):
+                yield node
+
+    def find_edges(
+        self,
+        label: Optional[str] = None,
+        source: Any = None,
+        target: Any = None,
+        **properties: Any,
+    ) -> Iterator[Edge]:
+        """Iterate over edges matching label, endpoints, and properties."""
+        if source is not None:
+            candidates: Iterable[Edge] = self.out_edges(source, label)
+        elif target is not None:
+            candidates = self.in_edges(target, label)
+        else:
+            candidates = self.edges(label)
+        for edge in candidates:
+            if target is not None and edge.target != target:
+                continue
+            if source is not None and edge.source != source:
+                continue
+            if all(edge.properties.get(k) == v for k, v in properties.items()):
+                yield edge
+
+    def copy(self, name: Optional[str] = None) -> "PropertyGraph":
+        """Return a deep-enough copy (properties are shallow-copied dicts)."""
+        clone = PropertyGraph(name or self.name)
+        for node in self._nodes.values():
+            clone.add_node(node.id, node.label, **node.properties)
+        for edge in self._edges.values():
+            clone.add_edge(
+                edge.source, edge.target, edge.label, edge_id=edge.id, **edge.properties
+            )
+        return clone
+
+    def to_networkx(self):
+        """Export to a :class:`networkx.MultiDiGraph` for analysis interop."""
+        import networkx as nx
+
+        nxg = nx.MultiDiGraph(name=self.name)
+        for node in self._nodes.values():
+            nxg.add_node(node.id, label=node.label, **node.properties)
+        for edge in self._edges.values():
+            nxg.add_edge(
+                edge.source, edge.target, key=edge.id, label=edge.label, **edge.properties
+            )
+        return nxg
+
+    @classmethod
+    def from_networkx(cls, nxg, name: Optional[str] = None) -> "PropertyGraph":
+        """Build a property graph from any NetworkX directed graph."""
+        graph = cls(name or getattr(nxg, "name", "graph") or "graph")
+        for node_id, data in nxg.nodes(data=True):
+            attrs = dict(data)
+            label = attrs.pop("label", None)
+            graph.add_node(node_id, label, **attrs)
+        for source, target, data in nxg.edges(data=True):
+            attrs = dict(data)
+            label = attrs.pop("label", None)
+            attrs.pop("key", None)
+            graph.add_edge(source, target, label, **attrs)
+        return graph

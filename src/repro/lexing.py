@@ -1,0 +1,207 @@
+"""Shared tokenizer for the Vadalog and MetaLog concrete syntaxes.
+
+Both languages share the same lexical ground: identifiers, numbers,
+double-quoted strings, punctuation, and ``%`` / ``//`` line comments.
+The parsers interpret the token stream differently (e.g. ``.`` is both the
+rule terminator and the path-concatenation operator in MetaLog).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.errors import ParseError
+
+#: Multi-character punctuation, longest-match-first.
+_MULTI_PUNCT = ["->", "==", "!=", "<=", ">=", "<-"]
+_SINGLE_PUNCT = set("()[]{},.;:<>=+-*/%@#|!?~")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    kind: str  # IDENT | NUMBER | STRING | PUNCT | EOF
+    value: object
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r}, {self.line}:{self.column})"
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize ``text`` and return the token list, ending with EOF."""
+    tokens: List[Token] = []
+    line = 1
+    column = 1
+    i = 0
+    n = len(text)
+
+    def error(message: str) -> ParseError:
+        return ParseError(message, line, column)
+
+    while i < n:
+        ch = text[i]
+        # Whitespace
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        if ch == "\n":
+            i += 1
+            line += 1
+            column = 1
+            continue
+        # Comments: % ... or // ...
+        if ch == "%" or text.startswith("//", i):
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        # Strings
+        if ch == '"':
+            start_line, start_col = line, column
+            i += 1
+            column += 1
+            buf = []
+            while i < n and text[i] != '"':
+                c = text[i]
+                if c == "\\" and i + 1 < n:
+                    escape = text[i + 1]
+                    buf.append({"n": "\n", "t": "\t", '"': '"', "\\": "\\"}.get(escape, escape))
+                    i += 2
+                    column += 2
+                    continue
+                if c == "\n":
+                    raise error("unterminated string literal")
+                buf.append(c)
+                i += 1
+                column += 1
+            if i >= n:
+                raise error("unterminated string literal")
+            i += 1  # closing quote
+            column += 1
+            tokens.append(Token("STRING", "".join(buf), start_line, start_col))
+            continue
+        # Numbers (integers and decimals). A leading digit is required; a
+        # dot is consumed only when followed by a digit, so the rule
+        # terminator after a number still lexes as punctuation.
+        if ch.isdigit():
+            start_line, start_col = line, column
+            j = i
+            while j < n and text[j].isdigit():
+                j += 1
+            is_float = False
+            if j < n - 1 and text[j] == "." and text[j + 1].isdigit():
+                is_float = True
+                j += 1
+                while j < n and text[j].isdigit():
+                    j += 1
+            literal = text[i:j]
+            value = float(literal) if is_float else int(literal)
+            column += j - i
+            i = j
+            tokens.append(Token("NUMBER", value, start_line, start_col))
+            continue
+        # Identifiers
+        if ch.isalpha() or ch == "_":
+            start_line, start_col = line, column
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            column += j - i
+            i = j
+            tokens.append(Token("IDENT", word, start_line, start_col))
+            continue
+        # Punctuation
+        matched = None
+        for punct in _MULTI_PUNCT:
+            if text.startswith(punct, i):
+                matched = punct
+                break
+        if matched is None and ch in _SINGLE_PUNCT:
+            matched = ch
+        if matched is None:
+            raise error(f"unexpected character {ch!r}")
+        tokens.append(Token("PUNCT", matched, line, column))
+        i += len(matched)
+        column += len(matched)
+
+    tokens.append(Token("EOF", None, line, column))
+    return tokens
+
+
+class TokenStream:
+    """Cursor over a token list with the usual parser conveniences."""
+
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    @classmethod
+    def from_text(cls, text: str) -> "TokenStream":
+        return cls(tokenize(text))
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def peek(self, offset: int = 1) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "EOF":
+            self._pos += 1
+        return token
+
+    def at(self, kind: str, value: object = None) -> bool:
+        token = self.current
+        if token.kind != kind:
+            return False
+        return value is None or token.value == value
+
+    def at_punct(self, value: str) -> bool:
+        return self.at("PUNCT", value)
+
+    def at_ident(self, value: Optional[str] = None) -> bool:
+        return self.at("IDENT", value)
+
+    def accept(self, kind: str, value: object = None) -> Optional[Token]:
+        if self.at(kind, value):
+            return self.advance()
+        return None
+
+    def accept_punct(self, value: str) -> Optional[Token]:
+        return self.accept("PUNCT", value)
+
+    def expect(self, kind: str, value: object = None) -> Token:
+        if not self.at(kind, value):
+            token = self.current
+            wanted = f"{kind} {value!r}" if value is not None else kind
+            raise ParseError(
+                f"expected {wanted}, found {token.kind} {token.value!r}",
+                token.line,
+                token.column,
+            )
+        return self.advance()
+
+    def expect_punct(self, value: str) -> Token:
+        return self.expect("PUNCT", value)
+
+    def error(self, message: str) -> ParseError:
+        token = self.current
+        return ParseError(message, token.line, token.column)
+
+    def save(self) -> int:
+        """Checkpoint the cursor for backtracking."""
+        return self._pos
+
+    def restore(self, checkpoint: int) -> None:
+        self._pos = checkpoint
+
+    def at_eof(self) -> bool:
+        return self.current.kind == "EOF"

@@ -1,0 +1,60 @@
+"""MetaLog: the KGModel reasoning language, and the MTV compiler.
+
+MetaLog (Section 4 of the paper) combines Warded Datalog± with property-
+graph pattern matching.  Parse programs with :func:`parse_metalog`,
+compile them to Vadalog with :func:`compile_metalog`, or run the full
+pipeline over a property graph with :func:`run_on_graph`.
+"""
+
+from repro.metalog.analysis import GraphCatalog, is_recursive, validate
+from repro.metalog.ast import (
+    EdgeAtom,
+    ExistentialBinding,
+    GraphPattern,
+    MetaProgram,
+    MetaRule,
+    NegatedPattern,
+    NodeAtom,
+    PathAlt,
+    PathEdge,
+    PathInverse,
+    PathSeq,
+    PathStar,
+)
+from repro.metalog.mtv import (
+    CompiledMetaLog,
+    MaterializationOutcome,
+    compile_metalog,
+    graph_to_database,
+    invert_path,
+    materialize_into_graph,
+    run_on_graph,
+)
+from repro.metalog.parser import parse_metalog, parse_metalog_rule
+
+__all__ = [
+    "GraphCatalog",
+    "is_recursive",
+    "validate",
+    "EdgeAtom",
+    "ExistentialBinding",
+    "GraphPattern",
+    "MetaProgram",
+    "MetaRule",
+    "NegatedPattern",
+    "NodeAtom",
+    "PathAlt",
+    "PathEdge",
+    "PathInverse",
+    "PathSeq",
+    "PathStar",
+    "CompiledMetaLog",
+    "MaterializationOutcome",
+    "compile_metalog",
+    "graph_to_database",
+    "invert_path",
+    "materialize_into_graph",
+    "run_on_graph",
+    "parse_metalog",
+    "parse_metalog_rule",
+]

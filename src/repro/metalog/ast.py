@@ -1,0 +1,449 @@
+"""Abstract syntax of MetaLog.
+
+Section 4 of the paper: a MetaLog program is a set of existential rules
+``phi(x, y) -> exists z psi(x, z)`` where ``phi`` is a conjunction of PG
+node atoms, path patterns, conditions, and expressions, and ``psi`` is a
+conjunction of PG node atoms and path patterns.
+
+- A *PG node atom* ``(x: L; A1: t1, ...)`` selects ``L``-labeled nodes,
+  binding the node OID to ``x`` and properties to terms.
+- A *PG edge atom* ``[x: L; A1: t1, ...]`` selects ``L``-labeled edges.
+- A *path pattern* ``x R y`` is a regular expression ``R`` over edge atoms
+  with concatenation (``.``), alternation (``|``), transitive closure
+  (``*``), and the inverse operator (``-``), interpreted over semi-paths.
+- Conditions and expressions (including the ``sum(w, <z>)`` aggregations)
+  are shared with the Vadalog AST.
+
+A *graph pattern* in this implementation is the alternating chain
+``node (path node)*`` as written in the paper's examples, e.g.
+``(x: Business)[:CONTROLS](z: Business)[:OWNS; percentage: w](y: Business)``.
+
+Existential head variables may be bound to linker Skolem functors
+(Section 4), written ``exists f = skE(e, c) : ...`` in the concrete
+syntax.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.vadalog.ast import Assignment, Condition  # reused verbatim
+from repro.vadalog.terms import Variable, is_variable
+
+# ---------------------------------------------------------------------------
+# PG atoms
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NodeAtom:
+    """``(x: L; A1: t1, ...)`` — or bare ``(x)`` to re-reference a node."""
+
+    variable: Optional[Variable]
+    label: Optional[str]
+    attributes: Tuple[Tuple[str, Any], ...] = ()
+
+    def variables(self) -> Set[Variable]:
+        result = {self.variable} if self.variable is not None else set()
+        for _, term in self.attributes:
+            if is_variable(term):
+                result.add(term)
+        return {v for v in result if v.name != "_"}
+
+    def __str__(self) -> str:
+        return _atom_str("(", ")", self.variable, self.label, self.attributes)
+
+
+@dataclass(frozen=True)
+class EdgeAtom:
+    """``[x: L; A1: t1, ...]`` with optional postfix ``-`` (inverse)."""
+
+    variable: Optional[Variable]
+    label: Optional[str]
+    attributes: Tuple[Tuple[str, Any], ...] = ()
+    inverted: bool = False
+
+    def variables(self) -> Set[Variable]:
+        result = {self.variable} if self.variable is not None else set()
+        for _, term in self.attributes:
+            if is_variable(term):
+                result.add(term)
+        return {v for v in result if v.name != "_"}
+
+    def invert(self) -> "EdgeAtom":
+        return EdgeAtom(self.variable, self.label, self.attributes, not self.inverted)
+
+    def __str__(self) -> str:
+        text = _atom_str("[", "]", self.variable, self.label, self.attributes)
+        return text + ("-" if self.inverted else "")
+
+
+# ---------------------------------------------------------------------------
+# Path expressions (regular expressions over the edge-atom alphabet)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PathEdge:
+    """An atomic path: one edge atom traversal."""
+
+    edge: EdgeAtom
+
+    def variables(self) -> Set[Variable]:
+        return self.edge.variables()
+
+    def __str__(self) -> str:
+        return str(self.edge)
+
+
+@dataclass(frozen=True)
+class PathSeq:
+    """Concatenation ``S . T . ...``."""
+
+    parts: Tuple["PathExpr", ...]
+
+    def variables(self) -> Set[Variable]:
+        result: Set[Variable] = set()
+        for part in self.parts:
+            result |= part.variables()
+        return result
+
+    def __str__(self) -> str:
+        return " . ".join(str(p) for p in self.parts)
+
+
+@dataclass(frozen=True)
+class PathAlt:
+    """Alternation ``(S | T | ...)``."""
+
+    options: Tuple["PathExpr", ...]
+
+    def variables(self) -> Set[Variable]:
+        result: Set[Variable] = set()
+        for option in self.options:
+            result |= option.variables()
+        return result
+
+    def __str__(self) -> str:
+        return "(" + " | ".join(str(o) for o in self.options) + ")"
+
+
+@dataclass(frozen=True)
+class PathStar:
+    """Transitive closure ``(S)*``.
+
+    Following the paper's own translation (Example 4.4), the closure is
+    interpreted as *one or more* repetitions: the generated beta rules
+    have no zero-step base case.
+    """
+
+    inner: "PathExpr"
+
+    def variables(self) -> Set[Variable]:
+        return self.inner.variables()
+
+    def __str__(self) -> str:
+        return f"({self.inner})*"
+
+
+@dataclass(frozen=True)
+class PathInverse:
+    """Inverse ``(S)-`` of a composite path expression."""
+
+    inner: "PathExpr"
+
+    def variables(self) -> Set[Variable]:
+        return self.inner.variables()
+
+    def __str__(self) -> str:
+        return f"({self.inner})-"
+
+
+PathExpr = Union[PathEdge, PathSeq, PathAlt, PathStar, PathInverse]
+
+
+def path_contains_star(path: PathExpr) -> bool:
+    """True when a Kleene star occurs anywhere in the expression."""
+    if isinstance(path, PathStar):
+        return True
+    if isinstance(path, PathEdge):
+        return False
+    if isinstance(path, PathSeq):
+        return any(path_contains_star(p) for p in path.parts)
+    if isinstance(path, PathAlt):
+        return any(path_contains_star(o) for o in path.options)
+    if isinstance(path, PathInverse):
+        return path_contains_star(path.inner)
+    return False
+
+
+def path_edge_labels(path: PathExpr) -> Set[str]:
+    """All edge labels mentioned by the expression."""
+    if isinstance(path, PathEdge):
+        return {path.edge.label} if path.edge.label else set()
+    if isinstance(path, PathSeq):
+        result: Set[str] = set()
+        for part in path.parts:
+            result |= path_edge_labels(part)
+        return result
+    if isinstance(path, PathAlt):
+        result = set()
+        for option in path.options:
+            result |= path_edge_labels(option)
+        return result
+    if isinstance(path, (PathStar, PathInverse)):
+        return path_edge_labels(path.inner)
+    return set()
+
+
+# ---------------------------------------------------------------------------
+# Graph patterns and rules
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GraphPattern:
+    """An alternating chain ``node (path node)*``.
+
+    ``elements`` always starts and ends with a :class:`NodeAtom`; odd
+    positions hold path expressions.  A single-node pattern is allowed
+    (a node selection with no navigation).
+    """
+
+    elements: Tuple[Any, ...]
+
+    def __post_init__(self):
+        if not self.elements or not isinstance(self.elements[0], NodeAtom):
+            raise ValueError("graph pattern must start with a node atom")
+
+    @property
+    def node_atoms(self) -> List[NodeAtom]:
+        return [e for e in self.elements if isinstance(e, NodeAtom)]
+
+    @property
+    def paths(self) -> List[PathExpr]:
+        return [e for e in self.elements if not isinstance(e, NodeAtom)]
+
+    def hops(self) -> List[Tuple[NodeAtom, PathExpr, NodeAtom]]:
+        """The (source node, path, target node) triples of the chain."""
+        result = []
+        for i in range(0, len(self.elements) - 2, 2):
+            result.append(
+                (self.elements[i], self.elements[i + 1], self.elements[i + 2])
+            )
+        return result
+
+    def variables(self) -> Set[Variable]:
+        result: Set[Variable] = set()
+        for element in self.elements:
+            result |= element.variables()
+        return result
+
+    def contains_star(self) -> bool:
+        return any(path_contains_star(p) for p in self.paths)
+
+    def __str__(self) -> str:
+        return "".join(
+            (" " + str(e) + " ") if not isinstance(e, NodeAtom) else str(e)
+            for e in self.elements
+        )
+
+
+@dataclass(frozen=True)
+class NegatedPattern:
+    """Stratified negation of a simple pattern: ``not (x)[:R](y)``.
+
+    The desiderata of Section 1 call for Datalog "with a mild form of
+    negation"; MetaLog realizes it as negation over a *single* node atom
+    or a *single* edge between bound endpoints (a negated conjunction is
+    not expressible as one negated literal and is rejected by MTV).
+    """
+
+    pattern: GraphPattern
+
+    def variables(self) -> Set[Variable]:
+        return self.pattern.variables()
+
+    def __str__(self) -> str:
+        return f"not {self.pattern}"
+
+
+BodyElement = Union[GraphPattern, NegatedPattern, Condition, Assignment]
+
+
+@dataclass(frozen=True)
+class ExistentialBinding:
+    """One existentially quantified head variable.
+
+    ``functor`` / ``arguments`` are set when the variable is bound to a
+    linker Skolem functor (``exists f = skE(e, c)``); otherwise the chase
+    invents a fresh labeled null.
+    """
+
+    variable: Variable
+    functor: Optional[str] = None
+    arguments: Tuple[Variable, ...] = ()
+
+    def __str__(self) -> str:
+        if self.functor is None:
+            return self.variable.name
+        args = ", ".join(a.name for a in self.arguments)
+        return f"{self.variable.name} = {self.functor}({args})"
+
+
+@dataclass(frozen=True)
+class MetaRule:
+    """One MetaLog rule."""
+
+    body: Tuple[BodyElement, ...]
+    head: Tuple[GraphPattern, ...]
+    existentials: Tuple[ExistentialBinding, ...] = ()
+    label: Optional[str] = None
+
+    def body_patterns(self) -> List[GraphPattern]:
+        return [e for e in self.body if isinstance(e, GraphPattern)]
+
+    def negated_patterns(self) -> List["NegatedPattern"]:
+        return [e for e in self.body if isinstance(e, NegatedPattern)]
+
+    def positive_variables(self) -> Set[Variable]:
+        """Variables bound by positive body elements (safe bindings)."""
+        result: Set[Variable] = set()
+        for element in self.body:
+            if not isinstance(element, NegatedPattern):
+                result |= element.variables()
+        return result
+
+    def conditions(self) -> List[Condition]:
+        return [e for e in self.body if isinstance(e, Condition)]
+
+    def assignments(self) -> List[Assignment]:
+        return [e for e in self.body if isinstance(e, Assignment)]
+
+    def body_variables(self) -> Set[Variable]:
+        result: Set[Variable] = set()
+        for element in self.body:
+            result |= element.variables()
+        return result
+
+    def head_variables(self) -> Set[Variable]:
+        result: Set[Variable] = set()
+        for pattern in self.head:
+            result |= pattern.variables()
+        return result
+
+    def _all_body_patterns(self) -> List[GraphPattern]:
+        patterns = list(self.body_patterns())
+        patterns.extend(n.pattern for n in self.negated_patterns())
+        return patterns
+
+    def body_node_labels(self) -> Set[str]:
+        result: Set[str] = set()
+        for pattern in self._all_body_patterns():
+            for atom in pattern.node_atoms:
+                if atom.label:
+                    result.add(atom.label)
+        return result
+
+    def body_edge_labels(self) -> Set[str]:
+        result: Set[str] = set()
+        for pattern in self._all_body_patterns():
+            for path in pattern.paths:
+                result |= path_edge_labels(path)
+        return result
+
+    def head_node_labels(self) -> Set[str]:
+        result: Set[str] = set()
+        for pattern in self.head:
+            for atom in pattern.node_atoms:
+                if atom.label:
+                    result.add(atom.label)
+        return result
+
+    def head_edge_labels(self) -> Set[str]:
+        result: Set[str] = set()
+        for pattern in self.head:
+            for path in pattern.paths:
+                result |= path_edge_labels(path)
+        return result
+
+    def contains_star(self) -> bool:
+        return any(p.contains_star() for p in self.body_patterns()) or any(
+            p.contains_star() for p in self.head
+        )
+
+    def __str__(self) -> str:
+        body = ", ".join(str(e) for e in self.body)
+        head = ", ".join(str(p) for p in self.head)
+        if self.existentials:
+            quantified = ", ".join(str(e) for e in self.existentials)
+            head = f"exists {quantified} : {head}"
+        return f"{body} -> {head}."
+
+
+@dataclass
+class MetaProgram:
+    """A MetaLog program: rules plus (pass-through) annotations."""
+
+    rules: List[MetaRule] = field(default_factory=list)
+    annotations: List[Tuple[str, Tuple[Any, ...]]] = field(default_factory=list)
+
+    def node_labels(self) -> Set[str]:
+        result: Set[str] = set()
+        for rule in self.rules:
+            result |= rule.body_node_labels() | rule.head_node_labels()
+        return result
+
+    def edge_labels(self) -> Set[str]:
+        result: Set[str] = set()
+        for rule in self.rules:
+            result |= rule.body_edge_labels() | rule.head_edge_labels()
+        return result
+
+    def derived_node_labels(self) -> Set[str]:
+        return {label for rule in self.rules for label in rule.head_node_labels()}
+
+    def derived_edge_labels(self) -> Set[str]:
+        return {label for rule in self.rules for label in rule.head_edge_labels()}
+
+    def extend(self, other: "MetaProgram") -> "MetaProgram":
+        return MetaProgram(
+            rules=self.rules + other.rules,
+            annotations=self.annotations + other.annotations,
+        )
+
+    def __str__(self) -> str:
+        return "\n".join(str(rule) for rule in self.rules)
+
+
+def _atom_str(
+    open_ch: str,
+    close_ch: str,
+    variable: Optional[Variable],
+    label: Optional[str],
+    attributes: Tuple[Tuple[str, Any], ...],
+) -> str:
+    inner = ""
+    if variable is not None:
+        inner += variable.name
+    if label is not None:
+        inner += f": {label}"
+    if attributes:
+        attrs = ", ".join(
+            f"{name}: {_attr_term_str(term)}" for name, term in attributes
+        )
+        inner += f"; {attrs}"
+    return f"{open_ch}{inner}{close_ch}"
+
+
+def _attr_term_str(term: Any) -> str:
+    """Render an attribute term in re-parseable concrete syntax."""
+    if is_variable(term):
+        return term.name
+    if isinstance(term, bool):
+        return "true" if term else "false"
+    if isinstance(term, str):
+        escaped = term.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    return repr(term)

@@ -1,0 +1,396 @@
+"""Parser for the MetaLog concrete syntax.
+
+The paper presents MetaLog in mathematical notation; the ASCII grammar
+accepted here mirrors it closely:
+
+.. code-block:: none
+
+    program   := (rule | annotation)*
+    rule      := body "->" head "."
+    body      := element ("," element)*
+    element   := pattern | assignment | condition
+    pattern   := node (path node)*
+    node      := "(" [var] [":" LABEL] [";" attrs] ")"
+    edge      := "[" [var] [":" LABEL] [";" attrs] "]" ["-"]
+    path      := alt
+    alt       := seq ("|" seq)*
+    seq       := postfix ("." postfix)*
+    postfix   := primary ("*" | "-")*
+    primary   := edge | "(" path ")"
+    attrs     := NAME ":" term ("," NAME ":" term)*
+    head      := ["exists" binding ("," binding)* [":"]] pattern ("," pattern)*
+    binding   := var ["=" FUNCTOR "(" [var ("," var)*] ")"]
+
+Conventions (documented deviations from pure math notation):
+
+- bare identifiers in term positions are **variables** (the paper's
+  italic lowercase); constants must be quoted strings, numbers, or
+  ``true``/``false`` — so ``name: n`` binds, ``name: "Business"`` filters;
+- following the paper's own translation (Example 4.4), ``*`` denotes one
+  or more repetitions;
+- ``-`` after an edge atom or a parenthesized path is the inverse
+  operator.
+
+Example (company control, Example 4.1):
+
+.. code-block:: none
+
+    (x: Business) -> exists c : (x)[c: CONTROLS](x).
+    (x: Business)[:CONTROLS](z: Business)[:OWNS; percentage: w](y: Business),
+        v = msum(w, <z>), v > 0.5 -> exists c : (x)[c: CONTROLS](y).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from repro.errors import ParseError
+from repro.lexing import TokenStream
+from repro.metalog.ast import (
+    EdgeAtom,
+    ExistentialBinding,
+    GraphPattern,
+    MetaProgram,
+    MetaRule,
+    NegatedPattern,
+    NodeAtom,
+    PathAlt,
+    PathEdge,
+    PathExpr,
+    PathInverse,
+    PathSeq,
+    PathStar,
+)
+from repro.vadalog.ast import (
+    AggregateCall,
+    Assignment,
+    BinOp,
+    Condition,
+    FunctionCall,
+    TermExpr,
+)
+from repro.vadalog.parser import AGGREGATE_FUNCTIONS
+from repro.vadalog.terms import Variable
+
+_COMPARISONS = {"==", "!=", "<", "<=", ">", ">="}
+
+#: Names that are always parsed as builtin function calls when followed
+#: by "(" in expressions.
+_FUNCTION_NAMES = {
+    "concat", "upper", "lower", "strlen", "abs", "round", "floor", "ceil",
+    "min2", "max2", "mod", "tostring", "tonumber",
+} | AGGREGATE_FUNCTIONS
+
+
+def parse_metalog(text: str) -> MetaProgram:
+    """Parse a MetaLog program from text."""
+    return _Parser(TokenStream.from_text(text)).program()
+
+
+def parse_metalog_rule(text: str) -> MetaRule:
+    """Parse exactly one MetaLog rule (convenience)."""
+    program = parse_metalog(text)
+    if len(program.rules) != 1:
+        raise ParseError(f"expected exactly one rule, found {len(program.rules)}")
+    return program.rules[0]
+
+
+class _Parser:
+    def __init__(self, stream: TokenStream):
+        self.stream = stream
+
+    def program(self) -> MetaProgram:
+        program = MetaProgram()
+        while not self.stream.at_eof():
+            if self.stream.at_punct("@"):
+                program.annotations.append(self.annotation())
+            else:
+                program.rules.append(self.rule())
+        return program
+
+    def annotation(self) -> Tuple[str, Tuple[Any, ...]]:
+        self.stream.expect_punct("@")
+        name = str(self.stream.expect("IDENT").value)
+        arguments: List[Any] = []
+        self.stream.expect_punct("(")
+        if not self.stream.at_punct(")"):
+            arguments.append(self._constant())
+            while self.stream.accept_punct(","):
+                arguments.append(self._constant())
+        self.stream.expect_punct(")")
+        self.stream.expect_punct(".")
+        return (name, tuple(arguments))
+
+    def _constant(self) -> Any:
+        token = self.stream.current
+        if token.kind in ("STRING", "NUMBER"):
+            self.stream.advance()
+            return token.value
+        if token.kind == "IDENT":
+            self.stream.advance()
+            return str(token.value)
+        raise self.stream.error("expected a constant")
+
+    # ------------------------------------------------------------------
+    def rule(self) -> MetaRule:
+        body: List[Any] = [self.body_element()]
+        while self.stream.accept_punct(","):
+            body.append(self.body_element())
+        self.stream.expect_punct("->")
+        existentials, head = self.head()
+        self.stream.expect_punct(".")
+        return MetaRule(tuple(body), tuple(head), tuple(existentials))
+
+    def body_element(self):
+        if self.stream.at_ident("not"):
+            self.stream.advance()
+            return NegatedPattern(self.graph_pattern())
+        if self.stream.at_punct("("):
+            return self.graph_pattern()
+        return self.assignment_or_condition()
+
+    # ------------------------------------------------------------------
+    # Patterns
+    # ------------------------------------------------------------------
+    def graph_pattern(self) -> GraphPattern:
+        elements: List[Any] = [self.node_atom()]
+        while self._at_path_start():
+            elements.append(self.path_expression())
+            elements.append(self.node_atom())
+        return GraphPattern(tuple(elements))
+
+    def _at_path_start(self) -> bool:
+        """A path starts with "[" or with "(" whose first inner non-"("
+        token is "[" (a parenthesized path group)."""
+        if self.stream.at_punct("["):
+            return True
+        if not self.stream.at_punct("("):
+            return False
+        offset = 0
+        while self.stream.peek(offset).kind == "PUNCT" and self.stream.peek(offset).value == "(":
+            offset += 1
+        token = self.stream.peek(offset)
+        return token.kind == "PUNCT" and token.value == "["
+
+    def node_atom(self) -> NodeAtom:
+        self.stream.expect_punct("(")
+        variable, label, attributes = self._atom_body(")")
+        self.stream.expect_punct(")")
+        return NodeAtom(variable, label, attributes)
+
+    def edge_atom(self) -> EdgeAtom:
+        self.stream.expect_punct("[")
+        variable, label, attributes = self._atom_body("]")
+        self.stream.expect_punct("]")
+        return EdgeAtom(variable, label, attributes)
+
+    def _atom_body(self, closing: str):
+        variable: Optional[Variable] = None
+        label: Optional[str] = None
+        attributes: List[Tuple[str, Any]] = []
+        if self.stream.at("IDENT"):
+            variable = Variable(str(self.stream.advance().value))
+        if self.stream.accept_punct(":"):
+            label = str(self.stream.expect("IDENT").value)
+        if self.stream.accept_punct(";"):
+            attributes.append(self._attribute())
+            while self.stream.accept_punct(","):
+                attributes.append(self._attribute())
+        if not self.stream.at_punct(closing):
+            raise self.stream.error(f"malformed atom, expected {closing!r}")
+        return variable, label, tuple(attributes)
+
+    def _attribute(self) -> Tuple[str, Any]:
+        name = str(self.stream.expect("IDENT").value)
+        self.stream.expect_punct(":")
+        return (name, self.term())
+
+    def term(self) -> Any:
+        token = self.stream.current
+        if token.kind in ("STRING", "NUMBER"):
+            self.stream.advance()
+            return token.value
+        if token.kind == "PUNCT" and token.value == "-":
+            self.stream.advance()
+            return -self.stream.expect("NUMBER").value
+        if token.kind == "IDENT":
+            self.stream.advance()
+            name = str(token.value)
+            if name == "true":
+                return True
+            if name == "false":
+                return False
+            return Variable(name)
+        raise self.stream.error(f"expected a term, found {token.value!r}")
+
+    # ------------------------------------------------------------------
+    # Path expressions
+    # ------------------------------------------------------------------
+    def path_expression(self) -> PathExpr:
+        return self._path_alt()
+
+    def _path_alt(self) -> PathExpr:
+        options = [self._path_seq()]
+        while self.stream.accept_punct("|"):
+            options.append(self._path_seq())
+        if len(options) == 1:
+            return options[0]
+        return PathAlt(tuple(options))
+
+    def _path_seq(self) -> PathExpr:
+        parts = [self._path_postfix()]
+        while self.stream.accept_punct("."):
+            parts.append(self._path_postfix())
+        if len(parts) == 1:
+            return parts[0]
+        return PathSeq(tuple(parts))
+
+    def _path_postfix(self) -> PathExpr:
+        expression = self._path_primary()
+        while True:
+            if self.stream.accept_punct("*"):
+                expression = PathStar(expression)
+            elif self.stream.at_punct("-") and not self._minus_is_number():
+                self.stream.advance()
+                if isinstance(expression, PathEdge):
+                    expression = PathEdge(expression.edge.invert())
+                else:
+                    expression = PathInverse(expression)
+            else:
+                return expression
+
+    def _minus_is_number(self) -> bool:
+        return self.stream.peek().kind == "NUMBER"
+
+    def _path_primary(self) -> PathExpr:
+        if self.stream.at_punct("["):
+            return PathEdge(self.edge_atom())
+        if self.stream.accept_punct("("):
+            inner = self.path_expression()
+            self.stream.expect_punct(")")
+            return inner
+        raise self.stream.error("expected an edge atom or a parenthesized path")
+
+    # ------------------------------------------------------------------
+    # Head
+    # ------------------------------------------------------------------
+    def head(self):
+        existentials: List[ExistentialBinding] = []
+        if self.stream.at_ident("exists"):
+            self.stream.advance()
+            existentials.append(self._existential_binding())
+            while self.stream.at_punct(","):
+                # A comma continues the binding list only when an IDENT
+                # follows (patterns start with "(").
+                if self.stream.peek().kind != "IDENT":
+                    break
+                self.stream.advance()
+                existentials.append(self._existential_binding())
+            self.stream.accept_punct(":")
+        patterns = [self.graph_pattern()]
+        while self.stream.accept_punct(","):
+            patterns.append(self.graph_pattern())
+        return existentials, patterns
+
+    def _existential_binding(self) -> ExistentialBinding:
+        variable = Variable(str(self.stream.expect("IDENT").value))
+        if self.stream.accept_punct("="):
+            functor = str(self.stream.expect("IDENT").value)
+            self.stream.expect_punct("(")
+            arguments: List[Variable] = []
+            if not self.stream.at_punct(")"):
+                arguments.append(Variable(str(self.stream.expect("IDENT").value)))
+                while self.stream.accept_punct(","):
+                    arguments.append(Variable(str(self.stream.expect("IDENT").value)))
+            self.stream.expect_punct(")")
+            return ExistentialBinding(variable, functor, tuple(arguments))
+        return ExistentialBinding(variable)
+
+    # ------------------------------------------------------------------
+    # Expressions (MetaLog convention: bare identifiers are variables)
+    # ------------------------------------------------------------------
+    def assignment_or_condition(self):
+        if (
+            self.stream.at("IDENT")
+            and self.stream.peek().kind == "PUNCT"
+            and self.stream.peek().value == "="
+            and str(self.stream.current.value) not in ("true", "false")
+        ):
+            target = Variable(str(self.stream.advance().value))
+            self.stream.expect_punct("=")
+            return Assignment(target, self.expression())
+        left = self.expression()
+        token = self.stream.current
+        if token.kind == "PUNCT" and token.value in _COMPARISONS:
+            op = str(self.stream.advance().value)
+            return Condition(op, left, self.expression())
+        raise self.stream.error("expected a condition or an assignment")
+
+    def expression(self):
+        left = self._mul_expression()
+        while self.stream.at("PUNCT") and self.stream.current.value in ("+", "-"):
+            op = str(self.stream.advance().value)
+            left = BinOp(op, left, self._mul_expression())
+        return left
+
+    def _mul_expression(self):
+        left = self._primary_expression()
+        while self.stream.at("PUNCT") and self.stream.current.value in ("*", "/", "%"):
+            op = str(self.stream.advance().value)
+            left = BinOp(op, left, self._primary_expression())
+        return left
+
+    def _primary_expression(self):
+        token = self.stream.current
+        if token.kind == "PUNCT" and token.value == "(":
+            self.stream.advance()
+            inner = self.expression()
+            self.stream.expect_punct(")")
+            return inner
+        if token.kind == "PUNCT" and token.value == "-":
+            self.stream.advance()
+            return BinOp("-", TermExpr(0), self._primary_expression())
+        if token.kind in ("STRING", "NUMBER"):
+            self.stream.advance()
+            return TermExpr(token.value)
+        if token.kind == "IDENT":
+            name = str(token.value)
+            follows_paren = (
+                self.stream.peek().kind == "PUNCT" and self.stream.peek().value == "("
+            )
+            if follows_paren and name in _FUNCTION_NAMES:
+                self.stream.advance()
+                if name in AGGREGATE_FUNCTIONS:
+                    return self._aggregate_call(name)
+                return self._function_call(name)
+            self.stream.advance()
+            if name == "true":
+                return TermExpr(True)
+            if name == "false":
+                return TermExpr(False)
+            return TermExpr(Variable(name))
+        raise self.stream.error(f"expected an expression, found {token.value!r}")
+
+    def _function_call(self, name: str) -> FunctionCall:
+        self.stream.expect_punct("(")
+        arguments: List[Any] = []
+        if not self.stream.at_punct(")"):
+            arguments.append(self.expression())
+            while self.stream.accept_punct(","):
+                arguments.append(self.expression())
+        self.stream.expect_punct(")")
+        return FunctionCall(name, tuple(arguments))
+
+    def _aggregate_call(self, name: str) -> AggregateCall:
+        self.stream.expect_punct("(")
+        value = self.expression()
+        contributors: Tuple[Variable, ...] = ()
+        if self.stream.accept_punct(","):
+            self.stream.expect_punct("<")
+            names = [str(self.stream.expect("IDENT").value)]
+            while self.stream.accept_punct(","):
+                names.append(str(self.stream.expect("IDENT").value))
+            self.stream.expect_punct(">")
+            contributors = tuple(Variable(n) for n in names)
+        self.stream.expect_punct(")")
+        return AggregateCall(name, value, contributors)

@@ -1,0 +1,60 @@
+"""Target models and their translation mappings (Section 5)."""
+
+from repro.models.base import ConstructSpec, Model
+from repro.models.csvmodel import CSV_MODEL, CSVColumn, CSVFile, CSVModel, CSVSchema
+from repro.models.property_graph import (
+    PGNodeClass,
+    PGProperty,
+    PGRelationshipClass,
+    PGSchema,
+    PROPERTY_GRAPH_MODEL,
+    PropertyGraphModel,
+)
+from repro.models.rdf import (
+    RDF_MODEL,
+    RDFClass,
+    RDFDatatypeProperty,
+    RDFModel,
+    RDFObjectProperty,
+    RDFSchema,
+)
+from repro.models.relational import (
+    Column,
+    ForeignKey,
+    RELATIONAL_MODEL,
+    RelationalModel,
+    RelationalSchema,
+    Table,
+)
+from repro.models.repository import Mapping, MappingRepository, default_repository
+
+__all__ = [
+    "ConstructSpec",
+    "Model",
+    "CSV_MODEL",
+    "CSVColumn",
+    "CSVFile",
+    "CSVModel",
+    "CSVSchema",
+    "PGNodeClass",
+    "PGProperty",
+    "PGRelationshipClass",
+    "PGSchema",
+    "PROPERTY_GRAPH_MODEL",
+    "PropertyGraphModel",
+    "RDF_MODEL",
+    "RDFClass",
+    "RDFDatatypeProperty",
+    "RDFModel",
+    "RDFObjectProperty",
+    "RDFSchema",
+    "Column",
+    "ForeignKey",
+    "RELATIONAL_MODEL",
+    "RelationalModel",
+    "RelationalSchema",
+    "Table",
+    "Mapping",
+    "MappingRepository",
+    "default_repository",
+]

@@ -1,0 +1,72 @@
+"""Target models as specializations of the super-model (Section 5).
+
+"A model is represented in KGModel by specializing and renaming a subset
+of the super-constructs" (Section 5.1).  A :class:`Model` therefore
+declares:
+
+- its *construct table* — each model construct with the super-construct
+  it instantiates (the ``Node: SM_Node`` suffixes of Figures 5 and 7);
+- the *dictionary catalog* for its construct labels (attribute order for
+  the MetaLog mappings that write them);
+- a parser that reads a translated schema (an instance of the model
+  stored in the dictionary graph by the SSST's Copy phase) into a
+  convenient typed object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from repro.graph.property_graph import PropertyGraph
+from repro.metalog.analysis import GraphCatalog
+
+
+@dataclass(frozen=True)
+class ConstructSpec:
+    """One model construct and the super-construct it instantiates."""
+
+    name: str
+    specializes: str
+    is_link: bool = False
+
+    def __str__(self) -> str:
+        return f"{self.name}: {self.specializes}"
+
+
+class Model:
+    """Base class for target models.
+
+    Subclasses set :attr:`name`, :attr:`constructs`,
+    :attr:`node_properties`, and :attr:`edge_properties`, and implement
+    :meth:`parse_schema`.
+    """
+
+    name: str = "abstract"
+    constructs: Tuple[ConstructSpec, ...] = ()
+    node_properties: Dict[str, List[str]] = {}
+    edge_properties: Dict[str, List[str]] = {}
+
+    def catalog(self) -> GraphCatalog:
+        """Catalog declaring this model's construct labels."""
+        catalog = GraphCatalog()
+        for label, names in self.node_properties.items():
+            catalog.extend_node(label, names)
+        for label, names in self.edge_properties.items():
+            catalog.extend_edge(label, names)
+        return catalog
+
+    def construct_table(self) -> str:
+        """The Figure 5/7-style table: construct -> super-construct."""
+        width = max((len(c.name) for c in self.constructs), default=10) + 2
+        lines = [f"{'construct':<{width}}specializes", "-" * (width + 24)]
+        for construct in self.constructs:
+            lines.append(f"{construct.name:<{width}}{construct.specializes}")
+        return "\n".join(lines)
+
+    def parse_schema(self, graph: PropertyGraph, schema_oid: Any):
+        """Parse a translated schema out of the dictionary graph."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"Model({self.name!r}, {len(self.constructs)} constructs)"

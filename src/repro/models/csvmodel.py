@@ -1,0 +1,109 @@
+"""The CSV target model.
+
+Section 2.2 lists, among the models a KG can be cast into, "non-graph-
+like models that are frequently used to serialize graphs, such as the
+relational data model, plain CSV files, and so on".  The CSV model is
+the relational layout stripped of every constraint the format cannot
+express: files specialize ``SM_Type``, columns specialize
+``SM_Attribute`` (keeping only a documentation-level ``isId`` marker),
+and foreign keys degrade to bare reference columns — the information
+loss that model awareness (Section 1) predicts for weaker targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.errors import ModelError
+from repro.graph.property_graph import PropertyGraph
+from repro.models.base import ConstructSpec, Model
+
+
+@dataclass
+class CSVColumn:
+    """One column of a CSV file (``isId`` is documentation only)."""
+
+    name: str
+    data_type: str = "string"
+    is_id: bool = False
+
+
+@dataclass
+class CSVFile:
+    """One file with its ordered header."""
+
+    name: str
+    columns: List[CSVColumn] = field(default_factory=list)
+
+    def header(self) -> List[str]:
+        return [c.name for c in self.columns]
+
+
+@dataclass
+class CSVSchema:
+    """A schema of the CSV model."""
+
+    schema_oid: Any
+    files: Dict[str, CSVFile] = field(default_factory=dict)
+
+    def file(self, name: str) -> CSVFile:
+        csv_file = self.files.get(name)
+        if csv_file is None:
+            raise ModelError(f"unknown CSV file {name!r}")
+        return csv_file
+
+    def summary(self) -> str:
+        columns = sum(len(f.columns) for f in self.files.values())
+        return (
+            f"CSVSchema({self.schema_oid!r}): {len(self.files)} files, "
+            f"{columns} columns (no enforceable constraints)"
+        )
+
+
+class CSVModel(Model):
+    """CSV files: the weakest target in the library."""
+
+    name = "csv"
+
+    constructs = (
+        ConstructSpec("CSVFile", "SM_Type"),
+        ConstructSpec("CSVColumn", "SM_Attribute"),
+        ConstructSpec("HAS_COLUMN", "SM_HAS_NODE_PROPERTY", is_link=True),
+    )
+
+    node_properties = {
+        "CSVFile": ["name", "schemaOID"],
+        "CSVColumn": ["isId", "name", "schemaOID", "type"],
+    }
+    edge_properties = {
+        "HAS_COLUMN": ["schemaOID"],
+    }
+
+    def parse_schema(self, graph: PropertyGraph, schema_oid: Any) -> CSVSchema:
+        schema = CSVSchema(schema_oid)
+        for file_node in sorted(graph.nodes("CSVFile"), key=lambda n: str(n.id)):
+            if file_node.get("schemaOID") != schema_oid:
+                continue
+            name = str(file_node.get("name"))
+            columns: List[CSVColumn] = []
+            for edge in graph.out_edges(file_node.id, "HAS_COLUMN"):
+                data = graph.node(edge.target)
+                if data.get("schemaOID") != schema_oid:
+                    continue
+                columns.append(
+                    CSVColumn(
+                        name=str(data.get("name")),
+                        data_type=str(data.get("type", "string")),
+                        is_id=bool(data.get("isId", False)),
+                    )
+                )
+            columns.sort(key=lambda c: (not c.is_id, c.name))
+            if name in schema.files:
+                raise ModelError(f"duplicate CSV file {name!r}")
+            schema.files[name] = CSVFile(name, columns)
+        return schema
+
+
+#: Singleton used by the repository.
+CSV_MODEL = CSVModel()

@@ -1,0 +1,25 @@
+"""Translation mappings: the Eliminate/Copy MetaLog programs of Section 5.
+
+Each mapping module exposes functions producing MetaLog *text* for a
+given (source schema OID, intermediate OID, target OID) triple — the
+programs are then compiled by MTV and executed by the Vadalog engine over
+the graph dictionary, exactly as Algorithm 1 prescribes.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def metalog_const(value: Any) -> str:
+    """Render a Python value as a MetaLog constant literal."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    return '"' + str(value).replace("\\", "\\\\").replace('"', '\\"') + '"'
+
+
+def intermediate_oid(schema_oid: Any) -> str:
+    """Default OID for the intermediate super-schema S⁻."""
+    return f"{schema_oid}-"

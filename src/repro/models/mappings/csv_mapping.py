@@ -1,0 +1,53 @@
+"""The super-model to CSV mapping M(CSV).
+
+The Eliminate phase is shared with the relational mapping (per-member
+generalizations, normalized reference edges, reified M:N edges); the
+Copy phase then *loses* every constraint the format cannot hold: a file
+per S⁻ node with its attributes and reference columns — no foreign-key
+construct survives.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.models.mappings import metalog_const
+from repro.models.mappings.relational_mapping import eliminate_relational
+
+#: The CSV Eliminate is exactly the relational one.
+eliminate_csv = eliminate_relational
+
+
+def copy_to_csv(inter_oid: Any, target_oid: Any) -> str:
+    """Copy phase: downcast S⁻ into CSV files and columns."""
+    i = metalog_const(inter_oid)
+    t = metalog_const(target_oid)
+    return f"""
+% ---- Copy.StoreFiles ---------------------------------------------------------
+(n: SM_Node; schemaOID: {i})
+    [: SM_HAS_NODE_TYPE; schemaOID: {i}]
+    (ty: SM_Type; schemaOID: {i}, name: w)
+  -> exists f = skCSVF(n) :
+     (f: CSVFile; schemaOID: {t}, name: w).
+
+% ---- Copy.StoreColumns (node attributes) --------------------------------------
+(n: SM_Node; schemaOID: {i})
+    [: SM_HAS_NODE_PROPERTY; schemaOID: {i}]
+    (a: SM_Attribute; schemaOID: {i}, name: w, type: ty, isId: d)
+  -> exists f = skCSVF(n), h = skCSVH(n, a), c = skCSVC(n, a) :
+     (f) [h: HAS_COLUMN; schemaOID: {t}]
+       (c: CSVColumn; schemaOID: {t}, name: w, type: ty, isId: d).
+
+% ---- Copy.StoreReferenceColumns ------------------------------------------------
+% Reference edges lose their constraint: only the prefixed columns stay.
+(e: SM_Edge; schemaOID: {i})
+    [: SM_HAS_EDGE_TYPE; schemaOID: {i}]
+    (ty: SM_Type; schemaOID: {i}, name: w),
+(e) [: SM_FROM; schemaOID: {i}] (n: SM_Node; schemaOID: {i}),
+(e) [: SM_HAS_EDGE_PROPERTY; schemaOID: {i}]
+    (a: SM_Attribute; schemaOID: {i}, name: aw, type: aty, isId: d),
+fw = concat(w, "_", aw)
+  -> exists f = skCSVF(n), h = skCSVH2(e, a), c = skCSVC2(e, a) :
+     (f) [h: HAS_COLUMN; schemaOID: {t}]
+       (c: CSVColumn; schemaOID: {t}, name: fw, type: aty, isId: d).
+"""

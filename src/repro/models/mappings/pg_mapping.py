@@ -1,0 +1,282 @@
+"""The super-model to property-graph mapping M(PG) (Section 5.2).
+
+Two implementation strategies are provided, reflecting the paper's
+remark that "whether SM_Generalization should be implemented via
+child-parent edges or node tagging is an example of different tactics":
+
+- ``multi-label`` (the strategy Section 5.2 details): generalizations are
+  deleted; nodes accumulate ancestor types as extra labels
+  (DeleteGeneralizations 1), inherit ancestor attributes
+  (DeleteGeneralizations 2), and inherit incident edges
+  (DeleteGeneralizations 3/4);
+- ``child-edges``: generalizations become explicit ``IS_A`` edges and no
+  accumulation/inheritance takes place.
+
+Every rule carries the ``schemaOID`` selector on every atom, as the paper
+prescribes (Example 5.1, "to select the specific super-schema S"), which
+also keeps the programs non-recursive despite reading and writing the
+same construct labels.  Skolem functors mint all target OIDs (linker
+Skolem functors, Section 4), so reruns are deterministic and copies
+deduplicate.
+
+Of the modifier family only ``SM_UniqueAttributeModifier`` survives into
+the PG model (the only constraint the target supports, Section 5.2); the
+other modifiers are eliminated.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.models.mappings import metalog_const
+
+
+def eliminate_multilabel(source_oid: Any, inter_oid: Any) -> str:
+    """Eliminate phase, ``multi-label`` strategy."""
+    s = metalog_const(source_oid)
+    i = metalog_const(inter_oid)
+    star = (
+        f"([:SM_CHILD; schemaOID: {s}]- . [:SM_PARENT; schemaOID: {s}])*"
+    )
+    return f"""
+% ---- Eliminate.CopyNodes (with their own type) -------------------------
+(n: SM_Node; schemaOID: {s}, isIntensional: b)
+    [r: SM_HAS_NODE_TYPE; schemaOID: {s}]
+    (t: SM_Type; schemaOID: {s}, name: w)
+  -> exists x = skN(n), h = skHNT(n, t), l = skT(t) :
+     (x: SM_Node; schemaOID: {i}, isIntensional: b)
+       [h: SM_HAS_NODE_TYPE; schemaOID: {i}]
+       (l: SM_Type; schemaOID: {i}, name: w).
+
+% ---- Eliminate.DeleteGeneralizations (1): type accumulation ------------
+(n: SM_Node; schemaOID: {s}) {star} (a: SM_Node; schemaOID: {s})
+    [r: SM_HAS_NODE_TYPE; schemaOID: {s}]
+    (t: SM_Type; schemaOID: {s}, name: w)
+  -> exists x = skN(n), h = skHNT(n, t), l = skT(t) :
+     (x: SM_Node; schemaOID: {i})
+       [h: SM_HAS_NODE_TYPE; schemaOID: {i}]
+       (l: SM_Type; schemaOID: {i}, name: w).
+
+% ---- Eliminate.CopyAttributes (own node attributes) ---------------------
+(n: SM_Node; schemaOID: {s})
+    [: SM_HAS_NODE_PROPERTY; schemaOID: {s}]
+    (a: SM_Attribute; schemaOID: {s}, name: w, type: ty, isOpt: o, isId: d,
+     isIntensional: ii)
+  -> exists x = skN(n), h = skHNP(n, a), l = skA(n, a) :
+     (x: SM_Node; schemaOID: {i})
+       [h: SM_HAS_NODE_PROPERTY; schemaOID: {i}]
+       (l: SM_Attribute; schemaOID: {i}, name: w, type: ty, isOpt: o,
+        isId: d, isIntensional: ii).
+
+% ---- Eliminate.DeleteGeneralizations (2): attribute inheritance ---------
+(c: SM_Node; schemaOID: {s}) {star} (n: SM_Node; schemaOID: {s})
+    [: SM_HAS_NODE_PROPERTY; schemaOID: {s}]
+    (a: SM_Attribute; schemaOID: {s}, name: w, type: ty, isOpt: o, isId: d,
+     isIntensional: ii)
+  -> exists x = skN(c), h = skHNP(c, a), l = skA(c, a) :
+     (x: SM_Node; schemaOID: {i})
+       [h: SM_HAS_NODE_PROPERTY; schemaOID: {i}]
+       (l: SM_Attribute; schemaOID: {i}, name: w, type: ty, isOpt: o,
+        isId: d, isIntensional: ii).
+
+% ---- Eliminate.CopyEdges -------------------------------------------------
+(e: SM_Edge; schemaOID: {s}, isIntensional: b, isOpt1: o1, isFun1: f1,
+ isOpt2: o2, isFun2: f2)
+    [: SM_HAS_EDGE_TYPE; schemaOID: {s}]
+    (t: SM_Type; schemaOID: {s}, name: w),
+(e) [: SM_FROM; schemaOID: {s}] (n: SM_Node; schemaOID: {s}),
+(e) [: SM_TO; schemaOID: {s}] (m: SM_Node; schemaOID: {s})
+  -> exists x = skE(e, n, m), xn = skN(n), xm = skN(m), f = skFR(e, n, m),
+     g = skTO(e, n, m), h = skHET(e, n, m), l = skT(t) :
+     (x: SM_Edge; schemaOID: {i}, isIntensional: b, isOpt1: o1, isFun1: f1,
+      isOpt2: o2, isFun2: f2)
+       [h: SM_HAS_EDGE_TYPE; schemaOID: {i}]
+       (l: SM_Type; schemaOID: {i}, name: w),
+     (x) [f: SM_FROM; schemaOID: {i}] (xn),
+     (x) [g: SM_TO; schemaOID: {i}] (xm).
+
+% ---- Eliminate.CopyEdgeAttributes ----------------------------------------
+(e: SM_Edge; schemaOID: {s})
+    [: SM_FROM; schemaOID: {s}] (n: SM_Node; schemaOID: {s}),
+(e) [: SM_TO; schemaOID: {s}] (m: SM_Node; schemaOID: {s}),
+(e) [: SM_HAS_EDGE_PROPERTY; schemaOID: {s}]
+    (a: SM_Attribute; schemaOID: {s}, name: w, type: ty, isOpt: o, isId: d,
+     isIntensional: ii)
+  -> exists x = skE(e, n, m), h = skHEP(e, n, m, a), l = skAE(e, n, m, a) :
+     (x) [h: SM_HAS_EDGE_PROPERTY; schemaOID: {i}]
+       (l: SM_Attribute; schemaOID: {i}, name: w, type: ty, isOpt: o,
+        isId: d, isIntensional: ii).
+
+% ---- Eliminate.DeleteGeneralizations (3): outgoing-edge inheritance -----
+(c: SM_Node; schemaOID: {s}) {star} (n: SM_Node; schemaOID: {s})
+    [: SM_FROM; schemaOID: {s}]-
+    (e: SM_Edge; schemaOID: {s}, isIntensional: b, isOpt1: o1, isFun1: f1,
+     isOpt2: o2, isFun2: f2)
+    [: SM_TO; schemaOID: {s}] (m: SM_Node; schemaOID: {s}),
+(e) [: SM_HAS_EDGE_TYPE; schemaOID: {s}] (t: SM_Type; schemaOID: {s}, name: w)
+  -> exists x = skE(e, c, m), xc = skN(c), xm = skN(m), f = skFR(e, c, m),
+     g = skTO(e, c, m), h = skHET(e, c, m), l = skT(t) :
+     (x: SM_Edge; schemaOID: {i}, isIntensional: b, isOpt1: o1, isFun1: f1,
+      isOpt2: o2, isFun2: f2)
+       [h: SM_HAS_EDGE_TYPE; schemaOID: {i}]
+       (l: SM_Type; schemaOID: {i}, name: w),
+     (x) [f: SM_FROM; schemaOID: {i}] (xc),
+     (x) [g: SM_TO; schemaOID: {i}] (xm).
+
+% ---- Eliminate.DeleteGeneralizations (3'): incoming-edge inheritance ----
+(c: SM_Node; schemaOID: {s}) {star} (n: SM_Node; schemaOID: {s})
+    [: SM_TO; schemaOID: {s}]-
+    (e: SM_Edge; schemaOID: {s}, isIntensional: b, isOpt1: o1, isFun1: f1,
+     isOpt2: o2, isFun2: f2)
+    [: SM_FROM; schemaOID: {s}] (m: SM_Node; schemaOID: {s}),
+(e) [: SM_HAS_EDGE_TYPE; schemaOID: {s}] (t: SM_Type; schemaOID: {s}, name: w)
+  -> exists x = skE(e, m, c), xc = skN(c), xm = skN(m), f = skFR(e, m, c),
+     g = skTO(e, m, c), h = skHET(e, m, c), l = skT(t) :
+     (x: SM_Edge; schemaOID: {i}, isIntensional: b, isOpt1: o1, isFun1: f1,
+      isOpt2: o2, isFun2: f2)
+       [h: SM_HAS_EDGE_TYPE; schemaOID: {i}]
+       (l: SM_Type; schemaOID: {i}, name: w),
+     (x) [f: SM_FROM; schemaOID: {i}] (xm),
+     (x) [g: SM_TO; schemaOID: {i}] (xc).
+
+% ---- Eliminate.DeleteGeneralizations (4): inherited-edge attributes -----
+(c: SM_Node; schemaOID: {s}) {star} (n: SM_Node; schemaOID: {s})
+    [: SM_FROM; schemaOID: {s}]- (e: SM_Edge; schemaOID: {s})
+    [: SM_TO; schemaOID: {s}] (m: SM_Node; schemaOID: {s}),
+(e) [: SM_HAS_EDGE_PROPERTY; schemaOID: {s}]
+    (a: SM_Attribute; schemaOID: {s}, name: w, type: ty, isOpt: o, isId: d,
+     isIntensional: ii)
+  -> exists x = skE(e, c, m), h = skHEP(e, c, m, a), l = skAE(e, c, m, a) :
+     (x) [h: SM_HAS_EDGE_PROPERTY; schemaOID: {i}]
+       (l: SM_Attribute; schemaOID: {i}, name: w, type: ty, isOpt: o,
+        isId: d, isIntensional: ii).
+
+(c: SM_Node; schemaOID: {s}) {star} (n: SM_Node; schemaOID: {s})
+    [: SM_TO; schemaOID: {s}]- (e: SM_Edge; schemaOID: {s})
+    [: SM_FROM; schemaOID: {s}] (m: SM_Node; schemaOID: {s}),
+(e) [: SM_HAS_EDGE_PROPERTY; schemaOID: {s}]
+    (a: SM_Attribute; schemaOID: {s}, name: w, type: ty, isOpt: o, isId: d,
+     isIntensional: ii)
+  -> exists x = skE(e, m, c), h = skHEP(e, m, c, a), l = skAE(e, m, c, a) :
+     (x) [h: SM_HAS_EDGE_PROPERTY; schemaOID: {i}]
+       (l: SM_Attribute; schemaOID: {i}, name: w, type: ty, isOpt: o,
+        isId: d, isIntensional: ii).
+
+% ---- Eliminate.CopyUniqueAttributeModifier (own attributes) -------------
+(n: SM_Node; schemaOID: {s})
+    [: SM_HAS_NODE_PROPERTY; schemaOID: {s}]
+    (a: SM_Attribute; schemaOID: {s})
+    [: SM_HAS_MODIFIER; schemaOID: {s}]
+    (mo: SM_UniqueAttributeModifier; schemaOID: {s}, payload: p)
+  -> exists l = skA(n, a), x = skMO(n, a, mo), h = skHM(n, a, mo) :
+     (l) [h: SM_HAS_MODIFIER; schemaOID: {i}]
+       (x: SM_UniqueAttributeModifier; schemaOID: {i}, payload: p).
+
+% ---- Eliminate.CopyUniqueAttributeModifier (inherited attributes) -------
+(c: SM_Node; schemaOID: {s}) {star} (n: SM_Node; schemaOID: {s})
+    [: SM_HAS_NODE_PROPERTY; schemaOID: {s}]
+    (a: SM_Attribute; schemaOID: {s})
+    [: SM_HAS_MODIFIER; schemaOID: {s}]
+    (mo: SM_UniqueAttributeModifier; schemaOID: {s}, payload: p)
+  -> exists l = skA(c, a), x = skMO(c, a, mo), h = skHM(c, a, mo) :
+     (l) [h: SM_HAS_MODIFIER; schemaOID: {i}]
+       (x: SM_UniqueAttributeModifier; schemaOID: {i}, payload: p).
+"""
+
+
+def eliminate_child_edges(source_oid: Any, inter_oid: Any) -> str:
+    """Eliminate phase, ``child-edges`` strategy.
+
+    Generalizations become explicit ``IS_A`` edges; no type accumulation
+    or attribute/edge inheritance happens.
+    """
+    s = metalog_const(source_oid)
+    i = metalog_const(inter_oid)
+    # Reuse the copy rules of the multi-label strategy, minus every
+    # DeleteGeneralizations rule, plus the IS_A reification.
+    base = eliminate_multilabel(source_oid, inter_oid)
+    kept = []
+    skip = False
+    for block in base.split("% ----"):
+        if not block.strip():
+            continue
+        title = block.splitlines()[0]
+        if "DeleteGeneralizations" in title:
+            continue
+        kept.append("% ----" + block)
+    kept.append(f"""
+% ---- Eliminate.GeneralizationsToEdges (child-edges tactic) --------------
+(g: SM_Generalization; schemaOID: {s})
+    [: SM_CHILD; schemaOID: {s}] (c: SM_Node; schemaOID: {s}),
+(g) [: SM_PARENT; schemaOID: {s}] (p: SM_Node; schemaOID: {s})
+  -> exists x = skGE(g, c), xc = skN(c), xp = skN(p), f = skGF(g, c),
+     t = skGT(g, c), h = skGH(g, c), l = skGL(g) :
+     (x: SM_Edge; schemaOID: {i}, isIntensional: false, isOpt1: false,
+      isFun1: true, isOpt2: true, isFun2: false)
+       [h: SM_HAS_EDGE_TYPE; schemaOID: {i}]
+       (l: SM_Type; schemaOID: {i}, name: "IS_A"),
+     (x) [f: SM_FROM; schemaOID: {i}] (xc),
+     (x) [t: SM_TO; schemaOID: {i}] (xp).
+""")
+    return "".join(kept)
+
+
+def copy_to_pg(inter_oid: Any, target_oid: Any) -> str:
+    """Copy phase: downcast S⁻ into the PG model (both strategies)."""
+    i = metalog_const(inter_oid)
+    t = metalog_const(target_oid)
+    return f"""
+% ---- Copy.StoreNodes ------------------------------------------------------
+(n: SM_Node; schemaOID: {i}, isIntensional: b)
+  -> exists x = skPGN(n) :
+     (x: Node; schemaOID: {t}, isIntensional: b).
+
+% ---- Copy.StoreLabels -----------------------------------------------------
+(n: SM_Node; schemaOID: {i})
+    [: SM_HAS_NODE_TYPE; schemaOID: {i}]
+    (ty: SM_Type; schemaOID: {i}, name: w)
+  -> exists x = skPGN(n), h = skPGHL(n, ty), l = skPGL(ty) :
+     (x) [h: HAS_LABEL; schemaOID: {t}] (l: Label; schemaOID: {t}, name: w).
+
+% ---- Copy.StoreRelationships ----------------------------------------------
+(e: SM_Edge; schemaOID: {i}, isIntensional: b)
+    [: SM_HAS_EDGE_TYPE; schemaOID: {i}]
+    (ty: SM_Type; schemaOID: {i}, name: w),
+(e) [: SM_FROM; schemaOID: {i}] (n: SM_Node; schemaOID: {i}),
+(e) [: SM_TO; schemaOID: {i}] (m: SM_Node; schemaOID: {i})
+  -> exists x = skPGR(e), xn = skPGN(n), xm = skPGN(m), f = skPGF(e),
+     g = skPGT(e) :
+     (x: Relationship; schemaOID: {t}, name: w, isIntensional: b)
+       [f: FROM; schemaOID: {t}] (xn),
+     (x) [g: TO; schemaOID: {t}] (xm).
+
+% ---- Copy.StoreProperties (node properties) --------------------------------
+(n: SM_Node; schemaOID: {i})
+    [: SM_HAS_NODE_PROPERTY; schemaOID: {i}]
+    (a: SM_Attribute; schemaOID: {i}, name: w, type: ty, isOpt: o,
+     isIntensional: ii)
+  -> exists x = skPGN(n), h = skPGHP(n, a), l = skPGP(n, a) :
+     (x) [h: HAS_PROPERTY; schemaOID: {t}]
+       (l: Property; schemaOID: {t}, name: w, type: ty, isOpt: o,
+        isIntensional: ii).
+
+% ---- Copy.StoreProperties (relationship properties) ------------------------
+(e: SM_Edge; schemaOID: {i})
+    [: SM_HAS_EDGE_PROPERTY; schemaOID: {i}]
+    (a: SM_Attribute; schemaOID: {i}, name: w, type: ty, isOpt: o,
+     isIntensional: ii)
+  -> exists x = skPGR(e), h = skPGHPE(e, a), l = skPGPE(e, a) :
+     (x) [h: HAS_PROPERTY; schemaOID: {t}]
+       (l: Property; schemaOID: {t}, name: w, type: ty, isOpt: o,
+        isIntensional: ii).
+
+% ---- Copy.StoreUniquePropertyModifiers -------------------------------------
+(n: SM_Node; schemaOID: {i})
+    [: SM_HAS_NODE_PROPERTY; schemaOID: {i}]
+    (a: SM_Attribute; schemaOID: {i})
+    [: SM_HAS_MODIFIER; schemaOID: {i}]
+    (mo: SM_UniqueAttributeModifier; schemaOID: {i})
+  -> exists l = skPGP(n, a), x = skPGM(n, a, mo), h = skPGHM(n, a, mo) :
+     (l) [h: HAS_MODIFIER; schemaOID: {t}]
+       (x: UniquePropertyModifier; schemaOID: {t}).
+"""

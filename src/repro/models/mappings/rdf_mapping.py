@@ -1,0 +1,107 @@
+"""The super-model to RDF-S mapping M(RDF).
+
+RDFS natively supports generalization (``rdfs:subClassOf``), attributes
+(datatype properties), and arbitrary-cardinality relationships (object
+properties), so the Eliminate phase is a pure copy — no super-construct
+needs to be encoded away.  This exercises the framework's model
+awareness from the opposite direction to the PG and relational mappings.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.models.mappings import metalog_const
+
+
+def eliminate_rdf(source_oid: Any, inter_oid: Any) -> str:
+    """Eliminate phase: copy every construct unchanged (nothing to erase)."""
+    s = metalog_const(source_oid)
+    i = metalog_const(inter_oid)
+    return f"""
+% ---- Eliminate.CopyNodes ----------------------------------------------------
+(n: SM_Node; schemaOID: {s}, isIntensional: b)
+    [: SM_HAS_NODE_TYPE; schemaOID: {s}]
+    (t: SM_Type; schemaOID: {s}, name: w)
+  -> exists x = skN(n), h = skHNT(n, t), l = skT(t) :
+     (x: SM_Node; schemaOID: {i}, isIntensional: b)
+       [h: SM_HAS_NODE_TYPE; schemaOID: {i}]
+       (l: SM_Type; schemaOID: {i}, name: w).
+
+% ---- Eliminate.CopyNodeAttributes -------------------------------------------
+(n: SM_Node; schemaOID: {s})
+    [: SM_HAS_NODE_PROPERTY; schemaOID: {s}]
+    (a: SM_Attribute; schemaOID: {s}, name: w, type: ty, isOpt: o, isId: d,
+     isIntensional: ii)
+  -> exists x = skN(n), h = skHNP(n, a), l = skA(n, a) :
+     (x) [h: SM_HAS_NODE_PROPERTY; schemaOID: {i}]
+       (l: SM_Attribute; schemaOID: {i}, name: w, type: ty, isOpt: o,
+        isId: d, isIntensional: ii).
+
+% ---- Eliminate.CopyEdges ------------------------------------------------------
+(e: SM_Edge; schemaOID: {s}, isIntensional: b, isOpt1: o1, isFun1: f1,
+ isOpt2: o2, isFun2: f2)
+    [: SM_HAS_EDGE_TYPE; schemaOID: {s}]
+    (t: SM_Type; schemaOID: {s}, name: w),
+(e) [: SM_FROM; schemaOID: {s}] (n: SM_Node; schemaOID: {s}),
+(e) [: SM_TO; schemaOID: {s}] (m: SM_Node; schemaOID: {s})
+  -> exists x = skE(e), xn = skN(n), xm = skN(m), f = skFR(e), g = skTO(e),
+     h = skHET(e), l = skT(t) :
+     (x: SM_Edge; schemaOID: {i}, isIntensional: b, isOpt1: o1, isFun1: f1,
+      isOpt2: o2, isFun2: f2)
+       [h: SM_HAS_EDGE_TYPE; schemaOID: {i}]
+       (l: SM_Type; schemaOID: {i}, name: w),
+     (x) [f: SM_FROM; schemaOID: {i}] (xn),
+     (x) [g: SM_TO; schemaOID: {i}] (xm).
+
+% ---- Eliminate.CopyGeneralizations (survive: RDFS has subClassOf) -----------
+(g: SM_Generalization; schemaOID: {s}, isTotal: tt, isDisjoint: dd)
+    [: SM_CHILD; schemaOID: {s}] (c: SM_Node; schemaOID: {s}),
+(g) [: SM_PARENT; schemaOID: {s}] (p: SM_Node; schemaOID: {s})
+  -> exists x = skG(g), xc = skN(c), xp = skN(p), hc = skGC(g, c),
+     hp = skGP(g) :
+     (x: SM_Generalization; schemaOID: {i}, isTotal: tt, isDisjoint: dd)
+       [hc: SM_CHILD; schemaOID: {i}] (xc),
+     (x) [hp: SM_PARENT; schemaOID: {i}] (xp).
+"""
+
+
+def copy_to_rdf(inter_oid: Any, target_oid: Any) -> str:
+    """Copy phase: downcast into RDF-S constructs."""
+    i = metalog_const(inter_oid)
+    t = metalog_const(target_oid)
+    return f"""
+% ---- Copy.StoreClasses --------------------------------------------------------
+(n: SM_Node; schemaOID: {i})
+    [: SM_HAS_NODE_TYPE; schemaOID: {i}]
+    (ty: SM_Type; schemaOID: {i}, name: w)
+  -> exists x = skRDFC(n) :
+     (x: RDFClass; schemaOID: {t}, name: w).
+
+% ---- Copy.StoreDatatypeProperties ---------------------------------------------
+(n: SM_Node; schemaOID: {i})
+    [: SM_HAS_NODE_PROPERTY; schemaOID: {i}]
+    (a: SM_Attribute; schemaOID: {i}, name: w, type: ty)
+  -> exists x = skRDFC(n), l = skRDFD(n, a), h = skRDFDH(n, a) :
+     (l: RDFDatatypeProperty; schemaOID: {t}, name: w, type: ty)
+       [h: DOMAIN; schemaOID: {t}] (x).
+
+% ---- Copy.StoreObjectProperties -------------------------------------------------
+(e: SM_Edge; schemaOID: {i})
+    [: SM_HAS_EDGE_TYPE; schemaOID: {i}]
+    (ty: SM_Type; schemaOID: {i}, name: w),
+(e) [: SM_FROM; schemaOID: {i}] (n: SM_Node; schemaOID: {i}),
+(e) [: SM_TO; schemaOID: {i}] (m: SM_Node; schemaOID: {i})
+  -> exists x = skRDFO(e), xn = skRDFC(n), xm = skRDFC(m), f = skRDFOD(e),
+     g = skRDFOR(e) :
+     (x: RDFObjectProperty; schemaOID: {t}, name: w)
+       [f: DOMAIN; schemaOID: {t}] (xn),
+     (x) [g: RANGE; schemaOID: {t}] (xm).
+
+% ---- Copy.StoreSubClassOf ---------------------------------------------------------
+(g: SM_Generalization; schemaOID: {i})
+    [: SM_CHILD; schemaOID: {i}] (c: SM_Node; schemaOID: {i}),
+(g) [: SM_PARENT; schemaOID: {i}] (p: SM_Node; schemaOID: {i})
+  -> exists xc = skRDFC(c), xp = skRDFC(p), h = skRDFS(g, c) :
+     (xc) [h: SUBCLASS_OF; schemaOID: {t}] (xp).
+"""

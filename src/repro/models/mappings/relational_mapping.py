@@ -1,0 +1,321 @@
+"""The super-model to relational mapping M(REL) (Section 5.3).
+
+"Intuitively, the elimination phase simplifies generalizations and
+many-to-many edges into one-to-many edges, which can be directly
+converted into relational foreign keys in the copy phase.  ...  we use a
+relation for each generalization member, connecting each child relation
+to the respective parent relation via foreign keys."
+
+Normalization convention in S⁻: every surviving ``SM_Edge`` is a
+*reference edge* whose **source** holds the foreign-key columns and whose
+**target** is the referenced relation.  Accordingly:
+
+- many-to-one edges (``isFun1 = true``) are copied as-is;
+- one-to-many edges (``isFun1 = false, isFun2 = true``) are flipped;
+- many-to-many edges are reified into a bridge node with two reference
+  edges (DeleteManyToManyEdges);
+- each generalization child gets an ``isA_<child>`` reference edge to its
+  parent, whose copied key attributes keep ``isId = true`` so they double
+  as the child relation's primary key (the per-member strategy).
+
+The target's key columns are attached to every reference edge during
+Eliminate (own and inherited identifiers — the identifying attributes may
+live on an ancestor), so the Copy phase can translate uniformly.
+
+Deviation note: the paper's DeleteManyToManyEdges prescribes fixed flags
+``isFun1 = false`` on the two bridge edges; since each bridge row
+references exactly one row per side we record them as functional
+(``isFun1 = true, isOpt1 = false``), which we believe is the intended
+reading.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.models.mappings import metalog_const
+
+
+def eliminate_relational(source_oid: Any, inter_oid: Any) -> str:
+    """Eliminate phase of M(REL)."""
+    s = metalog_const(source_oid)
+    i = metalog_const(inter_oid)
+    star = f"([:SM_CHILD; schemaOID: {s}]- . [:SM_PARENT; schemaOID: {s}])*"
+
+    def ref_edge_rules(name: str, match_flags: str, src: str, tgt: str,
+                       holder: str, opt_var: str) -> str:
+        """Rules for one non-M:N edge case.
+
+        ``src``/``tgt`` are body variables for the normalized reference
+        direction; ``holder`` is the side that receives the original edge
+        attributes (always the normalized source); ``opt_var`` is the
+        original flag that says whether the reference may be absent (it
+        becomes the nullability of the foreign-key columns).
+        """
+        return f"""
+% ---- Eliminate.{name}: the normalized reference edge ---------------------
+(e: SM_Edge; schemaOID: {s}, isIntensional: b, isOpt1: o1, isOpt2: o2{match_flags})
+    [: SM_HAS_EDGE_TYPE; schemaOID: {s}] (t: SM_Type; schemaOID: {s}, name: w),
+(e) [: SM_FROM; schemaOID: {s}] (n: SM_Node; schemaOID: {s}),
+(e) [: SM_TO; schemaOID: {s}] (m: SM_Node; schemaOID: {s})
+  -> exists x = skE(e), xs = skN({src}), xt = skN({tgt}), f = skFR(e),
+     g = skTO(e), h = skHET(e), l = skT(t) :
+     (x: SM_Edge; schemaOID: {i}, isIntensional: b, isOpt1: {opt_var},
+      isFun1: true, isOpt2: true, isFun2: false)
+       [h: SM_HAS_EDGE_TYPE; schemaOID: {i}]
+       (l: SM_Type; schemaOID: {i}, name: w),
+     (x) [f: SM_FROM; schemaOID: {i}] (xs),
+     (x) [g: SM_TO; schemaOID: {i}] (xt).
+
+% ---- Eliminate.{name}: attach the target's own key attributes ------------
+(e: SM_Edge; schemaOID: {s}, isOpt1: o1, isOpt2: o2{match_flags})
+    [: SM_FROM; schemaOID: {s}] (n: SM_Node; schemaOID: {s}),
+(e) [: SM_TO; schemaOID: {s}] (m: SM_Node; schemaOID: {s}),
+({tgt}) [: SM_HAS_NODE_PROPERTY; schemaOID: {s}]
+    (ia: SM_Attribute; schemaOID: {s}, isId: true, name: aw, type: aty)
+  -> exists x = skE(e), h = skHEP(e, ia), l = skAFK(e, ia) :
+     (x) [h: SM_HAS_EDGE_PROPERTY; schemaOID: {i}]
+       (l: SM_Attribute; schemaOID: {i}, name: aw, type: aty,
+        isOpt: {opt_var}, isId: false, isIntensional: false).
+
+% ---- Eliminate.{name}: attach the target's inherited key attributes ------
+(e: SM_Edge; schemaOID: {s}, isOpt1: o1, isOpt2: o2{match_flags})
+    [: SM_FROM; schemaOID: {s}] (n: SM_Node; schemaOID: {s}),
+(e) [: SM_TO; schemaOID: {s}] (m: SM_Node; schemaOID: {s}),
+({tgt}) {star} (anc: SM_Node; schemaOID: {s}),
+(anc) [: SM_HAS_NODE_PROPERTY; schemaOID: {s}]
+    (ia: SM_Attribute; schemaOID: {s}, isId: true, name: aw, type: aty)
+  -> exists x = skE(e), h = skHEP(e, ia), l = skAFK(e, ia) :
+     (x) [h: SM_HAS_EDGE_PROPERTY; schemaOID: {i}]
+       (l: SM_Attribute; schemaOID: {i}, name: aw, type: aty,
+        isOpt: {opt_var}, isId: false, isIntensional: false).
+
+% ---- Eliminate.{name}: move edge attributes onto the holder --------------
+(e: SM_Edge; schemaOID: {s}{match_flags})
+    [: SM_FROM; schemaOID: {s}] (n: SM_Node; schemaOID: {s}),
+(e) [: SM_TO; schemaOID: {s}] (m: SM_Node; schemaOID: {s}),
+(e) [: SM_HAS_EDGE_PROPERTY; schemaOID: {s}]
+    (a: SM_Attribute; schemaOID: {s}, name: aw, type: aty, isOpt: o,
+     isIntensional: ii)
+  -> exists xh = skN({holder}), h = skHNPe(e, a), l = skAEh(e, a) :
+     (xh) [h: SM_HAS_NODE_PROPERTY; schemaOID: {i}]
+       (l: SM_Attribute; schemaOID: {i}, name: aw, type: aty, isOpt: o,
+        isId: false, isIntensional: ii).
+"""
+
+    return f"""
+% ---- Eliminate.CopyNodes (with their own type) ----------------------------
+(n: SM_Node; schemaOID: {s}, isIntensional: b)
+    [r: SM_HAS_NODE_TYPE; schemaOID: {s}]
+    (t: SM_Type; schemaOID: {s}, name: w)
+  -> exists x = skN(n), h = skHNT(n, t), l = skT(t) :
+     (x: SM_Node; schemaOID: {i}, isIntensional: b)
+       [h: SM_HAS_NODE_TYPE; schemaOID: {i}]
+       (l: SM_Type; schemaOID: {i}, name: w).
+
+% ---- Eliminate.CopyNodeAttributes (own only: per-member strategy) ---------
+(n: SM_Node; schemaOID: {s})
+    [: SM_HAS_NODE_PROPERTY; schemaOID: {s}]
+    (a: SM_Attribute; schemaOID: {s}, name: w, type: ty, isOpt: o, isId: d,
+     isIntensional: ii)
+  -> exists x = skN(n), h = skHNP(n, a), l = skA(n, a) :
+     (x) [h: SM_HAS_NODE_PROPERTY; schemaOID: {i}]
+       (l: SM_Attribute; schemaOID: {i}, name: w, type: ty, isOpt: o,
+        isId: d, isIntensional: ii).
+
+{ref_edge_rules("CopyManyToOneEdges", ", isFun1: true", "n", "m", "n", "o1")}
+
+{ref_edge_rules("FlipOneToManyEdges", ", isFun1: false, isFun2: true", "m", "n", "m", "o2")}
+
+% ---- Eliminate.DeleteManyToManyEdges (1): the bridge node ------------------
+(e: SM_Edge; schemaOID: {s}, isIntensional: b, isFun1: false, isFun2: false)
+    [: SM_HAS_EDGE_TYPE; schemaOID: {s}] (t: SM_Type; schemaOID: {s}, name: w)
+  -> exists p = skRE(e), h = skRHT(e), l = skT(t) :
+     (p: SM_Node; schemaOID: {i}, isIntensional: b)
+       [h: SM_HAS_NODE_TYPE; schemaOID: {i}]
+       (l: SM_Type; schemaOID: {i}, name: w).
+
+% ---- Eliminate.DeleteManyToManyEdges (1'): edge attributes to the bridge ---
+(e: SM_Edge; schemaOID: {s}, isFun1: false, isFun2: false)
+    [: SM_HAS_EDGE_PROPERTY; schemaOID: {s}]
+    (a: SM_Attribute; schemaOID: {s}, name: aw, type: aty, isOpt: o,
+     isIntensional: ii)
+  -> exists p = skRE(e), h = skHNPb(e, a), l = skAb(e, a) :
+     (p) [h: SM_HAS_NODE_PROPERTY; schemaOID: {i}]
+       (l: SM_Attribute; schemaOID: {i}, name: aw, type: aty, isOpt: o,
+        isId: false, isIntensional: ii).
+
+% ---- Eliminate.DeleteManyToManyEdges (2): fk to the target side ------------
+(e: SM_Edge; schemaOID: {s}, isFun1: false, isFun2: false)
+    [: SM_HAS_EDGE_TYPE; schemaOID: {s}] (t: SM_Type; schemaOID: {s}, name: w),
+(e) [: SM_TO; schemaOID: {s}] (m: SM_Node; schemaOID: {s}),
+wm = concat(w, "_tgt")
+  -> exists p = skRE(e), x = skFKtgt(e), xm = skN(m), f = skFRt(e),
+     g = skTOt(e), h = skHETt(e), l = skTt(e) :
+     (x: SM_Edge; schemaOID: {i}, isIntensional: false, isOpt1: false,
+      isFun1: true, isOpt2: true, isFun2: false)
+       [h: SM_HAS_EDGE_TYPE; schemaOID: {i}]
+       (l: SM_Type; schemaOID: {i}, name: wm),
+     (x) [f: SM_FROM; schemaOID: {i}] (p),
+     (x) [g: SM_TO; schemaOID: {i}] (xm).
+
+% ---- Eliminate.DeleteManyToManyEdges (2'): its key attributes (own) --------
+(e: SM_Edge; schemaOID: {s}, isFun1: false, isFun2: false)
+    [: SM_TO; schemaOID: {s}] (m: SM_Node; schemaOID: {s}),
+(m) [: SM_HAS_NODE_PROPERTY; schemaOID: {s}]
+    (ia: SM_Attribute; schemaOID: {s}, isId: true, name: aw, type: aty)
+  -> exists x = skFKtgt(e), h = skHEPt(e, ia), l = skAFKt(e, ia) :
+     (x) [h: SM_HAS_EDGE_PROPERTY; schemaOID: {i}]
+       (l: SM_Attribute; schemaOID: {i}, name: aw, type: aty, isOpt: false,
+        isId: false, isIntensional: false).
+
+% ---- Eliminate.DeleteManyToManyEdges (2''): inherited key attributes -------
+(e: SM_Edge; schemaOID: {s}, isFun1: false, isFun2: false)
+    [: SM_TO; schemaOID: {s}] (m: SM_Node; schemaOID: {s}),
+(m) {star} (anc: SM_Node; schemaOID: {s}),
+(anc) [: SM_HAS_NODE_PROPERTY; schemaOID: {s}]
+    (ia: SM_Attribute; schemaOID: {s}, isId: true, name: aw, type: aty)
+  -> exists x = skFKtgt(e), h = skHEPt(e, ia), l = skAFKt(e, ia) :
+     (x) [h: SM_HAS_EDGE_PROPERTY; schemaOID: {i}]
+       (l: SM_Attribute; schemaOID: {i}, name: aw, type: aty, isOpt: false,
+        isId: false, isIntensional: false).
+
+% ---- Eliminate.DeleteManyToManyEdges (3): fk to the source side ------------
+(e: SM_Edge; schemaOID: {s}, isFun1: false, isFun2: false)
+    [: SM_HAS_EDGE_TYPE; schemaOID: {s}] (t: SM_Type; schemaOID: {s}, name: w),
+(e) [: SM_FROM; schemaOID: {s}] (n: SM_Node; schemaOID: {s}),
+wn = concat(w, "_src")
+  -> exists p = skRE(e), x = skFKsrc(e), xn = skN(n), f = skFRs(e),
+     g = skTOs(e), h = skHETs(e), l = skTs(e) :
+     (x: SM_Edge; schemaOID: {i}, isIntensional: false, isOpt1: false,
+      isFun1: true, isOpt2: true, isFun2: false)
+       [h: SM_HAS_EDGE_TYPE; schemaOID: {i}]
+       (l: SM_Type; schemaOID: {i}, name: wn),
+     (x) [f: SM_FROM; schemaOID: {i}] (p),
+     (x) [g: SM_TO; schemaOID: {i}] (xn).
+
+% ---- Eliminate.DeleteManyToManyEdges (3'): its key attributes (own) --------
+(e: SM_Edge; schemaOID: {s}, isFun1: false, isFun2: false)
+    [: SM_FROM; schemaOID: {s}] (n: SM_Node; schemaOID: {s}),
+(n) [: SM_HAS_NODE_PROPERTY; schemaOID: {s}]
+    (ia: SM_Attribute; schemaOID: {s}, isId: true, name: aw, type: aty)
+  -> exists x = skFKsrc(e), h = skHEPs(e, ia), l = skAFKs(e, ia) :
+     (x) [h: SM_HAS_EDGE_PROPERTY; schemaOID: {i}]
+       (l: SM_Attribute; schemaOID: {i}, name: aw, type: aty, isOpt: false,
+        isId: false, isIntensional: false).
+
+% ---- Eliminate.DeleteManyToManyEdges (3''): inherited key attributes -------
+(e: SM_Edge; schemaOID: {s}, isFun1: false, isFun2: false)
+    [: SM_FROM; schemaOID: {s}] (n: SM_Node; schemaOID: {s}),
+(n) {star} (anc: SM_Node; schemaOID: {s}),
+(anc) [: SM_HAS_NODE_PROPERTY; schemaOID: {s}]
+    (ia: SM_Attribute; schemaOID: {s}, isId: true, name: aw, type: aty)
+  -> exists x = skFKsrc(e), h = skHEPs(e, ia), l = skAFKs(e, ia) :
+     (x) [h: SM_HAS_EDGE_PROPERTY; schemaOID: {i}]
+       (l: SM_Attribute; schemaOID: {i}, name: aw, type: aty, isOpt: false,
+        isId: false, isIntensional: false).
+
+% ---- Eliminate.DeleteGeneralizations: the per-member isA reference edge ----
+(g: SM_Generalization; schemaOID: {s})
+    [: SM_CHILD; schemaOID: {s}] (c: SM_Node; schemaOID: {s}),
+(g) [: SM_PARENT; schemaOID: {s}] (p: SM_Node; schemaOID: {s}),
+(c) [: SM_HAS_NODE_TYPE; schemaOID: {s}] (ct: SM_Type; schemaOID: {s}, name: cw),
+w = concat("isA_", cw)
+  -> exists x = skGE(g, c), xc = skN(c), xp = skN(p), f = skGF(g, c),
+     t = skGT(g, c), h = skGH(g, c), l = skGL(g, c) :
+     (x: SM_Edge; schemaOID: {i}, isIntensional: false, isOpt1: false,
+      isFun1: true, isOpt2: true, isFun2: false)
+       [h: SM_HAS_EDGE_TYPE; schemaOID: {i}]
+       (l: SM_Type; schemaOID: {i}, name: w),
+     (x) [f: SM_FROM; schemaOID: {i}] (xc),
+     (x) [t: SM_TO; schemaOID: {i}] (xp).
+
+% ---- Eliminate.DeleteGeneralizations: parent key attributes (own) ----------
+% isId stays true: these foreign-key fields double as the child's primary
+% key in the per-member strategy.
+(g: SM_Generalization; schemaOID: {s})
+    [: SM_CHILD; schemaOID: {s}] (c: SM_Node; schemaOID: {s}),
+(g) [: SM_PARENT; schemaOID: {s}] (p: SM_Node; schemaOID: {s}),
+(p) [: SM_HAS_NODE_PROPERTY; schemaOID: {s}]
+    (ia: SM_Attribute; schemaOID: {s}, isId: true, name: aw, type: aty)
+  -> exists x = skGE(g, c), h = skGHP(g, c, ia), l = skGA(g, c, ia) :
+     (x) [h: SM_HAS_EDGE_PROPERTY; schemaOID: {i}]
+       (l: SM_Attribute; schemaOID: {i}, name: aw, type: aty, isOpt: false,
+        isId: true, isIntensional: false).
+
+% ---- Eliminate.DeleteGeneralizations: parent key attributes (inherited) ----
+(g: SM_Generalization; schemaOID: {s})
+    [: SM_CHILD; schemaOID: {s}] (c: SM_Node; schemaOID: {s}),
+(g) [: SM_PARENT; schemaOID: {s}] (p: SM_Node; schemaOID: {s}),
+(p) {star} (anc: SM_Node; schemaOID: {s}),
+(anc) [: SM_HAS_NODE_PROPERTY; schemaOID: {s}]
+    (ia: SM_Attribute; schemaOID: {s}, isId: true, name: aw, type: aty)
+  -> exists x = skGE(g, c), h = skGHP(g, c, ia), l = skGA(g, c, ia) :
+     (x) [h: SM_HAS_EDGE_PROPERTY; schemaOID: {i}]
+       (l: SM_Attribute; schemaOID: {i}, name: aw, type: aty, isOpt: false,
+        isId: true, isIntensional: false).
+"""
+
+
+def copy_to_relational(inter_oid: Any, target_oid: Any) -> str:
+    """Copy phase: downcast S⁻ into the relational model."""
+    i = metalog_const(inter_oid)
+    t = metalog_const(target_oid)
+    return f"""
+% ---- Copy.StorePredicatesAndRelations --------------------------------------
+(n: SM_Node; schemaOID: {i}, isIntensional: b)
+    [: SM_HAS_NODE_TYPE; schemaOID: {i}]
+    (ty: SM_Type; schemaOID: {i}, name: w)
+  -> exists x = skRP(n), r = skRR(ty), h = skRHR(n, ty) :
+     (x: Predicate; schemaOID: {t}, isIntensional: b)
+       [h: HAS_RELATION; schemaOID: {t}]
+       (r: Relation; schemaOID: {t}, name: w).
+
+% ---- Copy.StoreNodeAttributes (fields) -------------------------------------
+(n: SM_Node; schemaOID: {i})
+    [: SM_HAS_NODE_PROPERTY; schemaOID: {i}]
+    (a: SM_Attribute; schemaOID: {i}, name: w, type: ty, isOpt: o, isId: d,
+     isIntensional: false)
+  -> exists x = skRP(n), h = skRHF(n, a), l = skRF(n, a) :
+     (x) [h: HAS_FIELD; schemaOID: {t}]
+       (l: Field; schemaOID: {t}, name: w, type: ty, isOpt: o, isId: d).
+
+% Intensional attributes become nullable columns: their values only
+% appear once the intensional component is materialized (Section 6).
+(n: SM_Node; schemaOID: {i})
+    [: SM_HAS_NODE_PROPERTY; schemaOID: {i}]
+    (a: SM_Attribute; schemaOID: {i}, name: w, type: ty, isId: d,
+     isIntensional: true)
+  -> exists x = skRP(n), h = skRHF(n, a), l = skRF(n, a) :
+     (x) [h: HAS_FIELD; schemaOID: {t}]
+       (l: Field; schemaOID: {t}, name: w, type: ty, isOpt: true, isId: d).
+
+% ---- Copy.StoreForeignKeys --------------------------------------------------
+(e: SM_Edge; schemaOID: {i})
+    [: SM_HAS_EDGE_TYPE; schemaOID: {i}]
+    (ty: SM_Type; schemaOID: {i}, name: w),
+(e) [: SM_FROM; schemaOID: {i}] (n: SM_Node; schemaOID: {i}),
+(e) [: SM_TO; schemaOID: {i}] (m: SM_Node; schemaOID: {i})
+  -> exists x = skRFK(e), xn = skRP(n), xm = skRP(m), f = skRFF(e),
+     g = skRFT(e) :
+     (x: ForeignKey; schemaOID: {t}, name: w)
+       [f: FK_FROM; schemaOID: {t}] (xn),
+     (x) [g: FK_TO; schemaOID: {t}] (xm).
+
+% ---- Copy.StoreForeignKeyFields ---------------------------------------------
+% The fields materializing the reference live on the source predicate and
+% are linked to the ForeignKey through HAS_SOURCE_FIELD; names are
+% prefixed with the fk name to avoid clashes.
+(e: SM_Edge; schemaOID: {i})
+    [: SM_HAS_EDGE_TYPE; schemaOID: {i}]
+    (ty: SM_Type; schemaOID: {i}, name: w),
+(e) [: SM_FROM; schemaOID: {i}] (n: SM_Node; schemaOID: {i}),
+(e) [: SM_HAS_EDGE_PROPERTY; schemaOID: {i}]
+    (a: SM_Attribute; schemaOID: {i}, name: aw, type: aty, isId: d, isOpt: ao),
+fw = concat(w, "_", aw)
+  -> exists x = skRFK(e), xn = skRP(n), h = skRHF2(e, a), hs = skRHSF(e, a),
+     l = skRF2(e, a) :
+     (xn) [h: HAS_FIELD; schemaOID: {t}]
+       (l: Field; schemaOID: {t}, name: fw, type: aty, isOpt: ao, isId: d),
+     (x) [hs: HAS_SOURCE_FIELD; schemaOID: {t}] (l).
+"""

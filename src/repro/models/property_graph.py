@@ -1,0 +1,241 @@
+"""The property-graph target model (Figure 5).
+
+"An essential PG model implemented using KGModel super-model.  Each
+construct name is suffixed with the name of the super-construct it
+instantiates (e.g., Node: SM_Node)."
+
+The model we target is the one Section 5.2 describes: "labeled nodes and
+edges.  Nodes can be tagged with multiple labels, and a uniqueness
+constraint can be imposed on attributes.  Plus, there is no support for
+generalizations."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.errors import ModelError
+from repro.graph.property_graph import PropertyGraph
+from repro.models.base import ConstructSpec, Model
+
+
+@dataclass
+class PGProperty:
+    """A property declared on a node class or relationship class."""
+
+    name: str
+    data_type: str = "string"
+    optional: bool = False
+    unique: bool = False
+    intensional: bool = False
+
+
+@dataclass
+class PGNodeClass:
+    """One node construct of the translated schema: its labels and
+    properties.  Multi-labeling is how the PG mapping encodes erased
+    generalizations (type accumulation, Section 5.2)."""
+
+    oid: Any
+    labels: List[str] = field(default_factory=list)
+    properties: List[PGProperty] = field(default_factory=list)
+    intensional: bool = False
+
+    @property
+    def primary_label(self) -> str:
+        """The most specific label (the node's own type)."""
+        return self.labels[0] if self.labels else ""
+
+
+@dataclass
+class PGRelationshipClass:
+    """One relationship construct: name, endpoint classes, properties."""
+
+    oid: Any
+    name: str
+    source_oid: Any
+    target_oid: Any
+    properties: List[PGProperty] = field(default_factory=list)
+    intensional: bool = False
+
+
+@dataclass
+class PGSchema:
+    """A schema of the PG model, parsed back from the dictionary graph."""
+
+    schema_oid: Any
+    node_classes: List[PGNodeClass] = field(default_factory=list)
+    relationship_classes: List[PGRelationshipClass] = field(default_factory=list)
+
+    def node_class_by_label(self, label: str) -> PGNodeClass:
+        for node_class in self.node_classes:
+            if node_class.primary_label == label:
+                return node_class
+        raise ModelError(f"no node class with primary label {label!r}")
+
+    def node_class_by_oid(self, oid: Any) -> PGNodeClass:
+        for node_class in self.node_classes:
+            if node_class.oid == oid:
+                return node_class
+        raise ModelError(f"no node class with OID {oid!r}")
+
+    def labels(self) -> Set[str]:
+        result: Set[str] = set()
+        for node_class in self.node_classes:
+            result |= set(node_class.labels)
+        return result
+
+    def relationship_names(self) -> Set[str]:
+        return {r.name for r in self.relationship_classes}
+
+    def unique_constraints(self) -> List[Tuple[str, str]]:
+        """(label, property) pairs carrying a uniqueness constraint."""
+        result: List[Tuple[str, str]] = []
+        for node_class in self.node_classes:
+            for prop in node_class.properties:
+                if prop.unique:
+                    result.append((node_class.primary_label, prop.name))
+        return sorted(result)
+
+    def summary(self) -> str:
+        return (
+            f"PGSchema({self.schema_oid!r}): {len(self.node_classes)} node "
+            f"classes, {len(self.relationship_classes)} relationship "
+            f"classes, {len(self.unique_constraints())} unique constraints"
+        )
+
+
+class PropertyGraphModel(Model):
+    """The Figure 5 PG model."""
+
+    name = "property-graph"
+
+    constructs = (
+        ConstructSpec("Node", "SM_Node"),
+        ConstructSpec("Label", "SM_Type"),
+        ConstructSpec("Relationship", "SM_Edge"),
+        ConstructSpec("Property", "SM_Attribute"),
+        ConstructSpec("UniquePropertyModifier", "SM_UniqueAttributeModifier"),
+        ConstructSpec("HAS_LABEL", "SM_HAS_NODE_TYPE", is_link=True),
+        ConstructSpec("FROM", "SM_FROM", is_link=True),
+        ConstructSpec("TO", "SM_TO", is_link=True),
+        ConstructSpec("HAS_PROPERTY", "SM_HAS_NODE_PROPERTY", is_link=True),
+        ConstructSpec("HAS_MODIFIER", "SM_HAS_MODIFIER", is_link=True),
+    )
+
+    node_properties = {
+        "Node": ["isIntensional", "schemaOID"],
+        "Label": ["name", "schemaOID"],
+        "Relationship": ["isIntensional", "name", "schemaOID"],
+        "Property": ["isIntensional", "isOpt", "name", "schemaOID", "type"],
+        "UniquePropertyModifier": ["schemaOID"],
+    }
+    edge_properties = {
+        "HAS_LABEL": ["schemaOID"],
+        "FROM": ["schemaOID"],
+        "TO": ["schemaOID"],
+        "HAS_PROPERTY": ["schemaOID"],
+        "HAS_MODIFIER": ["schemaOID"],
+    }
+
+    def parse_schema(self, graph: PropertyGraph, schema_oid: Any) -> PGSchema:
+        schema = PGSchema(schema_oid)
+
+        def properties_of(owner: Any) -> List[PGProperty]:
+            properties: List[PGProperty] = []
+            for edge in graph.out_edges(owner, "HAS_PROPERTY"):
+                data = graph.node(edge.target)
+                if data.get("schemaOID") != schema_oid:
+                    continue
+                unique = any(
+                    graph.node(m.target).get("schemaOID") == schema_oid
+                    for m in graph.out_edges(edge.target, "HAS_MODIFIER")
+                )
+                properties.append(
+                    PGProperty(
+                        name=str(data.get("name")),
+                        data_type=str(data.get("type", "string")),
+                        optional=bool(data.get("isOpt", False)),
+                        unique=unique,
+                        intensional=bool(data.get("isIntensional", False)),
+                    )
+                )
+            properties.sort(key=lambda p: p.name)
+            return properties
+
+        for node in sorted(graph.nodes("Node"), key=lambda n: str(n.id)):
+            if node.get("schemaOID") != schema_oid:
+                continue
+            labels: List[str] = []
+            for edge in graph.out_edges(node.id, "HAS_LABEL"):
+                label_node = graph.node(edge.target)
+                if label_node.get("schemaOID") == schema_oid:
+                    labels.append(str(label_node.get("name")))
+            # Primary label first: the one minted by the node's own type is
+            # the one whose Skolem provenance matches; order
+            # deterministically with the primary (shortest provenance)
+            # first when detectable, else sorted.
+            labels.sort()
+            primary = _primary_label(graph, node.id, schema_oid)
+            if primary is not None and primary in labels:
+                labels.remove(primary)
+                labels.insert(0, primary)
+            schema.node_classes.append(
+                PGNodeClass(
+                    oid=node.id,
+                    labels=labels,
+                    properties=properties_of(node.id),
+                    intensional=bool(node.get("isIntensional", False)),
+                )
+            )
+
+        for relationship in sorted(graph.nodes("Relationship"), key=lambda n: str(n.id)):
+            if relationship.get("schemaOID") != schema_oid:
+                continue
+            source_oid = target_oid = None
+            for edge in graph.out_edges(relationship.id, "FROM"):
+                source_oid = edge.target
+            for edge in graph.out_edges(relationship.id, "TO"):
+                target_oid = edge.target
+            schema.relationship_classes.append(
+                PGRelationshipClass(
+                    oid=relationship.id,
+                    name=str(relationship.get("name")),
+                    source_oid=source_oid,
+                    target_oid=target_oid,
+                    properties=properties_of(relationship.id),
+                    intensional=bool(relationship.get("isIntensional", False)),
+                )
+            )
+        schema.node_classes.sort(key=lambda c: c.primary_label)
+        schema.relationship_classes.sort(key=lambda r: (r.name, str(r.oid)))
+        return schema
+
+
+def _primary_label(graph: PropertyGraph, node_oid: Any, schema_oid: Any) -> Optional[str]:
+    """Infer the node's own label from Skolem provenance when possible.
+
+    The Copy mapping mints node OIDs with ``skPGN(n)`` where ``n`` is the
+    S⁻ node whose own-type OID embeds the original type name
+    (``<schema>:type:<TypeName>`` via ``skT``); we exploit that
+    deterministic OID structure, falling back to None when provenance is
+    opaque.
+    """
+    value = node_oid
+    # Unwrap SkolemValue chains: skPGN(skN(original-node-oid)).
+    for _ in range(4):
+        arguments = getattr(value, "arguments", None)
+        if arguments and len(arguments) >= 1:
+            value = arguments[0]
+        else:
+            break
+    text = str(value)
+    marker = ":node:"
+    if marker in text:
+        return text.split(marker, 1)[1]
+    return None
+
+
+#: Singleton used by the repository.
+PROPERTY_GRAPH_MODEL = PropertyGraphModel()

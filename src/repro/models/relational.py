@@ -1,0 +1,191 @@
+"""The relational target model (Figure 7).
+
+"Relations specialize SM_Type.  Each Relation is characterized by a set
+of Fields, that specialize SM_Attribute.  A Predicate is a construct
+(SM_Node) that connects a Relation to its Fields.  ForeignKeys
+(SM_Edges) constrain a set of Fields of the source relation (referred to
+via HAS_SOURCE_FIELDS) to take only values from the identifier of the
+target relation."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ModelError
+from repro.graph.property_graph import PropertyGraph
+from repro.models.base import ConstructSpec, Model
+
+
+@dataclass
+class Column:
+    """One field of a relation."""
+
+    name: str
+    data_type: str = "string"
+    optional: bool = False
+    is_pk: bool = False
+
+
+@dataclass
+class Table:
+    """One relation with its fields."""
+
+    name: str
+    columns: List[Column] = field(default_factory=list)
+    intensional: bool = False
+
+    def primary_key(self) -> List[str]:
+        return [c.name for c in self.columns if c.is_pk]
+
+    def column(self, name: str) -> Column:
+        for column in self.columns:
+            if column.name == name:
+                return column
+        raise ModelError(f"table {self.name!r} has no column {name!r}")
+
+
+@dataclass
+class ForeignKey:
+    """A referential constraint between two relations."""
+
+    name: str
+    source_table: str
+    source_columns: List[str]
+    target_table: str
+    target_columns: List[str]
+
+
+@dataclass
+class RelationalSchema:
+    """A schema of the relational model, parsed from the dictionary."""
+
+    schema_oid: Any
+    tables: Dict[str, Table] = field(default_factory=dict)
+    foreign_keys: List[ForeignKey] = field(default_factory=list)
+
+    def table(self, name: str) -> Table:
+        table = self.tables.get(name)
+        if table is None:
+            raise ModelError(f"unknown table {name!r}")
+        return table
+
+    def summary(self) -> str:
+        columns = sum(len(t.columns) for t in self.tables.values())
+        return (
+            f"RelationalSchema({self.schema_oid!r}): {len(self.tables)} "
+            f"tables, {columns} columns, {len(self.foreign_keys)} foreign keys"
+        )
+
+
+class RelationalModel(Model):
+    """The Figure 7 relational model."""
+
+    name = "relational"
+
+    constructs = (
+        ConstructSpec("Predicate", "SM_Node"),
+        ConstructSpec("Relation", "SM_Type"),
+        ConstructSpec("Field", "SM_Attribute"),
+        ConstructSpec("ForeignKey", "SM_Edge"),
+        ConstructSpec("HAS_RELATION", "SM_HAS_NODE_TYPE", is_link=True),
+        ConstructSpec("HAS_FIELD", "SM_HAS_NODE_PROPERTY", is_link=True),
+        ConstructSpec("FK_FROM", "SM_FROM", is_link=True),
+        ConstructSpec("FK_TO", "SM_TO", is_link=True),
+        ConstructSpec("HAS_SOURCE_FIELD", "SM_HAS_EDGE_PROPERTY", is_link=True),
+    )
+
+    node_properties = {
+        "Predicate": ["isIntensional", "schemaOID"],
+        "Relation": ["name", "schemaOID"],
+        "Field": ["isId", "isOpt", "name", "schemaOID", "type"],
+        "ForeignKey": ["name", "schemaOID"],
+    }
+    edge_properties = {
+        "HAS_RELATION": ["schemaOID"],
+        "HAS_FIELD": ["schemaOID"],
+        "FK_FROM": ["schemaOID"],
+        "FK_TO": ["schemaOID"],
+        "HAS_SOURCE_FIELD": ["schemaOID"],
+    }
+
+    def parse_schema(self, graph: PropertyGraph, schema_oid: Any) -> RelationalSchema:
+        schema = RelationalSchema(schema_oid)
+        table_by_predicate: Dict[Any, str] = {}
+
+        for predicate in sorted(graph.nodes("Predicate"), key=lambda n: str(n.id)):
+            if predicate.get("schemaOID") != schema_oid:
+                continue
+            relation_name: Optional[str] = None
+            for edge in graph.out_edges(predicate.id, "HAS_RELATION"):
+                data = graph.node(edge.target)
+                if data.get("schemaOID") == schema_oid:
+                    relation_name = str(data.get("name"))
+            if relation_name is None:
+                raise ModelError(
+                    f"predicate {predicate.id!r} has no relation"
+                )
+            columns: List[Column] = []
+            for edge in graph.out_edges(predicate.id, "HAS_FIELD"):
+                data = graph.node(edge.target)
+                if data.get("schemaOID") != schema_oid:
+                    continue
+                columns.append(
+                    Column(
+                        name=str(data.get("name")),
+                        data_type=str(data.get("type", "string")),
+                        optional=bool(data.get("isOpt", False)),
+                        is_pk=bool(data.get("isId", False)),
+                    )
+                )
+            columns.sort(key=lambda c: (not c.is_pk, c.name))
+            table = Table(
+                relation_name, columns,
+                intensional=bool(predicate.get("isIntensional", False)),
+            )
+            if relation_name in schema.tables:
+                raise ModelError(f"duplicate relation {relation_name!r}")
+            schema.tables[relation_name] = table
+            table_by_predicate[predicate.id] = relation_name
+
+        for fk_node in sorted(graph.nodes("ForeignKey"), key=lambda n: str(n.id)):
+            if fk_node.get("schemaOID") != schema_oid:
+                continue
+            source = target = None
+            for edge in graph.out_edges(fk_node.id, "FK_FROM"):
+                source = table_by_predicate.get(edge.target)
+            for edge in graph.out_edges(fk_node.id, "FK_TO"):
+                target = table_by_predicate.get(edge.target)
+            if source is None or target is None:
+                raise ModelError(f"foreign key {fk_node.id!r} is dangling")
+            fk_name = str(fk_node.get("name"))
+            source_columns: List[str] = []
+            for edge in graph.out_edges(fk_node.id, "HAS_SOURCE_FIELD"):
+                data = graph.node(edge.target)
+                if data.get("schemaOID") == schema_oid:
+                    source_columns.append(str(data.get("name")))
+            source_columns.sort()
+            # The referenced columns are the target relation's primary key
+            # (source fields are alphabetical "<fkName>_<keyAttr>" copies,
+            # so the orders line up for composite keys too).  When the
+            # target has no key the prefix-stripped names are kept as a
+            # best-effort description.
+            target_columns = schema.tables[target].primary_key()
+            if len(target_columns) != len(source_columns):
+                prefix = f"{fk_name}_"
+                target_columns = [
+                    name[len(prefix):] if name.startswith(prefix) else name
+                    for name in source_columns
+                ]
+            schema.foreign_keys.append(
+                ForeignKey(fk_name, source, source_columns, target, target_columns)
+            )
+        schema.foreign_keys.sort(
+            key=lambda fk: (fk.source_table, fk.name, fk.target_table)
+        )
+        return schema
+
+
+#: Singleton used by the repository.
+RELATIONAL_MODEL = RelationalModel()

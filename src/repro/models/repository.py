@@ -1,0 +1,177 @@
+"""The mapping repository (REPO of Algorithm 1).
+
+"After individuating a set of candidate mappings for M from a rule
+repository (line 1), the system involves the data engineer (line 2) who
+refines the choice on the basis of the desired implementation strategy"
+— and "the data engineer is not responsible for the design of the
+mappings, and only selects them from a pre-built library of translations
+in KGModel".
+
+:func:`default_repository` builds that pre-built library: the PG mapping
+with its two generalization tactics, the relational mapping, and the
+RDF-S mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ModelError
+from repro.models.base import Model
+from repro.models.mappings import intermediate_oid
+from repro.models.mappings.pg_mapping import (
+    copy_to_pg,
+    eliminate_child_edges,
+    eliminate_multilabel,
+)
+from repro.models.mappings.csv_mapping import copy_to_csv, eliminate_csv
+from repro.models.mappings.rdf_mapping import copy_to_rdf, eliminate_rdf
+from repro.models.mappings.relational_mapping import (
+    copy_to_relational,
+    eliminate_relational,
+)
+from repro.models.csvmodel import CSV_MODEL
+from repro.models.property_graph import PROPERTY_GRAPH_MODEL
+from repro.models.rdf import RDF_MODEL
+from repro.models.relational import RELATIONAL_MODEL
+
+
+@dataclass(frozen=True)
+class Mapping:
+    """A translation mapping M(M) = (Eliminate, Copy) for one model."""
+
+    model: Model
+    strategy: str
+    description: str
+    eliminate: Callable[[Any, Any], str]
+    copy: Callable[[Any, Any], str]
+
+    def programs(
+        self, source_oid: Any, target_oid: Any, inter_oid: Any = None
+    ) -> Tuple[str, str, Any]:
+        """Return (eliminate text, copy text, intermediate OID)."""
+        inter = inter_oid if inter_oid is not None else intermediate_oid(source_oid)
+        return self.eliminate(source_oid, inter), self.copy(inter, target_oid), inter
+
+    def __repr__(self) -> str:
+        return f"Mapping({self.model.name!r}, strategy={self.strategy!r})"
+
+
+class MappingRepository:
+    """The pre-built library of translations (Algorithm 1's REPO)."""
+
+    def __init__(self):
+        self._mappings: Dict[str, List[Mapping]] = {}
+        self._models: Dict[str, Model] = {}
+
+    def register(self, mapping: Mapping, default: bool = False) -> None:
+        bucket = self._mappings.setdefault(mapping.model.name, [])
+        if any(m.strategy == mapping.strategy for m in bucket):
+            raise ModelError(
+                f"duplicate strategy {mapping.strategy!r} for model "
+                f"{mapping.model.name!r}"
+            )
+        if default:
+            bucket.insert(0, mapping)
+        else:
+            bucket.append(mapping)
+        self._models[mapping.model.name] = mapping.model
+
+    def model(self, model_name: str) -> Model:
+        model = self._models.get(model_name)
+        if model is None:
+            raise ModelError(
+                f"unknown target model {model_name!r}; known: "
+                f"{sorted(self._models)}"
+            )
+        return model
+
+    def candidates(self, model_name: str) -> List[Mapping]:
+        """Line 1 of Algorithm 1: candidate mappings for a target model."""
+        candidates = self._mappings.get(model_name)
+        if not candidates:
+            raise ModelError(
+                f"no mappings registered for model {model_name!r}; known: "
+                f"{sorted(self._mappings)}"
+            )
+        return list(candidates)
+
+    def select(self, model_name: str, strategy: Optional[str] = None) -> Mapping:
+        """Line 2 of Algorithm 1: pick the implementation strategy.
+
+        Without an explicit ``strategy`` the first (default) candidate is
+        used — the programmatic stand-in for prompting the data engineer.
+        """
+        candidates = self.candidates(model_name)
+        if strategy is None:
+            return candidates[0]
+        for mapping in candidates:
+            if mapping.strategy == strategy:
+                return mapping
+        raise ModelError(
+            f"model {model_name!r} has no strategy {strategy!r}; available: "
+            f"{[m.strategy for m in candidates]}"
+        )
+
+    def models(self) -> List[str]:
+        return sorted(self._models)
+
+
+def default_repository() -> MappingRepository:
+    """The library shipped with KGModel."""
+    repo = MappingRepository()
+    repo.register(
+        Mapping(
+            PROPERTY_GRAPH_MODEL,
+            "multi-label",
+            "delete generalizations by type accumulation, attribute and "
+            "edge inheritance (Section 5.2)",
+            eliminate_multilabel,
+            copy_to_pg,
+        ),
+        default=True,
+    )
+    repo.register(
+        Mapping(
+            PROPERTY_GRAPH_MODEL,
+            "child-edges",
+            "reify generalizations as IS_A relationships (alternative "
+            "tactic, Section 5.1)",
+            eliminate_child_edges,
+            copy_to_pg,
+        )
+    )
+    repo.register(
+        Mapping(
+            RELATIONAL_MODEL,
+            "per-member",
+            "a relation per generalization member with foreign keys; "
+            "many-to-many edges reified (Section 5.3)",
+            eliminate_relational,
+            copy_to_relational,
+        ),
+        default=True,
+    )
+    repo.register(
+        Mapping(
+            RDF_MODEL,
+            "rdfs",
+            "pure copy: RDFS natively supports generalization",
+            eliminate_rdf,
+            copy_to_rdf,
+        ),
+        default=True,
+    )
+    repo.register(
+        Mapping(
+            CSV_MODEL,
+            "flat-files",
+            "relational elimination, then constraint-free flat files "
+            "(Section 2.2's 'plain CSV files' model)",
+            eliminate_csv,
+            copy_to_csv,
+        ),
+        default=True,
+    )
+    return repo

@@ -1,0 +1,30 @@
+"""SSST: schema translation (Algorithm 1) and intensional materialization
+(Algorithm 2)."""
+
+from repro.ssst.inverse import (
+    graph_instance_to_relational,
+    relational_instance_to_graph,
+)
+from repro.ssst.materializer import IntensionalMaterializer, MaterializationReport
+from repro.ssst.sigma_relational import (
+    CompiledRelationalSigma,
+    reason_over_relational,
+    translate_sigma_for_relational,
+)
+from repro.ssst.translator import SSST, TranslationResult
+from repro.ssst.views import catalog_from_super_schema, input_views, output_views
+
+__all__ = [
+    "graph_instance_to_relational",
+    "relational_instance_to_graph",
+    "IntensionalMaterializer",
+    "MaterializationReport",
+    "CompiledRelationalSigma",
+    "reason_over_relational",
+    "translate_sigma_for_relational",
+    "SSST",
+    "TranslationResult",
+    "catalog_from_super_schema",
+    "input_views",
+    "output_views",
+]

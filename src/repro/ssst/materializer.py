@@ -1,0 +1,194 @@
+"""Intensional-component materialization — Algorithm 2 of the paper.
+
+.. code-block:: none
+
+    Input: instance D of schema S of a model M, an intensional
+    component Sigma;  Output: materializes the intensional component.
+    1: M      <- select candidate mappings to M from REPO
+    2: M(M)   <- prompt for implementation strategy
+    3: V(M)   <- MTV.translateToVadalog(M(M).instance)
+    4: I      <- Reason(D, V(M)^-1)          (import D into the super-model)
+    5: V_I    <- build high-level input views
+    6: V_O    <- build high-level output views
+    7: V(Sig) <- MTV.translateToVadalog(Sigma u V_I u V_O)
+    8: I'     <- Reason(I, V(Sigma))
+    9: D      <- Reason(I', V(M))            (materialize into D)
+
+Following the performance note of Section 6 ("we can build the instance
+I' incrementally, in a stratified way, by first applying V_I, and
+materializing the temporary result as a database instance in a staging
+area; then, the standard reasoning process can take place; finally, I'
+is stored back"), the three phases run as separate chase invocations and
+are timed individually — the load / reason / flush breakdown the paper
+reports (~160 min reasoning vs ~15 min load+flush for the Bank of Italy
+KG) is reproduced by the E-PERF benchmark on synthetic data.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.core.dictionary import GraphDictionary, dictionary_catalog
+from repro.core.instances import SuperInstance
+from repro.core.schema import SuperSchema
+from repro.errors import SchemaError
+from repro.graph.property_graph import PropertyGraph
+from repro.metalog.ast import MetaProgram
+from repro.metalog.mtv import compile_metalog, graph_to_database
+from repro.ssst.views import catalog_from_super_schema, input_views, output_views
+from repro.vadalog.database import Database
+from repro.vadalog.engine import Engine, EvaluationStats
+
+#: Instance-construct labels extracted from the dictionary for phase 1.
+_INSTANCE_NODE_LABELS = ("I_SM_Node", "I_SM_Edge", "I_SM_Attribute")
+_INSTANCE_EDGE_LABELS = (
+    "SM_REFERENCES", "I_SM_FROM", "I_SM_TO",
+    "I_SM_HAS_NODE_PROPERTY", "I_SM_HAS_EDGE_PROPERTY",
+)
+
+
+@dataclass
+class MaterializationReport:
+    """Outcome of one Algorithm 2 run."""
+
+    instance: SuperInstance  # the enriched instance (derived parts included)
+    derived_counts: Dict[str, int] = field(default_factory=dict)
+    load_seconds: float = 0.0
+    reason_seconds: float = 0.0
+    flush_seconds: float = 0.0
+    reason_stats: Optional[EvaluationStats] = None
+
+    @property
+    def total_seconds(self) -> float:
+        return self.load_seconds + self.reason_seconds + self.flush_seconds
+
+    def phase_breakdown(self) -> Dict[str, float]:
+        return {
+            "load": self.load_seconds,
+            "reason": self.reason_seconds,
+            "flush": self.flush_seconds,
+        }
+
+
+class IntensionalMaterializer:
+    """Runs Algorithm 2 over a super-schema instance."""
+
+    def __init__(self, engine: Optional[Engine] = None):
+        self.engine = engine or Engine()
+
+    def materialize(
+        self,
+        schema: SuperSchema,
+        data: PropertyGraph,
+        sigma: MetaProgram,
+        instance_oid: Any = 1,
+        dictionary: Optional[GraphDictionary] = None,
+        strict: bool = False,
+    ) -> MaterializationReport:
+        """Materialize the intensional component ``sigma`` over ``data``.
+
+        ``data`` is a plain typed property graph conforming to
+        ``schema`` (node labels are type names).  The result's
+        ``instance`` holds the enriched plain graph, including the
+        derived nodes and edges.
+        """
+        report = MaterializationReport(instance=None)  # filled below
+
+        # ---------------- Phase 1: LOAD (lines 1-4) ----------------
+        start = time.perf_counter()
+        if dictionary is None:
+            dictionary = GraphDictionary()
+        if schema.schema_oid not in dictionary.schema_oids():
+            dictionary.store(schema)
+        instance = SuperInstance.from_plain_graph(
+            schema, data, instance_oid, strict=strict
+        )
+        instance.to_dictionary(dictionary.graph)
+
+        sigma_catalog = catalog_from_super_schema(schema)
+        compiled = compile_metalog(sigma, sigma_catalog)
+
+        staging = graph_to_database(
+            dictionary.graph,
+            dictionary_catalog(),
+            node_labels=_INSTANCE_NODE_LABELS,
+            edge_labels=_INSTANCE_EDGE_LABELS,
+        )
+        # Lines 5-6: the views, from the static analysis of Sigma.
+        v_in = input_views(
+            schema,
+            compiled.input_node_labels,
+            compiled.input_edge_labels,
+            instance_oid,
+            sigma_catalog,
+        )
+        v_out = output_views(
+            schema,
+            compiled.derived_node_labels,
+            compiled.derived_edge_labels,
+            instance_oid,
+            sigma_catalog,
+        )
+        # Materialize V_I into the staging area (Section 6 optimization).
+        result_in = self.engine.run(v_in, database=staging)
+        report.load_seconds = time.perf_counter() - start
+
+        # ---------------- Phase 2: REASON (lines 7-8) ----------------
+        start = time.perf_counter()
+        before = {
+            label: result_in.database.count(label)
+            for label in sorted(
+                compiled.derived_node_labels | compiled.derived_edge_labels
+            )
+        }
+        result_sigma = self.engine.run(compiled.program, database=result_in.database)
+        report.reason_stats = result_sigma.stats
+        report.derived_counts = {
+            label: result_sigma.database.count(label) - before.get(label, 0)
+            for label in before
+        }
+        report.reason_seconds = time.perf_counter() - start
+
+        # ---------------- Phase 3: FLUSH (line 9) ----------------
+        start = time.perf_counter()
+        result_out = self.engine.run(v_out, database=result_sigma.database)
+        _flush_instance_facts(result_out.database, dictionary.graph)
+        report.instance = SuperInstance.from_dictionary(
+            dictionary.graph, schema, instance_oid, name=f"{data.name}+derived"
+        )
+        report.flush_seconds = time.perf_counter() - start
+        return report
+
+
+def _flush_instance_facts(database: Database, graph: PropertyGraph) -> int:
+    """Write new I_SM_* facts back into the dictionary graph.
+
+    Facts whose OID already exists in the graph are the ones loaded in
+    phase 1 and are skipped; only derived instance constructs are added.
+    Returns the number of new graph elements.
+    """
+    added = 0
+    for label in _INSTANCE_NODE_LABELS:
+        for fact in sorted(database.facts(label), key=repr):
+            oid, inst, third = fact
+            if graph.has_node(oid):
+                continue
+            properties: Dict[str, Any] = {"instanceOID": inst}
+            if label == "I_SM_Attribute":
+                properties["value"] = third
+            elif third is not None:
+                properties["sourceOID"] = third
+            graph.add_node(oid, label, **properties)
+            added += 1
+    for label in _INSTANCE_EDGE_LABELS:
+        for fact in sorted(database.facts(label), key=repr):
+            oid, source, target, inst = fact
+            if graph.has_edge(oid):
+                continue
+            if not graph.has_node(source) or not graph.has_node(target):
+                continue
+            graph.add_edge(source, target, label, edge_id=oid, instanceOID=inst)
+            added += 1
+    return added

@@ -1,0 +1,201 @@
+"""SSST schema translation — Algorithm 1 of the paper.
+
+.. code-block:: none
+
+    Input: super-schema S, target model M;  Output: schema S' of M.
+    1: M  <- select candidate mappings to M from REPO
+    2: M(M) <- prompt for implementation strategy
+    3: V(M) <- MTV.translateToVadalog(M(M))
+    4: S-  <- Reason(S, M(M).Eliminate)
+    5: S'  <- Reason(S-, M(M).Copy)
+
+The two Reason() calls run over the graph dictionary: Eliminate
+materializes the intermediate super-schema S⁻ (same dictionary, new
+schemaOID), Copy downcasts it into the target model's constructs.  The
+translated schema is finally parsed into the model's typed schema object
+(e.g. :class:`~repro.models.relational.RelationalSchema`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.core.dictionary import GraphDictionary, dictionary_catalog
+from repro.core.schema import SuperSchema
+from repro.graph.property_graph import PropertyGraph
+from repro.metalog.ast import ExistentialBinding, MetaProgram, MetaRule
+from repro.metalog.mtv import run_on_graph
+from repro.metalog.parser import parse_metalog
+from repro.models.repository import Mapping, MappingRepository, default_repository
+from repro.vadalog.engine import Engine
+
+
+def _namespace_skolems(program: MetaProgram, namespace: str) -> MetaProgram:
+    """Suffix every linker Skolem functor with the S⁻ namespace.
+
+    Renaming is uniform across the program, so functors shared between
+    rules (``skN`` in CopyNodes and DeleteGeneralizations) still agree,
+    while distinct translations mint disjoint OID ranges.
+    """
+    rules = []
+    for rule in program.rules:
+        existentials = tuple(
+            ExistentialBinding(
+                binding.variable,
+                f"{binding.functor}@{namespace}" if binding.functor else None,
+                binding.arguments,
+            )
+            for binding in rule.existentials
+        )
+        rules.append(
+            MetaRule(rule.body, rule.head, existentials, rule.label)
+        )
+    return MetaProgram(rules=rules, annotations=list(program.annotations))
+
+
+@dataclass
+class TranslationResult:
+    """Outcome of one Algorithm 1 run."""
+
+    target_schema: Any  # PGSchema | RelationalSchema | RDFSchema
+    target_oid: Any
+    intermediate_oid: Any
+    source_oid: Any
+    mapping: Mapping
+    dictionary: PropertyGraph
+    phase_stats: Dict[str, Any] = field(default_factory=dict)
+
+    def intermediate_super_schema(self, name: Optional[str] = None) -> SuperSchema:
+        """Parse S⁻ back as a SuperSchema (PG/relational mappings keep it
+        a valid super-schema instance)."""
+        return SuperSchema.from_dictionary(
+            self.dictionary, self.intermediate_oid, name
+        )
+
+
+class SSST:
+    """The Super-Schema to Schema Translator."""
+
+    def __init__(
+        self,
+        repository: Optional[MappingRepository] = None,
+        engine: Optional[Engine] = None,
+    ):
+        self.repository = repository or default_repository()
+        self.engine = engine or Engine()
+
+    def translate(
+        self,
+        schema: SuperSchema,
+        target_model: str,
+        strategy: Optional[str] = None,
+        dictionary: Optional[GraphDictionary] = None,
+        target_oid: Any = None,
+        intermediate_oid: Any = None,
+    ) -> TranslationResult:
+        """Run Algorithm 1 for ``schema`` against ``target_model``.
+
+        When no ``dictionary`` is given, a fresh one is created and the
+        schema stored into it; otherwise the schema must already be
+        stored (or is stored on demand).
+        """
+        if dictionary is None:
+            dictionary = GraphDictionary()
+        if schema.schema_oid not in dictionary.schema_oids():
+            dictionary.store(schema)
+        return self.translate_stored(
+            dictionary,
+            schema.schema_oid,
+            target_model,
+            strategy=strategy,
+            target_oid=target_oid,
+            intermediate_oid=intermediate_oid,
+        )
+
+    def translate_stored(
+        self,
+        dictionary: GraphDictionary,
+        source_oid: Any,
+        target_model: str,
+        strategy: Optional[str] = None,
+        target_oid: Any = None,
+        intermediate_oid: Any = None,
+    ) -> TranslationResult:
+        """Algorithm 1 over a schema already stored in the dictionary."""
+        # Lines 1-2: candidate mappings, then the implementation strategy.
+        mapping = self.repository.select(target_model, strategy)
+        model = mapping.model
+        if target_oid is None:
+            target_oid = f"{model.name}:{source_oid}"
+
+        if intermediate_oid is None:
+            # Different target models produce *different* intermediate
+            # super-schemas; when a dictionary is reused across
+            # translations the default S⁻ OID must not collide.
+            default_inter = f"{source_oid}-"
+            taken = {
+                node.get("schemaOID")
+                for node in dictionary.graph.nodes("SM_Node")
+            }
+            if default_inter in taken:
+                intermediate_oid = f"{source_oid}-{model.name}-"
+
+        eliminate_text, copy_text, inter_oid = mapping.programs(
+            source_oid, target_oid, intermediate_oid
+        )
+        # The paper keeps one dictionary per model; we share a single
+        # graph, so the mappings' Skolem functors are namespaced by the
+        # intermediate OID — otherwise two translations of the same
+        # source would mint colliding construct OIDs (skN(n) is the same
+        # value for the PG and the relational Eliminate).
+        namespace = str(inter_oid)
+
+        # The catalog must know both the super-model construct labels and
+        # the target model's labels before compilation.
+        catalog = dictionary_catalog()
+        catalog.merge(model.catalog())
+
+        phase_stats: Dict[str, Any] = {}
+
+        # Line 3 happens inside run_on_graph (MTV compilation); lines 4-5
+        # are the two reasoning passes, materialized into the dictionary.
+        start = time.perf_counter()
+        eliminate_program = _namespace_skolems(
+            parse_metalog(eliminate_text), namespace
+        )
+        outcome = run_on_graph(
+            eliminate_program, dictionary.graph, catalog=catalog,
+            engine=self.engine, inplace=True,
+        )
+        phase_stats["eliminate"] = {
+            "seconds": time.perf_counter() - start,
+            "new_nodes": outcome.new_nodes,
+            "new_edges": outcome.new_edges,
+            "stats": outcome.result.stats,
+        }
+
+        start = time.perf_counter()
+        copy_program = _namespace_skolems(parse_metalog(copy_text), namespace)
+        outcome = run_on_graph(
+            copy_program, dictionary.graph, catalog=catalog,
+            engine=self.engine, inplace=True,
+        )
+        phase_stats["copy"] = {
+            "seconds": time.perf_counter() - start,
+            "new_nodes": outcome.new_nodes,
+            "new_edges": outcome.new_edges,
+            "stats": outcome.result.stats,
+        }
+
+        target_schema = model.parse_schema(dictionary.graph, target_oid)
+        return TranslationResult(
+            target_schema=target_schema,
+            target_oid=target_oid,
+            intermediate_oid=inter_oid,
+            source_oid=source_oid,
+            mapping=mapping,
+            dictionary=dictionary.graph,
+            phase_stats=phase_stats,
+        )

@@ -1,0 +1,96 @@
+"""Aggregation semantics for the Vadalog substitute.
+
+The paper's programs use multi-tuple expressions such as
+``v = sum(w, <z>)`` (Examples 4.1/4.2): within one *group*, ``w`` is
+summed over the distinct bindings of the contributor variables ``z``.
+
+Semantics implemented here:
+
+- the *group key* is the binding of every rule variable used in the head
+  except the aggregate target (so ``controls(x, y)`` groups by ``(x, y)``);
+- within a group, each distinct contributor binding contributes exactly
+  once; when several matches share the contributor binding but disagree on
+  the value, the maximum value is used — a deterministic, monotone choice
+  (contributions can only grow across chase iterations, preserving the
+  monotonic-aggregation reading of Vadalog);
+- with no contributor list, every distinct whole-body match contributes.
+
+Supported functions: ``sum``/``msum``, ``count``/``mcount``,
+``min``/``mmin``, ``max``/``mmax``, ``prod``/``mprod``, ``avg``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Tuple
+
+from repro.errors import EvaluationError
+
+#: Canonical name for each accepted spelling.
+CANONICAL = {
+    "sum": "sum", "msum": "sum",
+    "count": "count", "mcount": "count",
+    "min": "min", "mmin": "min",
+    "max": "max", "mmax": "max",
+    "prod": "prod", "mprod": "prod",
+    "avg": "avg",
+}
+
+#: Functions that are monotone under growing contribution sets, hence safe
+#: inside a recursive stratum (min shrinks, avg oscillates).
+MONOTONIC = {"sum", "count", "max", "prod"}
+
+
+def is_monotonic(function: str) -> bool:
+    """True when the (canonicalized) aggregate may appear in recursion."""
+    return CANONICAL.get(function, function) in MONOTONIC
+
+
+def aggregate(function: str, contributions: Dict[Tuple[Any, ...], Any]) -> Any:
+    """Fold the per-contributor values with the requested function."""
+    name = CANONICAL.get(function)
+    if name is None:
+        raise EvaluationError(f"unknown aggregation function {function!r}")
+    values: List[Any] = list(contributions.values())
+    if name == "count":
+        return len(values)
+    if not values:
+        return None
+    if name == "sum":
+        return sum(values)
+    if name == "min":
+        return min(values)
+    if name == "max":
+        return max(values)
+    if name == "avg":
+        return sum(values) / len(values)
+    if name == "prod":
+        result = 1
+        for value in values:
+            result *= value
+        return result
+    raise EvaluationError(f"unknown aggregation function {function!r}")
+
+
+class GroupAccumulator:
+    """Accumulates contributor -> value maps per group key.
+
+    One instance is used per aggregate-carrying rule evaluation round.
+    """
+
+    def __init__(self, function: str):
+        self.function = function
+        self._groups: Dict[Tuple[Any, ...], Dict[Tuple[Any, ...], Any]] = {}
+
+    def contribute(
+        self, group: Tuple[Any, ...], contributor: Tuple[Any, ...], value: Any
+    ) -> None:
+        """Record one contribution (deterministic max on collisions)."""
+        bucket = self._groups.setdefault(group, {})
+        current = bucket.get(contributor)
+        if current is None or (value is not None and value > current):
+            bucket[contributor] = value
+
+    def results(self) -> Iterable[Tuple[Tuple[Any, ...], Any]]:
+        """Yield (group key, aggregated value) pairs."""
+        for group, contributions in self._groups.items():
+            yield group, aggregate(self.function, contributions)

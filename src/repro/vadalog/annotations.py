@@ -1,0 +1,63 @@
+"""Input/output bindings for Vadalog programs.
+
+Example 4.4 of the paper shows how MTV populates relational atoms from the
+input sources "via automatically generated annotations of the form
+``@input(atom, query)``, where ``atom`` is the relational atom name and
+``query`` is expressed in the target system language".
+
+This module provides the small adapter layer: a :class:`Source` executes a
+query string in its own language and yields tuples; :func:`resolve_inputs`
+walks a program's ``@input`` annotations and loads the facts from a
+registry of named sources.  The in-memory target systems of
+:mod:`repro.deploy` implement the :class:`Source` protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Protocol, Sequence, Tuple
+
+from repro.errors import EvaluationError
+from repro.vadalog.ast import Program
+from repro.vadalog.database import Database
+
+
+class Source(Protocol):
+    """A data source able to serve ``@input`` queries."""
+
+    def extract(self, query: str) -> Iterable[Sequence[Any]]:
+        """Execute ``query`` in the source's language, yield fact tuples."""
+        ...
+
+
+def resolve_inputs(
+    program: Program,
+    sources: Dict[str, Source],
+    default_source: str = None,
+) -> Database:
+    """Load a database from the program's ``@input`` annotations.
+
+    An annotation ``@input("pred")`` with no query pulls the predicate
+    verbatim (the source decides what that means, typically a full scan);
+    ``@input("pred", "query")`` runs the query against the default source;
+    ``@input("pred", "query", "source")`` selects the source by name.
+    """
+    database = Database()
+    for predicate, annotation in program.input_predicates().items():
+        arguments = annotation.arguments
+        query = str(arguments[1]) if len(arguments) > 1 else predicate
+        source_name = str(arguments[2]) if len(arguments) > 2 else default_source
+        if source_name is None:
+            if len(sources) == 1:
+                source_name = next(iter(sources))
+            else:
+                raise EvaluationError(
+                    f"@input({predicate!r}) does not name a source and no "
+                    f"default is set"
+                )
+        source = sources.get(source_name)
+        if source is None:
+            raise EvaluationError(
+                f"unknown source {source_name!r} for @input({predicate!r})"
+            )
+        database.add_all(predicate, (tuple(row) for row in source.extract(query)))
+    return database

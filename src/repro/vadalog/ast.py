@@ -1,0 +1,365 @@
+"""Abstract syntax of the Vadalog substitute.
+
+A Vadalog program (Section 4 of the paper) is a set of existential rules
+
+    phi(x, y) -> exists z  psi(x, z)
+
+where ``phi`` (the body) is a conjunction of atoms, negated atoms,
+conditions, and expressions (assignments, possibly aggregating), and
+``psi`` (the head) is a conjunction of atoms.  Existentially quantified
+head variables are either chased with fresh labeled nulls or bound to a
+*linker Skolem functor* (``#sk(x, y)`` in our concrete syntax), with the
+injective/deterministic/range-disjoint semantics of Section 4.
+
+Programs also carry annotations (``@input``, ``@output``, ...) that bind
+predicates to external data sources, mirroring the paper's
+``@input(atom, query)`` mechanism (Example 4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.vadalog.terms import Variable, is_variable
+
+# ---------------------------------------------------------------------------
+# Value expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TermExpr:
+    """A bare term (constant or variable) used as an expression."""
+
+    term: Any
+
+    def variables(self) -> Set[Variable]:
+        return {self.term} if is_variable(self.term) else set()
+
+    def __str__(self) -> str:
+        return _term_str(self.term)
+
+
+@dataclass(frozen=True)
+class BinOp:
+    """Arithmetic/string binary operation: ``+ - * / %``."""
+
+    op: str
+    left: "Expression"
+    right: "Expression"
+
+    def variables(self) -> Set[Variable]:
+        return self.left.variables() | self.right.variables()
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class FunctionCall:
+    """A builtin tuple-level function, e.g. ``concat(X, Y)``."""
+
+    name: str
+    arguments: Tuple["Expression", ...]
+
+    def variables(self) -> Set[Variable]:
+        result: Set[Variable] = set()
+        for argument in self.arguments:
+            result |= argument.variables()
+        return result
+
+    def __str__(self) -> str:
+        args = ", ".join(str(a) for a in self.arguments)
+        return f"{self.name}({args})"
+
+
+@dataclass(frozen=True)
+class AggregateCall:
+    """A (monotonic) aggregation, e.g. ``msum(W, <Z>)``.
+
+    ``function`` is one of ``sum|msum|count|mcount|min|mmin|max|mmax|prod``;
+    ``value`` is the aggregated expression; ``contributors`` the tuple of
+    variables between angle brackets: within one group, each distinct
+    contributor binding contributes once (Section 4: "aggregates w over z").
+    """
+
+    function: str
+    value: "Expression"
+    contributors: Tuple[Variable, ...] = ()
+
+    def variables(self) -> Set[Variable]:
+        return self.value.variables() | set(self.contributors)
+
+    def __str__(self) -> str:
+        if self.contributors:
+            contribs = ", ".join(v.name for v in self.contributors)
+            return f"{self.function}({self.value}, <{contribs}>)"
+        return f"{self.function}({self.value})"
+
+
+Expression = Union[TermExpr, BinOp, FunctionCall, AggregateCall]
+
+
+def expression_has_aggregate(expression: Expression) -> bool:
+    """True when an aggregate call occurs anywhere in the expression."""
+    if isinstance(expression, AggregateCall):
+        return True
+    if isinstance(expression, BinOp):
+        return expression_has_aggregate(expression.left) or expression_has_aggregate(
+            expression.right
+        )
+    if isinstance(expression, FunctionCall):
+        return any(expression_has_aggregate(a) for a in expression.arguments)
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Literals
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SkolemTerm:
+    """Application of a linker Skolem functor in a head atom: ``#sk(X, Y)``."""
+
+    functor: str
+    arguments: Tuple[Any, ...]
+
+    def variables(self) -> Set[Variable]:
+        return {a for a in self.arguments if is_variable(a)}
+
+    def __str__(self) -> str:
+        args = ", ".join(_term_str(a) for a in self.arguments)
+        return f"#{self.functor}({args})"
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A relational atom ``p(t1, ..., tn)``.
+
+    In heads, terms may additionally be :class:`SkolemTerm` applications.
+    """
+
+    predicate: str
+    terms: Tuple[Any, ...]
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    def variables(self) -> Set[Variable]:
+        result: Set[Variable] = set()
+        for term in self.terms:
+            if is_variable(term):
+                result.add(term)
+            elif isinstance(term, SkolemTerm):
+                result |= term.variables()
+        return result
+
+    def __str__(self) -> str:
+        args = ", ".join(_term_str(t) for t in self.terms)
+        return f"{self.predicate}({args})"
+
+
+@dataclass(frozen=True)
+class NegatedAtom:
+    """Stratified negation: ``not p(t1, ..., tn)``."""
+
+    atom: Atom
+
+    def variables(self) -> Set[Variable]:
+        return self.atom.variables()
+
+    def __str__(self) -> str:
+        return f"not {self.atom}"
+
+
+@dataclass(frozen=True)
+class Condition:
+    """A Boolean comparison between two expressions: ``X > 0.5``."""
+
+    op: str  # one of  == != < <= > >=
+    left: Expression
+    right: Expression
+
+    def variables(self) -> Set[Variable]:
+        return self.left.variables() | self.right.variables()
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """``V = expr``.
+
+    When ``target`` is already bound at evaluation time the assignment
+    degrades to an equality check, following Datalog convention.
+    """
+
+    target: Variable
+    expression: Expression
+
+    def variables(self) -> Set[Variable]:
+        return {self.target} | self.expression.variables()
+
+    @property
+    def is_aggregate(self) -> bool:
+        return expression_has_aggregate(self.expression)
+
+    def __str__(self) -> str:
+        return f"{self.target.name} = {self.expression}"
+
+
+BodyLiteral = Union[Atom, NegatedAtom, Condition, Assignment]
+
+
+# ---------------------------------------------------------------------------
+# Rules and programs
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Rule:
+    """An existential rule ``body -> head``."""
+
+    body: Tuple[BodyLiteral, ...]
+    head: Tuple[Atom, ...]
+    label: Optional[str] = None
+
+    def body_atoms(self) -> List[Atom]:
+        return [lit for lit in self.body if isinstance(lit, Atom)]
+
+    def negated_atoms(self) -> List[NegatedAtom]:
+        return [lit for lit in self.body if isinstance(lit, NegatedAtom)]
+
+    def conditions(self) -> List[Condition]:
+        return [lit for lit in self.body if isinstance(lit, Condition)]
+
+    def assignments(self) -> List[Assignment]:
+        return [lit for lit in self.body if isinstance(lit, Assignment)]
+
+    def has_aggregate(self) -> bool:
+        return any(a.is_aggregate for a in self.assignments())
+
+    def frontier(self) -> Set[Variable]:
+        """Variables shared between body and head (the universal frontier)."""
+        return self.body_variables() & self.head_variables()
+
+    def body_variables(self) -> Set[Variable]:
+        result: Set[Variable] = set()
+        for literal in self.body:
+            result |= literal.variables()
+        return result
+
+    def positive_variables(self) -> Set[Variable]:
+        """Variables bound by positive body atoms (the safe ones)."""
+        result: Set[Variable] = set()
+        for literal in self.body:
+            if isinstance(literal, Atom):
+                result |= literal.variables()
+        return result
+
+    def head_variables(self) -> Set[Variable]:
+        result: Set[Variable] = set()
+        for atom in self.head:
+            result |= atom.variables()
+        return result
+
+    def existential_variables(self) -> Set[Variable]:
+        """Head variables not bound anywhere in the body.
+
+        These are chased with fresh labeled nulls (or with Skolem values
+        when they appear inside a :class:`SkolemTerm`, which makes the
+        variable disappear from this set since SkolemTerm arguments are
+        frontier variables).
+        """
+        bound = self.body_variables()
+        return {v for v in self.head_variables() if v not in bound}
+
+    def head_predicates(self) -> Set[str]:
+        return {atom.predicate for atom in self.head}
+
+    def body_predicates(self) -> Set[str]:
+        result = {atom.predicate for atom in self.body_atoms()}
+        result |= {neg.atom.predicate for neg in self.negated_atoms()}
+        return result
+
+    def __str__(self) -> str:
+        body = ", ".join(str(lit) for lit in self.body)
+        head = ", ".join(str(atom) for atom in self.head)
+        return f"{body} -> {head}."
+
+
+@dataclass(frozen=True)
+class Annotation:
+    """A program annotation, e.g. ``@input("own", "MATCH ...", "neo4j")``."""
+
+    name: str
+    arguments: Tuple[Any, ...]
+
+    def __str__(self) -> str:
+        args = ", ".join(_term_str(a) for a in self.arguments)
+        return f"@{self.name}({args})."
+
+
+@dataclass
+class Program:
+    """A Vadalog program: rules plus annotations."""
+
+    rules: List[Rule] = field(default_factory=list)
+    annotations: List[Annotation] = field(default_factory=list)
+
+    def input_predicates(self) -> Dict[str, Annotation]:
+        """Predicates declared ``@input``, with their annotation."""
+        result: Dict[str, Annotation] = {}
+        for annotation in self.annotations:
+            if annotation.name == "input" and annotation.arguments:
+                result[str(annotation.arguments[0])] = annotation
+        return result
+
+    def output_predicates(self) -> List[str]:
+        """Predicates declared ``@output`` (evaluation results of interest)."""
+        return [
+            str(a.arguments[0])
+            for a in self.annotations
+            if a.name == "output" and a.arguments
+        ]
+
+    def predicates(self) -> Set[str]:
+        result: Set[str] = set()
+        for rule in self.rules:
+            result |= rule.head_predicates()
+            result |= rule.body_predicates()
+        return result
+
+    def idb_predicates(self) -> Set[str]:
+        """Predicates defined by at least one rule head."""
+        return {p for rule in self.rules for p in rule.head_predicates()}
+
+    def edb_predicates(self) -> Set[str]:
+        """Predicates only read, never derived."""
+        return self.predicates() - self.idb_predicates()
+
+    def extend(self, other: "Program") -> "Program":
+        """Return a new program concatenating this one with ``other``."""
+        return Program(
+            rules=self.rules + other.rules,
+            annotations=self.annotations + other.annotations,
+        )
+
+    def __str__(self) -> str:
+        lines = [str(rule) for rule in self.rules]
+        lines += [str(annotation) for annotation in self.annotations]
+        return "\n".join(lines)
+
+
+def _term_str(term: Any) -> str:
+    if isinstance(term, Variable):
+        return term.name
+    if isinstance(term, SkolemTerm):
+        return str(term)
+    if isinstance(term, str):
+        return f"\"{term}\""
+    return repr(term)

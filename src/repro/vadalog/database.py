@@ -1,0 +1,154 @@
+"""Fact storage for the Vadalog substitute.
+
+A :class:`Database` associates each predicate with a relation — a set of
+ground tuples over constants, labeled nulls, and Skolem values (Section 4:
+"A (database) instance over S associates to each relation symbol a
+relation of the respective arity over the domain of constants and
+nulls").
+
+Per-predicate, per-position hash indexes are maintained incrementally so
+the chase can look up join candidates in expected O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import EvaluationError
+
+Fact = Tuple[Any, ...]
+
+
+class Relation:
+    """The extension of a single predicate, with positional indexes."""
+
+    __slots__ = ("name", "arity", "_facts", "_indexes")
+
+    def __init__(self, name: str, arity: Optional[int] = None):
+        self.name = name
+        self.arity = arity
+        self._facts: Set[Fact] = set()
+        # position -> value -> set of facts; built lazily per position.
+        self._indexes: Dict[int, Dict[Any, Set[Fact]]] = {}
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def __iter__(self) -> Iterator[Fact]:
+        return iter(self._facts)
+
+    def __contains__(self, fact: Fact) -> bool:
+        return fact in self._facts
+
+    def add(self, fact: Fact) -> bool:
+        """Insert a fact; returns True when it is new."""
+        if self.arity is None:
+            self.arity = len(fact)
+        elif len(fact) != self.arity:
+            raise EvaluationError(
+                f"arity mismatch for {self.name!r}: expected {self.arity}, "
+                f"got {len(fact)}"
+            )
+        if fact in self._facts:
+            return False
+        self._facts.add(fact)
+        for position, index in self._indexes.items():
+            index.setdefault(fact[position], set()).add(fact)
+        return True
+
+    def _ensure_index(self, position: int) -> Dict[Any, Set[Fact]]:
+        index = self._indexes.get(position)
+        if index is None:
+            index = {}
+            for fact in self._facts:
+                index.setdefault(fact[position], set()).add(fact)
+            self._indexes[position] = index
+        return index
+
+    def lookup(self, bound: Sequence[Tuple[int, Any]]) -> Iterator[Fact]:
+        """Iterate facts matching the given (position, value) constraints.
+
+        The most selective indexed position is used as the access path and
+        the remaining constraints are verified per fact.
+        """
+        if not bound:
+            yield from self._facts
+            return
+        # Pick the constraint with the smallest candidate set.
+        best_candidates: Optional[Set[Fact]] = None
+        for position, value in bound:
+            index = self._ensure_index(position)
+            candidates = index.get(value)
+            if candidates is None:
+                return
+            if best_candidates is None or len(candidates) < len(best_candidates):
+                best_candidates = candidates
+        for fact in best_candidates or ():
+            if all(fact[position] == value for position, value in bound):
+                yield fact
+
+
+class Database:
+    """A set of relations, keyed by predicate name."""
+
+    def __init__(self):
+        self._relations: Dict[str, Relation] = {}
+
+    def relation(self, predicate: str) -> Relation:
+        """Return (creating on demand) the relation for ``predicate``."""
+        relation = self._relations.get(predicate)
+        if relation is None:
+            relation = Relation(predicate)
+            self._relations[predicate] = relation
+        return relation
+
+    def add(self, predicate: str, fact: Iterable[Any]) -> bool:
+        """Insert one fact; returns True when it is new."""
+        return self.relation(predicate).add(tuple(fact))
+
+    def add_all(self, predicate: str, facts: Iterable[Iterable[Any]]) -> int:
+        """Insert many facts; returns the number of new ones."""
+        relation = self.relation(predicate)
+        added = 0
+        for fact in facts:
+            if relation.add(tuple(fact)):
+                added += 1
+        return added
+
+    def facts(self, predicate: str) -> Set[Fact]:
+        """A snapshot set of the facts of ``predicate`` (empty if unknown)."""
+        relation = self._relations.get(predicate)
+        return set(relation) if relation is not None else set()
+
+    def has(self, predicate: str, fact: Tuple[Any, ...]) -> bool:
+        relation = self._relations.get(predicate)
+        return relation is not None and fact in relation
+
+    def count(self, predicate: str) -> int:
+        relation = self._relations.get(predicate)
+        return len(relation) if relation is not None else 0
+
+    def predicates(self) -> List[str]:
+        return [name for name, rel in self._relations.items() if len(rel)]
+
+    def total_facts(self) -> int:
+        return sum(len(rel) for rel in self._relations.values())
+
+    def copy(self) -> "Database":
+        clone = Database()
+        for name, relation in self._relations.items():
+            clone.add_all(name, relation)
+        return clone
+
+    def merge(self, other: "Database") -> int:
+        """Insert every fact of ``other``; returns how many were new."""
+        added = 0
+        for name in other._relations:
+            added += self.add_all(name, other._relations[name])
+        return added
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{name}:{len(rel)}" for name, rel in sorted(self._relations.items())
+        )
+        return f"Database({parts})"

@@ -1,0 +1,715 @@
+"""Chase-based evaluation engine for the Vadalog substitute.
+
+The engine implements the reasoning semantics of Section 4:
+
+- **Existential rules / restricted chase.** "The chase alters D by adding
+  new facts, possibly with fresh labeled nulls for existentially
+  quantified variables, until Sigma(D) satisfies all the existential
+  rules."  We implement the *restricted* chase: a rule with existential
+  head variables fires for a body match only when no extension of the
+  match already satisfies the head conjunction, which is what makes warded
+  programs terminate in practice.
+- **Linker Skolem functors.** Head terms ``#sk(x, y)`` produce interned
+  :class:`~repro.vadalog.terms.SkolemValue` objects — injective,
+  deterministic, range-disjoint, exactly the Section 4 requirements.
+- **Stratified negation** and **aggregation** with monotonic in-stratum
+  recomputation (see :mod:`repro.vadalog.aggregates`).
+- **Semi-naive evaluation** for pure positive recursive rules, with naive
+  recomputation for aggregate rules.
+
+Typical use::
+
+    engine = Engine()
+    result = engine.run(program, inputs={"own": [(a, b, 0.6), ...]})
+    result.facts("controls")
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import EvaluationError, VadalogError
+from repro.vadalog.aggregates import CANONICAL, GroupAccumulator, is_monotonic
+from repro.vadalog.ast import (
+    AggregateCall,
+    Assignment,
+    Atom,
+    BinOp,
+    Condition,
+    Expression,
+    FunctionCall,
+    NegatedAtom,
+    Program,
+    Rule,
+    SkolemTerm,
+    TermExpr,
+)
+from repro.vadalog.database import Database, Fact
+from repro.vadalog.stratify import Stratum, stratify
+from repro.vadalog.terms import (
+    NullFactory,
+    SkolemFunctor,
+    Variable,
+    is_variable,
+)
+from repro.vadalog.warded import check_warded
+
+Substitution = Dict[Variable, Any]
+
+#: Builtin tuple-level functions available in expressions.
+BUILTIN_FUNCTIONS: Dict[str, Callable[..., Any]] = {
+    "concat": lambda *parts: "".join(str(p) for p in parts),
+    "upper": lambda s: str(s).upper(),
+    "lower": lambda s: str(s).lower(),
+    "strlen": lambda s: len(str(s)),
+    "abs": abs,
+    "round": lambda x, digits=0: round(x, int(digits)),
+    "floor": lambda x: int(x) if x >= 0 or x == int(x) else int(x) - 1,
+    "ceil": lambda x: int(x) if x == int(x) else (int(x) + 1 if x > 0 else int(x)),
+    "mod": lambda a, b: a % b,
+    "min2": lambda a, b: min(a, b),
+    "max2": lambda a, b: max(a, b),
+    "tostring": str,
+    "tonumber": float,
+}
+
+
+@dataclass
+class EvaluationStats:
+    """Counters describing one engine run."""
+
+    iterations: int = 0
+    rule_firings: int = 0
+    facts_derived: int = 0
+    nulls_created: int = 0
+    elapsed_seconds: float = 0.0
+    strata: int = 0
+
+
+@dataclass
+class EvaluationResult:
+    """Outcome of :meth:`Engine.run`: the saturated database + statistics."""
+
+    database: Database
+    stats: EvaluationStats
+    program: Program
+
+    def facts(self, predicate: str) -> Set[Fact]:
+        """All facts of ``predicate`` after the chase."""
+        return self.database.facts(predicate)
+
+    def outputs(self) -> Dict[str, Set[Fact]]:
+        """Facts of each ``@output`` predicate."""
+        return {p: self.database.facts(p) for p in self.program.output_predicates()}
+
+
+class Engine:
+    """The chase engine.
+
+    Parameters
+    ----------
+    max_iterations:
+        Fixpoint-iteration cap per stratum (termination guard).
+    max_nulls:
+        Cap on invented labeled nulls across the whole run.
+    check_wardedness:
+        When True (default) the program is statically analyzed and a
+        :class:`~repro.errors.WardednessError` is raised for non-warded
+        programs, mirroring the Vadalog System's admission control.
+    """
+
+    def __init__(
+        self,
+        max_iterations: int = 100_000,
+        max_nulls: int = 1_000_000,
+        check_wardedness: bool = True,
+        semi_naive: bool = True,
+    ):
+        self.max_iterations = max_iterations
+        self.max_nulls = max_nulls
+        self.check_wardedness = check_wardedness
+        self.semi_naive = semi_naive
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        program: Program,
+        database: Optional[Database] = None,
+        inputs: Optional[Dict[str, Iterable[Sequence[Any]]]] = None,
+    ) -> EvaluationResult:
+        """Saturate ``database`` (copied) with ``program`` and return it."""
+        start = time.perf_counter()
+        self._validate(program)
+        if self.check_wardedness:
+            check_warded(program).raise_if_violated()
+
+        db = database.copy() if database is not None else Database()
+        if inputs:
+            for predicate, facts in inputs.items():
+                db.add_all(predicate, facts)
+
+        stats = EvaluationStats()
+        nulls = NullFactory()
+        skolems: Dict[str, SkolemFunctor] = {}
+
+        # Facts written as empty-body rules.
+        rules: List[Rule] = []
+        for rule in program.rules:
+            if not rule.body:
+                for atom in rule.head:
+                    if atom.variables():
+                        raise VadalogError(f"non-ground fact: {atom}")
+                    db.add(atom.predicate, atom.terms)
+            else:
+                rules.append(rule)
+
+        working = Program(rules=rules, annotations=list(program.annotations))
+        strata = stratify(working)
+        stats.strata = len(strata)
+
+        for stratum in strata:
+            self._evaluate_stratum(stratum, db, stats, nulls, skolems)
+
+        stats.elapsed_seconds = time.perf_counter() - start
+        return EvaluationResult(database=db, stats=stats, program=program)
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def _validate(self, program: Program) -> None:
+        for rule in program.rules:
+            if not rule.head:
+                raise VadalogError(f"rule with empty head: {rule}")
+            if not rule.body:
+                continue
+            positive = rule.positive_variables()
+            reachable = set(positive)
+            for assignment in rule.assignments():
+                reachable.add(assignment.target)
+            for negated in rule.negated_atoms():
+                unbound = {
+                    v for v in negated.variables()
+                    if v not in reachable and v.name != "_"
+                }
+                if unbound:
+                    raise VadalogError(
+                        f"unsafe negation in {rule}: variables "
+                        f"{sorted(v.name for v in unbound)} not bound positively"
+                    )
+            aggregates = [a for a in rule.assignments() if a.is_aggregate]
+            if len(aggregates) > 1:
+                raise VadalogError(
+                    f"at most one aggregate assignment per rule: {rule}"
+                )
+
+    # ------------------------------------------------------------------
+    # Stratum evaluation
+    # ------------------------------------------------------------------
+    def _evaluate_stratum(
+        self,
+        stratum: Stratum,
+        db: Database,
+        stats: EvaluationStats,
+        nulls: NullFactory,
+        skolems: Dict[str, SkolemFunctor],
+    ) -> None:
+        if not stratum.recursive:
+            delta = self._fire_rules(stratum.rules, db, stats, nulls, skolems, None)
+            # A non-recursive stratum still needs a second pass when a rule
+            # both reads and writes predicates local to the stratum (this
+            # cannot happen by construction, but the invariant is cheap to
+            # keep if stratification ever coarsens).
+            return
+
+        # Recursive stratum: iterate to fixpoint.
+        recursive_predicates = stratum.predicates
+        delta: Optional[Dict[str, Set[Fact]]] = None
+        for iteration in range(self.max_iterations):
+            stats.iterations += 1
+            new_delta = self._fire_rules(
+                stratum.rules, db, stats, nulls, skolems,
+                delta if (self.semi_naive and iteration > 0) else None,
+                recursive_predicates=recursive_predicates,
+            )
+            if not any(new_delta.values()):
+                return
+            delta = new_delta
+        raise EvaluationError(
+            f"stratum over {sorted(stratum.predicates)} did not reach a "
+            f"fixpoint within {self.max_iterations} iterations"
+        )
+
+    def _fire_rules(
+        self,
+        rules: List[Rule],
+        db: Database,
+        stats: EvaluationStats,
+        nulls: NullFactory,
+        skolems: Dict[str, SkolemFunctor],
+        delta: Optional[Dict[str, Set[Fact]]],
+        recursive_predicates: Optional[Set[str]] = None,
+    ) -> Dict[str, Set[Fact]]:
+        """Fire every rule once; returns the per-predicate new facts."""
+        new_facts: Dict[str, Set[Fact]] = {}
+        pending: List[Tuple[str, Fact]] = []
+        for rule in rules:
+            if rule.has_aggregate():
+                matches = self._aggregate_matches(rule, db)
+            elif delta is not None and recursive_predicates:
+                matches = self._semi_naive_matches(
+                    rule, db, delta, recursive_predicates
+                )
+            else:
+                matches = self._match_body(list(rule.body), db, {})
+            for substitution in matches:
+                stats.rule_firings += 1
+                for predicate, fact in self._instantiate_head(
+                    rule, substitution, db, stats, nulls, skolems
+                ):
+                    pending.append((predicate, fact))
+        for predicate, fact in pending:
+            if db.add(predicate, fact):
+                stats.facts_derived += 1
+                new_facts.setdefault(predicate, set()).add(fact)
+        return new_facts
+
+    def _semi_naive_matches(
+        self,
+        rule: Rule,
+        db: Database,
+        delta: Dict[str, Set[Fact]],
+        recursive_predicates: Set[str],
+    ) -> Iterator[Substitution]:
+        """Require at least one recursive body atom to match a delta fact."""
+        body = list(rule.body)
+        recursive_atom_indexes = [
+            i
+            for i, literal in enumerate(body)
+            if isinstance(literal, Atom) and literal.predicate in recursive_predicates
+        ]
+        if not recursive_atom_indexes:
+            # The rule does not read the stratum's own predicates: firing it
+            # once in the first round was enough; nothing new can match.
+            return
+        seen: Set[Tuple[Tuple[Variable, Any], ...]] = set()
+        for delta_index in recursive_atom_indexes:
+            atom = body[delta_index]
+            delta_facts = delta.get(atom.predicate)
+            if not delta_facts:
+                continue
+            for fact in delta_facts:
+                base = self._unify_atom(atom, fact, {})
+                if base is None:
+                    continue
+                rest = body[:delta_index] + body[delta_index + 1:]
+                for substitution in self._match_body(rest, db, base):
+                    key = tuple(sorted(
+                        ((v, _hashable(substitution[v])) for v in substitution),
+                        key=lambda item: item[0].name,
+                    ))
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    yield substitution
+
+    # ------------------------------------------------------------------
+    # Body matching
+    # ------------------------------------------------------------------
+    def _match_body(
+        self,
+        literals: List[Any],
+        db: Database,
+        substitution: Substitution,
+    ) -> Iterator[Substitution]:
+        """Yield all substitutions satisfying the body conjunction.
+
+        Literals are scheduled greedily: ready assignments and conditions
+        run as soon as their variables are bound; otherwise the atom with
+        the most bound positions is joined next.
+        """
+        remaining = list(literals)
+        return self._match_rec(remaining, db, dict(substitution))
+
+    def _match_rec(
+        self, remaining: List[Any], db: Database, substitution: Substitution
+    ) -> Iterator[Substitution]:
+        if not remaining:
+            yield substitution
+            return
+        index = self._pick_next(remaining, substitution)
+        literal = remaining[index]
+        rest = remaining[:index] + remaining[index + 1:]
+
+        if isinstance(literal, Atom):
+            relation = db.relation(literal.predicate)
+            bound: List[Tuple[int, Any]] = []
+            for i, term in enumerate(literal.terms):
+                if not is_variable(term):
+                    bound.append((i, term))
+                elif term.name != "_" and term in substitution:
+                    bound.append((i, substitution[term]))
+            for fact in list(relation.lookup(bound)):
+                extended = self._unify_atom(literal, fact, substitution)
+                if extended is not None:
+                    yield from self._match_rec(rest, db, extended)
+            return
+
+        if isinstance(literal, NegatedAtom):
+            if self._atom_has_match(literal.atom, db, substitution):
+                return
+            yield from self._match_rec(rest, db, substitution)
+            return
+
+        if isinstance(literal, Condition):
+            if self._check_condition(literal, substitution):
+                yield from self._match_rec(rest, db, substitution)
+            return
+
+        if isinstance(literal, Assignment):
+            value = self._evaluate(literal.expression, substitution)
+            current = substitution.get(literal.target)
+            if literal.target in substitution:
+                if _values_equal(current, value):
+                    yield from self._match_rec(rest, db, substitution)
+                return
+            extended = dict(substitution)
+            extended[literal.target] = value
+            yield from self._match_rec(rest, db, extended)
+            return
+
+        raise EvaluationError(f"unsupported body literal: {literal!r}")
+
+    def _pick_next(self, remaining: List[Any], substitution: Substitution) -> int:
+        """Greedy scheduling: ready non-atoms first, then best-bound atom."""
+        best_atom = None
+        best_score = -1
+        for i, literal in enumerate(remaining):
+            if isinstance(literal, Assignment):
+                needed = literal.expression.variables()
+                if all(v in substitution for v in needed):
+                    return i
+            elif isinstance(literal, Condition):
+                if all(v in substitution for v in literal.variables()):
+                    return i
+            elif isinstance(literal, NegatedAtom):
+                if all(
+                    v in substitution or v.name == "_"
+                    for v in literal.variables()
+                ):
+                    return i
+            elif isinstance(literal, Atom):
+                score = sum(
+                    1
+                    for term in literal.terms
+                    if not is_variable(term) or term in substitution
+                )
+                if score > best_score:
+                    best_score = score
+                    best_atom = i
+        if best_atom is not None:
+            return best_atom
+        # Nothing ready: fall back to the first literal; matching will fail
+        # with a clear error if variables stay unbound.
+        return 0
+
+    def _unify_atom(
+        self, atom: Atom, fact: Fact, substitution: Substitution
+    ) -> Optional[Substitution]:
+        if len(fact) != len(atom.terms):
+            return None
+        extended = dict(substitution)
+        for term, value in zip(atom.terms, fact):
+            if is_variable(term):
+                if term.name == "_":
+                    continue
+                current = extended.get(term, _UNBOUND)
+                if current is _UNBOUND:
+                    extended[term] = value
+                elif not _values_equal(current, value):
+                    return None
+            elif not _values_equal(term, value):
+                return None
+        return extended
+
+    def _atom_has_match(
+        self, atom: Atom, db: Database, substitution: Substitution
+    ) -> bool:
+        relation = db.relation(atom.predicate)
+        bound: List[Tuple[int, Any]] = []
+        for i, term in enumerate(atom.terms):
+            if not is_variable(term):
+                bound.append((i, term))
+            elif term.name != "_" and term in substitution:
+                bound.append((i, substitution[term]))
+        for fact in relation.lookup(bound):
+            if self._unify_atom(atom, fact, substitution) is not None:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    def _aggregate_matches(self, rule: Rule, db: Database) -> Iterator[Substitution]:
+        aggregate_assignment = next(a for a in rule.assignments() if a.is_aggregate)
+        call = _find_aggregate(aggregate_assignment.expression)
+        target = aggregate_assignment.target
+
+        pre: List[Any] = []
+        post: List[Condition] = []
+        for literal in rule.body:
+            if literal is aggregate_assignment:
+                continue
+            if isinstance(literal, Condition) and target in literal.variables():
+                post.append(literal)
+            elif isinstance(literal, Assignment) and target in literal.expression.variables():
+                raise EvaluationError(
+                    f"assignment depending on aggregate target in {rule}"
+                )
+            else:
+                pre.append(literal)
+
+        group_vars = sorted(
+            (v for v in rule.head_variables()
+             if v != target and v.name != "_" and v not in rule.existential_variables()),
+            key=lambda v: v.name,
+        )
+        accumulator = GroupAccumulator(call.function)
+        # Remember one full substitution per group so non-head variables
+        # used by Skolem terms keep a witness binding.
+        witnesses: Dict[Tuple[Any, ...], Substitution] = {}
+        for substitution in self._match_body(pre, db, {}):
+            group = tuple(
+                _hashable(substitution.get(v)) for v in group_vars
+            )
+            if call.contributors:
+                contributor = tuple(
+                    _hashable(substitution.get(v)) for v in call.contributors
+                )
+            else:
+                contributor = tuple(
+                    sorted(
+                        ((v.name, _hashable(val)) for v, val in substitution.items()),
+                        key=lambda item: item[0],
+                    )
+                )
+            value = self._evaluate(call.value, substitution)
+            accumulator.contribute(group, contributor, value)
+            witnesses.setdefault(group, substitution)
+
+        for group, value in accumulator.results():
+            base = dict(witnesses[group])
+            substitution = {v: base[v] for v in group_vars if v in base}
+            # Evaluate the full assignment expression with the aggregate
+            # replaced by its computed value (supports e.g. V = msum(W,<Z>)
+            # wrapped in arithmetic).
+            substitution[target] = self._evaluate(
+                aggregate_assignment.expression, base, aggregate_value=value
+            )
+            if all(self._check_condition(c, substitution) for c in post):
+                yield substitution
+
+    # ------------------------------------------------------------------
+    # Head instantiation (the chase step)
+    # ------------------------------------------------------------------
+    def _instantiate_head(
+        self,
+        rule: Rule,
+        substitution: Substitution,
+        db: Database,
+        stats: EvaluationStats,
+        nulls: NullFactory,
+        skolems: Dict[str, SkolemFunctor],
+    ) -> Iterator[Tuple[str, Fact]]:
+        existential = {
+            v for v in rule.existential_variables() if v not in substitution
+        }
+        # Resolve Skolem terms first: they are deterministic, so they never
+        # trigger the restricted-chase check.
+        resolved_heads: List[Tuple[str, List[Any]]] = []
+        for atom in rule.head:
+            terms: List[Any] = []
+            for term in atom.terms:
+                if isinstance(term, SkolemTerm):
+                    functor = skolems.get(term.functor)
+                    if functor is None:
+                        functor = SkolemFunctor(term.functor)
+                        skolems[term.functor] = functor
+                    arguments = []
+                    for argument in term.arguments:
+                        if is_variable(argument):
+                            if argument not in substitution:
+                                raise EvaluationError(
+                                    f"Skolem argument {argument!r} unbound in {rule}"
+                                )
+                            arguments.append(substitution[argument])
+                        else:
+                            arguments.append(argument)
+                    terms.append(functor(*arguments))
+                elif is_variable(term):
+                    if term in substitution:
+                        terms.append(substitution[term])
+                    else:
+                        terms.append(term)  # existential, resolved below
+                else:
+                    terms.append(term)
+            resolved_heads.append((atom.predicate, terms))
+
+        remaining_existential = {
+            term
+            for _, terms in resolved_heads
+            for term in terms
+            if is_variable(term)
+        }
+        if remaining_existential:
+            # Restricted chase: skip when the head conjunction is already
+            # satisfied by some assignment of the existential variables.
+            if self._head_satisfied(resolved_heads, db):
+                return
+            if stats.nulls_created + len(remaining_existential) > self.max_nulls:
+                raise EvaluationError(
+                    f"null budget exceeded ({self.max_nulls}); the program "
+                    "likely falls outside the terminating fragment"
+                )
+            assignment = {
+                variable: nulls.fresh(variable.name)
+                for variable in remaining_existential
+            }
+            stats.nulls_created += len(assignment)
+            for predicate, terms in resolved_heads:
+                yield predicate, tuple(
+                    assignment.get(t, t) if is_variable(t) else t for t in terms
+                )
+            return
+
+        for predicate, terms in resolved_heads:
+            yield predicate, tuple(terms)
+
+    def _head_satisfied(
+        self, resolved_heads: List[Tuple[str, List[Any]]], db: Database
+    ) -> bool:
+        """Conjunctive-match check used by the restricted chase."""
+        atoms = [
+            Atom(predicate, tuple(terms)) for predicate, terms in resolved_heads
+        ]
+        for _ in self._match_body(list(atoms), db, {}):
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def _evaluate(
+        self,
+        expression: Expression,
+        substitution: Substitution,
+        aggregate_value: Any = None,
+    ) -> Any:
+        if isinstance(expression, AggregateCall):
+            if aggregate_value is None:
+                raise EvaluationError(
+                    "aggregate call evaluated outside aggregate context"
+                )
+            return aggregate_value
+        if isinstance(expression, TermExpr):
+            term = expression.term
+            if is_variable(term):
+                if term not in substitution:
+                    raise EvaluationError(f"unbound variable {term!r} in expression")
+                return substitution[term]
+            return term
+        if isinstance(expression, BinOp):
+            left = self._evaluate(expression.left, substitution, aggregate_value)
+            right = self._evaluate(expression.right, substitution, aggregate_value)
+            return _apply_binop(expression.op, left, right)
+        if isinstance(expression, FunctionCall):
+            function = BUILTIN_FUNCTIONS.get(expression.name)
+            if function is None:
+                raise EvaluationError(f"unknown function {expression.name!r}")
+            arguments = [
+                self._evaluate(a, substitution, aggregate_value)
+                for a in expression.arguments
+            ]
+            return function(*arguments)
+        raise EvaluationError(f"unsupported expression {expression!r}")
+
+    def _check_condition(self, condition: Condition, substitution: Substitution) -> bool:
+        left = self._evaluate(condition.left, substitution)
+        right = self._evaluate(condition.right, substitution)
+        op = condition.op
+        if op == "==":
+            return _values_equal(left, right)
+        if op == "!=":
+            return not _values_equal(left, right)
+        try:
+            if op == "<":
+                return left < right
+            if op == "<=":
+                return left <= right
+            if op == ">":
+                return left > right
+            if op == ">=":
+                return left >= right
+        except TypeError:
+            return False
+        raise EvaluationError(f"unknown comparison operator {op!r}")
+
+
+_UNBOUND = object()
+_UNSET = object()
+
+
+def _values_equal(a: Any, b: Any) -> bool:
+    """Equality that never mixes bool with 0/1 and tolerates numeric types."""
+    if isinstance(a, bool) or isinstance(b, bool):
+        return a is b or (isinstance(a, bool) and isinstance(b, bool) and a == b)
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        return a == b
+    return a == b
+
+
+def _apply_binop(op: str, left: Any, right: Any) -> Any:
+    try:
+        if op == "+":
+            if isinstance(left, str) or isinstance(right, str):
+                return str(left) + str(right)
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            return left / right
+        if op == "%":
+            return left % right
+    except (TypeError, ZeroDivisionError) as exc:
+        raise EvaluationError(f"arithmetic error: {left!r} {op} {right!r}: {exc}")
+    raise EvaluationError(f"unknown operator {op!r}")
+
+
+def _hashable(value: Any) -> Any:
+    """Make lists/dicts usable in group keys (rare, but defensive)."""
+    if isinstance(value, list):
+        return tuple(_hashable(v) for v in value)
+    if isinstance(value, dict):
+        return tuple(sorted((k, _hashable(v)) for k, v in value.items()))
+    return value
+
+
+def _find_aggregate(expression: Expression) -> AggregateCall:
+    if isinstance(expression, AggregateCall):
+        return expression
+    if isinstance(expression, BinOp):
+        for side in (expression.left, expression.right):
+            try:
+                return _find_aggregate(side)
+            except EvaluationError:
+                continue
+    if isinstance(expression, FunctionCall):
+        for argument in expression.arguments:
+            try:
+                return _find_aggregate(argument)
+            except EvaluationError:
+                continue
+    raise EvaluationError("no aggregate call found in expression")

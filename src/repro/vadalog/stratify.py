@@ -1,0 +1,211 @@
+"""Stratification and rule scheduling for the Vadalog substitute.
+
+Negation follows the standard stratified semantics; aggregation follows
+the stratified semantics of [39] across strata, while *monotonic*
+aggregation (the ``sum``-in-recursion idiom of the company-control program,
+Example 4.2) is additionally admitted inside a recursive stratum, where the
+engine recomputes aggregates to fixpoint (values only ever grow, so derived
+facts remain valid).
+
+The module builds the predicate dependency graph, condenses it into
+strongly connected components, and emits :class:`Stratum` objects in
+topological order.  A negative edge inside an SCC is rejected
+(:class:`~repro.errors.VadalogError`): the program is not stratifiable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.errors import VadalogError
+from repro.vadalog.ast import Program, Rule
+
+
+@dataclass
+class Stratum:
+    """A maximal set of mutually recursive rules, evaluated to fixpoint."""
+
+    index: int
+    predicates: Set[str]
+    rules: List[Rule] = field(default_factory=list)
+    recursive: bool = False
+
+    def __repr__(self) -> str:
+        kind = "recursive" if self.recursive else "non-recursive"
+        return f"Stratum({self.index}, {sorted(self.predicates)}, {kind})"
+
+
+def dependency_edges(program: Program) -> Tuple[Set[Tuple[str, str]], Set[Tuple[str, str]]]:
+    """Return (positive, negative) predicate dependency edges body -> head.
+
+    A dependency through a negated atom or through any aggregate-carrying
+    rule is *negative* for stratification purposes — except that aggregate
+    rules keep their positive-atom dependencies positive, because monotonic
+    aggregation is allowed in recursion (see module docstring).
+    """
+    positive: Set[Tuple[str, str]] = set()
+    negative: Set[Tuple[str, str]] = set()
+    for rule in program.rules:
+        heads = rule.head_predicates()
+        for atom in rule.body_atoms():
+            for head in heads:
+                positive.add((atom.predicate, head))
+        for negated in rule.negated_atoms():
+            for head in heads:
+                negative.add((negated.atom.predicate, head))
+    return positive, negative
+
+
+def _condense(nodes: Sequence[str], edges: Set[Tuple[str, str]]) -> List[List[str]]:
+    """Tarjan SCC over a small explicit graph; returns reverse topo order."""
+    adjacency: Dict[str, List[str]] = {node: [] for node in nodes}
+    for src, dst in edges:
+        if src in adjacency and dst in adjacency:
+            adjacency[src].append(dst)
+
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    components: List[List[str]] = []
+    counter = [0]
+
+    def visit(root: str) -> None:
+        work = [(root, iter(adjacency[root]))]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for target in successors:
+                if target not in index:
+                    index[target] = lowlink[target] = counter[0]
+                    counter[0] += 1
+                    stack.append(target)
+                    on_stack.add(target)
+                    work.append((target, iter(adjacency[target])))
+                    advanced = True
+                    break
+                if target in on_stack:
+                    lowlink[node] = min(lowlink[node], index[target])
+            if advanced:
+                continue
+            work.pop()
+            if lowlink[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+
+    for node in nodes:
+        if node not in index:
+            visit(node)
+    return components
+
+
+def stratify(program: Program) -> List[Stratum]:
+    """Compute the evaluation strata of ``program`` in topological order.
+
+    Raises :class:`VadalogError` when a negated dependency occurs inside a
+    cycle (the program is not stratifiable).
+    """
+    predicates = sorted(program.predicates())
+    positive, negative = dependency_edges(program)
+    all_edges = positive | negative
+
+    # Tarjan emits components in reverse topological order of the
+    # condensation with respect to body -> head edges, i.e. the most
+    # dependent components first; reverse to evaluate dependencies first.
+    components = list(reversed(_condense(predicates, all_edges)))
+    component_of: Dict[str, int] = {}
+    for i, component in enumerate(components):
+        for predicate in component:
+            component_of[predicate] = i
+
+    # Reject negation within a component.
+    for src, dst in negative:
+        if component_of.get(src) == component_of.get(dst):
+            raise VadalogError(
+                f"program is not stratifiable: negated dependency "
+                f"{src!r} -> {dst!r} occurs in a recursive component"
+            )
+
+    strata: List[Stratum] = []
+    for i, component in enumerate(components):
+        members = set(component)
+        recursive = len(component) > 1 or any(
+            (p, p) in all_edges for p in component
+        )
+        strata.append(Stratum(index=i, predicates=members, recursive=recursive))
+
+    # Attach each rule to the stratum of its head predicate(s).  A rule
+    # whose head predicates span several strata is attached to the latest
+    # of them (all of its dependencies are then available).
+    stratum_by_predicate = {
+        predicate: stratum for stratum in strata for predicate in stratum.predicates
+    }
+    for rule in program.rules:
+        target = max(
+            (stratum_by_predicate[p] for p in rule.head_predicates()),
+            key=lambda s: s.index,
+        )
+        target.rules.append(rule)
+        # Non-monotonic aggregates (min, avg) cannot be recomputed to
+        # fixpoint: their value may shrink as contributions arrive, but
+        # facts are never retracted.  Reject them inside recursion.
+        if target.recursive and rule.has_aggregate():
+            reads_own_stratum = bool(rule.body_predicates() & target.predicates)
+            if reads_own_stratum:
+                from repro.vadalog.aggregates import is_monotonic
+                from repro.vadalog.ast import expression_has_aggregate, AggregateCall
+
+                for assignment in rule.assignments():
+                    call = _aggregate_of(assignment.expression)
+                    if call is not None and not is_monotonic(call.function):
+                        raise VadalogError(
+                            f"non-monotonic aggregate {call.function!r} in a "
+                            f"recursive rule: {rule}"
+                        )
+
+    return [stratum for stratum in strata if stratum.rules]
+
+
+def _aggregate_of(expression):
+    """The aggregate call inside an expression, if any."""
+    from repro.vadalog.ast import AggregateCall, BinOp, FunctionCall
+
+    if isinstance(expression, AggregateCall):
+        return expression
+    if isinstance(expression, BinOp):
+        return _aggregate_of(expression.left) or _aggregate_of(expression.right)
+    if isinstance(expression, FunctionCall):
+        for argument in expression.arguments:
+            found = _aggregate_of(argument)
+            if found is not None:
+                return found
+    return None
+
+
+def recursive_predicates(program: Program) -> Set[str]:
+    """Predicates involved in a dependency cycle (used by wardedness)."""
+    predicates = sorted(program.predicates())
+    positive, negative = dependency_edges(program)
+    edges = positive | negative
+    components = _condense(predicates, edges)
+    result: Set[str] = set()
+    for component in components:
+        if len(component) > 1:
+            result |= set(component)
+        elif (component[0], component[0]) in edges:
+            result.add(component[0])
+    return result

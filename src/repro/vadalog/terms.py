@@ -1,0 +1,124 @@
+"""Term universe of the Vadalog substitute.
+
+Following Section 4 of the paper, terms range over three disjoint
+countably infinite sets: constants ``C``, labeled nulls ``N``, and regular
+variables ``V``.  KGModel additionally introduces a fourth set ``I`` for
+the values produced by *linker Skolem functors* — injective, deterministic,
+range-disjoint functions used for controlled OID generation/retrieval
+(Section 4, "Linker Skolem Functors").
+
+Constants are plain Python values (str, int, float, bool, None).  The
+other three kinds get dedicated classes so they can never collide with
+constants.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A regular (universally quantified) variable appearing in rules."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"?{self.name}"
+
+
+#: The anonymous variable: each occurrence binds nothing.
+ANONYMOUS = Variable("_")
+
+
+@dataclass(frozen=True)
+class Null:
+    """A labeled null, invented by the chase for an existential variable.
+
+    ``label`` records the rule variable the null was invented for, which
+    makes chase traces readable; ``ordinal`` makes the null unique.
+    """
+
+    label: str
+    ordinal: int
+
+    def __repr__(self) -> str:
+        return f"ν{self.ordinal}[{self.label}]"
+
+
+class NullFactory:
+    """Produces fresh labeled nulls, one counter per evaluation."""
+
+    def __init__(self):
+        self._counter = itertools.count(1)
+
+    def fresh(self, label: str = "z") -> Null:
+        return Null(label, next(self._counter))
+
+
+@dataclass(frozen=True)
+class SkolemValue:
+    """A value of the set ``I``, produced by a linker Skolem functor.
+
+    Two SkolemValues are equal iff they have the same functor name and the
+    same argument tuple — which realizes the paper's requirements that
+    functors are injective and deterministic; distinct functor names give
+    disjoint ranges.
+    """
+
+    functor: str
+    arguments: Tuple[Any, ...]
+
+    def __repr__(self) -> str:
+        args = ",".join(repr(a) for a in self.arguments)
+        return f"{self.functor}({args})"
+
+
+class SkolemFunctor:
+    """A callable linker Skolem functor ``sk``.
+
+    ``sk(v1, ..., vn)`` returns the interned :class:`SkolemValue` for that
+    argument tuple.  Interning keeps identity checks cheap during the
+    chase.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._cache: Dict[Tuple[Any, ...], SkolemValue] = {}
+
+    def __call__(self, *arguments: Any) -> SkolemValue:
+        key = tuple(arguments)
+        value = self._cache.get(key)
+        if value is None:
+            value = SkolemValue(self.name, key)
+            self._cache[key] = value
+        return value
+
+    def __repr__(self) -> str:
+        return f"SkolemFunctor({self.name!r})"
+
+
+def is_variable(term: Any) -> bool:
+    """True for regular variables (including the anonymous variable)."""
+    return isinstance(term, Variable)
+
+
+def is_null(term: Any) -> bool:
+    """True for labeled nulls."""
+    return isinstance(term, Null)
+
+
+def is_ground(term: Any) -> bool:
+    """True for constants, nulls and Skolem values (anything non-variable)."""
+    return not isinstance(term, Variable)
+
+
+def format_term(term: Any) -> str:
+    """Human-readable rendering of any term."""
+    if isinstance(term, (Variable, Null, SkolemValue)):
+        return repr(term)
+    if isinstance(term, str):
+        return f"\"{term}\""
+    return repr(term)

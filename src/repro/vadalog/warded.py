@@ -1,0 +1,193 @@
+"""Wardedness and piecewise-linearity analysis.
+
+Section 4 of the paper: "Wardedness poses syntactical restrictions on the
+interplay of existential quantification and recursion, so that the
+reasoning task remains decidable and PTIME in data complexity", and the
+star-free MetaLog fragment "can be reduced into a warded program"; with
+transitive closure the non-recursive program compiles "into a Piecewise
+Linear Datalog± [17], a subset of Warded Datalog±".
+
+This module implements the standard static analysis:
+
+- **Affected positions**: positions ``p[i]`` that may host labeled nulls —
+  the positions of existential variables in heads, propagated through
+  frontier variables that occur *only* in affected body positions.
+- **Harmful / dangerous variables**: a body variable is *harmful* when all
+  its body occurrences are in affected positions; it is *dangerous* when
+  it is harmful and also occurs in the head.
+- **Warded rule**: all dangerous variables occur in a single body atom
+  (the *ward*), and the ward shares only harmless variables with the rest
+  of the body.
+- **Piecewise-linear program**: every rule has at most one body atom whose
+  predicate is mutually recursive with the rule's head predicate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.errors import WardednessError
+from repro.vadalog.ast import Atom, Program, Rule
+from repro.vadalog.stratify import recursive_predicates
+from repro.vadalog.terms import Variable, is_variable
+
+Position = Tuple[str, int]
+
+
+def affected_positions(program: Program) -> Set[Position]:
+    """Compute the affected positions of ``program`` to fixpoint."""
+    affected: Set[Position] = set()
+    # Base: positions of existential variables in heads.
+    for rule in program.rules:
+        existential = rule.existential_variables()
+        for atom in rule.head:
+            for i, term in enumerate(atom.terms):
+                # Note: SkolemTerm head terms are NOT affected — linker
+                # Skolem functors range over the dedicated set I, not over
+                # the labeled nulls N (Section 4), and are deterministic,
+                # so they never behave like invented nulls.
+                if is_variable(term) and term in existential:
+                    affected.add((atom.predicate, i))
+    # Propagation: a frontier variable occurring only in affected body
+    # positions propagates affectedness to its head positions.
+    changed = True
+    while changed:
+        changed = False
+        for rule in program.rules:
+            body_atoms = rule.body_atoms()
+            occurrences: Dict[Variable, List[Position]] = {}
+            for atom in body_atoms:
+                for i, term in enumerate(atom.terms):
+                    if is_variable(term) and term.name != "_":
+                        occurrences.setdefault(term, []).append((atom.predicate, i))
+            for variable, positions in occurrences.items():
+                if not positions:
+                    continue
+                if all(p in affected for p in positions):
+                    for atom in rule.head:
+                        for i, term in enumerate(atom.terms):
+                            if term == variable and (atom.predicate, i) not in affected:
+                                affected.add((atom.predicate, i))
+                                changed = True
+    return affected
+
+
+def harmful_variables(rule: Rule, affected: Set[Position]) -> Set[Variable]:
+    """Body variables whose every occurrence is in an affected position."""
+    occurrences: Dict[Variable, List[Position]] = {}
+    for atom in rule.body_atoms():
+        for i, term in enumerate(atom.terms):
+            if is_variable(term) and term.name != "_":
+                occurrences.setdefault(term, []).append((atom.predicate, i))
+    return {
+        variable
+        for variable, positions in occurrences.items()
+        if positions and all(p in affected for p in positions)
+    }
+
+
+def dangerous_variables(rule: Rule, affected: Set[Position]) -> Set[Variable]:
+    """Harmful variables that also appear in the head."""
+    return harmful_variables(rule, affected) & rule.head_variables()
+
+
+@dataclass
+class WardednessReport:
+    """Result of the wardedness analysis of a whole program."""
+
+    is_warded: bool
+    affected: Set[Position]
+    violations: List[str] = field(default_factory=list)
+    wards: Dict[int, Atom] = field(default_factory=dict)  # rule index -> ward
+
+    def raise_if_violated(self) -> None:
+        if not self.is_warded:
+            raise WardednessError("; ".join(self.violations))
+
+
+def check_warded(program: Program) -> WardednessReport:
+    """Check every rule of ``program`` for wardedness."""
+    affected = affected_positions(program)
+    report = WardednessReport(is_warded=True, affected=affected)
+    for index, rule in enumerate(program.rules):
+        dangerous = dangerous_variables(rule, affected)
+        if not dangerous:
+            continue
+        harmful = harmful_variables(rule, affected)
+        ward = None
+        for atom in rule.body_atoms():
+            atom_vars = {t for t in atom.terms if is_variable(t)}
+            if dangerous <= atom_vars:
+                # Candidate ward: must share only harmless variables with
+                # the other body atoms.
+                others: Set[Variable] = set()
+                for other in rule.body_atoms():
+                    if other is atom:
+                        continue
+                    others |= {t for t in other.terms if is_variable(t)}
+                shared_harmful = (atom_vars & others) & harmful
+                if not shared_harmful:
+                    ward = atom
+                    break
+        if ward is None:
+            report.is_warded = False
+            report.violations.append(
+                f"rule {index} ({rule}) is not warded: dangerous variables "
+                f"{sorted(v.name for v in dangerous)} admit no ward"
+            )
+        else:
+            report.wards[index] = ward
+    return report
+
+
+def check_piecewise_linear(program: Program) -> bool:
+    """True when every rule has at most one body atom mutually recursive
+    with its head predicate(s) (the Piecewise Linear Datalog± condition)."""
+    recursive = recursive_predicates(program)
+    for rule in program.rules:
+        heads = rule.head_predicates()
+        if not heads & recursive:
+            continue
+        recursive_body_atoms = [
+            atom
+            for atom in rule.body_atoms()
+            if atom.predicate in recursive and _mutually_recursive(
+                program, atom.predicate, heads
+            )
+        ]
+        if len(recursive_body_atoms) > 1:
+            return False
+    return True
+
+
+def _mutually_recursive(program: Program, predicate: str, heads: Set[str]) -> bool:
+    """True when ``predicate`` and any head predicate share a cycle."""
+    recursive = recursive_predicates(program)
+    if predicate not in recursive:
+        return False
+    # Same SCC test: reachable both ways in the dependency graph.
+    from repro.vadalog.stratify import dependency_edges
+
+    positive, negative = dependency_edges(program)
+    edges = positive | negative
+    adjacency: Dict[str, Set[str]] = {}
+    for src, dst in edges:
+        adjacency.setdefault(src, set()).add(dst)
+
+    def reachable(start: str, goal: str) -> bool:
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            current = frontier.pop()
+            if current == goal:
+                return True
+            for nxt in adjacency.get(current, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return False
+
+    return any(
+        reachable(predicate, head) and reachable(head, predicate) for head in heads
+    )

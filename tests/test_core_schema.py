@@ -1,0 +1,292 @@
+"""Core layer: meta-model, super-model, SuperSchema, validation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    META_MODEL,
+    SUPER_MODEL_DICTIONARY,
+    GraphDictionary,
+    SMEnumAttributeModifier,
+    SMRangeAttributeModifier,
+    SMUniqueAttributeModifier,
+    SuperSchema,
+    meta_construct,
+    metamodel_dictionary,
+)
+from repro.core.supermodel import modifier_from_payload
+from repro.errors import SchemaError
+
+
+class TestMetaModel:
+    def test_three_meta_constructs(self):
+        assert {c.name for c in META_MODEL} == {
+            "MM_Entity", "MM_Link", "MM_Property",
+        }
+
+    def test_lookup(self):
+        assert meta_construct("MM_Entity").properties[1] == ("name", "string")
+        with pytest.raises(KeyError):
+            meta_construct("MM_Whatever")
+
+    def test_figure2_dictionary(self):
+        graph = metamodel_dictionary()
+        assert graph.node_count == 3
+        assert graph.edge_count == 4
+        assert {e.label for e in graph.edges()} == {
+            "MM_HAS_PROPERTY", "MM_SOURCE", "MM_TARGET",
+        }
+
+
+class TestSuperModelDictionary:
+    def test_every_entry_specializes_a_meta_construct(self):
+        names = {c.name for c in META_MODEL}
+        assert all(e.specializes in names for e in SUPER_MODEL_DICTIONARY)
+
+    def test_figure3_core_constructs_present(self):
+        names = {e.name for e in SUPER_MODEL_DICTIONARY}
+        assert {
+            "SM_Node", "SM_Edge", "SM_Type", "SM_Attribute",
+            "SM_Generalization", "SM_FROM", "SM_TO", "SM_PARENT",
+            "SM_CHILD", "SM_HAS_NODE_TYPE",
+        } <= names
+
+    def test_intensional_variants_have_dashed_semantics(self):
+        dashed = [
+            e for e in SUPER_MODEL_DICTIONARY
+            if e.name == "SM_Node" and "true" in e.attributes
+        ]
+        assert "dashed" in dashed[0].grapheme
+
+
+class TestModifiers:
+    def test_enum_requires_values(self):
+        with pytest.raises(SchemaError):
+            SMEnumAttributeModifier([])
+
+    def test_range_requires_bound(self):
+        with pytest.raises(SchemaError):
+            SMRangeAttributeModifier()
+
+    def test_payload_round_trip(self):
+        original = SMEnumAttributeModifier(["a", "b"])
+        rebuilt = modifier_from_payload(original.kind, original.payload())
+        assert rebuilt == original
+        assert modifier_from_payload(
+            "SM_UniqueAttributeModifier", {}
+        ) == SMUniqueAttributeModifier()
+
+    def test_unknown_kind(self):
+        with pytest.raises(SchemaError):
+            modifier_from_payload("SM_MagicModifier", {})
+
+
+class TestSuperSchemaBuilder:
+    def test_cardinality_flags(self):
+        schema = SuperSchema("S", 1)
+        a = schema.node("A")
+        a.attribute("k", is_id=True)
+        b = schema.node("B")
+        b.attribute("k2", is_id=True)
+        one_to_many = schema.edge("R", a, b, source_card="1..1", target_card="0..N")
+        assert one_to_many.is_one_to_many
+        assert one_to_many.multiplicity == "1:N"
+        assert one_to_many.cardinality_labels() == ("1..1", "0..N")
+        many_to_many = schema.edge("S", a, b)
+        assert many_to_many.is_many_to_many
+
+    def test_bad_cardinality_rejected(self):
+        schema = SuperSchema("S", 1)
+        a = schema.node("A")
+        with pytest.raises(SchemaError):
+            schema.edge("R", a, a, source_card="2..N")
+
+    def test_duplicate_names_rejected(self):
+        schema = SuperSchema("S", 1)
+        schema.node("A")
+        with pytest.raises(SchemaError):
+            schema.node("A")
+        a = schema.get_node("A")
+        a.attribute("x")
+        with pytest.raises(SchemaError):
+            a.attribute("x")
+
+    def test_id_attribute_cannot_be_optional(self):
+        schema = SuperSchema("S", 1)
+        a = schema.node("A")
+        with pytest.raises(SchemaError):
+            a.attribute("k", is_id=True, is_optional=True)
+
+    def test_foreign_node_rejected(self):
+        first = SuperSchema("S1", 1)
+        second = SuperSchema("S2", 2)
+        alien = second.node("X")
+        first.node("A")
+        with pytest.raises(SchemaError):
+            first.edge("R", "A", alien)
+
+
+class TestHierarchy:
+    @pytest.fixture()
+    def schema(self):
+        s = SuperSchema("H", 1)
+        root = s.node("Root")
+        root.attribute("k", is_id=True)
+        mid = s.node("Mid")
+        mid.attribute("m")
+        leaf = s.node("Leaf")
+        leaf.attribute("l")
+        other = s.node("Other")
+        s.generalization(root, [mid, other], total=True)
+        s.generalization(mid, [leaf])
+        return s
+
+    def test_navigation(self, schema):
+        assert [n.type_name for n in schema.ancestors_of("Leaf")] == ["Mid", "Root"]
+        assert {n.type_name for n in schema.descendants_of("Root")} == {
+            "Mid", "Other", "Leaf",
+        }
+        assert [n.type_name for n in schema.children_of("Root")] == ["Mid", "Other"]
+        assert {n.type_name for n in schema.leaves_under("Root")} == {"Leaf", "Other"}
+
+    def test_inherited_attributes_and_identity(self, schema):
+        names = [a.name for a in schema.inherited_attributes("Leaf")]
+        assert names == ["l", "m", "k"]  # own first, then up the chain
+        assert [a.name for a in schema.identifier_of("Leaf")] == ["k"]
+
+    def test_shadowing_keeps_own_attribute(self, schema):
+        schema.get_node("Leaf").attribute("m", data_type="int")
+        attrs = {a.name: a for a in schema.inherited_attributes("Leaf")}
+        assert attrs["m"].data_type == "int"
+
+
+class TestValidation:
+    def test_company_schema_is_valid(self, company_schema):
+        assert company_schema.validate() == []
+
+    def test_missing_identifier_flagged(self):
+        schema = SuperSchema("S", 1)
+        schema.node("A")
+        problems = schema.validate(strict=False)
+        assert any("identifying" in p for p in problems)
+        with pytest.raises(SchemaError):
+            schema.validate(strict=True)
+
+    def test_generalization_cycle_flagged(self):
+        schema = SuperSchema("S", 1)
+        a = schema.node("A")
+        a.attribute("k", is_id=True)
+        b = schema.node("B")
+        schema.generalization(a, [b])
+        schema.generalization(b, [a])
+        problems = schema.validate(strict=False)
+        assert any("cycle" in p for p in problems)
+
+    def test_extensional_edge_to_intensional_node_flagged(self):
+        schema = SuperSchema("S", 1)
+        a = schema.node("A")
+        a.attribute("k", is_id=True)
+        ghost = schema.node("Ghost", is_intensional=True)
+        schema.edge("R", a, ghost)  # extensional edge
+        problems = schema.validate(strict=False)
+        assert any("intensional" in p for p in problems)
+
+    def test_self_child_rejected_immediately(self):
+        schema = SuperSchema("S", 1)
+        a = schema.node("A")
+        with pytest.raises(SchemaError):
+            schema.generalization(a, [a])
+
+
+class TestDictionaryRoundTrip:
+    def test_company_schema_round_trip(self, company_schema):
+        dictionary = GraphDictionary()
+        dictionary.store(company_schema)
+        loaded = dictionary.load(company_schema.schema_oid)
+        assert {n.type_name for n in loaded.nodes} == {
+            n.type_name for n in company_schema.nodes
+        }
+        assert {e.type_name for e in loaded.edges} == {
+            e.type_name for e in company_schema.edges
+        }
+        holds = loaded.get_edge("HOLDS")
+        assert (holds.is_opt2, holds.is_fun2) == (False, False)  # 1..N left
+        gender = loaded.get_node("PhysicalPerson").get_attribute("gender")
+        assert isinstance(gender.modifiers[0], SMEnumAttributeModifier)
+        assert set(gender.modifiers[0].values) == {"female", "male"}
+
+    def test_two_schemas_share_one_dictionary(self):
+        dictionary = GraphDictionary()
+        for oid in (1, 2):
+            schema = SuperSchema(f"S{oid}", oid)
+            node = schema.node("A")
+            node.attribute("k", is_id=True)
+            dictionary.store(schema)
+        assert len(dictionary.load(1).nodes) == 1
+        assert len(dictionary.load(2).nodes) == 1
+        assert set(dictionary.schema_oids()) == {1, 2}
+        assert set(dictionary.discover_schema_oids()) == {1, 2}
+
+    def test_duplicate_oid_rejected(self, company_schema):
+        dictionary = GraphDictionary()
+        dictionary.store(company_schema)
+        with pytest.raises(SchemaError):
+            dictionary.store(company_schema)
+
+
+@st.composite
+def random_schemas(draw):
+    schema = SuperSchema("R", draw(st.integers(1, 9)))
+    node_count = draw(st.integers(1, 5))
+    nodes = []
+    for i in range(node_count):
+        node = schema.node(f"N{i}", is_intensional=draw(st.booleans()))
+        node.attribute(f"id{i}", is_id=True)
+        for j in range(draw(st.integers(0, 3))):
+            node.attribute(
+                f"a{j}",
+                data_type=draw(st.sampled_from(["string", "int", "float"])),
+                is_optional=draw(st.booleans()),
+            )
+        nodes.append(node)
+    for k in range(draw(st.integers(0, 4))):
+        source = draw(st.sampled_from(nodes))
+        target = draw(st.sampled_from(nodes))
+        edge = schema.edge(
+            f"E{k}", source, target, is_intensional=True,
+            source_card=draw(st.sampled_from(["0..N", "1..1", "0..1", "1..N"])),
+            target_card=draw(st.sampled_from(["0..N", "1..1"])),
+        )
+        if draw(st.booleans()):
+            edge.attribute("w", "float")
+    if len(nodes) >= 3 and draw(st.booleans()):
+        schema.generalization(
+            nodes[0], [nodes[1], nodes[2]],
+            total=draw(st.booleans()), disjoint=draw(st.booleans()),
+        )
+    return schema
+
+
+@given(random_schemas())
+@settings(max_examples=40, deadline=None)
+def test_dictionary_round_trip_random(schema):
+    dictionary = GraphDictionary()
+    dictionary.store(schema)
+    loaded = dictionary.load(schema.schema_oid)
+    assert {n.type_name for n in loaded.nodes} == {n.type_name for n in schema.nodes}
+    for edge in schema.edges:
+        back = loaded.get_edge(edge.type_name)
+        assert back.source.type_name == edge.source.type_name
+        assert back.target.type_name == edge.target.type_name
+        assert back.multiplicity == edge.multiplicity
+        assert [a.name for a in back.attributes] == [a.name for a in edge.attributes]
+    assert len(loaded.generalizations) == len(schema.generalizations)
+    for original, back in zip(
+        sorted(schema.generalizations, key=lambda g: str(g.oid)),
+        sorted(loaded.generalizations, key=lambda g: str(g.oid)),
+    ):
+        assert back.is_total == original.is_total
+        assert back.is_disjoint == original.is_disjoint
+        assert {c.type_name for c in back.children} == {
+            c.type_name for c in original.children
+        }

@@ -1,0 +1,308 @@
+"""Deployment backends: relational engine, DDL, graph store, triple store."""
+
+import pytest
+
+from repro.deploy import (
+    CSVDataset,
+    GraphStore,
+    RelationalEngine,
+    TripleStore,
+    generate_cypher_constraints,
+    generate_ddl,
+    generate_label_documentation,
+    generate_rdfs,
+    load_graph_store,
+    load_triple_store,
+    parse_ddl,
+)
+from repro.errors import DeploymentError, IntegrityError
+from repro.models.relational import Column, ForeignKey, RelationalSchema, Table
+from repro.finkg.company_schema import company_super_schema
+from repro.ssst import SSST
+
+
+@pytest.fixture()
+def mini_schema():
+    schema = RelationalSchema("mini")
+    schema.tables["person"] = Table("person", [
+        Column("pid", "string", is_pk=True),
+        Column("age", "int", optional=True),
+        Column("name", "string"),
+    ])
+    schema.tables["pet"] = Table("pet", [
+        Column("tag", "string", is_pk=True),
+        Column("owner_pid", "string"),
+    ])
+    schema.foreign_keys.append(
+        ForeignKey("fk_owner", "pet", ["owner_pid"], "person", ["pid"])
+    )
+    return schema
+
+
+@pytest.fixture()
+def engine(mini_schema):
+    engine = RelationalEngine()
+    engine.deploy(mini_schema)
+    return engine
+
+
+class TestRelationalEngine:
+    def test_insert_and_select(self, engine):
+        engine.insert("person", pid="p1", name="Ada", age=36)
+        engine.insert("person", pid="p2", name="Bob")
+        assert engine.count("person") == 2
+        assert list(engine.select("person", pid="p1"))[0]["name"] == "Ada"
+
+    def test_primary_key_enforced(self, engine):
+        engine.insert("person", pid="p1", name="Ada")
+        with pytest.raises(IntegrityError):
+            engine.insert("person", pid="p1", name="Imposter")
+
+    def test_not_null_enforced(self, engine):
+        with pytest.raises(IntegrityError):
+            engine.insert("person", pid="p1")  # name missing
+
+    def test_domain_enforced(self, engine):
+        with pytest.raises(IntegrityError):
+            engine.insert("person", pid="p1", name="Ada", age="old")
+
+    def test_unknown_column_rejected(self, engine):
+        with pytest.raises(IntegrityError):
+            engine.insert("person", pid="p1", name="A", shoe_size=42)
+
+    def test_foreign_key_enforced(self, engine):
+        with pytest.raises(IntegrityError):
+            engine.insert("pet", tag="t1", owner_pid="ghost")
+        engine.insert("person", pid="p1", name="Ada")
+        engine.insert("pet", tag="t1", owner_pid="p1")
+
+    def test_deferred_constraints(self, engine):
+        with engine.deferred():
+            engine.insert("pet", tag="t1", owner_pid="p1")  # forward ref
+            engine.insert("person", pid="p1", name="Ada")
+        with pytest.raises(IntegrityError):
+            with engine.deferred():
+                engine.insert("pet", tag="t2", owner_pid="nobody")
+
+    def test_extract_source_protocol(self, engine):
+        engine.insert("person", pid="p1", name="Ada", age=1)
+        rows = list(engine.extract("person"))
+        assert rows == [("p1", 1, "Ada")]  # pk first, then alphabetical
+        assert list(engine.extract("person(name, pid)")) == [("Ada", "p1")]
+
+    def test_unknown_table(self, engine):
+        with pytest.raises(DeploymentError):
+            engine.insert("ghosts", a=1)
+
+
+class TestDDL:
+    def test_generate_contains_constraints(self, mini_schema):
+        ddl = generate_ddl(mini_schema)
+        assert "CREATE TABLE person" in ddl
+        assert "pid VARCHAR(255) NOT NULL" in ddl
+        assert "age INTEGER" in ddl and "age INTEGER NOT NULL" not in ddl
+        assert "PRIMARY KEY (pid)" in ddl
+        assert "FOREIGN KEY (owner_pid) REFERENCES person (pid)" in ddl
+
+    def test_round_trip(self, mini_schema):
+        parsed = parse_ddl(generate_ddl(mini_schema))
+        assert set(parsed.tables) == {"person", "pet"}
+        person = parsed.table("person")
+        assert person.primary_key() == ["pid"]
+        assert person.column("age").optional
+        assert not person.column("name").optional
+        fk = parsed.foreign_keys[0]
+        assert (fk.source_table, fk.target_table) == ("pet", "person")
+
+    def test_company_ddl_round_trip(self):
+        schema = SSST().translate(company_super_schema(), "relational").target_schema
+        parsed = parse_ddl(generate_ddl(schema))
+        assert set(parsed.tables) == set(schema.tables)
+        for name, table in schema.tables.items():
+            assert set(parsed.table(name).primary_key()) == set(table.primary_key())
+
+    def test_parsed_ddl_deploys(self, mini_schema):
+        engine = RelationalEngine()
+        engine.deploy(parse_ddl(generate_ddl(mini_schema)))
+        engine.insert("person", pid="p", name="N")
+
+
+@pytest.fixture(scope="module")
+def pg_store():
+    store = GraphStore()
+    schema = SSST().translate(company_super_schema(), "property-graph").target_schema
+    store.deploy(schema)
+    return store, schema
+
+
+class TestGraphStore:
+    def test_multi_label_node(self, pg_store):
+        store, _ = pg_store
+        store.create_node(
+            "b9", ["Business", "LegalPerson", "Person"],
+            fiscalCode="F9", businessName="B", legalNature="spa",
+            shareholdingCapital=1.0,
+        )
+        assert store.labels_of("b9") == {"Business", "LegalPerson", "Person"}
+
+    def test_unknown_label_rejected(self, pg_store):
+        store, _ = pg_store
+        with pytest.raises(IntegrityError):
+            store.create_node("x", ["Spaceship"], fiscalCode="F")
+
+    def test_undeclared_property_rejected(self, pg_store):
+        store, _ = pg_store
+        with pytest.raises(IntegrityError):
+            store.create_node(
+                "x", ["Person"], fiscalCode="FX", favouriteColor="blue"
+            )
+
+    def test_unique_constraint(self, pg_store):
+        store, _ = pg_store
+        store.create_node("u1", ["Person"], fiscalCode="UNIQ-1")
+        with pytest.raises(IntegrityError):
+            store.create_node("u2", ["Person"], fiscalCode="UNIQ-1")
+
+    def test_relationship_endpoint_labels_checked(self, pg_store):
+        store, _ = pg_store
+        store.create_node("pl", ["Place"], placeId="PL", street="s",
+                          city="c", postalCode="p")
+        with pytest.raises(IntegrityError):
+            # RESIDES goes Person -> Place, not Place -> Person.
+            store.create_relationship("pl", "u1", "RESIDES")
+        store.create_relationship("u1", "pl", "RESIDES")
+
+    def test_cypher_rendering(self, pg_store):
+        _, schema = pg_store
+        cypher = generate_cypher_constraints(schema)
+        assert "REQUIRE n.fiscalCode IS UNIQUE" in cypher
+        docs = generate_label_documentation(schema)
+        assert "(:Person)" in docs
+
+
+class TestTripleStore:
+    @pytest.fixture()
+    def store(self):
+        store = TripleStore()
+        schema = SSST().translate(company_super_schema(), "rdf").target_schema
+        store.deploy(schema)
+        return store
+
+    def test_subclass_inference(self, store):
+        store.add("b1", "rdf:type", "Business")
+        assert "b1" in store.instances_of("LegalPerson")
+        assert "b1" in store.instances_of("Person")
+
+    def test_domain_range_typing(self, store):
+        store.add("b1", "rdf:type", "Business")
+        store.add("b2", "rdf:type", "Business")
+        store.add("b1", "OWNS", "b2")
+        # rdfs2: the subject of OWNS is typed with its domain (Person).
+        assert "b1" in store.instances_of("Person")
+
+    def test_undeclared_predicate_rejected(self, store):
+        with pytest.raises(IntegrityError):
+            store.add("a", "LIKES", "b")
+
+    def test_domain_violation_rejected(self, store):
+        store.add("pl", "rdf:type", "Place")
+        with pytest.raises(IntegrityError):
+            store.add("pl", "OWNS", "pl")  # a Place cannot own
+
+    def test_pattern_queries(self, store):
+        store.add("b1", "rdf:type", "Business")
+        store.add("b2", "rdf:type", "Business")
+        store.add("b1", "OWNS", "b2")
+        assert set(store.extract("OWNS")) == {("b1", "b2")}
+        assert ("b1",) in set(store.extract("rdf:type Business"))
+
+    def test_rdfs_document(self):
+        schema = SSST().translate(company_super_schema(), "rdf").target_schema
+        doc = generate_rdfs(schema)
+        assert "kg:PhysicalPerson rdfs:subClassOf kg:Person ." in doc
+        assert "rdfs:domain kg:Person" in doc
+        assert "@prefix rdfs:" in doc
+
+
+class TestLoaders:
+    def test_graph_store_loader(self, company_schema, tiny_instance):
+        store = GraphStore()
+        schema = SSST().translate(
+            company_super_schema(), "property-graph"
+        ).target_schema
+        store.deploy(schema)
+        nodes, edges = load_graph_store(company_schema, tiny_instance, store)
+        assert nodes == tiny_instance.node_count
+        assert edges == tiny_instance.edge_count
+        # MTV-style extraction works against the deployed store.
+        rows = list(store.extract("(n:Business) return n"))
+        assert len(rows) == 3
+
+    def test_triple_store_loader(self, company_schema, tiny_instance):
+        store = TripleStore()
+        schema = SSST().translate(company_super_schema(), "rdf").target_schema
+        store.deploy(schema)
+        added = load_triple_store(company_schema, tiny_instance, store)
+        assert added > 0
+        assert "B1" in store.instances_of("Person")
+        assert ("p1", "S0") in set(store.extract("HOLDS"))
+
+
+class TestCSVModel:
+    @pytest.fixture(scope="class")
+    def csv_schema(self):
+        return SSST().translate(company_super_schema(), "csv").target_schema
+
+    def test_translation_mirrors_relational_layout(self, csv_schema):
+        relational = SSST().translate(
+            company_super_schema(), "relational"
+        ).target_schema
+        assert set(csv_schema.files) == set(relational.tables)
+        for name, table in relational.tables.items():
+            assert set(csv_schema.file(name).header()) == {
+                c.name for c in table.columns
+            }
+
+    def test_no_constraints_survive(self, csv_schema):
+        # The CSV model keeps only a documentation-level isId marker.
+        share = csv_schema.file("Share")
+        assert "BELONGS_TO_fiscalCode" in share.header()  # bare reference
+        id_columns = [c for c in share.columns if c.is_id]
+        assert [c.name for c in id_columns] == ["shareId"]
+
+    def test_dataset_round_trip(self, csv_schema):
+        dataset = CSVDataset()
+        dataset.deploy(csv_schema)
+        dataset.append("Person", fiscalCode="X1")
+        dataset.append(
+            "HOLDS", HOLDS_src_fiscalCode="X1", HOLDS_tgt_shareId="S1",
+            right="ownership",
+        )
+        text = dataset.render("HOLDS")
+        assert text.splitlines()[0] == "HOLDS_src_fiscalCode,HOLDS_tgt_shareId,right"
+        other = CSVDataset()
+        other.deploy(csv_schema)
+        assert other.load_text("HOLDS", text) == 1
+        assert list(other.extract("HOLDS")) == [("X1", "S1", "ownership")]
+
+    def test_unknown_column_rejected(self, csv_schema):
+        dataset = CSVDataset()
+        dataset.deploy(csv_schema)
+        with pytest.raises(IntegrityError):
+            dataset.append("Person", shoeSize=42)
+
+    def test_header_mismatch_rejected(self, csv_schema):
+        dataset = CSVDataset()
+        dataset.deploy(csv_schema)
+        with pytest.raises(IntegrityError):
+            dataset.load_text("Person", "wrong,header\n1,2\n")
+
+    def test_none_round_trips_as_empty_cell(self, csv_schema):
+        dataset = CSVDataset()
+        dataset.deploy(csv_schema)
+        dataset.append("Person", fiscalCode="X1")  # RESIDES_placeId absent
+        text = dataset.render("Person")
+        other = CSVDataset()
+        other.deploy(csv_schema)
+        other.load_text("Person", text)
+        assert other.rows("Person")[0]["RESIDES_placeId"] is None

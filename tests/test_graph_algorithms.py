@@ -1,0 +1,154 @@
+"""Graph algorithms, cross-checked against NetworkX property-based."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import algorithms
+from repro.graph.property_graph import PropertyGraph
+
+
+class TestSCC:
+    def test_simple_digraph(self, simple_digraph):
+        components = {
+            frozenset(c)
+            for c in algorithms.strongly_connected_components(simple_digraph)
+        }
+        assert frozenset({"a", "b", "c"}) in components
+        assert frozenset({"d", "e"}) in components
+        assert frozenset({"f"}) in components
+        assert frozenset({"g"}) in components
+
+    def test_empty_graph(self):
+        assert algorithms.strongly_connected_components(PropertyGraph()) == []
+
+    def test_self_loop(self):
+        g = PropertyGraph()
+        g.add_node("x")
+        g.add_edge("x", "x")
+        assert algorithms.strongly_connected_components(g) == [["x"]]
+
+    def test_deep_chain_no_recursion_error(self):
+        g = PropertyGraph()
+        n = 5000
+        for i in range(n):
+            g.add_node(i)
+        for i in range(n - 1):
+            g.add_edge(i, i + 1)
+        assert len(algorithms.strongly_connected_components(g)) == n
+
+
+class TestWCC:
+    def test_simple_digraph(self, simple_digraph):
+        components = {
+            frozenset(c)
+            for c in algorithms.weakly_connected_components(simple_digraph)
+        }
+        assert components == {
+            frozenset({"a", "b", "c", "d", "e"}),
+            frozenset({"f", "g"}),
+        }
+
+    def test_isolated_nodes(self):
+        g = PropertyGraph()
+        g.add_node(1)
+        g.add_node(2)
+        assert len(algorithms.weakly_connected_components(g)) == 2
+
+
+class TestClustering:
+    def test_triangle(self):
+        g = PropertyGraph()
+        for n in "abc":
+            g.add_node(n)
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        g.add_edge("c", "a")
+        assert algorithms.clustering_coefficient(g) == pytest.approx(1.0)
+
+    def test_star_has_zero_clustering(self):
+        g = PropertyGraph()
+        g.add_node("hub")
+        for i in range(5):
+            g.add_node(i)
+            g.add_edge("hub", i)
+        assert algorithms.clustering_coefficient(g) == 0.0
+
+    def test_matches_networkx(self, simple_digraph):
+        ours = algorithms.clustering_coefficient(simple_digraph)
+        undirected = nx.Graph(simple_digraph.to_networkx().to_undirected())
+        undirected.remove_edges_from(nx.selfloop_edges(undirected))
+        theirs = nx.average_clustering(undirected)
+        assert ours == pytest.approx(theirs)
+
+
+class TestReachability:
+    def test_descendants_and_ancestors(self, simple_digraph):
+        assert algorithms.descendants(simple_digraph, "a") == {"a", "b", "c", "d", "e"}
+        assert algorithms.ancestors(simple_digraph, "g") == {"f"}
+
+    def test_topological_order(self):
+        g = PropertyGraph()
+        for n in "abcd":
+            g.add_node(n)
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        g.add_edge("a", "d")
+        order = algorithms.topological_order(g)
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_topological_order_rejects_cycles(self, simple_digraph):
+        with pytest.raises(ValueError):
+            algorithms.topological_order(simple_digraph)
+
+
+@st.composite
+def random_digraphs(draw):
+    n = draw(st.integers(min_value=1, max_value=14))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            max_size=40,
+        )
+    )
+    return n, edges
+
+
+@given(random_digraphs())
+@settings(max_examples=60, deadline=None)
+def test_scc_matches_networkx(case):
+    n, edges = case
+    g = PropertyGraph()
+    nxg = nx.MultiDiGraph()
+    for i in range(n):
+        g.add_node(i)
+        nxg.add_node(i)
+    seen = set()
+    for source, target in edges:
+        key = (source, target, len(seen))
+        seen.add(key)
+        g.add_edge(source, target)
+        nxg.add_edge(source, target)
+    ours = {frozenset(c) for c in algorithms.strongly_connected_components(g)}
+    theirs = {frozenset(c) for c in nx.strongly_connected_components(nxg)}
+    assert ours == theirs
+
+
+@given(random_digraphs())
+@settings(max_examples=60, deadline=None)
+def test_wcc_matches_networkx(case):
+    n, edges = case
+    g = PropertyGraph()
+    nxg = nx.MultiDiGraph()
+    for i in range(n):
+        g.add_node(i)
+        nxg.add_node(i)
+    for source, target in edges:
+        g.add_edge(source, target)
+        nxg.add_edge(source, target)
+    ours = {frozenset(c) for c in algorithms.weakly_connected_components(g)}
+    theirs = {frozenset(c) for c in nx.weakly_connected_components(nxg)}
+    assert ours == theirs

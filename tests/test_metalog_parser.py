@@ -1,0 +1,207 @@
+"""MetaLog concrete-syntax parser tests (Section 4 grammar)."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.metalog import parse_metalog, parse_metalog_rule
+from repro.metalog.ast import (
+    EdgeAtom,
+    GraphPattern,
+    NodeAtom,
+    PathAlt,
+    PathEdge,
+    PathSeq,
+    PathStar,
+)
+from repro.vadalog.ast import Assignment, Condition
+from repro.vadalog.terms import Variable
+
+
+class TestAtoms:
+    def test_node_atom_full(self):
+        rule = parse_metalog_rule(
+            '(x: PhysicalPerson; name: n, gender: "male") -> exists c : (x)[c: OK](x).'
+        )
+        atom = rule.body[0].elements[0]
+        assert atom.variable == Variable("x")
+        assert atom.label == "PhysicalPerson"
+        assert atom.attributes == (("name", Variable("n")), ("gender", "male"))
+
+    def test_bare_node_atom(self):
+        rule = parse_metalog_rule("(x: A) -> exists c : (x)[c: E](x).")
+        head_pattern = rule.head[0]
+        assert head_pattern.elements[0] == NodeAtom(Variable("x"), None, ())
+
+    def test_label_only_node_atom(self):
+        rule = parse_metalog_rule('(: SM_Type; name: w) -> exists c : (c: T; name: w).')
+        atom = rule.body[0].elements[0]
+        assert atom.variable is None and atom.label == "SM_Type"
+
+    def test_edge_atom_with_attributes(self):
+        rule = parse_metalog_rule(
+            '(x: A)[o: HOLDS; right: "ownership", percentage: s](y: B) -> exists c : (x)[c: R](y).'
+        )
+        path = rule.body[0].elements[1]
+        assert isinstance(path, PathEdge)
+        assert path.edge.variable == Variable("o")
+        assert path.edge.attributes[0] == ("right", "ownership")
+
+    def test_anonymous_edge(self):
+        rule = parse_metalog_rule("(x: A)[: R](y: B) -> exists c : (x)[c: S](y).")
+        assert rule.body[0].elements[1].edge.variable is None
+
+    def test_chain_of_three_nodes(self):
+        rule = parse_metalog_rule(
+            "(x: A)[:R](z: B)[:S](y: C) -> exists c : (x)[c: T](y)."
+        )
+        pattern = rule.body[0]
+        assert len(pattern.node_atoms) == 3
+        assert len(pattern.paths) == 2
+        hops = pattern.hops()
+        assert hops[0][0].variable == Variable("x")
+        assert hops[1][2].variable == Variable("y")
+
+
+class TestPathExpressions:
+    def test_example_4_3_star(self):
+        rule = parse_metalog_rule(
+            "(x: SM_Node) ([:SM_CHILD]- . [:SM_PARENT])* (y: SM_Node)"
+            " -> exists w : (x)[w: DESCFROM](y)."
+        )
+        path = rule.body[0].elements[1]
+        assert isinstance(path, PathStar)
+        assert isinstance(path.inner, PathSeq)
+        first, second = path.inner.parts
+        assert first.edge.inverted and first.edge.label == "SM_CHILD"
+        assert not second.edge.inverted and second.edge.label == "SM_PARENT"
+
+    def test_alternation(self):
+        rule = parse_metalog_rule(
+            "(x: A) ([:R] | [:S]) (y: B) -> exists c : (x)[c: T](y)."
+        )
+        path = rule.body[0].elements[1]
+        assert isinstance(path, PathAlt)
+        assert len(path.options) == 2
+
+    def test_precedence_alt_under_star(self):
+        rule = parse_metalog_rule(
+            "(x: A) ([:R] | [:S] . [:T])* (y: B) -> exists c : (x)[c: U](y)."
+        )
+        path = rule.body[0].elements[1]
+        assert isinstance(path, PathStar)
+        assert isinstance(path.inner, PathAlt)
+        assert isinstance(path.inner.options[1], PathSeq)
+
+    def test_composite_inverse(self):
+        rule = parse_metalog_rule(
+            "(x: A) ([:R] . [:S])- (y: B) -> exists c : (x)[c: T](y)."
+        )
+        from repro.metalog.ast import PathInverse
+
+        assert isinstance(rule.body[0].elements[1], PathInverse)
+
+    def test_edge_inverse_is_immediate(self):
+        rule = parse_metalog_rule("(x: A)[:R]-(y: B) -> exists c : (x)[c: T](y).")
+        assert rule.body[0].elements[1].edge.inverted
+
+    def test_star_detection(self):
+        starry = parse_metalog_rule(
+            "(x: A) ([:R])* (y: B) -> exists c : (x)[c: T](y)."
+        )
+        plain = parse_metalog_rule("(x: A)[:R](y: B) -> exists c : (x)[c: T](y).")
+        assert starry.contains_star() and not plain.contains_star()
+
+
+class TestConditionsAndHead:
+    def test_condition_and_aggregate(self):
+        rule = parse_metalog_rule(
+            "(x: B)[:OWNS; percentage: w](y: B), v = msum(w, <x>), v > 0.5"
+            " -> exists c : (x)[c: CONTROLS](y)."
+        )
+        assert isinstance(rule.body[1], Assignment)
+        assert isinstance(rule.body[2], Condition)
+
+    def test_existential_plain_and_skolem(self):
+        rule = parse_metalog_rule(
+            "(n: SM_Node) -> exists x = skN(n), h : (x: SM_Node)[h: L](x)."
+        )
+        first, second = rule.existentials
+        assert first.variable == Variable("x") and first.functor == "skN"
+        assert first.arguments == (Variable("n"),)
+        assert second.functor is None
+
+    def test_exists_without_colon(self):
+        rule = parse_metalog_rule("(x: A) -> exists c (x)[c: R](x).")
+        assert rule.existentials[0].variable == Variable("c")
+
+    def test_multiple_head_patterns(self):
+        rule = parse_metalog_rule(
+            "(e: X) -> exists a, b : (a: P; schemaOID: 1), (a)[b: Q](a)."
+        )
+        assert len(rule.head) == 2
+
+    def test_numeric_and_boolean_attribute_constants(self):
+        rule = parse_metalog_rule(
+            "(n: SM_Node; schemaOID: 123, isIntensional: false, weight: -2.5)"
+            " -> exists c : (n)[c: R](n)."
+        )
+        attrs = dict(rule.body[0].elements[0].attributes)
+        assert attrs["schemaOID"] == 123
+        assert attrs["isIntensional"] is False
+        assert attrs["weight"] == -2.5
+
+    def test_label_sets(self):
+        program = parse_metalog(
+            "(x: A)[:R](y: B) -> exists c : (x)[c: S](y).\n"
+            "(x: B) -> exists c : (x)[c: T](x)."
+        )
+        assert program.node_labels() == {"A", "B"}
+        assert program.edge_labels() == {"R", "S", "T"}
+        assert program.derived_edge_labels() == {"S", "T"}
+
+
+class TestErrors:
+    def test_missing_arrow(self):
+        with pytest.raises(ParseError):
+            parse_metalog("(x: A).")
+
+    def test_unclosed_atom(self):
+        with pytest.raises(ParseError):
+            parse_metalog("(x: A -> exists c : (x)[c: R](x).")
+
+    def test_rule_str_reparses(self):
+        text = (
+            "(x: Business)[:CONTROLS](z: Business)"
+            "[:OWNS; percentage: w](y: Business), v = msum(w, <z>), v > 0.5"
+            " -> exists c : (x)[c: CONTROLS](y)."
+        )
+        rule = parse_metalog_rule(text)
+        assert parse_metalog_rule(str(rule)) == rule
+
+
+class TestNegation:
+    def test_negated_edge_pattern_parses(self):
+        from repro.metalog.ast import NegatedPattern
+
+        rule = parse_metalog_rule(
+            "(x: A), (y: A), not (x)[:R](y) -> exists c : (x)[c: S](y)."
+        )
+        negated = rule.body[2]
+        assert isinstance(negated, NegatedPattern)
+        # The negated label counts toward the body (it must be extracted).
+        assert rule.body_edge_labels() == {"R"}
+        assert rule.head_edge_labels() == {"S"}
+
+    def test_negated_node_pattern_parses(self):
+        from repro.metalog.ast import NegatedPattern
+
+        rule = parse_metalog_rule(
+            "(x: Person), not (x: Company) -> exists c : (x)[c: PURE](x)."
+        )
+        assert isinstance(rule.body[1], NegatedPattern)
+        assert "Company" in rule.body_node_labels()
+
+    def test_negation_str_reparses(self):
+        text = "(x: A), (y: A), not (x)[:R](y) -> exists c : (x)[c: S](y)."
+        rule = parse_metalog_rule(text)
+        assert parse_metalog_rule(str(rule)) == rule

@@ -1,0 +1,160 @@
+"""Model-layer edge cases and repository behaviour."""
+
+import pytest
+
+from repro.core import GraphDictionary
+from repro.errors import ModelError, SchemaError, TranslationError
+from repro.finkg.company_schema import company_super_schema
+from repro.models import (
+    CSV_MODEL,
+    PROPERTY_GRAPH_MODEL,
+    RDF_MODEL,
+    RELATIONAL_MODEL,
+    Mapping,
+    MappingRepository,
+)
+from repro.models.mappings import intermediate_oid, metalog_const
+from repro.models.relational import RelationalSchema, Table, Column
+from repro.ssst import SSST
+
+
+class TestMetalogConst:
+    def test_renderings(self):
+        assert metalog_const(123) == "123"
+        assert metalog_const(1.5) == "1.5"
+        assert metalog_const(True) == "true"
+        assert metalog_const(False) == "false"
+        assert metalog_const("plain") == '"plain"'
+        assert metalog_const('with "quotes"') == '"with \\"quotes\\""'
+        assert intermediate_oid(123) == "123-"
+
+
+class TestCatalogs:
+    @pytest.mark.parametrize(
+        "model", [PROPERTY_GRAPH_MODEL, RELATIONAL_MODEL, RDF_MODEL, CSV_MODEL]
+    )
+    def test_catalog_covers_all_constructs(self, model):
+        catalog = model.catalog()
+        declared_nodes = {
+            c.name for c in model.constructs if not c.is_link
+        }
+        declared_links = {c.name for c in model.constructs if c.is_link}
+        assert declared_nodes <= set(catalog.node_properties)
+        assert declared_links <= set(catalog.edge_properties)
+
+    def test_construct_table_lists_everything(self):
+        table = CSV_MODEL.construct_table()
+        assert "CSVFile" in table and "SM_Type" in table
+
+
+class TestSchemaParsers:
+    def test_pg_schema_lookup_errors(self):
+        result = SSST().translate(company_super_schema(), "property-graph")
+        schema = result.target_schema
+        with pytest.raises(ModelError):
+            schema.node_class_by_label("Martian")
+        with pytest.raises(ModelError):
+            schema.node_class_by_oid("nope")
+
+    def test_relational_lookup_errors(self):
+        schema = RelationalSchema("x")
+        with pytest.raises(ModelError):
+            schema.table("ghost")
+        table = Table("t", [Column("a")])
+        with pytest.raises(ModelError):
+            table.column("b")
+
+    def test_table_primary_key_order(self):
+        table = Table("t", [
+            Column("z", is_pk=True), Column("a", is_pk=True), Column("m"),
+        ])
+        assert table.primary_key() == ["z", "a"]
+
+
+class TestRepository:
+    def test_custom_registration_and_defaults(self):
+        repo = MappingRepository()
+        mapping = Mapping(
+            CSV_MODEL, "custom", "test", lambda s, i: "", lambda i, t: ""
+        )
+        repo.register(mapping)
+        assert repo.select("csv") is mapping
+        second = Mapping(
+            CSV_MODEL, "other", "test", lambda s, i: "", lambda i, t: ""
+        )
+        repo.register(second, default=True)
+        assert repo.select("csv") is second  # default jumps the queue
+        assert repo.select("csv", "custom") is mapping
+
+    def test_duplicate_strategy_rejected(self):
+        repo = MappingRepository()
+        mapping = Mapping(
+            CSV_MODEL, "s", "test", lambda s, i: "", lambda i, t: ""
+        )
+        repo.register(mapping)
+        with pytest.raises(ModelError):
+            repo.register(mapping)
+
+    def test_unknown_model_lookup(self):
+        repo = MappingRepository()
+        with pytest.raises(ModelError):
+            repo.model("nothing")
+
+    def test_mapping_programs_custom_intermediate(self):
+        repo = MappingRepository()
+        captured = {}
+
+        def eliminate(source, inter):
+            captured["inter"] = inter
+            return ""
+
+        mapping = Mapping(CSV_MODEL, "s", "t", eliminate, lambda i, t: "")
+        eliminate_text, copy_text, inter = mapping.programs(9, "tgt", "CUSTOM")
+        assert inter == "CUSTOM" and captured["inter"] == "CUSTOM"
+
+
+class TestSharedDictionaryTranslations:
+    def test_two_models_one_dictionary(self, company_schema):
+        """Intermediate schemas of different targets must not collide."""
+        dictionary = GraphDictionary()
+        dictionary.store(company_schema)
+        ssst = SSST()
+        pg = ssst.translate_stored(dictionary, 123, "property-graph")
+        relational = ssst.translate_stored(dictionary, 123, "relational")
+        assert pg.intermediate_oid != relational.intermediate_oid
+        # Both translations are complete and correct despite sharing the
+        # dictionary graph.
+        assert len(pg.target_schema.node_classes) == 11
+        assert "HOLDS" in relational.target_schema.tables
+        business = relational.target_schema.table("Business")
+        assert business.primary_key() == ["isA_Business_fiscalCode"]
+
+
+class TestSigmaRelationalGuards:
+    def test_composite_identifier_rejected(self):
+        from repro.core import SuperSchema
+        from repro.metalog import parse_metalog
+        from repro.ssst import translate_sigma_for_relational
+
+        schema = SuperSchema("C", 5)
+        node = schema.node("Pair")
+        node.attribute("k1", is_id=True)
+        node.attribute("k2", is_id=True)
+        schema.edge("LINKS", node, node, is_intensional=True)
+        relational = SSST().translate(schema, "relational").target_schema
+        sigma = parse_metalog("(x: Pair) -> exists c : (x)[c: LINKS](x).")
+        with pytest.raises(TranslationError):
+            translate_sigma_for_relational(sigma, schema, relational)
+
+    def test_unknown_attribute_rejected(self, company_schema):
+        from repro.metalog import parse_metalog
+        from repro.ssst import translate_sigma_for_relational
+
+        relational = SSST().translate(
+            company_super_schema(), "relational"
+        ).target_schema
+        sigma = parse_metalog(
+            "(x: Business; mood: m) -> exists c : (x)[c: CONTROLS](x)."
+        )
+        with pytest.raises(TranslationError):
+            translate_sigma_for_relational(sigma, company_schema, relational)

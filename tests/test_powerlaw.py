@@ -1,0 +1,61 @@
+"""Power-law fitting tests (the scale-free check of Section 2.1)."""
+
+import math
+import random
+
+import pytest
+
+from repro.graph.powerlaw import fit_power_law
+
+
+def zipf_sample(rng, alpha, size, k_max=10_000):
+    """Inverse-CDF sampling from a truncated discrete power law."""
+    weights = [k ** -alpha for k in range(1, k_max + 1)]
+    total = sum(weights)
+    out = []
+    for _ in range(size):
+        u = rng.random() * total
+        acc = 0.0
+        for k, w in enumerate(weights, start=1):
+            acc += w
+            if acc >= u:
+                out.append(k)
+                break
+    return out
+
+
+class TestFit:
+    def test_recovers_exponent(self):
+        rng = random.Random(1234)
+        degrees = zipf_sample(rng, alpha=2.5, size=3000)
+        fit = fit_power_law(degrees, k_min=1)
+        assert 2.2 < fit.alpha < 2.8
+
+    def test_power_law_beats_exponential_on_zipf(self):
+        rng = random.Random(99)
+        degrees = zipf_sample(rng, alpha=2.2, size=2000)
+        fit = fit_power_law(degrees)
+        assert fit.is_plausibly_scale_free
+
+    def test_exponential_data_is_not_scale_free(self):
+        rng = random.Random(7)
+        degrees = [max(1, int(rng.expovariate(0.4))) for _ in range(3000)]
+        fit = fit_power_law(degrees, k_min=1)
+        assert not fit.is_plausibly_scale_free
+
+    def test_kmin_scan_picks_reasonable_cutoff(self):
+        rng = random.Random(5)
+        # Power law only above k=4: uniform noise below.
+        tail = zipf_sample(rng, alpha=2.4, size=1500)
+        noise = [rng.randint(1, 4) for _ in range(1500)]
+        fit = fit_power_law(tail + noise)
+        assert fit.k_min >= 1
+        assert fit.n_tail > 100
+
+    def test_degenerate_input_raises(self):
+        with pytest.raises(ValueError):
+            fit_power_law([0, 0, 0])
+
+    def test_all_equal_degrees(self):
+        fit = fit_power_law([3] * 100, k_min=1)
+        assert math.isfinite(fit.alpha)

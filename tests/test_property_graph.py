@@ -1,0 +1,122 @@
+"""Property-graph substrate tests."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.property_graph import PropertyGraph
+
+
+@pytest.fixture()
+def graph():
+    g = PropertyGraph("g")
+    g.add_node("a", "Person", name="Ada")
+    g.add_node("b", "Person", name="Bob")
+    g.add_node("c", "Company", name="ACME")
+    g.add_edge("a", "c", "OWNS", edge_id="e1", percentage=0.6)
+    g.add_edge("b", "c", "OWNS", edge_id="e2", percentage=0.4)
+    g.add_edge("a", "b", "KNOWS", edge_id="e3")
+    return g
+
+
+class TestConstruction:
+    def test_counts(self, graph):
+        assert graph.node_count == 3
+        assert graph.edge_count == 3
+        assert len(graph) == 3
+
+    def test_auto_ids_are_fresh(self):
+        g = PropertyGraph()
+        first = g.add_node()
+        second = g.add_node()
+        assert first.id != second.id
+
+    def test_duplicate_node_rejected(self, graph):
+        with pytest.raises(GraphError):
+            graph.add_node("a")
+
+    def test_duplicate_edge_id_rejected(self, graph):
+        with pytest.raises(GraphError):
+            graph.add_edge("a", "b", edge_id="e1")
+
+    def test_edge_requires_existing_endpoints(self, graph):
+        with pytest.raises(GraphError):
+            graph.add_edge("a", "missing")
+        with pytest.raises(GraphError):
+            graph.add_edge("missing", "a")
+
+
+class TestAccess:
+    def test_labels(self, graph):
+        assert graph.node_labels() == {"Person", "Company"}
+        assert graph.edge_labels() == {"OWNS", "KNOWS"}
+
+    def test_nodes_by_label(self, graph):
+        assert {n.id for n in graph.nodes("Person")} == {"a", "b"}
+        assert {n.id for n in graph.nodes()} == {"a", "b", "c"}
+
+    def test_edges_by_label(self, graph):
+        assert {e.id for e in graph.edges("OWNS")} == {"e1", "e2"}
+
+    def test_adjacency(self, graph):
+        assert {e.target for e in graph.out_edges("a")} == {"c", "b"}
+        assert {e.source for e in graph.in_edges("c")} == {"a", "b"}
+        assert {n.id for n in graph.successors("a", "OWNS")} == {"c"}
+        assert {n.id for n in graph.predecessors("c")} == {"a", "b"}
+
+    def test_degrees(self, graph):
+        assert graph.out_degree("a") == 2
+        assert graph.in_degree("c") == 2
+        assert graph.in_degree("a") == 0
+
+    def test_property_access(self, graph):
+        assert graph.node("a")["name"] == "Ada"
+        assert graph.node("a").get("missing", 1) == 1
+        assert graph.edge("e1")["percentage"] == 0.6
+
+    def test_unknown_node_raises(self, graph):
+        with pytest.raises(GraphError):
+            graph.node("zzz")
+
+    def test_find_nodes_and_edges(self, graph):
+        assert [n.id for n in graph.find_nodes("Person", name="Ada")] == ["a"]
+        found = list(graph.find_edges("OWNS", source="a"))
+        assert [e.id for e in found] == ["e1"]
+        assert [e.id for e in graph.find_edges("OWNS", target="c", percentage=0.4)] == ["e2"]
+
+
+class TestMutation:
+    def test_set_properties(self, graph):
+        graph.set_node_property("a", "age", 36)
+        graph.set_edge_property("e1", "percentage", 0.7)
+        assert graph.node("a")["age"] == 36
+        assert graph.edge("e1")["percentage"] == 0.7
+
+    def test_remove_edge_updates_indexes(self, graph):
+        graph.remove_edge("e1")
+        assert graph.edge_count == 2
+        assert graph.out_degree("a") == 1
+        assert "e1" not in {e.id for e in graph.edges("OWNS")}
+
+    def test_remove_node_cascades(self, graph):
+        graph.remove_node("c")
+        assert graph.node_count == 2
+        assert graph.edge_count == 1  # only KNOWS survives
+        assert not graph.has_edge("e1")
+
+
+class TestInterop:
+    def test_copy_is_independent(self, graph):
+        clone = graph.copy()
+        clone.set_node_property("a", "name", "Eve")
+        assert graph.node("a")["name"] == "Ada"
+        assert clone.node_count == graph.node_count
+
+    def test_networkx_round_trip(self, graph):
+        nxg = graph.to_networkx()
+        assert nxg.number_of_nodes() == 3
+        assert nxg.number_of_edges() == 3
+        back = PropertyGraph.from_networkx(nxg)
+        assert back.node_count == 3
+        assert back.edge_count == 3
+        assert back.node("a").label == "Person"
+        assert next(iter(back.edges("KNOWS"))).source == "a"

@@ -1,0 +1,157 @@
+"""Cross-cutting property-based invariants (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.finkg.control import control_pairs
+from repro.finkg.ownership import integrated_ownership
+from repro.graph import summarize
+from repro.graph.property_graph import PropertyGraph
+from repro.vadalog import Engine, parse_program
+
+
+@st.composite
+def normalized_stakes(draw):
+    """Random stake sets with no over-assigned company."""
+    n = draw(st.integers(2, 7))
+    entities = [f"e{i}" for i in range(n)]
+    stakes = {}
+    for _ in range(draw(st.integers(1, 12))):
+        owner = draw(st.sampled_from(entities))
+        company = draw(st.sampled_from(entities))
+        if owner != company:
+            stakes[(owner, company)] = draw(st.floats(0.05, 1.0))
+    inbound = {}
+    for (_, company), pct in stakes.items():
+        inbound[company] = inbound.get(company, 0.0) + pct
+    return [
+        (owner, company, pct / max(1.0, inbound[company] / 0.95))
+        for (owner, company), pct in sorted(stakes.items())
+    ]
+
+
+class TestControlInvariants:
+    @given(normalized_stakes(), st.floats(0.1, 0.9))
+    @settings(max_examples=40, deadline=None)
+    def test_control_is_monotone_in_threshold(self, stakes, threshold):
+        """Lowering the threshold can only add control pairs."""
+        strict = control_pairs(stakes, threshold=threshold)
+        loose = control_pairs(stakes, threshold=threshold / 2)
+        assert strict <= loose
+
+    @given(normalized_stakes())
+    @settings(max_examples=40, deadline=None)
+    def test_adding_a_stake_is_monotone(self, stakes):
+        """More ownership never destroys existing control."""
+        before = control_pairs(stakes)
+        extended = stakes + [("fresh-owner", "e0", 0.02)]
+        after = control_pairs(extended)
+        assert before <= after
+
+    @given(normalized_stakes())
+    @settings(max_examples=40, deadline=None)
+    def test_control_is_transitively_closed(self, stakes):
+        pairs = control_pairs(stakes)
+        for a, b in pairs:
+            for c, d in pairs:
+                # Self-control pairs are excluded from the result by
+                # definition (Example 4.1 seeds them but they carry no
+                # information), so transitivity is checked modulo a != d.
+                if b == c and a != d:
+                    assert (a, d) in pairs
+
+
+class TestOwnershipInvariants:
+    @given(normalized_stakes())
+    @settings(max_examples=40, deadline=None)
+    def test_values_in_unit_interval(self, stakes):
+        io = integrated_ownership(stakes)
+        assert all(0.0 <= value <= 1.0 + 1e-9 for value in io.values())
+
+    @given(normalized_stakes())
+    @settings(max_examples=40, deadline=None)
+    def test_at_least_direct_ownership(self, stakes):
+        io = integrated_ownership(stakes)
+        direct = {}
+        for owner, company, pct in stakes:
+            direct[(owner, company)] = direct.get((owner, company), 0.0) + pct
+        for key, pct in direct.items():
+            assert io.get(key, 0.0) >= pct - 1e-9
+
+
+class TestChaseIsAModel:
+    @given(st.lists(st.tuples(st.integers(0, 6), st.integers(0, 6)), max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_closure_satisfies_its_rules(self, edges):
+        """The fixpoint satisfies every rule: no unfired instance left."""
+        result = Engine().run(
+            parse_program(
+                "e(X, Y) -> tc(X, Y).\ntc(X, Y), e(Y, Z) -> tc(X, Z)."
+            ),
+            inputs={"e": edges},
+        )
+        tc = result.facts("tc")
+        edge_set = set(edges)
+        for x, y in edge_set:
+            assert (x, y) in tc
+        for x, y in tc:
+            for y2, z in edge_set:
+                if y2 == y:
+                    assert (x, z) in tc
+
+
+class TestStatisticsInvariants:
+    @given(st.lists(st.tuples(st.integers(0, 9), st.integers(0, 9)), max_size=30))
+    @settings(max_examples=30, deadline=None)
+    def test_component_partitions(self, edges):
+        graph = PropertyGraph()
+        for i in range(10):
+            graph.add_node(i)
+        for source, target in edges:
+            graph.add_edge(source, target)
+        stats = summarize(graph, with_power_law=False, with_clustering=False)
+        assert stats.scc_count <= stats.nodes
+        assert stats.wcc_count <= stats.scc_count  # WCCs merge SCCs
+        assert stats.largest_wcc <= stats.nodes
+        assert stats.largest_scc <= stats.largest_wcc
+        # Averages times counts give back the node total.
+        assert stats.avg_scc_size * stats.scc_count == pytest.approx(stats.nodes)
+        assert stats.avg_wcc_size * stats.wcc_count == pytest.approx(stats.nodes)
+
+
+class TestGSLRoundTripProperty:
+    @given(
+        st.integers(1, 4),
+        st.integers(0, 3),
+        st.booleans(),
+        st.booleans(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_text_round_trip(self, node_count, edge_count, total, disjoint):
+        from repro.core import SuperSchema, parse_gsl, to_gsl_text
+
+        schema = SuperSchema("R", 1)
+        nodes = []
+        for i in range(node_count):
+            node = schema.node(f"N{i}")
+            node.attribute("k", is_id=True)
+            nodes.append(node)
+        for j in range(min(edge_count, node_count)):
+            schema.edge(
+                f"E{j}", nodes[j % node_count], nodes[(j + 1) % node_count],
+                is_intensional=(j % 2 == 0),
+            )
+        if node_count >= 3:
+            schema.generalization(
+                nodes[0], [nodes[1], nodes[2]], total=total, disjoint=disjoint
+            )
+        back = parse_gsl(to_gsl_text(schema))
+        assert {n.type_name for n in back.nodes} == {
+            n.type_name for n in schema.nodes
+        }
+        for edge in schema.edges:
+            assert back.get_edge(edge.type_name).is_intensional == edge.is_intensional
+        assert len(back.generalizations) == len(schema.generalizations)
+        if schema.generalizations:
+            assert back.generalizations[0].is_total == total
+            assert back.generalizations[0].is_disjoint == disjoint

@@ -1,0 +1,74 @@
+"""SQL pushdown of the intensional component (Section 6 future work)."""
+
+import pytest
+
+from repro.deploy import generate_sql_views
+from repro.finkg import programs
+from repro.finkg.company_schema import company_super_schema
+from repro.metalog import parse_metalog
+from repro.ssst import SSST, translate_sigma_for_relational
+
+
+@pytest.fixture(scope="module")
+def relational_schema():
+    return SSST().translate(company_super_schema(), "relational").target_schema
+
+
+def compile_sigma(text, relational_schema):
+    return translate_sigma_for_relational(
+        parse_metalog(text), company_super_schema(), relational_schema
+    )
+
+
+class TestPushdown:
+    def test_owns_program_fully_pushable(self, relational_schema):
+        compiled = compile_sigma(programs.OWNS_PROGRAM, relational_schema)
+        push = generate_sql_views(compiled.program, relational_schema)
+        assert len(push.views) == 1 and not push.retained
+        sql = push.sql()
+        assert "CREATE VIEW v_OWNS AS" in sql
+        assert "SUM(DISTINCT" in sql
+        assert "GROUP BY" in sql
+        assert "t3.right = 'ownership'" in sql
+        assert "IS NOT NULL" in sql  # the FK non-null guard
+        assert "'None'" not in sql
+
+    def test_recursive_rules_are_retained(self, relational_schema):
+        compiled = compile_sigma(programs.CONTROL_PROGRAM, relational_schema)
+        push = generate_sql_views(compiled.program, relational_schema)
+        assert not push.views
+        assert len(push.retained) == 2
+        assert all("recursive" in why for _, why in push.retained)
+
+    def test_plain_join_rule(self, relational_schema):
+        compiled = compile_sigma(
+            "(p: PhysicalPerson; surname: s), (q: PhysicalPerson; surname: s),"
+            " p != q -> exists r : (p)[r: IS_RELATED_TO](q).",
+            relational_schema,
+        )
+        push = generate_sql_views(compiled.program, relational_schema)
+        assert len(push.views) == 1
+        sql = push.views[0]
+        assert "FROM PhysicalPerson t0" in sql
+        assert "<>" in sql  # the p != q filter
+
+    def test_constant_filters_and_conditions(self, relational_schema):
+        compiled = compile_sigma(
+            '(x: Business; legalNature: "spa", shareholdingCapital: c),'
+            " c > 1000 -> exists e : (x)[e: CONTROLS](x).",
+            relational_schema,
+        )
+        push = generate_sql_views(compiled.program, relational_schema)
+        sql = push.views[0]
+        assert "= 'spa'" in sql
+        assert "> 1000" in sql
+
+    def test_multiple_views_get_unique_names(self, relational_schema):
+        compiled = compile_sigma(
+            "(x: Business) -> exists c : (x)[c: CONTROLS](x).\n"
+            "(x: PublicListedCompany) -> exists c : (x)[c: CONTROLS](x).",
+            relational_schema,
+        )
+        push = generate_sql_views(compiled.program, relational_schema)
+        names = [v.splitlines()[0] for v in push.views]
+        assert len(set(names)) == 2

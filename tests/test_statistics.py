@@ -1,0 +1,52 @@
+"""Section 2.1 statistics table tests."""
+
+import pytest
+
+from repro.graph import PAPER_STATISTICS, summarize
+from repro.graph.property_graph import PropertyGraph
+
+
+class TestSummarize:
+    def test_simple_digraph(self, simple_digraph):
+        stats = summarize(simple_digraph, with_power_law=False)
+        assert stats.nodes == 7
+        assert stats.edges == 7
+        assert stats.scc_count == 4
+        assert stats.largest_scc == 3
+        assert stats.wcc_count == 2
+        assert stats.largest_wcc == 5
+        assert stats.max_in_degree == 2  # d is entered from both e and c
+        assert stats.max_out_degree == 2
+
+    def test_degree_averages_over_active_nodes(self):
+        g = PropertyGraph()
+        for n in range(4):
+            g.add_node(n)
+        g.add_edge(0, 1)
+        g.add_edge(0, 2)
+        stats = summarize(g, with_power_law=False, with_clustering=False)
+        # Only node 0 has out-edges (avg 2); nodes 1, 2 have in-edges (avg 1).
+        assert stats.avg_out_degree == pytest.approx(2.0)
+        assert stats.avg_in_degree == pytest.approx(1.0)
+
+    def test_empty_graph(self):
+        stats = summarize(PropertyGraph())
+        assert stats.nodes == 0
+        assert stats.largest_wcc == 0
+        assert stats.avg_clustering == 0.0
+
+    def test_as_dict_keys_match_paper_table(self, simple_digraph):
+        stats = summarize(simple_digraph, with_power_law=False)
+        assert set(stats.as_dict()) == set(PAPER_STATISTICS)
+
+    def test_format_table_contains_both_columns(self, simple_digraph):
+        stats = summarize(simple_digraph, with_power_law=False)
+        table = stats.format_table()
+        assert "paper" in table and "measured" in table
+        assert "avg_clustering" in table
+
+    def test_paper_values_are_the_published_ones(self):
+        assert PAPER_STATISTICS["nodes"] == 11_970_000
+        assert PAPER_STATISTICS["edges"] == 14_180_000
+        assert PAPER_STATISTICS["avg_in_degree"] == pytest.approx(3.12)
+        assert PAPER_STATISTICS["avg_clustering"] == pytest.approx(0.0086)

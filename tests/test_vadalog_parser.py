@@ -1,0 +1,154 @@
+"""Vadalog concrete-syntax parser tests."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.vadalog import parse_program, parse_rule
+from repro.vadalog.ast import (
+    AggregateCall,
+    Assignment,
+    Atom,
+    BinOp,
+    Condition,
+    FunctionCall,
+    NegatedAtom,
+    SkolemTerm,
+    TermExpr,
+)
+from repro.vadalog.terms import ANONYMOUS, Variable
+
+
+class TestAtomsAndTerms:
+    def test_simple_rule(self):
+        rule = parse_rule("p(X, Y) -> q(Y, X).")
+        assert rule.body == (Atom("p", (Variable("X"), Variable("Y"))),)
+        assert rule.head == (Atom("q", (Variable("Y"), Variable("X"))),)
+
+    def test_term_kinds(self):
+        rule = parse_rule('p(X, foo, "bar", 3, 2.5, -4, true, _) -> q(X).')
+        terms = rule.body[0].terms
+        assert terms[0] == Variable("X")
+        assert terms[1] == "foo"  # lowercase identifier: symbol constant
+        assert terms[2] == "bar"
+        assert terms[3] == 3 and terms[4] == 2.5 and terms[5] == -4
+        assert terms[6] is True
+        assert terms[7] == ANONYMOUS
+
+    def test_fact(self):
+        program = parse_program('person("ada").')
+        assert program.rules[0].body == ()
+        assert program.rules[0].head == (Atom("person", ("ada",)),)
+
+    def test_non_ground_fact_is_unsafe_rule(self):
+        # Parses fine (validation happens in the engine).
+        program = parse_program("p(X).")
+        assert program.rules[0].head[0].terms == (Variable("X"),)
+
+    def test_multi_head(self):
+        rule = parse_rule("p(X) -> q(X), r(X, X).")
+        assert len(rule.head) == 2
+
+    def test_zero_arity_atom(self):
+        rule = parse_rule("trigger() -> fired().")
+        assert rule.body[0].arity == 0
+
+
+class TestBodyLiterals:
+    def test_negation(self):
+        rule = parse_rule("p(X), not q(X) -> r(X).")
+        assert isinstance(rule.body[1], NegatedAtom)
+        assert rule.body[1].atom.predicate == "q"
+
+    def test_condition_operators(self):
+        for op in ("==", "!=", "<", "<=", ">", ">="):
+            rule = parse_rule(f"p(X), X {op} 3 -> q(X).")
+            condition = rule.body[1]
+            assert isinstance(condition, Condition)
+            assert condition.op == op
+
+    def test_assignment_with_arithmetic(self):
+        rule = parse_rule("p(X, Y), Z = X * 2 + Y -> q(Z).")
+        assignment = rule.body[1]
+        assert isinstance(assignment, Assignment)
+        assert assignment.target == Variable("Z")
+        assert isinstance(assignment.expression, BinOp)
+        assert assignment.expression.op == "+"
+
+    def test_operator_precedence(self):
+        rule = parse_rule("p(X), Z = 1 + 2 * 3 -> q(Z).")
+        expression = rule.body[1].expression
+        assert expression.op == "+"
+        assert expression.right.op == "*"
+
+    def test_unary_minus(self):
+        rule = parse_rule("p(X), Z = -X -> q(Z).")
+        expression = rule.body[1].expression
+        assert expression.op == "-"
+        assert expression.left == TermExpr(0)
+
+    def test_function_call(self):
+        rule = parse_rule('p(X), Z = concat(X, "-suffix") -> q(Z).')
+        assert isinstance(rule.body[1].expression, FunctionCall)
+
+    def test_aggregate_with_contributors(self):
+        rule = parse_rule("own(Z, Y, W), V = msum(W, <Z>) -> total(Y, V).")
+        call = rule.body[1].expression
+        assert isinstance(call, AggregateCall)
+        assert call.function == "msum"
+        assert call.contributors == (Variable("Z"),)
+
+    def test_aggregate_without_contributors(self):
+        rule = parse_rule("own(Z, Y, W), V = msum(W) -> total(Y, V).")
+        assert rule.body[1].expression.contributors == ()
+
+    def test_condition_on_function_result_is_condition(self):
+        rule = parse_rule("p(X), strlen(X) > 2 -> q(X).")
+        condition = rule.body[1]
+        assert isinstance(condition, Condition)
+        assert isinstance(condition.left, FunctionCall)
+
+
+class TestSkolemTerms:
+    def test_skolem_in_head(self):
+        rule = parse_rule("p(X) -> q(#mk(X), X).")
+        term = rule.head[0].terms[0]
+        assert isinstance(term, SkolemTerm)
+        assert term.functor == "mk"
+        assert term.arguments == (Variable("X"),)
+
+    def test_skolem_in_body_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rule("p(#mk(X)) -> q(X).")
+
+
+class TestAnnotations:
+    def test_input_output(self):
+        program = parse_program(
+            '@input("own", "(a)-[e:OWNS]->(b) return (e,a,b)", "neo4j").\n'
+            '@output("controls").'
+        )
+        assert program.input_predicates()["own"].arguments[2] == "neo4j"
+        assert program.output_predicates() == ["controls"]
+
+    def test_predicate_sets(self):
+        program = parse_program(
+            "p(X) -> q(X).\nq(X), r(X) -> s(X)."
+        )
+        assert program.idb_predicates() == {"q", "s"}
+        assert program.edb_predicates() == {"p", "r"}
+
+
+class TestErrors:
+    def test_missing_terminator(self):
+        with pytest.raises(ParseError):
+            parse_program("p(X) -> q(X)")
+
+    def test_garbage(self):
+        with pytest.raises(ParseError):
+            parse_program("p(X) -> -> q(X).")
+
+    def test_rule_roundtrips_through_str(self):
+        text = 'controls(X, Z), own(Z, Y, W), V = msum(W, <Z>), V > 0.5 -> controls(X, Y).'
+        rule = parse_rule(text)
+        reparsed = parse_rule(str(rule))
+        assert reparsed == rule
