@@ -4,7 +4,8 @@
 (b) engine evaluation: semi-naive vs naive;
 (c) control: MetaLog reasoner vs direct baseline (the reasoning-overhead
     factor);
-(d) integrated-ownership unrolling depth vs truncation error.
+(d) integrated-ownership unrolling depth vs truncation error;
+(e) engine matching: compiled join plans vs the interpreted matcher.
 """
 
 import pytest
@@ -61,6 +62,31 @@ def test_abl_semi_naive(benchmark, shareholding_graphs, semi_naive):
           f"iterations: {result.stats.iterations}, "
           f"firings: {result.stats.rule_firings}")
     assert result.database.count("tc") > 0
+
+
+@pytest.mark.parametrize("use_plans", [True, False])
+def test_abl_compiled_plans(benchmark, shareholding_graphs, use_plans):
+    graph = shareholding_graphs[1000]
+    edges = [
+        (e.source, e.target)
+        for e in graph.edges("OWNS")
+    ]
+    program = parse_program(
+        "e(X, Y) -> tc(X, Y).\ntc(X, Y), e(Y, Z) -> tc(X, Z)."
+    )
+    engine = Engine(use_plans=use_plans)
+
+    def reason():
+        return engine.run(program, inputs={"e": edges})
+
+    result = benchmark.pedantic(reason, rounds=2, iterations=1)
+    banner(f"Ablation (e) — compiled plans={use_plans}")
+    print(f"  tc facts: {result.database.count('tc')}, "
+          f"iterations: {result.stats.iterations}, "
+          f"plans cached: {len(engine._plan_cache)}")
+    assert result.database.count("tc") > 0
+    # Plans are cached per engine, so only the first round compiles.
+    assert (len(engine._plan_cache) > 0) == use_plans
 
 
 def test_abl_reasoner_vs_baseline(benchmark, shareholding_graphs):

@@ -28,12 +28,13 @@ def strongly_connected_components(graph: PropertyGraph) -> List[List[Any]]:
     stack: List[Any] = []
     components: List[List[Any]] = []
     counter = [0]
+    adjacency = graph.adjacency()
 
-    for root in list(graph.nodes()):
-        if root.id in index:
+    for root in adjacency:
+        if root in index:
             continue
         # Iterative DFS: work items are (node, iterator over successors).
-        work: List[Tuple[Any, Any]] = [(root.id, None)]
+        work: List[Tuple[Any, Any]] = [(root, None)]
         while work:
             node_id, successor_iter = work.pop()
             if successor_iter is None:
@@ -41,7 +42,7 @@ def strongly_connected_components(graph: PropertyGraph) -> List[List[Any]]:
                 counter[0] += 1
                 stack.append(node_id)
                 on_stack.add(node_id)
-                successor_iter = iter([e.target for e in graph.out_edges(node_id)])
+                successor_iter = iter(adjacency[node_id])
             advanced = False
             for target in successor_iter:
                 if target not in index:
@@ -175,16 +176,17 @@ def ancestors(graph: PropertyGraph, start: Any, label: str = None) -> Set[Any]:
 
 def topological_order(graph: PropertyGraph) -> List[Any]:
     """Kahn topological sort; raises ``ValueError`` on a cyclic graph."""
-    indegree = {node.id: graph.in_degree(node.id) for node in graph.nodes()}
+    adjacency = graph.adjacency()
+    indegree = {node_id: in_deg for node_id, (in_deg, _) in graph.degrees().items()}
     queue = [node_id for node_id, deg in indegree.items() if deg == 0]
     order: List[Any] = []
     while queue:
         node_id = queue.pop()
         order.append(node_id)
-        for edge in graph.out_edges(node_id):
-            indegree[edge.target] -= 1
-            if indegree[edge.target] == 0:
-                queue.append(edge.target)
+        for target in adjacency[node_id]:
+            indegree[target] -= 1
+            if indegree[target] == 0:
+                queue.append(target)
     if len(order) != graph.node_count:
         raise ValueError("graph contains a cycle")
     return order

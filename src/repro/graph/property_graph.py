@@ -19,7 +19,6 @@ Section 2.1 run in time linear in the size of the output.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
@@ -90,7 +89,7 @@ class PropertyGraph:
         self._in: Dict[Any, List[Any]] = {}
         self._nodes_by_label: Dict[str, Set[Any]] = {}
         self._edges_by_label: Dict[str, Set[Any]] = {}
-        self._auto_id = itertools.count(1)
+        self._auto_id = 1
 
     # ------------------------------------------------------------------
     # Construction
@@ -149,7 +148,8 @@ class PropertyGraph:
 
     def _fresh_id(self, prefix: str) -> str:
         while True:
-            candidate = f"{prefix}{next(self._auto_id)}"
+            candidate = f"{prefix}{self._auto_id}"
+            self._auto_id += 1
             if candidate not in self._nodes and candidate not in self._edges:
                 return candidate
 
@@ -315,15 +315,58 @@ class PropertyGraph:
             if all(edge.properties.get(k) == v for k, v in properties.items()):
                 yield edge
 
+    def degrees(self) -> Dict[Any, Tuple[int, int]]:
+        """Return ``{node_id: (in_degree, out_degree)}`` in one pass."""
+        out = self._out
+        return {
+            node_id: (len(in_ids), len(out[node_id]))
+            for node_id, in_ids in self._in.items()
+        }
+
+    def adjacency(self, label: Optional[str] = None) -> Dict[Any, List[Any]]:
+        """Return ``{node_id: [successor ids]}`` in one edge pass.
+
+        Every node appears as a key (possibly with an empty list), so the
+        result can drive traversals without extra membership checks.
+        """
+        edges = self._edges
+        adj: Dict[Any, List[Any]] = {node_id: [] for node_id in self._nodes}
+        if label is None:
+            for edge in edges.values():
+                adj[edge.source].append(edge.target)
+        else:
+            for edge_id in self._edges_by_label.get(label, ()):
+                edge = edges[edge_id]
+                adj[edge.source].append(edge.target)
+        return adj
+
     def copy(self, name: Optional[str] = None) -> "PropertyGraph":
-        """Return a deep-enough copy (properties are shallow-copied dicts)."""
+        """Return a deep-enough copy (properties are shallow-copied dicts).
+
+        Internal state is reconstructed directly — the invariants already
+        hold in ``self``, so re-validating through ``add_node``/``add_edge``
+        would only burn time on large graphs.
+        """
         clone = PropertyGraph(name or self.name)
-        for node in self._nodes.values():
-            clone.add_node(node.id, node.label, **node.properties)
-        for edge in self._edges.values():
-            clone.add_edge(
-                edge.source, edge.target, edge.label, edge_id=edge.id, **edge.properties
+        clone._nodes = {
+            node_id: Node(node.id, node.label, dict(node.properties))
+            for node_id, node in self._nodes.items()
+        }
+        clone._edges = {
+            edge_id: Edge(
+                edge.id, edge.source, edge.target, edge.label, dict(edge.properties)
             )
+            for edge_id, edge in self._edges.items()
+        }
+        clone._out = {node_id: list(ids) for node_id, ids in self._out.items()}
+        clone._in = {node_id: list(ids) for node_id, ids in self._in.items()}
+        clone._nodes_by_label = {
+            label: set(ids) for label, ids in self._nodes_by_label.items()
+        }
+        clone._edges_by_label = {
+            label: set(ids) for label, ids in self._edges_by_label.items()
+        }
+        clone._auto_id = self._auto_id
         return clone
 
     def to_networkx(self):

@@ -95,8 +95,9 @@ def summarize(
     sccs = algorithms.strongly_connected_components(graph)
     wccs = algorithms.weakly_connected_components(graph)
 
-    in_degrees = [graph.in_degree(node.id) for node in graph.nodes()]
-    out_degrees = [graph.out_degree(node.id) for node in graph.nodes()]
+    degrees = graph.degrees()
+    in_degrees = [in_deg for in_deg, _ in degrees.values()]
+    out_degrees = [out_deg for _, out_deg in degrees.values()]
 
     # The paper reports degrees averaged over nodes with the corresponding
     # incident edges; we follow the plain all-nodes average, stating it in

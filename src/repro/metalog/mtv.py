@@ -443,17 +443,19 @@ def graph_to_database(
         names = catalog.node_properties.get(label, [])
         relation = database.relation(label)
         relation.arity = 1 + len(names)
-        for node in graph.nodes(label):
-            relation.add((node.id, *(node.properties.get(n) for n in names)))
+        relation.add_many(
+            (node.id, *(node.properties.get(n) for n in names))
+            for node in graph.nodes(label)
+        )
     for label in edge_labels:
         names = catalog.edge_properties.get(label, [])
         relation = database.relation(label)
         relation.arity = 3 + len(names)
-        for edge in graph.edges(label):
-            relation.add(
-                (edge.id, edge.source, edge.target,
-                 *(edge.properties.get(n) for n in names))
-            )
+        relation.add_many(
+            (edge.id, edge.source, edge.target,
+             *(edge.properties.get(n) for n in names))
+            for edge in graph.edges(label)
+        )
     return database
 
 

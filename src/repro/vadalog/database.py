@@ -18,11 +18,14 @@ from repro.errors import EvaluationError
 
 Fact = Tuple[Any, ...]
 
+#: Shared empty candidate set for missed index probes.
+_EMPTY: Tuple[Fact, ...] = ()
+
 
 class Relation:
     """The extension of a single predicate, with positional indexes."""
 
-    __slots__ = ("name", "arity", "_facts", "_indexes")
+    __slots__ = ("name", "arity", "_facts", "_indexes", "_composite")
 
     def __init__(self, name: str, arity: Optional[int] = None):
         self.name = name
@@ -30,6 +33,9 @@ class Relation:
         self._facts: Set[Fact] = set()
         # position -> value -> set of facts; built lazily per position.
         self._indexes: Dict[int, Dict[Any, Set[Fact]]] = {}
+        # (positions...) -> value tuple -> list of facts; built lazily per
+        # position combination (the access paths of compiled join plans).
+        self._composite: Dict[Tuple[int, ...], Dict[Tuple[Any, ...], List[Fact]]] = {}
 
     def __len__(self) -> int:
         return len(self._facts)
@@ -54,7 +60,44 @@ class Relation:
         self._facts.add(fact)
         for position, index in self._indexes.items():
             index.setdefault(fact[position], set()).add(fact)
+        for positions, index2 in self._composite.items():
+            key = tuple(fact[p] for p in positions)
+            index2.setdefault(key, []).append(fact)
         return True
+
+    def add_many(self, facts: Iterable[Iterable[Any]]) -> int:
+        """Insert many facts; returns the number of new ones.
+
+        When no index has been built yet (the common bulk-load case) the
+        facts go straight into the backing set with a single arity check
+        per fact and no per-fact index maintenance.
+        """
+        if self._indexes or self._composite:
+            added = 0
+            for fact in facts:
+                if self.add(tuple(fact)):
+                    added += 1
+            return added
+        backing = self._facts
+        before = len(backing)
+        arity = self.arity
+        for fact in facts:
+            tup = tuple(fact)
+            if arity is None:
+                arity = self.arity = len(tup)
+            elif len(tup) != arity:
+                raise EvaluationError(
+                    f"arity mismatch for {self.name!r}: expected {arity}, "
+                    f"got {len(tup)}"
+                )
+            backing.add(tup)
+        return len(backing) - before
+
+    def copy(self) -> "Relation":
+        """A fresh relation with the same facts; indexes rebuild lazily."""
+        clone = Relation(self.name, self.arity)
+        clone._facts = set(self._facts)
+        return clone
 
     def _ensure_index(self, position: int) -> Dict[Any, Set[Fact]]:
         index = self._indexes.get(position)
@@ -64,6 +107,32 @@ class Relation:
                 index.setdefault(fact[position], set()).add(fact)
             self._indexes[position] = index
         return index
+
+    def _ensure_composite(
+        self, positions: Tuple[int, ...]
+    ) -> Dict[Tuple[Any, ...], List[Fact]]:
+        index = self._composite.get(positions)
+        if index is None:
+            index = {}
+            for fact in self._facts:
+                key = tuple(fact[p] for p in positions)
+                index.setdefault(key, []).append(fact)
+            self._composite[positions] = index
+        return index
+
+    def lookup_key(
+        self, positions: Tuple[int, ...], key: Tuple[Any, ...]
+    ) -> Iterable[Fact]:
+        """Exact-match candidates for values ``key`` at ``positions``.
+
+        Unlike :meth:`lookup` this uses one composite index over all the
+        bound positions, so the result needs no per-fact filtering beyond
+        the caller's semantic equality check (hash buckets equate 1 with
+        1.0 and True, which the chase distinguishes).
+        """
+        if len(positions) == 1:
+            return self._ensure_index(positions[0]).get(key[0], _EMPTY)
+        return self._ensure_composite(positions).get(key, _EMPTY)
 
     def lookup(self, bound: Sequence[Tuple[int, Any]]) -> Iterator[Fact]:
         """Iterate facts matching the given (position, value) constraints.
@@ -108,12 +177,7 @@ class Database:
 
     def add_all(self, predicate: str, facts: Iterable[Iterable[Any]]) -> int:
         """Insert many facts; returns the number of new ones."""
-        relation = self.relation(predicate)
-        added = 0
-        for fact in facts:
-            if relation.add(tuple(fact)):
-                added += 1
-        return added
+        return self.relation(predicate).add_many(facts)
 
     def facts(self, predicate: str) -> Set[Fact]:
         """A snapshot set of the facts of ``predicate`` (empty if unknown)."""
@@ -137,7 +201,7 @@ class Database:
     def copy(self) -> "Database":
         clone = Database()
         for name, relation in self._relations.items():
-            clone.add_all(name, relation)
+            clone._relations[name] = relation.copy()
         return clone
 
     def merge(self, other: "Database") -> int:

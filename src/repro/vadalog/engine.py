@@ -17,6 +17,14 @@ The engine implements the reasoning semantics of Section 4:
 - **Semi-naive evaluation** for pure positive recursive rules, with naive
   recomputation for aggregate rules.
 
+Rule bodies are evaluated through compiled join plans
+(:mod:`repro.vadalog.plan`): the join order, index probes, and binding
+slots are computed once per rule and cached on the engine, and the
+executor backtracks over one mutable substitution instead of copying
+dicts per candidate.  ``Engine(use_plans=False)`` selects the original
+interpreted matcher — kept as the differential-testing oracle and the
+ablation baseline.
+
 Typical use::
 
     engine = Engine()
@@ -47,6 +55,16 @@ from repro.vadalog.ast import (
     TermExpr,
 )
 from repro.vadalog.database import Database, Fact
+from repro.vadalog.plan import (
+    BUILTIN_FUNCTIONS,
+    RulePlans,
+    apply_binop as _apply_binop,
+    check_condition as _plan_check_condition,
+    evaluate_expression as _plan_evaluate,
+    execute_plan,
+    find_aggregate as _find_aggregate,
+    values_equal as _values_equal,
+)
 from repro.vadalog.stratify import Stratum, stratify
 from repro.vadalog.terms import (
     NullFactory,
@@ -57,23 +75,6 @@ from repro.vadalog.terms import (
 from repro.vadalog.warded import check_warded
 
 Substitution = Dict[Variable, Any]
-
-#: Builtin tuple-level functions available in expressions.
-BUILTIN_FUNCTIONS: Dict[str, Callable[..., Any]] = {
-    "concat": lambda *parts: "".join(str(p) for p in parts),
-    "upper": lambda s: str(s).upper(),
-    "lower": lambda s: str(s).lower(),
-    "strlen": lambda s: len(str(s)),
-    "abs": abs,
-    "round": lambda x, digits=0: round(x, int(digits)),
-    "floor": lambda x: int(x) if x >= 0 or x == int(x) else int(x) - 1,
-    "ceil": lambda x: int(x) if x == int(x) else (int(x) + 1 if x > 0 else int(x)),
-    "mod": lambda a, b: a % b,
-    "min2": lambda a, b: min(a, b),
-    "max2": lambda a, b: max(a, b),
-    "tostring": str,
-    "tonumber": float,
-}
 
 
 @dataclass
@@ -86,6 +87,7 @@ class EvaluationStats:
     nulls_created: int = 0
     elapsed_seconds: float = 0.0
     strata: int = 0
+    plans_compiled: int = 0
 
 
 @dataclass
@@ -118,6 +120,11 @@ class Engine:
         When True (default) the program is statically analyzed and a
         :class:`~repro.errors.WardednessError` is raised for non-warded
         programs, mirroring the Vadalog System's admission control.
+    use_plans:
+        When True (default) rule bodies run through compiled join plans
+        (:mod:`repro.vadalog.plan`), cached across runs of this engine.
+        When False the original interpreted matcher is used — the
+        differential-testing oracle and ablation baseline.
     """
 
     def __init__(
@@ -126,11 +133,16 @@ class Engine:
         max_nulls: int = 1_000_000,
         check_wardedness: bool = True,
         semi_naive: bool = True,
+        use_plans: bool = True,
     ):
         self.max_iterations = max_iterations
         self.max_nulls = max_nulls
         self.check_wardedness = check_wardedness
         self.semi_naive = semi_naive
+        self.use_plans = use_plans
+        # Rule -> RulePlans; rules are frozen dataclasses, so structurally
+        # equal rules (across programs) share one compiled plan bundle.
+        self._plan_cache: Dict[Any, RulePlans] = {}
 
     # ------------------------------------------------------------------
     def run(
@@ -255,6 +267,25 @@ class Engine:
         new_facts: Dict[str, Set[Fact]] = {}
         pending: List[Tuple[str, Fact]] = []
         for rule in rules:
+            plans: Optional[RulePlans] = None
+            if self.use_plans:
+                plans = self._plans_for(rule, stats)
+            if plans is not None:
+                if plans.is_aggregate:
+                    matches = self._aggregate_matches_plan(plans, db)
+                elif delta is not None and recursive_predicates:
+                    matches = self._semi_naive_matches_plan(
+                        plans, db, delta, recursive_predicates
+                    )
+                else:
+                    matches = execute_plan(plans.body_plan(), db)
+                for substitution in matches:
+                    stats.rule_firings += 1
+                    for predicate, fact in plans.instantiate_head(
+                        substitution, db, stats, nulls, skolems, self.max_nulls
+                    ):
+                        pending.append((predicate, fact))
+                continue
             if rule.has_aggregate():
                 matches = self._aggregate_matches(rule, db)
             elif delta is not None and recursive_predicates:
@@ -274,6 +305,99 @@ class Engine:
                 stats.facts_derived += 1
                 new_facts.setdefault(predicate, set()).add(fact)
         return new_facts
+
+    # ------------------------------------------------------------------
+    # Compiled-plan evaluation paths
+    # ------------------------------------------------------------------
+    def _plans_for(self, rule: Rule, stats: EvaluationStats) -> RulePlans:
+        plans = self._plan_cache.get(rule)
+        if plans is None:
+            plans = RulePlans(rule)
+            self._plan_cache[rule] = plans
+            stats.plans_compiled += 1
+        return plans
+
+    def _semi_naive_matches_plan(
+        self,
+        plans: RulePlans,
+        db: Database,
+        delta: Dict[str, Set[Fact]],
+        recursive_predicates: Set[str],
+    ) -> Iterator[Substitution]:
+        """Semi-naive matching via the old/delta/full occurrence partition.
+
+        For the k-th recursive occurrence chosen as the delta atom, every
+        earlier recursive occurrence is restricted to pre-delta ("old")
+        facts and every later one sees the full relation — an exact
+        partition of the new matches, with no dedup bookkeeping.
+        """
+        body = plans.rule.body
+        recursive_indexes = [
+            i
+            for i, literal in enumerate(body)
+            if isinstance(literal, Atom) and literal.predicate in recursive_predicates
+        ]
+        if not recursive_indexes:
+            # The rule does not read the stratum's own predicates: firing it
+            # once in the first round was enough; nothing new can match.
+            return
+        for k, index in enumerate(recursive_indexes):
+            delta_facts = delta.get(body[index].predicate)
+            if not delta_facts:
+                continue
+            binder = plans.delta_binder(index)
+            rest_plan = plans.delta_plan(index)
+            excludes: Dict[int, Set[Fact]] = {}
+            for earlier in recursive_indexes[:k]:
+                earlier_delta = delta.get(body[earlier].predicate)
+                if earlier_delta:
+                    excludes[earlier] = earlier_delta
+            for fact in delta_facts:
+                base = binder.match(fact)
+                if base is None:
+                    continue
+                yield from execute_plan(
+                    rest_plan, db, base, excludes if excludes else None
+                )
+
+    def _aggregate_matches_plan(
+        self, plans: RulePlans, db: Database
+    ) -> Iterator[Substitution]:
+        aggregate = plans.aggregate_plan()
+        call = aggregate.call
+        target = aggregate.target
+        group_vars = aggregate.group_vars
+        accumulator = GroupAccumulator(call.function)
+        # Remember one full substitution per group so non-head variables
+        # used by Skolem terms keep a witness binding.
+        witnesses: Dict[Tuple[Any, ...], Substitution] = {}
+        for substitution in execute_plan(aggregate.pre_plan, db):
+            group = tuple(
+                _hashable(substitution.get(v)) for v in group_vars
+            )
+            if call.contributors:
+                contributor = tuple(
+                    _hashable(substitution.get(v)) for v in call.contributors
+                )
+            else:
+                contributor = tuple(
+                    sorted(
+                        ((v.name, _hashable(val)) for v, val in substitution.items()),
+                        key=lambda item: item[0],
+                    )
+                )
+            value = self._evaluate(call.value, substitution)
+            accumulator.contribute(group, contributor, value)
+            witnesses.setdefault(group, substitution)
+
+        for group, value in accumulator.results():
+            base = witnesses[group]
+            substitution = {v: base[v] for v in group_vars if v in base}
+            substitution[target] = self._evaluate(
+                aggregate.assignment.expression, base, aggregate_value=value
+            )
+            if all(self._check_condition(c, substitution) for c in aggregate.post):
+                yield substitution
 
     def _semi_naive_matches(
         self,
@@ -606,86 +730,14 @@ class Engine:
         substitution: Substitution,
         aggregate_value: Any = None,
     ) -> Any:
-        if isinstance(expression, AggregateCall):
-            if aggregate_value is None:
-                raise EvaluationError(
-                    "aggregate call evaluated outside aggregate context"
-                )
-            return aggregate_value
-        if isinstance(expression, TermExpr):
-            term = expression.term
-            if is_variable(term):
-                if term not in substitution:
-                    raise EvaluationError(f"unbound variable {term!r} in expression")
-                return substitution[term]
-            return term
-        if isinstance(expression, BinOp):
-            left = self._evaluate(expression.left, substitution, aggregate_value)
-            right = self._evaluate(expression.right, substitution, aggregate_value)
-            return _apply_binop(expression.op, left, right)
-        if isinstance(expression, FunctionCall):
-            function = BUILTIN_FUNCTIONS.get(expression.name)
-            if function is None:
-                raise EvaluationError(f"unknown function {expression.name!r}")
-            arguments = [
-                self._evaluate(a, substitution, aggregate_value)
-                for a in expression.arguments
-            ]
-            return function(*arguments)
-        raise EvaluationError(f"unsupported expression {expression!r}")
+        return _plan_evaluate(expression, substitution, aggregate_value)
 
     def _check_condition(self, condition: Condition, substitution: Substitution) -> bool:
-        left = self._evaluate(condition.left, substitution)
-        right = self._evaluate(condition.right, substitution)
-        op = condition.op
-        if op == "==":
-            return _values_equal(left, right)
-        if op == "!=":
-            return not _values_equal(left, right)
-        try:
-            if op == "<":
-                return left < right
-            if op == "<=":
-                return left <= right
-            if op == ">":
-                return left > right
-            if op == ">=":
-                return left >= right
-        except TypeError:
-            return False
-        raise EvaluationError(f"unknown comparison operator {op!r}")
+        return _plan_check_condition(condition, substitution)
 
 
 _UNBOUND = object()
 _UNSET = object()
-
-
-def _values_equal(a: Any, b: Any) -> bool:
-    """Equality that never mixes bool with 0/1 and tolerates numeric types."""
-    if isinstance(a, bool) or isinstance(b, bool):
-        return a is b or (isinstance(a, bool) and isinstance(b, bool) and a == b)
-    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
-        return a == b
-    return a == b
-
-
-def _apply_binop(op: str, left: Any, right: Any) -> Any:
-    try:
-        if op == "+":
-            if isinstance(left, str) or isinstance(right, str):
-                return str(left) + str(right)
-            return left + right
-        if op == "-":
-            return left - right
-        if op == "*":
-            return left * right
-        if op == "/":
-            return left / right
-        if op == "%":
-            return left % right
-    except (TypeError, ZeroDivisionError) as exc:
-        raise EvaluationError(f"arithmetic error: {left!r} {op} {right!r}: {exc}")
-    raise EvaluationError(f"unknown operator {op!r}")
 
 
 def _hashable(value: Any) -> Any:
@@ -695,21 +747,3 @@ def _hashable(value: Any) -> Any:
     if isinstance(value, dict):
         return tuple(sorted((k, _hashable(v)) for k, v in value.items()))
     return value
-
-
-def _find_aggregate(expression: Expression) -> AggregateCall:
-    if isinstance(expression, AggregateCall):
-        return expression
-    if isinstance(expression, BinOp):
-        for side in (expression.left, expression.right):
-            try:
-                return _find_aggregate(side)
-            except EvaluationError:
-                continue
-    if isinstance(expression, FunctionCall):
-        for argument in expression.arguments:
-            try:
-                return _find_aggregate(argument)
-            except EvaluationError:
-                continue
-    raise EvaluationError("no aggregate call found in expression")

@@ -1,0 +1,776 @@
+"""Compiled join plans for the chase engine.
+
+The interpreted matcher in :mod:`repro.vadalog.engine` re-derives the
+join order for every partial substitution and copies the substitution
+dict on every unification attempt.  Its greedy scheduling heuristic,
+however, depends only on *which* variables are bound — never on their
+values — so the whole literal order can be computed once per rule.  This
+module compiles each rule body into a :class:`BodyPlan`:
+
+- a static join order reproducing the engine's greedy heuristic (ready
+  conditions / assignments / negations first, then the atom with the
+  most bound positions, ties broken by body position);
+- per atom, the bound positions become one composite-index probe
+  (:meth:`repro.vadalog.database.Relation.lookup_key`), first
+  occurrences of novel variables become direct bindings, repeated
+  occurrences become equality checks;
+- conditions, assignments and negations are attached as filters to the
+  earliest step after which they are ready.
+
+:func:`execute_plan` runs a plan with an iterative backtracking loop
+that mutates a single substitution dict with undo trails; a dict copy
+is made only per *successful* full match (the yielded substitution).
+
+Per-rule plans are grouped in :class:`RulePlans`, which also holds the
+compiled head template (constants / frontier variables / Skolem slots /
+existential slots), the cached head-satisfaction plan used by the
+restricted chase, the per-occurrence delta plans for semi-naive
+evaluation, and the aggregate pre-body plan.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import EvaluationError
+from repro.vadalog.ast import (
+    AggregateCall,
+    Assignment,
+    Atom,
+    BinOp,
+    Condition,
+    Expression,
+    FunctionCall,
+    NegatedAtom,
+    Rule,
+    SkolemTerm,
+    TermExpr,
+)
+from repro.vadalog.database import Database, Fact
+from repro.vadalog.terms import SkolemFunctor, Variable
+
+Substitution = Dict[Variable, Any]
+
+#: Builtin tuple-level functions available in expressions.
+BUILTIN_FUNCTIONS: Dict[str, Callable[..., Any]] = {
+    "concat": lambda *parts: "".join(str(p) for p in parts),
+    "upper": lambda s: str(s).upper(),
+    "lower": lambda s: str(s).lower(),
+    "strlen": lambda s: len(str(s)),
+    "abs": abs,
+    "round": lambda x, digits=0: round(x, int(digits)),
+    "floor": lambda x: int(x) if x >= 0 or x == int(x) else int(x) - 1,
+    "ceil": lambda x: int(x) if x == int(x) else (int(x) + 1 if x > 0 else int(x)),
+    "mod": lambda a, b: a % b,
+    "min2": lambda a, b: min(a, b),
+    "max2": lambda a, b: max(a, b),
+    "tostring": str,
+    "tonumber": float,
+}
+
+
+# ---------------------------------------------------------------------------
+# Expression evaluation (shared by the interpreter and the plan executor)
+# ---------------------------------------------------------------------------
+
+
+def values_equal(a: Any, b: Any) -> bool:
+    """Equality that never mixes bool with 0/1 and tolerates numeric types."""
+    if isinstance(a, bool) or isinstance(b, bool):
+        return a is b or (isinstance(a, bool) and isinstance(b, bool) and a == b)
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        return a == b
+    return a == b
+
+
+def apply_binop(op: str, left: Any, right: Any) -> Any:
+    try:
+        if op == "+":
+            if isinstance(left, str) or isinstance(right, str):
+                return str(left) + str(right)
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            return left / right
+        if op == "%":
+            return left % right
+    except (TypeError, ZeroDivisionError) as exc:
+        raise EvaluationError(f"arithmetic error: {left!r} {op} {right!r}: {exc}")
+    raise EvaluationError(f"unknown operator {op!r}")
+
+
+def evaluate_expression(
+    expression: Expression,
+    substitution: Substitution,
+    aggregate_value: Any = None,
+) -> Any:
+    if isinstance(expression, AggregateCall):
+        if aggregate_value is None:
+            raise EvaluationError(
+                "aggregate call evaluated outside aggregate context"
+            )
+        return aggregate_value
+    if isinstance(expression, TermExpr):
+        term = expression.term
+        if isinstance(term, Variable):
+            if term not in substitution:
+                raise EvaluationError(f"unbound variable {term!r} in expression")
+            return substitution[term]
+        return term
+    if isinstance(expression, BinOp):
+        left = evaluate_expression(expression.left, substitution, aggregate_value)
+        right = evaluate_expression(expression.right, substitution, aggregate_value)
+        return apply_binop(expression.op, left, right)
+    if isinstance(expression, FunctionCall):
+        function = BUILTIN_FUNCTIONS.get(expression.name)
+        if function is None:
+            raise EvaluationError(f"unknown function {expression.name!r}")
+        arguments = [
+            evaluate_expression(a, substitution, aggregate_value)
+            for a in expression.arguments
+        ]
+        return function(*arguments)
+    raise EvaluationError(f"unsupported expression {expression!r}")
+
+
+def check_condition(condition: Condition, substitution: Substitution) -> bool:
+    left = evaluate_expression(condition.left, substitution)
+    right = evaluate_expression(condition.right, substitution)
+    op = condition.op
+    if op == "==":
+        return values_equal(left, right)
+    if op == "!=":
+        return not values_equal(left, right)
+    try:
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+    except TypeError:
+        return False
+    raise EvaluationError(f"unknown comparison operator {op!r}")
+
+
+def find_aggregate(expression: Expression) -> AggregateCall:
+    if isinstance(expression, AggregateCall):
+        return expression
+    if isinstance(expression, BinOp):
+        for side in (expression.left, expression.right):
+            try:
+                return find_aggregate(side)
+            except EvaluationError:
+                continue
+    if isinstance(expression, FunctionCall):
+        for argument in expression.arguments:
+            try:
+                return find_aggregate(argument)
+            except EvaluationError:
+                continue
+    raise EvaluationError("no aggregate call found in expression")
+
+
+# ---------------------------------------------------------------------------
+# Filters: conditions / assignments / negations as zero-or-one-pass checks
+# ---------------------------------------------------------------------------
+
+
+class CondFilter:
+    __slots__ = ("condition",)
+
+    def __init__(self, condition: Condition):
+        self.condition = condition
+
+    def apply(self, subst: Substitution, db: Database, bound: List[Variable]) -> bool:
+        return check_condition(self.condition, subst)
+
+
+class AssignFilter:
+    """``V = expr``: binds V when statically unbound, checks otherwise."""
+
+    __slots__ = ("target", "expression", "binds")
+
+    def __init__(self, assignment: Assignment, binds: bool):
+        self.target = assignment.target
+        self.expression = assignment.expression
+        self.binds = binds
+
+    def apply(self, subst: Substitution, db: Database, bound: List[Variable]) -> bool:
+        value = evaluate_expression(self.expression, subst)
+        if self.binds and self.target not in subst:
+            subst[self.target] = value
+            bound.append(self.target)
+            return True
+        return values_equal(subst[self.target], value)
+
+
+class NegFilter:
+    """``not p(...)``: fails when any fact matches the bound pattern."""
+
+    __slots__ = ("predicate", "arity", "positions", "key_parts", "verify", "samegroups")
+
+    def __init__(self, atom: Atom, bound_vars: Set[Variable]):
+        self.predicate = atom.predicate
+        self.arity = len(atom.terms)
+        positions: List[int] = []
+        key_parts: List[Tuple[bool, Any]] = []
+        verify: List[Tuple[int, bool, Any]] = []
+        free_positions: Dict[Variable, List[int]] = {}
+        for i, term in enumerate(atom.terms):
+            if isinstance(term, Variable):
+                if term.name == "_":
+                    continue
+                if term in bound_vars:
+                    positions.append(i)
+                    key_parts.append((True, term))
+                    verify.append((i, True, term))
+                else:
+                    free_positions.setdefault(term, []).append(i)
+            else:
+                positions.append(i)
+                key_parts.append((False, term))
+                verify.append((i, False, term))
+        self.positions = tuple(positions)
+        self.key_parts = tuple(key_parts)
+        self.verify = tuple(verify)
+        # A free variable occurring at several positions still constrains
+        # the match: the candidate must repeat the same value.
+        self.samegroups = tuple(
+            tuple(ps) for ps in free_positions.values() if len(ps) > 1
+        )
+
+    def apply(self, subst: Substitution, db: Database, bound: List[Variable]) -> bool:
+        relation = db.relation(self.predicate)
+        if self.positions:
+            key = tuple(
+                subst[payload] if is_var else payload
+                for is_var, payload in self.key_parts
+            )
+            candidates: Iterable[Fact] = relation.lookup_key(self.positions, key)
+        else:
+            candidates = relation
+        verify = self.verify
+        samegroups = self.samegroups
+        arity = self.arity
+        for fact in candidates:
+            if len(fact) != arity:
+                continue
+            ok = True
+            for pos, is_var, payload in verify:
+                expected = subst[payload] if is_var else payload
+                if not values_equal(fact[pos], expected):
+                    ok = False
+                    break
+            if ok and samegroups:
+                for group in samegroups:
+                    first = fact[group[0]]
+                    if not all(values_equal(fact[p], first) for p in group[1:]):
+                        ok = False
+                        break
+            if ok:
+                return False
+        return True
+
+
+# ---------------------------------------------------------------------------
+# Atom steps
+# ---------------------------------------------------------------------------
+
+
+class AtomStep:
+    """One join step: probe a relation, bind novel variables, run filters."""
+
+    __slots__ = (
+        "predicate", "arity", "orig_index", "positions", "key_parts",
+        "verify", "bind", "check", "filters",
+    )
+
+    def __init__(self, atom: Atom, bound_vars: Set[Variable], orig_index: int):
+        self.predicate = atom.predicate
+        self.arity = len(atom.terms)
+        self.orig_index = orig_index
+        positions: List[int] = []
+        key_parts: List[Tuple[bool, Any]] = []
+        verify: List[Tuple[int, bool, Any]] = []
+        bind: List[Tuple[int, Variable]] = []
+        check: List[Tuple[int, Variable]] = []
+        novel: Set[Variable] = set()
+        for i, term in enumerate(atom.terms):
+            if isinstance(term, Variable):
+                if term.name == "_":
+                    continue
+                if term in bound_vars:
+                    positions.append(i)
+                    key_parts.append((True, term))
+                    verify.append((i, True, term))
+                elif term in novel:
+                    check.append((i, term))
+                else:
+                    novel.add(term)
+                    bind.append((i, term))
+            else:
+                positions.append(i)
+                key_parts.append((False, term))
+                verify.append((i, False, term))
+        self.positions = tuple(positions)
+        self.key_parts = tuple(key_parts)
+        self.verify = tuple(verify)
+        self.bind = tuple(bind)
+        self.check = tuple(check)
+        self.filters: List[Any] = []
+
+    def novel_variables(self) -> Set[Variable]:
+        return {var for _, var in self.bind}
+
+    def candidates(
+        self,
+        db: Database,
+        subst: Substitution,
+        excludes: Optional[Dict[int, Set[Fact]]],
+    ) -> Iterator[Fact]:
+        relation = db.relation(self.predicate)
+        if self.positions:
+            key = tuple(
+                subst[payload] if is_var else payload
+                for is_var, payload in self.key_parts
+            )
+            facts: Iterable[Fact] = relation.lookup_key(self.positions, key)
+        else:
+            facts = relation
+        if excludes is not None:
+            excluded = excludes.get(self.orig_index)
+            if excluded:
+                return (fact for fact in facts if fact not in excluded)
+        return iter(facts)
+
+    def try_fact(
+        self, fact: Fact, subst: Substitution, db: Database
+    ) -> Optional[List[Variable]]:
+        """Bind ``fact``; returns the undo list, or None on mismatch."""
+        if len(fact) != self.arity:
+            return None
+        for pos, is_var, payload in self.verify:
+            expected = subst[payload] if is_var else payload
+            if not values_equal(fact[pos], expected):
+                return None
+        bound: List[Variable] = []
+        for pos, var in self.bind:
+            subst[var] = fact[pos]
+            bound.append(var)
+        for pos, var in self.check:
+            if not values_equal(fact[pos], subst[var]):
+                for v in bound:
+                    del subst[v]
+                return None
+        for filt in self.filters:
+            if not filt.apply(subst, db, bound):
+                for v in bound:
+                    del subst[v]
+                return None
+        return bound
+
+
+class BodyPlan:
+    """A compiled body: prefix filters, then the ordered atom steps."""
+
+    __slots__ = ("prefix", "steps")
+
+    def __init__(self, prefix: List[Any], steps: List[AtomStep]):
+        self.prefix = prefix
+        self.steps = steps
+
+
+# ---------------------------------------------------------------------------
+# Compilation
+# ---------------------------------------------------------------------------
+
+
+def _make_filter(literal: Any, bound: Set[Variable]) -> Any:
+    if isinstance(literal, Condition):
+        return CondFilter(literal)
+    if isinstance(literal, Assignment):
+        return AssignFilter(literal, binds=literal.target not in bound)
+    if isinstance(literal, NegatedAtom):
+        return NegFilter(literal.atom, bound)
+    raise EvaluationError(f"unsupported body literal: {literal!r}")
+
+
+def _pick_index(
+    remaining: List[Tuple[int, Any]], bound: Set[Variable]
+) -> int:
+    """The engine's greedy heuristic over the static bound-variable set.
+
+    First ready non-atom wins; otherwise the atom with the most bound
+    positions (earliest on ties); otherwise the first literal.
+    """
+    best_atom = None
+    best_score = -1
+    for i, (_, literal) in enumerate(remaining):
+        if isinstance(literal, Assignment):
+            if all(v in bound for v in literal.expression.variables()):
+                return i
+        elif isinstance(literal, Condition):
+            if all(v in bound for v in literal.variables()):
+                return i
+        elif isinstance(literal, NegatedAtom):
+            if all(v in bound or v.name == "_" for v in literal.variables()):
+                return i
+        elif isinstance(literal, Atom):
+            score = sum(
+                1
+                for term in literal.terms
+                if not isinstance(term, Variable) or term in bound
+            )
+            if score > best_score:
+                best_score = score
+                best_atom = i
+    if best_atom is not None:
+        return best_atom
+    return 0
+
+
+def compile_body(
+    literals: Sequence[Any],
+    bound: Iterable[Variable] = (),
+    orig_indexes: Optional[Sequence[int]] = None,
+) -> BodyPlan:
+    """Compile a body conjunction, given the initially-bound variables."""
+    if orig_indexes is None:
+        orig_indexes = range(len(literals))
+    remaining: List[Tuple[int, Any]] = list(zip(orig_indexes, literals))
+    bound_vars: Set[Variable] = set(bound)
+    prefix: List[Any] = []
+    steps: List[AtomStep] = []
+    while remaining:
+        orig_index, literal = remaining.pop(_pick_index(remaining, bound_vars))
+        if isinstance(literal, Atom):
+            step = AtomStep(literal, bound_vars, orig_index)
+            bound_vars |= step.novel_variables()
+            steps.append(step)
+        else:
+            filt = _make_filter(literal, bound_vars)
+            if isinstance(filt, AssignFilter) and filt.binds:
+                bound_vars.add(filt.target)
+            if steps:
+                steps[-1].filters.append(filt)
+            else:
+                prefix.append(filt)
+    return BodyPlan(prefix, steps)
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+
+def execute_plan(
+    plan: BodyPlan,
+    db: Database,
+    initial: Optional[Substitution] = None,
+    excludes: Optional[Dict[int, Set[Fact]]] = None,
+) -> Iterator[Substitution]:
+    """All substitutions satisfying the compiled body conjunction.
+
+    ``excludes`` maps original body-literal indexes to fact sets the
+    corresponding atom step must skip (the "old facts only" restriction
+    of semi-naive evaluation).  Yielded dicts are fresh copies.
+    """
+    subst: Substitution = dict(initial) if initial else {}
+    prefix_bound: List[Variable] = []
+    for filt in plan.prefix:
+        if not filt.apply(subst, db, prefix_bound):
+            return
+    steps = plan.steps
+    n = len(steps)
+    if n == 0:
+        yield dict(subst)
+        return
+    iterators: List[Optional[Iterator[Fact]]] = [None] * n
+    undos: List[Optional[List[Variable]]] = [None] * n
+    depth = 0
+    while True:
+        step = steps[depth]
+        iterator = iterators[depth]
+        if iterator is None:
+            iterator = step.candidates(db, subst, excludes)
+            iterators[depth] = iterator
+        undo: Optional[List[Variable]] = None
+        for fact in iterator:
+            undo = step.try_fact(fact, subst, db)
+            if undo is not None:
+                break
+        if undo is None:
+            iterators[depth] = None
+            depth -= 1
+            if depth < 0:
+                return
+            for var in undos[depth]:
+                del subst[var]
+        else:
+            undos[depth] = undo
+            if depth == n - 1:
+                yield dict(subst)
+                for var in undo:
+                    del subst[var]
+            else:
+                depth += 1
+
+
+# ---------------------------------------------------------------------------
+# Delta binding (semi-naive evaluation)
+# ---------------------------------------------------------------------------
+
+
+class DeltaBinder:
+    """Binds one delta fact against the distinguished recursive atom."""
+
+    __slots__ = ("arity", "verify", "bind", "check")
+
+    def __init__(self, atom: Atom):
+        self.arity = len(atom.terms)
+        verify: List[Tuple[int, Any]] = []
+        bind: List[Tuple[int, Variable]] = []
+        check: List[Tuple[int, Variable]] = []
+        novel: Set[Variable] = set()
+        for i, term in enumerate(atom.terms):
+            if isinstance(term, Variable):
+                if term.name == "_":
+                    continue
+                if term in novel:
+                    check.append((i, term))
+                else:
+                    novel.add(term)
+                    bind.append((i, term))
+            else:
+                verify.append((i, term))
+        self.verify = tuple(verify)
+        self.bind = tuple(bind)
+        self.check = tuple(check)
+
+    def match(self, fact: Fact) -> Optional[Substitution]:
+        if len(fact) != self.arity:
+            return None
+        for pos, value in self.verify:
+            if not values_equal(fact[pos], value):
+                return None
+        subst: Substitution = {}
+        for pos, var in self.bind:
+            subst[var] = fact[pos]
+        for pos, var in self.check:
+            if not values_equal(fact[pos], subst[var]):
+                return None
+        return subst
+
+
+# ---------------------------------------------------------------------------
+# Aggregates
+# ---------------------------------------------------------------------------
+
+
+class AggregatePlan:
+    """Compiled aggregate rule: pre-body plan + grouping metadata."""
+
+    __slots__ = ("assignment", "call", "target", "pre_plan", "post", "group_vars")
+
+    def __init__(self, rule: Rule):
+        self.assignment = next(a for a in rule.assignments() if a.is_aggregate)
+        self.call = find_aggregate(self.assignment.expression)
+        self.target = self.assignment.target
+        pre: List[Any] = []
+        post: List[Condition] = []
+        for literal in rule.body:
+            if literal is self.assignment:
+                continue
+            if isinstance(literal, Condition) and self.target in literal.variables():
+                post.append(literal)
+            elif isinstance(literal, Assignment) and self.target in literal.expression.variables():
+                raise EvaluationError(
+                    f"assignment depending on aggregate target in {rule}"
+                )
+            else:
+                pre.append(literal)
+        self.pre_plan = compile_body(pre)
+        self.post = tuple(post)
+        self.group_vars = tuple(sorted(
+            (v for v in rule.head_variables()
+             if v != self.target and v.name != "_"
+             and v not in rule.existential_variables()),
+            key=lambda v: v.name,
+        ))
+
+
+# ---------------------------------------------------------------------------
+# Head templates and per-rule plan bundles
+# ---------------------------------------------------------------------------
+
+_K_CONST, _K_VAR, _K_EXIST, _K_SKOLEM = 0, 1, 2, 3
+
+
+class RulePlans:
+    """All compiled artifacts of one rule; pieces build lazily."""
+
+    __slots__ = (
+        "rule", "is_aggregate", "head_ops", "placeholders", "head_bound_vars",
+        "existentials", "_body", "_delta", "_binders", "_aggregate", "_head_check",
+    )
+
+    def __init__(self, rule: Rule):
+        self.rule = rule
+        self.is_aggregate = rule.has_aggregate()
+        self._body: Optional[BodyPlan] = None
+        self._delta: Dict[int, BodyPlan] = {}
+        self._binders: Dict[int, DeltaBinder] = {}
+        self._aggregate: Optional[AggregatePlan] = None
+        self._head_check: Optional[BodyPlan] = None
+
+        body_vars = rule.body_variables()
+        head_ops: List[Tuple[str, Tuple[Tuple[int, Any], ...]]] = []
+        placeholders: List[Tuple[Variable, str, Tuple[Tuple[bool, Any], ...]]] = []
+        head_bound: Set[Variable] = set()
+        existentials: Set[Variable] = set()
+        for atom in rule.head:
+            slots: List[Tuple[int, Any]] = []
+            for term in atom.terms:
+                if isinstance(term, SkolemTerm):
+                    placeholder = Variable(f"$sk{len(placeholders)}")
+                    arg_ops = tuple(
+                        (isinstance(a, Variable), a) for a in term.arguments
+                    )
+                    placeholders.append((placeholder, term.functor, arg_ops))
+                    slots.append((_K_SKOLEM, placeholder))
+                elif isinstance(term, Variable):
+                    if term in body_vars:
+                        head_bound.add(term)
+                        slots.append((_K_VAR, term))
+                    else:
+                        existentials.add(term)
+                        slots.append((_K_EXIST, term))
+                else:
+                    slots.append((_K_CONST, term))
+            head_ops.append((atom.predicate, tuple(slots)))
+        self.head_ops = tuple(head_ops)
+        self.placeholders = tuple(placeholders)
+        self.head_bound_vars = tuple(head_bound)
+        self.existentials = tuple(sorted(existentials, key=lambda v: v.name))
+
+    # -- lazy pieces ----------------------------------------------------
+    def body_plan(self) -> BodyPlan:
+        if self._body is None:
+            self._body = compile_body(self.rule.body)
+        return self._body
+
+    def delta_binder(self, index: int) -> DeltaBinder:
+        binder = self._binders.get(index)
+        if binder is None:
+            binder = DeltaBinder(self.rule.body[index])
+            self._binders[index] = binder
+        return binder
+
+    def delta_plan(self, index: int) -> BodyPlan:
+        plan = self._delta.get(index)
+        if plan is None:
+            body = self.rule.body
+            atom = body[index]
+            bound = {v for v in atom.variables() if v.name != "_"}
+            rest = [literal for i, literal in enumerate(body) if i != index]
+            indexes = [i for i in range(len(body)) if i != index]
+            plan = compile_body(rest, bound, indexes)
+            self._delta[index] = plan
+        return plan
+
+    def aggregate_plan(self) -> AggregatePlan:
+        if self._aggregate is None:
+            self._aggregate = AggregatePlan(self.rule)
+        return self._aggregate
+
+    def head_check_plan(self) -> BodyPlan:
+        """Conjunctive-match plan over the head, for the restricted chase."""
+        if self._head_check is None:
+            atoms: List[Atom] = []
+            for (predicate, slots), atom in zip(self.head_ops, self.rule.head):
+                terms: List[Any] = []
+                for kind, payload in slots:
+                    terms.append(payload)  # placeholders stand in for Skolems
+                atoms.append(Atom(predicate, tuple(terms)))
+            bound = set(self.head_bound_vars)
+            bound.update(ph for ph, _, _ in self.placeholders)
+            self._head_check = compile_body(atoms, bound)
+        return self._head_check
+
+    # -- the chase step -------------------------------------------------
+    def instantiate_head(
+        self,
+        substitution: Substitution,
+        db: Database,
+        stats: Any,
+        nulls: Any,
+        skolems: Dict[str, SkolemFunctor],
+        max_nulls: int,
+    ) -> Iterator[Tuple[str, Fact]]:
+        """Resolve the head under ``substitution`` (the chase step)."""
+        skolem_values: Dict[Variable, Any] = {}
+        for placeholder, functor_name, arg_ops in self.placeholders:
+            functor = skolems.get(functor_name)
+            if functor is None:
+                functor = SkolemFunctor(functor_name)
+                skolems[functor_name] = functor
+            arguments = []
+            for is_var, argument in arg_ops:
+                if is_var:
+                    if argument not in substitution:
+                        raise EvaluationError(
+                            f"Skolem argument {argument!r} unbound in {self.rule}"
+                        )
+                    arguments.append(substitution[argument])
+                else:
+                    arguments.append(argument)
+            skolem_values[placeholder] = functor(*arguments)
+
+        resolved: List[Tuple[str, List[Any]]] = []
+        for predicate, slots in self.head_ops:
+            terms: List[Any] = []
+            for kind, payload in slots:
+                if kind == _K_CONST:
+                    terms.append(payload)
+                elif kind == _K_VAR:
+                    terms.append(substitution[payload])
+                elif kind == _K_SKOLEM:
+                    terms.append(skolem_values[payload])
+                else:  # _K_EXIST — resolved below
+                    terms.append(payload)
+            resolved.append((predicate, terms))
+
+        if self.existentials:
+            # Restricted chase: skip when the head conjunction is already
+            # satisfied by some assignment of the existential variables.
+            initial: Substitution = {
+                v: substitution[v] for v in self.head_bound_vars
+            }
+            initial.update(skolem_values)
+            for _ in execute_plan(self.head_check_plan(), db, initial):
+                return
+            if stats.nulls_created + len(self.existentials) > max_nulls:
+                raise EvaluationError(
+                    f"null budget exceeded ({max_nulls}); the program "
+                    "likely falls outside the terminating fragment"
+                )
+            assignment = {
+                variable: nulls.fresh(variable.name)
+                for variable in self.existentials
+            }
+            stats.nulls_created += len(assignment)
+            for predicate, terms in resolved:
+                yield predicate, tuple(
+                    assignment.get(t, t) if isinstance(t, Variable) else t
+                    for t in terms
+                )
+            return
+
+        for predicate, terms in resolved:
+            yield predicate, tuple(terms)

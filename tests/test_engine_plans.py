@@ -1,0 +1,374 @@
+"""Compiled join plans: differential battery against the interpreted
+matcher, plan-compilation unit tests, composite-index tests, and the
+graph fast paths that ride along in the same change."""
+
+import pytest
+
+from repro.graph.algorithms import strongly_connected_components, topological_order
+from repro.graph.property_graph import PropertyGraph
+from repro.vadalog import Engine, parse_program
+from repro.vadalog.ast import Condition
+from repro.vadalog.database import Relation
+from repro.vadalog.plan import (
+    AssignFilter,
+    CondFilter,
+    NegFilter,
+    compile_body,
+    execute_plan,
+)
+from repro.vadalog.terms import Null, Variable
+
+
+# ---------------------------------------------------------------------------
+# Differential battery: Engine(use_plans=True) vs Engine(use_plans=False)
+# ---------------------------------------------------------------------------
+
+
+def _canon(facts):
+    """Null ordinals are run-dependent; compare up to null identity."""
+    multiset = {}
+    distinct_nulls = set()
+    for fact in facts:
+        key = tuple(
+            ("<null>", t.label) if isinstance(t, Null) else t for t in fact
+        )
+        multiset[key] = multiset.get(key, 0) + 1
+        distinct_nulls.update(t for t in fact if isinstance(t, Null))
+    return multiset, len(distinct_nulls)
+
+
+def differential(text, predicates, semi_naive=True, **inputs):
+    """Run with plans on and off; assert identical output per predicate."""
+    program = parse_program(text)
+    fast = Engine(semi_naive=semi_naive, use_plans=True).run(program, inputs=inputs)
+    slow = Engine(semi_naive=semi_naive, use_plans=False).run(program, inputs=inputs)
+    assert fast.stats.plans_compiled > 0
+    assert slow.stats.plans_compiled == 0
+    for predicate in predicates:
+        assert _canon(fast.facts(predicate)) == _canon(slow.facts(predicate)), predicate
+    return fast, slow
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("semi_naive", [True, False])
+    def test_transitive_closure(self, semi_naive):
+        edges = [(i, (i * 7 + 3) % 25) for i in range(25)] + [(3, 3), (0, 7)]
+        differential(
+            "e(X, Y) -> tc(X, Y).\ntc(X, Y), e(Y, Z) -> tc(X, Z).",
+            ["tc"],
+            semi_naive=semi_naive,
+            e=edges,
+        )
+
+    def test_mutual_recursion(self):
+        differential(
+            "start(X) -> even(X).\n"
+            "even(X), succ(X, Y) -> odd(Y).\n"
+            "odd(X), succ(X, Y) -> even(Y).",
+            ["even", "odd"],
+            start=[(0,)],
+            succ=[(i, i + 1) for i in range(8)],
+        )
+
+    def test_stratified_negation(self):
+        differential(
+            "node(X), not bad(X) -> good(X).\n"
+            "edge(X, Y), bad(X) -> bad(Y).",
+            ["good", "bad"],
+            node=[(i,) for i in range(6)],
+            edge=[(0, 1), (1, 2), (4, 5)],
+            bad=[(0,)],
+        )
+
+    def test_assignments_conditions_functions(self):
+        differential(
+            'p(X, Y), Z = X + Y, Z > 3, S = concat("v", tostring(Z)) -> q(X, S).',
+            ["q"],
+            p=[(1, 1), (2, 2), (3, 3)],
+        )
+
+    def test_constants_and_repeated_variables(self):
+        differential(
+            'p(X, X, "k") -> q(X).\np(X, Y, _), q(Y) -> r(X, Y).',
+            ["q", "r"],
+            p=[(1, 1, "k"), (2, 2, "other"), (3, 1, "z"), (1, 1, "z")],
+        )
+
+    def test_bool_int_distinction(self):
+        # Hash buckets equate True/1/1.0; the chase must not.
+        differential(
+            "p(X), q(X) -> r(X).",
+            ["r"],
+            p=[(True,), (1,), (0,)],
+            q=[(1,), (False,)],
+        )
+
+    def test_existential_restricted_chase(self):
+        # The second rule is satisfied by existing facts for some tuples:
+        # the restricted chase must invent nulls only for the others.
+        differential(
+            "person(X) -> hasid(X, Y).\n",
+            ["hasid"],
+            person=[("a",), ("b",), ("c",)],
+            hasid=[("a", "id-a")],
+        )
+
+    def test_skolem_oids(self):
+        differential(
+            "own(X, Y, W) -> holding(#h(X, Y), X, Y, W).",
+            ["holding"],
+            own=[("a", "b", 0.4), ("b", "c", 0.6)],
+        )
+
+    def test_multi_head_shared_existential(self):
+        differential(
+            "c(X) -> officer(X, P), person(P).",
+            ["officer", "person"],
+            c=[("acme",), ("globex",)],
+        )
+
+    def test_monotonic_aggregation_control(self):
+        differential(
+            "company(X) -> controls(X, X).\n"
+            "controls(X, Z), own(Z, Y, W), V = msum(W, <Z>), V > 0.5"
+            " -> controls(X, Y).",
+            ["controls"],
+            company=[("a",), ("b",), ("c",), ("d",)],
+            own=[
+                ("a", "b", 0.6),
+                ("b", "c", 0.4),
+                ("a", "c", 0.2),
+                ("c", "d", 0.51),
+                ("b", "d", 0.2),
+            ],
+        )
+
+    def test_aggregate_post_condition_and_projection(self):
+        differential(
+            "own(Z, Y, W), V = msum(W, <Z>), V > 0.5 -> major(Y).",
+            ["major"],
+            own=[("a", "c", 0.3), ("b", "c", 0.3), ("a", "d", 0.2)],
+        )
+
+
+# ---------------------------------------------------------------------------
+# Plan compilation
+# ---------------------------------------------------------------------------
+
+
+def _body(text):
+    return parse_program(text).rules[0].body
+
+
+class TestCompilation:
+    def test_static_join_order_follows_bound_atoms(self):
+        # q(Y, Z) has one bound position once p binds X, Y; r(W) has none:
+        # the greedy order must visit p, then q, then r.
+        body = _body("p(X, Y), r(W), q(Y, Z) -> out(X, W).")
+        plan = compile_body(body)
+        assert [s.predicate for s in plan.steps] == ["p", "q", "r"]
+
+    def test_initially_bound_variables_steer_the_order(self):
+        body = _body("p(X, Y), q(Y, Z) -> out(X, Z).")
+        plan = compile_body(body, bound=[Variable("Z")])
+        assert [s.predicate for s in plan.steps] == ["q", "p"]
+
+    def test_bind_check_and_key_slots(self):
+        body = _body('p(X, X, "k", _, Y) -> out(X, Y).')
+        plan = compile_body(body)
+        (step,) = plan.steps
+        assert step.positions == (2,)          # only the constant probes
+        assert step.key_parts == ((False, "k"),)
+        assert step.bind == ((0, Variable("X")), (4, Variable("Y")))
+        assert step.check == ((1, Variable("X")),)
+
+    def test_second_step_probes_on_bound_variable(self):
+        body = _body("tc(X, Y), e(Y, Z) -> tc(X, Z).")
+        plan = compile_body(body)
+        first, second = plan.steps
+        assert first.positions == ()
+        assert second.predicate == "e"
+        assert second.positions == (0,)
+        assert second.key_parts == ((True, Variable("Y")),)
+
+    def test_filters_attach_to_earliest_ready_step(self):
+        body = _body("p(X), X > 1, q(X, Y), Y = X + 1 -> out(Y).")
+        plan = compile_body(body)
+        assert not plan.prefix
+        first, second = plan.steps
+        assert [type(f) for f in first.filters] == [CondFilter, AssignFilter]
+        assert [type(f) for f in second.filters] == []
+        # The ready assignment ran right after p bound X, so q's Y slot is
+        # a bound probe rather than a novel binding.
+        assert second.positions == (0, 1)
+
+    def test_ready_filters_with_no_prior_atom_go_to_prefix(self):
+        body = _body("X = 1 + 1, p(X) -> out(X).")
+        plan = compile_body(body)
+        assert [type(f) for f in plan.prefix] == [AssignFilter]
+        assert plan.prefix[0].binds
+        (step,) = plan.steps
+        assert step.positions == (0,)
+
+    def test_negation_becomes_a_filter(self):
+        body = _body("p(X), not q(X) -> out(X).")
+        plan = compile_body(body)
+        (step,) = plan.steps
+        assert [type(f) for f in step.filters] == [NegFilter]
+
+    def test_execute_plan_yields_fresh_dicts(self):
+        from repro.vadalog.database import Database
+
+        body = _body("e(X, Y), e(Y, Z) -> out(X, Z).")
+        plan = compile_body(body)
+        db = Database()
+        db.add_all("e", [(1, 2), (2, 3), (3, 4)])
+        results = list(execute_plan(plan, db))
+        as_tuples = {
+            (s[Variable("X")], s[Variable("Y")], s[Variable("Z")]) for s in results
+        }
+        assert as_tuples == {(1, 2, 3), (2, 3, 4)}
+        assert len({id(s) for s in results}) == len(results)
+
+    def test_plan_cache_is_shared_across_runs(self):
+        engine = Engine()
+        program = parse_program("e(X, Y) -> tc(X, Y).\ntc(X, Y), e(Y, Z) -> tc(X, Z).")
+        first = engine.run(program, inputs={"e": [(1, 2)]})
+        second = engine.run(program, inputs={"e": [(1, 2), (2, 3)]})
+        assert first.stats.plans_compiled == 2
+        assert second.stats.plans_compiled == 0
+
+
+# ---------------------------------------------------------------------------
+# Composite indexes
+# ---------------------------------------------------------------------------
+
+
+class TestCompositeIndex:
+    def test_lookup_key_exact_match(self):
+        rel = Relation("r")
+        rel.add_many([(1, "a", 10), (1, "b", 20), (2, "a", 30), (1, "a", 40)])
+        facts = set(rel.lookup_key((0, 1), (1, "a")))
+        assert facts == {(1, "a", 10), (1, "a", 40)}
+        assert set(rel.lookup_key((0, 1), (9, "a"))) == set()
+
+    def test_single_position_delegates_to_plain_index(self):
+        rel = Relation("r")
+        rel.add_many([(1, "a"), (2, "b")])
+        assert set(rel.lookup_key((1,), ("b",))) == {(2, "b")}
+
+    def test_incremental_maintenance_after_build(self):
+        rel = Relation("r")
+        rel.add((1, "a"))
+        assert set(rel.lookup_key((0, 1), (1, "a"))) == {(1, "a")}
+        rel.add((1, "a"))  # duplicate: no double-count
+        rel.add((1, "b"))
+        assert list(rel.lookup_key((0, 1), (1, "a"))) == [(1, "a")]
+        assert set(rel.lookup_key((0, 1), (1, "b"))) == {(1, "b")}
+
+    def test_add_many_falls_back_once_indexed(self):
+        rel = Relation("r")
+        rel.add_many([(1, "a")])
+        rel.lookup_key((0,), (1,))  # force an index
+        added = rel.add_many([(1, "a"), (2, "b")])
+        assert added == 1
+        assert set(rel.lookup_key((0,), (2,))) == {(2, "b")}
+
+    def test_copy_is_independent(self):
+        rel = Relation("r")
+        rel.add_many([(1, "a")])
+        rel.lookup_key((0, 1), (1, "a"))
+        clone = rel.copy()
+        clone.add((2, "b"))
+        assert (2, "b") not in rel
+        assert set(clone.lookup_key((0, 1), (2, "b"))) == {(2, "b")}
+
+    def test_arity_guard_in_bulk_path(self):
+        from repro.errors import EvaluationError
+
+        rel = Relation("r")
+        with pytest.raises(EvaluationError):
+            rel.add_many([(1, 2), (1, 2, 3)])
+
+
+# ---------------------------------------------------------------------------
+# PropertyGraph fast paths
+# ---------------------------------------------------------------------------
+
+
+def _sample_graph():
+    g = PropertyGraph("sample")
+    g.add_node("a", "Company", name="A")
+    g.add_node("b", "Company", name="B")
+    g.add_node("p", "Person")
+    g.add_edge("a", "b", "OWNS", w=0.6)
+    g.add_edge("p", "a", "OWNS", w=1.0)
+    g.add_edge("a", "b", "SUPPLIES")
+    g.add_node(label="Company")  # auto-id node
+    return g
+
+
+class TestPropertyGraphFastPaths:
+    def test_copy_preserves_everything(self):
+        g = _sample_graph()
+        c = g.copy()
+        assert c.node_count == g.node_count and c.edge_count == g.edge_count
+        assert c.node_labels() == g.node_labels()
+        assert c.edge_labels() == g.edge_labels()
+        assert c.adjacency() == g.adjacency()
+        assert c.degrees() == g.degrees()
+        assert {e.id for e in c.edges("OWNS")} == {e.id for e in g.edges("OWNS")}
+        assert c.node("a").properties == g.node("a").properties
+
+    def test_copy_is_deep_enough(self):
+        g = _sample_graph()
+        c = g.copy()
+        c.set_node_property("a", "name", "mutated")
+        c.add_edge("b", "a", "OWNS")
+        assert g.node("a")["name"] == "A"
+        assert g.edge_count == 3
+
+    def test_auto_id_counter_survives_copy(self):
+        g = _sample_graph()
+        c = g.copy()
+        fresh = c.add_node(label="Company")
+        assert fresh.id not in g  # no collision with ids minted before copy
+        assert not g.has_node(fresh.id)
+
+    def test_degrees_matches_per_node_queries(self):
+        g = _sample_graph()
+        for node in g.nodes():
+            in_deg, out_deg = g.degrees()[node.id]
+            assert in_deg == g.in_degree(node.id)
+            assert out_deg == g.out_degree(node.id)
+
+    def test_adjacency_with_label_filter(self):
+        g = _sample_graph()
+        adj = g.adjacency("OWNS")
+        assert sorted(adj["a"]) == ["b"]
+        assert adj["p"] == ["a"]
+        assert adj["b"] == []
+        full = g.adjacency()
+        assert sorted(full["a"]) == ["b", "b"]
+
+    def test_algorithms_still_correct_on_new_paths(self):
+        g = PropertyGraph()
+        for i in range(6):
+            g.add_node(i)
+        for s, t in [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5)]:
+            g.add_edge(s, t)
+        sccs = {frozenset(c) for c in strongly_connected_components(g)}
+        assert frozenset({0, 1, 2}) in sccs
+        assert len(sccs) == 4
+
+        dag = PropertyGraph()
+        for i in range(5):
+            dag.add_node(i)
+        for s, t in [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]:
+            dag.add_edge(s, t)
+        order = topological_order(dag)
+        position = {n: i for i, n in enumerate(order)}
+        assert all(position[s] < position[t]
+                   for s, t in [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)])
+        with pytest.raises(ValueError):
+            topological_order(g)
