@@ -13,11 +13,16 @@ from repro.finkg.control import (
 
 
 @pytest.mark.parametrize("companies", [1000, 5000])
-def test_ex41_control_metalog(benchmark, shareholding_graphs, companies):
+def test_ex41_control_metalog(benchmark, shareholding_graphs, profile_tracer, companies):
     graph = shareholding_graphs[companies]
+    engine = None
+    if profile_tracer is not None:
+        from repro.vadalog.engine import Engine
+
+        engine = Engine(tracer=profile_tracer)
 
     def reason():
-        return run_control_metalog(graph, node_label="Company")
+        return run_control_metalog(graph, node_label="Company", engine=engine)
 
     outcome = benchmark.pedantic(reason, rounds=2, iterations=1)
     meta = {

@@ -4,9 +4,17 @@ Every benchmark regenerates one artifact of the paper (a figure, the
 Section 2.1 statistics table, or the Section 6 performance breakdown),
 prints the regenerated content (run with ``-s`` to see it), asserts its
 shape, and times the regeneration with pytest-benchmark.
+
+Pass ``--profile-dir DIR`` to capture a JSONL execution trace per
+benchmark that opts in via the ``profile_tracer`` fixture (tracing adds
+overhead, so the timed numbers then include it — use for attribution,
+not for headline timings).
 """
 
 from __future__ import annotations
+
+import re
+from pathlib import Path
 
 import pytest
 
@@ -19,6 +27,36 @@ def banner(title: str) -> None:
     print("=" * 72)
     print(title)
     print("=" * 72)
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--profile-dir",
+        default=None,
+        help="write per-benchmark JSONL traces into this directory",
+    )
+
+
+@pytest.fixture()
+def profile_tracer(request):
+    """A RecordingTracer when ``--profile-dir`` is set, else ``None``.
+
+    Benchmarks pass it to ``Engine(tracer=...)``; on teardown the trace
+    lands in ``<profile-dir>/<test-name>.jsonl``.
+    """
+    profile_dir = request.config.getoption("--profile-dir")
+    if not profile_dir:
+        yield None
+        return
+    from repro.obs import RecordingTracer, write_trace
+
+    tracer = RecordingTracer()
+    yield tracer
+    if tracer.spans or tracer.events:
+        out = Path(profile_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        name = re.sub(r"[^\w.=-]+", "_", request.node.name)
+        write_trace(tracer, str(out / f"{name}.jsonl"))
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,64 @@
+"""CI smoke check: a traced reasoning run must emit a schema-valid trace.
+
+Runs the Example 4.1 control program over a small synthetic shareholding
+graph with a :class:`~repro.obs.RecordingTracer` attached, writes the
+JSONL trace, validates every record against the trace schema, and exits
+non-zero on any problem.  Standalone on purpose — no pytest-benchmark —
+so the CI job stays a plain ``python benchmarks/smoke_trace.py``.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.finkg.control import controls_pairs_from_graph, run_control_metalog
+from repro.finkg.generator import ShareholdingConfig, generate_shareholding_graph
+from repro.obs import (
+    RecordingTracer,
+    profile_summary,
+    validate_trace_file,
+    write_trace,
+)
+from repro.vadalog.engine import Engine
+
+
+def main(out_path: str | None = None) -> int:
+    graph = generate_shareholding_graph(ShareholdingConfig(companies=200, seed=7))
+    tracer = RecordingTracer()
+    outcome = run_control_metalog(
+        graph, node_label="Company", engine=Engine(tracer=tracer)
+    )
+    pairs = controls_pairs_from_graph(outcome.graph)
+    if not pairs:
+        print("smoke: no CONTROLS edges derived", file=sys.stderr)
+        return 1
+    if tracer.open_spans():
+        print(f"smoke: unclosed spans: {tracer.open_spans()}", file=sys.stderr)
+        return 1
+
+    if out_path is None:
+        out_path = str(Path(tempfile.mkdtemp(prefix="smoke_trace_")) / "trace.jsonl")
+    records = write_trace(tracer, out_path)
+    problems = validate_trace_file(out_path)
+    if problems:
+        for problem in problems:
+            print(f"smoke: invalid trace: {problem}", file=sys.stderr)
+        return 1
+
+    expected = {"engine.run", "engine.stratum", "engine.rule", "mtv.compile"}
+    seen = {span.name for span in tracer.spans}
+    missing = expected - seen
+    if missing:
+        print(f"smoke: expected spans missing: {sorted(missing)}", file=sys.stderr)
+        return 1
+
+    print(f"smoke: {records} schema-valid trace records at {out_path}")
+    print(f"smoke: {len(pairs)} control pairs derived")
+    print(profile_summary(tracer))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1] if len(sys.argv) > 1 else None))

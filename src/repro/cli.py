@@ -96,10 +96,32 @@ def cmd_compile(args) -> int:
 
 
 def cmd_reason(args) -> int:
+    from repro.obs import (
+        RecordingTracer,
+        ResourceGovernor,
+        profile_summary,
+        write_trace,
+    )
+    from repro.vadalog.engine import Engine
+
     schema = parse_gsl(_read(args.schema))
     data = load_graph(args.data)
     sigma = parse_metalog(_read(args.program))
-    report = IntensionalMaterializer().materialize(
+
+    tracer = None
+    if args.trace or args.profile:
+        tracer = RecordingTracer()
+    governor = None
+    if any(v is not None for v in (args.budget_seconds, args.max_facts)):
+        governor = ResourceGovernor(
+            budget_seconds=args.budget_seconds,
+            max_facts=args.max_facts,
+            graceful=True,
+        )
+    engine = None
+    if tracer is not None or governor is not None:
+        engine = Engine(tracer=tracer, governor=governor)
+    report = IntensionalMaterializer(engine=engine, tracer=tracer).materialize(
         schema, data, sigma, instance_oid=args.instance_oid
     )
     print("derived:", report.derived_counts, file=sys.stderr)
@@ -108,6 +130,23 @@ def cmd_reason(args) -> int:
         {k: f"{v:.2f}s" for k, v in report.phase_breakdown().items()},
         file=sys.stderr,
     )
+    if report.truncated:
+        violation = report.violation
+        detail = ""
+        if violation is not None:
+            detail = (
+                f" ({violation.resource} limit {violation.limit},"
+                f" used {violation.used})"
+            )
+        print(
+            f"warning: budget exceeded{detail} — results are partial",
+            file=sys.stderr,
+        )
+    if args.trace:
+        records = write_trace(tracer, args.trace)
+        print(f"trace: {records} records written to {args.trace}", file=sys.stderr)
+    if args.profile:
+        print(profile_summary(tracer), file=sys.stderr)
     if args.output:
         save_graph(report.instance.data, args.output)
         print(f"enriched instance written to {args.output}", file=sys.stderr)
@@ -115,7 +154,7 @@ def cmd_reason(args) -> int:
         from repro.graph.io import graph_to_json
 
         print(graph_to_json(report.instance.data))
-    return 0
+    return 3 if report.truncated else 0
 
 
 def cmd_stats(args) -> int:
@@ -173,6 +212,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("program", help="MetaLog rules file")
     p.add_argument("-o", "--output", default=None)
     p.add_argument("--instance-oid", default=1, type=int)
+    p.add_argument(
+        "--trace", default=None, metavar="OUT.JSONL",
+        help="write a JSONL execution trace (spans, counters, histograms)",
+    )
+    p.add_argument(
+        "--profile", action="store_true",
+        help="print a per-span profile summary to stderr",
+    )
+    p.add_argument(
+        "--budget-seconds", default=None, type=float,
+        help="wall-clock budget; exceeding it yields partial results (exit 3)",
+    )
+    p.add_argument(
+        "--max-facts", default=None, type=int,
+        help="derived-fact budget; exceeding it yields partial results (exit 3)",
+    )
     p.set_defaults(func=cmd_reason)
 
     p = sub.add_parser("stats", help="synthetic-registry statistics (Sec. 2.1)")

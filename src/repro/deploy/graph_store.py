@@ -23,6 +23,7 @@ from repro.errors import DeploymentError, IntegrityError
 from repro.graph.property_graph import Edge, Node, PropertyGraph
 from repro.metalog.analysis import GraphCatalog
 from repro.models.property_graph import PGSchema
+from repro.obs.tracer import Tracer
 
 _NODE_QUERY_RE = re.compile(r"^\(\s*\w*\s*:\s*(\w+)\s*\)\s*return\s+\w+$", re.IGNORECASE)
 _EDGE_QUERY_RE = re.compile(
@@ -35,8 +36,9 @@ _EDGE_QUERY_RE = re.compile(
 class GraphStore:
     """An in-memory graph database enforcing a PG-model schema."""
 
-    def __init__(self, name: str = "graph-store"):
+    def __init__(self, name: str = "graph-store", tracer: Optional[Tracer] = None):
         self.name = name
+        self.tracer = tracer
         self.graph = PropertyGraph(name)
         self._schema: Optional[PGSchema] = None
         self._node_properties: Dict[str, Dict[str, Any]] = {}
@@ -127,6 +129,8 @@ class GraphStore:
         for (label, prop_name), index in self._unique.items():
             if label in labels and prop_name in properties:
                 index[properties[prop_name]] = node.id
+        if self.tracer is not None:
+            self.tracer.count("deploy.nodes_written", 1)
         return node
 
     def create_relationship(
@@ -155,7 +159,10 @@ class GraphStore:
                     raise IntegrityError(
                         f"property {prop_name!r} not declared on {name!r}"
                     )
-        return self.graph.add_edge(source, target, name, **properties)
+        edge = self.graph.add_edge(source, target, name, **properties)
+        if self.tracer is not None:
+            self.tracer.count("deploy.relationships_written", 1)
+        return edge
 
     def labels_of(self, node_id: Any) -> Set[str]:
         return set(self._labels_by_node.get(node_id, set()))

@@ -7,18 +7,21 @@ deployed target system, validated against the translated schema.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Tuple
+from contextlib import nullcontext
+from typing import Any, Dict, Optional, Tuple
 
 from repro.core.schema import SuperSchema
 from repro.deploy.graph_store import GraphStore
 from repro.deploy.triple_store import TripleStore
 from repro.graph.property_graph import PropertyGraph
+from repro.obs.tracer import Tracer
 
 
 def load_graph_store(
     schema: SuperSchema,
     data: PropertyGraph,
     store: GraphStore,
+    tracer: Optional[Tracer] = None,
 ) -> Tuple[int, int]:
     """Load a typed instance into a schema-enforcing graph store.
 
@@ -26,23 +29,28 @@ def load_graph_store(
     instance-level counterpart of the multi-label strategy's type
     accumulation).  Returns (nodes, relationships) created.
     """
-    nodes = edges = 0
-    for node in data.nodes():
-        if node.label is None or not schema.has_node(node.label):
-            continue
-        sm_node = schema.get_node(node.label)
-        labels = [sm_node.type_name] + [
-            a.type_name for a in schema.ancestors_of(sm_node)
-        ]
-        store.create_node(node.id, labels, **node.properties)
-        nodes += 1
-    for edge in data.edges():
-        if edge.label is None or not schema.has_edge(edge.label):
-            continue
-        store.create_relationship(
-            edge.source, edge.target, edge.label, **edge.properties
-        )
-        edges += 1
+    tracer = tracer if tracer is not None else store.tracer
+    span = tracer.span("deploy.flush", store=store.name) if tracer else nullcontext()
+    with span:
+        nodes = edges = 0
+        for node in data.nodes():
+            if node.label is None or not schema.has_node(node.label):
+                continue
+            sm_node = schema.get_node(node.label)
+            labels = [sm_node.type_name] + [
+                a.type_name for a in schema.ancestors_of(sm_node)
+            ]
+            store.create_node(node.id, labels, **node.properties)
+            nodes += 1
+        for edge in data.edges():
+            if edge.label is None or not schema.has_edge(edge.label):
+                continue
+            store.create_relationship(
+                edge.source, edge.target, edge.label, **edge.properties
+            )
+            edges += 1
+        if tracer:
+            span.set(nodes=nodes, relationships=edges)
     return nodes, edges
 
 
@@ -50,24 +58,31 @@ def load_triple_store(
     schema: SuperSchema,
     data: PropertyGraph,
     store: TripleStore,
+    tracer: Optional[Tracer] = None,
 ) -> int:
     """Load a typed instance as triples (edge properties are dropped —
     RDF reification is out of scope; documented substitution).
 
     Returns the number of asserted triples.
     """
-    before = store.count()
-    for node in data.nodes():
-        if node.label is None or not schema.has_node(node.label):
-            continue
-        store.add(node.id, "rdf:type", node.label)
-        sm_node = schema.get_node(node.label)
-        declared = {a.name for a in schema.inherited_attributes(sm_node)}
-        for name, value in node.properties.items():
-            if name in declared and value is not None:
-                store.add(node.id, name, value)
-    for edge in data.edges():
-        if edge.label is None or not schema.has_edge(edge.label):
-            continue
-        store.add(edge.source, edge.label, edge.target)
-    return store.count() - before
+    tracer = tracer if tracer is not None else store.tracer
+    span = tracer.span("deploy.flush", store=store.name) if tracer else nullcontext()
+    with span:
+        before = store.count()
+        for node in data.nodes():
+            if node.label is None or not schema.has_node(node.label):
+                continue
+            store.add(node.id, "rdf:type", node.label)
+            sm_node = schema.get_node(node.label)
+            declared = {a.name for a in schema.inherited_attributes(sm_node)}
+            for name, value in node.properties.items():
+                if name in declared and value is not None:
+                    store.add(node.id, name, value)
+        for edge in data.edges():
+            if edge.label is None or not schema.has_edge(edge.label):
+                continue
+            store.add(edge.source, edge.label, edge.target)
+        asserted = store.count() - before
+        if tracer:
+            span.set(triples=asserted)
+    return asserted

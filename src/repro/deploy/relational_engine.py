@@ -19,6 +19,7 @@ from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set,
 
 from repro.errors import DeploymentError, IntegrityError
 from repro.models.relational import Column, ForeignKey, RelationalSchema, Table
+from repro.obs.tracer import Tracer
 
 #: Loose domain checks per declared column type.
 _TYPE_CHECKS = {
@@ -41,8 +42,9 @@ class _StoredTable:
 class RelationalEngine:
     """An in-memory RDBMS enforcing the translated schema."""
 
-    def __init__(self, name: str = "rdbms"):
+    def __init__(self, name: str = "rdbms", tracer: Optional[Tracer] = None):
         self.name = name
+        self.tracer = tracer
         self._tables: Dict[str, _StoredTable] = {}
         self._foreign_keys: List[ForeignKey] = []
         self._deferred: bool = False
@@ -119,6 +121,8 @@ class RelationalEngine:
         stored.rows.append(row)
         if pk_columns:
             stored.pk_index[tuple(row[c] for c in pk_columns)] = len(stored.rows) - 1
+        if self.tracer is not None:
+            self.tracer.count("deploy.rows_written", 1)
 
     def insert_many(self, table_name: str, rows: Iterable[Dict[str, Any]]) -> int:
         count = 0

@@ -20,6 +20,7 @@ from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.errors import DeploymentError, IntegrityError
 from repro.models.rdf import RDFSchema
+from repro.obs.tracer import Tracer
 
 Triple = Tuple[Any, str, Any]
 
@@ -30,8 +31,9 @@ RDFS_SUBCLASS = "rdfs:subClassOf"
 class TripleStore:
     """An RDFS-aware triple store."""
 
-    def __init__(self, name: str = "triple-store"):
+    def __init__(self, name: str = "triple-store", tracer: Optional[Tracer] = None):
         self.name = name
+        self.tracer = tracer
         self._triples: Set[Triple] = set()
         self._schema: Optional[RDFSchema] = None
         self._superclasses: Dict[str, Set[str]] = {}
@@ -76,11 +78,11 @@ class TripleStore:
         """Assert a triple, applying RDFS entailment (and validation)."""
         if validate and self._schema is not None:
             self._validate(subject, predicate, obj)
-        self._triples.add((subject, predicate, obj))
+        self._assert((subject, predicate, obj))
         # rdfs9/rdfs11: propagate types along the subclass hierarchy.
         if predicate == RDF_TYPE:
             for ancestor in self.superclasses_of(obj):
-                self._triples.add((subject, RDF_TYPE, ancestor))
+                self._assert((subject, RDF_TYPE, ancestor))
         # rdfs2/rdfs3: domain/range typing.
         domain = self._domains.get(predicate)
         if domain is not None:
@@ -88,6 +90,18 @@ class TripleStore:
         range_ = self._ranges.get(predicate)
         if range_ is not None and predicate not in self._datatype_properties:
             self.add(obj, RDF_TYPE, range_, validate=False)
+
+    def _assert(self, triple: Triple) -> None:
+        """Insert a triple, counting only genuinely new assertions.
+
+        ``add`` recurses for RDFS entailment, so the write counter lives
+        here — behind a membership test — rather than in ``add`` itself.
+        """
+        if triple in self._triples:
+            return
+        self._triples.add(triple)
+        if self.tracer is not None:
+            self.tracer.count("deploy.triples_written", 1)
 
     def _validate(self, subject: Any, predicate: str, obj: Any) -> None:
         if predicate in (RDF_TYPE, RDFS_SUBCLASS):

@@ -47,6 +47,23 @@ class EvaluationError(VadalogError):
     """Runtime failure during chase-based evaluation."""
 
 
+class ResourceLimitError(EvaluationError):
+    """A hard evaluation limit was hit (iteration cap, null budget...).
+
+    Unlike a plain :class:`EvaluationError`, the partial evaluation
+    statistics survive on ``stats`` so callers can see how far the run
+    got before it was cut off; ``resource`` names the exhausted limit
+    (``"iterations"``, ``"nulls"``, ``"time"``, or ``"facts"``) and
+    ``limit`` its configured value.
+    """
+
+    def __init__(self, message, resource=None, limit=None, stats=None):
+        super().__init__(message)
+        self.resource = resource
+        self.limit = limit
+        self.stats = stats
+
+
 class MetaLogError(KGModelError):
     """Semantic error in a MetaLog program."""
 

@@ -35,6 +35,7 @@ from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import MetaLogError, TranslationError
 from repro.graph.property_graph import PropertyGraph
+from repro.obs.tracer import NullTracer, Tracer
 from repro.metalog.analysis import GraphCatalog, validate
 from repro.metalog.ast import (
     EdgeAtom,
@@ -374,12 +375,22 @@ class _Compiler:
 
 
 def compile_metalog(
-    program: MetaProgram, catalog: Optional[GraphCatalog] = None
+    program: MetaProgram,
+    catalog: Optional[GraphCatalog] = None,
+    tracer: Optional[Tracer] = None,
 ) -> CompiledMetaLog:
-    """Compile a MetaLog program into an executable Vadalog program."""
-    validate(program)
-    catalog = catalog or GraphCatalog()
-    catalog.extend_from_program(program)
+    """Compile a MetaLog program into an executable Vadalog program.
+
+    When a tracer is given, each translation phase gets a span:
+    ``mtv.analyze`` (validation + catalog extension), ``mtv.compile``
+    (phases 2-3: atom mapping and path resolution), and ``mtv.annotate``
+    (the ``@input``/``@output`` emission of phase 1's contract).
+    """
+    tracer = tracer or NullTracer()
+    with tracer.span("mtv.analyze", rules=len(program.rules)):
+        validate(program)
+        catalog = catalog or GraphCatalog()
+        catalog.extend_from_program(program)
     compiler = _Compiler(catalog)
 
     derived_nodes: Set[str] = set()
@@ -387,27 +398,34 @@ def compile_metalog(
     body_nodes: Set[str] = set()
     body_edges: Set[str] = set()
     rules: List[Rule] = []
-    for rule in program.rules:
-        rules.append(compiler.compile_rule(rule))
-        derived_nodes |= rule.head_node_labels()
-        derived_edges |= rule.head_edge_labels()
-        body_nodes |= rule.body_node_labels()
-        body_edges |= rule.body_edge_labels()
+    with tracer.span("mtv.compile") as compile_span:
+        for rule in program.rules:
+            rules.append(compiler.compile_rule(rule))
+            derived_nodes |= rule.head_node_labels()
+            derived_edges |= rule.head_edge_labels()
+            body_nodes |= rule.body_node_labels()
+            body_edges |= rule.body_edge_labels()
+        compile_span.set(
+            compiled_rules=len(rules),
+            auxiliary_rules=len(compiler.extra_rules),
+            auxiliary_predicates=sorted(compiler.auxiliary),
+        )
 
     vadalog_program = Program(rules=rules + compiler.extra_rules)
 
     # Emit the paper's @input annotations for the base (non-derived)
     # labels, with Cypher-style extraction queries as in Example 4.4.
-    for label in sorted(body_nodes - derived_nodes):
-        vadalog_program.annotations.append(
-            Annotation("input", (label, f"(n:{label}) return n"))
-        )
-    for label in sorted(body_edges - derived_edges):
-        vadalog_program.annotations.append(
-            Annotation("input", (label, f"(a)-[e:{label}]->(b) return (e, a, b)"))
-        )
-    for label in sorted(derived_nodes | derived_edges):
-        vadalog_program.annotations.append(Annotation("output", (label,)))
+    with tracer.span("mtv.annotate"):
+        for label in sorted(body_nodes - derived_nodes):
+            vadalog_program.annotations.append(
+                Annotation("input", (label, f"(n:{label}) return n"))
+            )
+        for label in sorted(body_edges - derived_edges):
+            vadalog_program.annotations.append(
+                Annotation("input", (label, f"(a)-[e:{label}]->(b) return (e, a, b)"))
+            )
+        for label in sorted(derived_nodes | derived_edges):
+            vadalog_program.annotations.append(Annotation("output", (label,)))
 
     return CompiledMetaLog(
         program=vadalog_program,
@@ -514,25 +532,41 @@ def run_on_graph(
     catalog: Optional[GraphCatalog] = None,
     engine: Optional[Engine] = None,
     inplace: bool = False,
+    tracer: Optional[Tracer] = None,
 ) -> MaterializationOutcome:
     """Run a MetaLog program over a property graph, end to end.
 
     Extracts the input facts (phase 1), compiles the program via MTV,
     runs the chase, and materializes the derived components back into the
     graph (a copy unless ``inplace``).
+
+    A tracer covers the whole pipeline: ``mtv.*`` compilation spans,
+    ``mtv.extract`` for the PG-to-relational mapping, the engine's own
+    ``engine.*`` spans (when no explicit engine is given, one is built
+    around the same tracer), and ``mtv.materialize`` for the write-back.
+    When an engine carrying a tracer is supplied and no explicit tracer
+    is, the pipeline joins the engine's trace.
     """
     catalog = catalog or GraphCatalog.from_graph(graph)
-    compiled = compile_metalog(program, catalog)
-    database = graph_to_database(
-        graph,
-        compiled.catalog,
-        node_labels=compiled.input_node_labels,
-        edge_labels=compiled.input_edge_labels,
-    )
-    engine = engine or Engine()
+    if tracer is None and engine is not None:
+        tracer = engine.tracer
+    obs = tracer or NullTracer()
+    compiled = compile_metalog(program, catalog, tracer=tracer)
+    with obs.span("mtv.extract") as extract_span:
+        database = graph_to_database(
+            graph,
+            compiled.catalog,
+            node_labels=compiled.input_node_labels,
+            edge_labels=compiled.input_edge_labels,
+        )
+        extract_span.set(relations=len(database.predicates()))
+    if engine is None:
+        engine = Engine(tracer=tracer)
     result = engine.run(compiled.program, database=database)
-    target = graph if inplace else graph.copy()
-    new_nodes, new_edges = materialize_into_graph(result, compiled, target)
+    with obs.span("mtv.materialize") as mat_span:
+        target = graph if inplace else graph.copy()
+        new_nodes, new_edges = materialize_into_graph(result, compiled, target)
+        mat_span.set(new_nodes=new_nodes, new_edges=new_edges)
     return MaterializationOutcome(
         graph=target,
         result=result,

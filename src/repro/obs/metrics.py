@@ -1,0 +1,149 @@
+"""Monotonic counters and fixed-bucket histograms.
+
+The registry is deliberately Prometheus-shaped (cumulative bucket
+counts, ``+Inf`` implicit last bucket, monotonic counters) so a real
+deployment could scrape it, but carries no third-party dependency and
+no locks — the engine is single-threaded per run.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: Default histogram buckets: log-ish spacing covering sub-millisecond
+#: timings up to minutes, and small-to-large cardinalities alike.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0,
+    100.0, 500.0, 1000.0, 5000.0, 10000.0, 100000.0,
+)
+
+
+class Counter:
+    """A monotonically increasing integer counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease ({amount})")
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Histogram:
+    """Fixed-bucket histogram with cumulative-style observation counts.
+
+    ``buckets`` are upper bounds (inclusive); an implicit overflow bucket
+    catches everything above the last bound.  ``counts[i]`` is the number
+    of observations ``<= buckets[i]`` minus those in earlier buckets
+    (i.e. per-bucket, not cumulative — the exporter cumulates).
+    """
+
+    __slots__ = ("name", "buckets", "counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS):
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("histogram buckets must be a sorted non-empty sequence")
+        self.name = name
+        self.buckets: Tuple[float, ...] = tuple(buckets)
+        self.counts: List[int] = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.counts[self._bucket_index(value)] += 1
+
+    def _bucket_index(self, value: float) -> int:
+        # Linear scan beats bisect for the short default bucket list and
+        # small values (the common case: sub-millisecond timings).
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                return i
+        return len(self.buckets)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Bucket-upper-bound estimate of the q-quantile (0 < q <= 1)."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError("quantile must be in (0, 1]")
+        if self.count == 0:
+            return 0.0
+        threshold = q * self.count
+        seen = 0
+        for i, n in enumerate(self.counts):
+            seen += n
+            if seen >= threshold:
+                return self.buckets[i] if i < len(self.buckets) else self.max
+        return self.max
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, n={self.count}, mean={self.mean:.4g})"
+
+
+class MetricsRegistry:
+    """Name-addressed counters and histograms, created on first use."""
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = Counter(name)
+            self._counters[name] = counter
+        return counter
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = Histogram(name, buckets or DEFAULT_BUCKETS)
+            self._histograms[name] = histogram
+        return histogram
+
+    def counters(self) -> Dict[str, int]:
+        return {name: c.value for name, c in sorted(self._counters.items())}
+
+    def histograms(self) -> Dict[str, Histogram]:
+        return dict(sorted(self._histograms.items()))
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A plain-data view of every metric (JSON-serializable)."""
+        return {
+            "counters": self.counters(),
+            "histograms": {
+                name: {
+                    "buckets": list(h.buckets),
+                    "counts": list(h.counts),
+                    "count": h.count,
+                    "sum": h.total,
+                    "min": h.min if h.count else None,
+                    "max": h.max if h.count else None,
+                }
+                for name, h in self.histograms().items()
+            },
+        }
+
+    def clear(self) -> None:
+        self._counters.clear()
+        self._histograms.clear()

@@ -1,0 +1,188 @@
+"""Span/counter/event tracing primitives.
+
+A :class:`Span` is a named, timed region of work.  Spans nest: the
+recording tracer keeps a stack, so a span opened while another is active
+becomes its child (``parent_id``).  Attributes may be attached at open
+time or later via :meth:`Span.set` — the engine uses this to stamp a
+rule span with its firing count once the rule has run.
+
+Two implementations share the interface:
+
+- :class:`NullTracer` still *times* spans (callers like the SSST
+  materializer read ``span.duration`` to fill their reports) but records
+  nothing and drops counters/events;
+- :class:`RecordingTracer` keeps finished spans and events in memory and
+  funnels counters/histograms into a :class:`~repro.obs.metrics.MetricsRegistry`,
+  ready for :func:`repro.obs.export.write_trace`.
+
+Hot paths (the engine's inner loops) guard on ``tracer is None`` rather
+than calling into a null object, so tracing disabled costs nothing.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Optional, Protocol, runtime_checkable
+
+from repro.obs.metrics import MetricsRegistry
+
+Clock = Callable[[], float]
+
+
+class Span:
+    """One timed region; usable as a context manager."""
+
+    __slots__ = ("name", "span_id", "parent_id", "start", "end", "attrs", "_tracer")
+
+    def __init__(
+        self,
+        name: str,
+        span_id: int,
+        parent_id: Optional[int],
+        start: float,
+        attrs: Optional[Dict[str, Any]] = None,
+        tracer: Optional["_SpanSink"] = None,
+    ):
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = start
+        self.end: Optional[float] = None
+        self.attrs: Dict[str, Any] = attrs or {}
+        self._tracer = tracer
+
+    @property
+    def duration(self) -> float:
+        """Seconds from start to finish (0.0 while still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach/overwrite attributes; returns self for chaining."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._tracer is not None:
+            self._tracer._finish(self)
+        if exc_type is not None and "error" not in self.attrs:
+            self.attrs["error"] = exc_type.__name__
+
+    def __repr__(self) -> str:
+        state = f"{self.duration * 1000:.2f}ms" if self.end is not None else "open"
+        return f"Span({self.name!r}, {state})"
+
+
+class _SpanSink(Protocol):
+    def _finish(self, span: Span) -> None: ...
+
+
+@runtime_checkable
+class Tracer(Protocol):
+    """The tracing interface the execution stack is written against."""
+
+    enabled: bool
+
+    def span(self, name: str, **attrs: Any) -> Span: ...
+
+    def event(self, name: str, **attrs: Any) -> None: ...
+
+    def count(self, name: str, value: int = 1) -> None: ...
+
+    def observe(self, name: str, value: float) -> None: ...
+
+
+class NullTracer:
+    """Times spans (so phase reports stay populated) but records nothing."""
+
+    enabled = False
+
+    def __init__(self, clock: Clock = time.perf_counter):
+        self._clock = clock
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        span = Span(name, 0, None, self._clock(), attrs or None, tracer=self)
+        return span
+
+    def _finish(self, span: Span) -> None:
+        span.end = self._clock()
+
+    def event(self, name: str, **attrs: Any) -> None:
+        pass
+
+    def count(self, name: str, value: int = 1) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+
+class RecordingTracer:
+    """In-memory tracer: nested spans, events, and a metrics registry."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        clock: Clock = time.perf_counter,
+    ):
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.spans: List[Span] = []          # finished spans, finish order
+        self.events: List[Dict[str, Any]] = []
+        self._clock = clock
+        self._stack: List[Span] = []
+        self._next_id = 1
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs: Any) -> Span:
+        parent = self._stack[-1].span_id if self._stack else None
+        span = Span(
+            name, self._next_id, parent, self._clock(), attrs or None, tracer=self
+        )
+        self._next_id += 1
+        self._stack.append(span)
+        return span
+
+    def _finish(self, span: Span) -> None:
+        span.end = self._clock()
+        # Tolerate out-of-order exits (e.g. a generator finalized late):
+        # pop up to and including the span if present, else just record.
+        if span in self._stack:
+            while self._stack:
+                top = self._stack.pop()
+                if top is span:
+                    break
+        self.spans.append(span)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        record: Dict[str, Any] = {"name": name, "time": self._clock()}
+        if self._stack:
+            record["span_id"] = self._stack[-1].span_id
+        if attrs:
+            record["attrs"] = attrs
+        self.events.append(record)
+
+    def count(self, name: str, value: int = 1) -> None:
+        self.metrics.counter(name).inc(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.metrics.histogram(name).observe(value)
+
+    # ------------------------------------------------------------------
+    def open_spans(self) -> List[Span]:
+        """Spans entered but not yet exited (innermost last)."""
+        return list(self._stack)
+
+    def find_spans(self, name: str) -> List[Span]:
+        return [s for s in self.spans if s.name == name]
+
+    def clear(self) -> None:
+        self.spans.clear()
+        self.events.clear()
+        self._stack.clear()
+        self.metrics.clear()

@@ -26,7 +26,6 @@ KG) is reproduced by the E-PERF benchmark on synthetic data.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
@@ -37,6 +36,8 @@ from repro.errors import SchemaError
 from repro.graph.property_graph import PropertyGraph
 from repro.metalog.ast import MetaProgram
 from repro.metalog.mtv import compile_metalog, graph_to_database
+from repro.obs.governor import STATUS_FIXPOINT, BudgetExceeded
+from repro.obs.tracer import NullTracer, Tracer
 from repro.ssst.views import catalog_from_super_schema, input_views, output_views
 from repro.vadalog.database import Database
 from repro.vadalog.engine import Engine, EvaluationStats
@@ -51,7 +52,16 @@ _INSTANCE_EDGE_LABELS = (
 
 @dataclass
 class MaterializationReport:
-    """Outcome of one Algorithm 2 run."""
+    """Outcome of one Algorithm 2 run.
+
+    The per-phase timings come from the materializer's tracer spans
+    (``materialize.load`` / ``materialize.reason`` / ``materialize.flush``)
+    — the report keeps its flat ``*_seconds`` fields for callers, but the
+    spans are the source of truth and land in any exported trace.
+    ``status``/``violation`` carry the first budget trip from any of the
+    three chase invocations, so a governed run can be recognized as
+    truncated no matter which phase hit the limit.
+    """
 
     instance: SuperInstance  # the enriched instance (derived parts included)
     derived_counts: Dict[str, int] = field(default_factory=dict)
@@ -59,6 +69,12 @@ class MaterializationReport:
     reason_seconds: float = 0.0
     flush_seconds: float = 0.0
     reason_stats: Optional[EvaluationStats] = None
+    status: str = STATUS_FIXPOINT
+    violation: Optional[BudgetExceeded] = None
+
+    @property
+    def truncated(self) -> bool:
+        return self.status != STATUS_FIXPOINT
 
     @property
     def total_seconds(self) -> float:
@@ -75,8 +91,16 @@ class MaterializationReport:
 class IntensionalMaterializer:
     """Runs Algorithm 2 over a super-schema instance."""
 
-    def __init__(self, engine: Optional[Engine] = None):
-        self.engine = engine or Engine()
+    def __init__(
+        self,
+        engine: Optional[Engine] = None,
+        tracer: Optional[Tracer] = None,
+    ):
+        # A caller-supplied engine keeps its own tracer; an implicit one
+        # joins the materializer's trace so engine spans nest under the
+        # phase spans.
+        self.tracer = tracer or NullTracer()
+        self.engine = engine or Engine(tracer=tracer)
 
     def materialize(
         self,
@@ -95,71 +119,88 @@ class IntensionalMaterializer:
         derived nodes and edges.
         """
         report = MaterializationReport(instance=None)  # filled below
+        tracer = self.tracer
 
         # ---------------- Phase 1: LOAD (lines 1-4) ----------------
-        start = time.perf_counter()
-        if dictionary is None:
-            dictionary = GraphDictionary()
-        if schema.schema_oid not in dictionary.schema_oids():
-            dictionary.store(schema)
-        instance = SuperInstance.from_plain_graph(
-            schema, data, instance_oid, strict=strict
-        )
-        instance.to_dictionary(dictionary.graph)
+        with tracer.span("materialize.load") as load_span:
+            if dictionary is None:
+                dictionary = GraphDictionary()
+            if schema.schema_oid not in dictionary.schema_oids():
+                dictionary.store(schema)
+            instance = SuperInstance.from_plain_graph(
+                schema, data, instance_oid, strict=strict
+            )
+            instance.to_dictionary(dictionary.graph)
 
-        sigma_catalog = catalog_from_super_schema(schema)
-        compiled = compile_metalog(sigma, sigma_catalog)
+            sigma_catalog = catalog_from_super_schema(schema)
+            compiled = compile_metalog(sigma, sigma_catalog)
 
-        staging = graph_to_database(
-            dictionary.graph,
-            dictionary_catalog(),
-            node_labels=_INSTANCE_NODE_LABELS,
-            edge_labels=_INSTANCE_EDGE_LABELS,
-        )
-        # Lines 5-6: the views, from the static analysis of Sigma.
-        v_in = input_views(
-            schema,
-            compiled.input_node_labels,
-            compiled.input_edge_labels,
-            instance_oid,
-            sigma_catalog,
-        )
-        v_out = output_views(
-            schema,
-            compiled.derived_node_labels,
-            compiled.derived_edge_labels,
-            instance_oid,
-            sigma_catalog,
-        )
-        # Materialize V_I into the staging area (Section 6 optimization).
-        result_in = self.engine.run(v_in, database=staging)
-        report.load_seconds = time.perf_counter() - start
+            staging = graph_to_database(
+                dictionary.graph,
+                dictionary_catalog(),
+                node_labels=_INSTANCE_NODE_LABELS,
+                edge_labels=_INSTANCE_EDGE_LABELS,
+            )
+            # Lines 5-6: the views, from the static analysis of Sigma.
+            v_in = input_views(
+                schema,
+                compiled.input_node_labels,
+                compiled.input_edge_labels,
+                instance_oid,
+                sigma_catalog,
+            )
+            v_out = output_views(
+                schema,
+                compiled.derived_node_labels,
+                compiled.derived_edge_labels,
+                instance_oid,
+                sigma_catalog,
+            )
+            # Materialize V_I into the staging area (Section 6 optimization).
+            result_in = self.engine.run(v_in, database=staging)
+            self._merge_status(report, result_in)
+        report.load_seconds = load_span.duration
 
         # ---------------- Phase 2: REASON (lines 7-8) ----------------
-        start = time.perf_counter()
-        before = {
-            label: result_in.database.count(label)
-            for label in sorted(
-                compiled.derived_node_labels | compiled.derived_edge_labels
+        with tracer.span("materialize.reason") as reason_span:
+            before = {
+                label: result_in.database.count(label)
+                for label in sorted(
+                    compiled.derived_node_labels | compiled.derived_edge_labels
+                )
+            }
+            result_sigma = self.engine.run(
+                compiled.program, database=result_in.database
             )
-        }
-        result_sigma = self.engine.run(compiled.program, database=result_in.database)
-        report.reason_stats = result_sigma.stats
-        report.derived_counts = {
-            label: result_sigma.database.count(label) - before.get(label, 0)
-            for label in before
-        }
-        report.reason_seconds = time.perf_counter() - start
+            report.reason_stats = result_sigma.stats
+            self._merge_status(report, result_sigma)
+            report.derived_counts = {
+                label: result_sigma.database.count(label) - before.get(label, 0)
+                for label in before
+            }
+            reason_span.set(
+                status=result_sigma.status,
+                facts_derived=result_sigma.stats.facts_derived,
+            )
+        report.reason_seconds = reason_span.duration
 
         # ---------------- Phase 3: FLUSH (line 9) ----------------
-        start = time.perf_counter()
-        result_out = self.engine.run(v_out, database=result_sigma.database)
-        _flush_instance_facts(result_out.database, dictionary.graph)
-        report.instance = SuperInstance.from_dictionary(
-            dictionary.graph, schema, instance_oid, name=f"{data.name}+derived"
-        )
-        report.flush_seconds = time.perf_counter() - start
+        with tracer.span("materialize.flush") as flush_span:
+            result_out = self.engine.run(v_out, database=result_sigma.database)
+            self._merge_status(report, result_out)
+            _flush_instance_facts(result_out.database, dictionary.graph)
+            report.instance = SuperInstance.from_dictionary(
+                dictionary.graph, schema, instance_oid, name=f"{data.name}+derived"
+            )
+        report.flush_seconds = flush_span.duration
         return report
+
+    @staticmethod
+    def _merge_status(report: MaterializationReport, result) -> None:
+        """Fold one phase's engine status into the report (first trip wins)."""
+        if result.status != STATUS_FIXPOINT and not report.truncated:
+            report.status = result.status
+            report.violation = result.violation
 
 
 def _flush_instance_facts(database: Database, graph: PropertyGraph) -> int:

@@ -362,4 +362,7 @@ def _term_str(term: Any) -> str:
         return str(term)
     if isinstance(term, str):
         return f"\"{term}\""
+    if isinstance(term, bool):
+        # Python's repr would print "True", which re-parses as a variable.
+        return "true" if term else "false"
     return repr(term)

@@ -38,7 +38,14 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
-from repro.errors import EvaluationError, VadalogError
+from repro.errors import EvaluationError, ResourceLimitError, VadalogError
+from repro.obs.governor import (
+    STATUS_BUDGET_EXCEEDED,
+    STATUS_FIXPOINT,
+    BudgetExceeded,
+    ResourceGovernor,
+)
+from repro.obs.tracer import Tracer
 from repro.vadalog.aggregates import CANONICAL, GroupAccumulator, is_monotonic
 from repro.vadalog.ast import (
     AggregateCall,
@@ -90,13 +97,35 @@ class EvaluationStats:
     plans_compiled: int = 0
 
 
+class _BudgetStop(Exception):
+    """Internal: a graceful governor cutoff; never escapes ``Engine.run``."""
+
+    def __init__(self, violation: BudgetExceeded):
+        super().__init__(str(violation))
+        self.violation = violation
+
+
 @dataclass
 class EvaluationResult:
-    """Outcome of :meth:`Engine.run`: the saturated database + statistics."""
+    """Outcome of :meth:`Engine.run`: the saturated database + statistics.
+
+    ``status`` is :data:`~repro.obs.governor.STATUS_FIXPOINT` when the
+    chase saturated, or :data:`~repro.obs.governor.STATUS_BUDGET_EXCEEDED`
+    when a graceful :class:`~repro.obs.governor.ResourceGovernor` cut the
+    run short — then ``violation`` says which budget tripped and the
+    database holds every fact derived up to the cutoff.
+    """
 
     database: Database
     stats: EvaluationStats
     program: Program
+    status: str = STATUS_FIXPOINT
+    violation: Optional[BudgetExceeded] = None
+
+    @property
+    def truncated(self) -> bool:
+        """True when the result is partial (a budget stopped the chase)."""
+        return self.status == STATUS_BUDGET_EXCEEDED
 
     def facts(self, predicate: str) -> Set[Fact]:
         """All facts of ``predicate`` after the chase."""
@@ -125,6 +154,17 @@ class Engine:
         (:mod:`repro.vadalog.plan`), cached across runs of this engine.
         When False the original interpreted matcher is used — the
         differential-testing oracle and ablation baseline.
+    tracer:
+        Optional :class:`~repro.obs.tracer.Tracer`.  When set, every run
+        emits a root span, one span per stratum, one span per rule
+        invocation (with firing counts and join-probe statistics), and
+        derivation/dedup/null counters.  ``None`` (default) skips all
+        instrumentation on the hot path.
+    governor:
+        Optional :class:`~repro.obs.governor.ResourceGovernor`.  In
+        graceful mode a tripped budget ends the run early with a partial
+        database and ``status == "budget_exceeded"``; in strict mode it
+        raises :class:`~repro.errors.ResourceLimitError`.
     """
 
     def __init__(
@@ -134,12 +174,16 @@ class Engine:
         check_wardedness: bool = True,
         semi_naive: bool = True,
         use_plans: bool = True,
+        tracer: Optional[Tracer] = None,
+        governor: Optional[ResourceGovernor] = None,
     ):
         self.max_iterations = max_iterations
         self.max_nulls = max_nulls
         self.check_wardedness = check_wardedness
         self.semi_naive = semi_naive
         self.use_plans = use_plans
+        self.tracer = tracer
+        self.governor = governor
         # Rule -> RulePlans; rules are frozen dataclasses, so structurally
         # equal rules (across programs) share one compiled plan bundle.
         self._plan_cache: Dict[Any, RulePlans] = {}
@@ -153,6 +197,8 @@ class Engine:
     ) -> EvaluationResult:
         """Saturate ``database`` (copied) with ``program`` and return it."""
         start = time.perf_counter()
+        tracer = self.tracer
+        governor = self.governor
         self._validate(program)
         if self.check_wardedness:
             check_warded(program).raise_if_violated()
@@ -181,11 +227,45 @@ class Engine:
         strata = stratify(working)
         stats.strata = len(strata)
 
-        for stratum in strata:
-            self._evaluate_stratum(stratum, db, stats, nulls, skolems)
-
-        stats.elapsed_seconds = time.perf_counter() - start
-        return EvaluationResult(database=db, stats=stats, program=program)
+        if governor is not None:
+            governor.begin()
+        status = STATUS_FIXPOINT
+        violation: Optional[BudgetExceeded] = None
+        root = (
+            tracer.span("engine.run", rules=len(program.rules), strata=len(strata))
+            if tracer is not None
+            else None
+        )
+        try:
+            for index, stratum in enumerate(strata):
+                self._evaluate_stratum(stratum, index, db, stats, nulls, skolems)
+        except _BudgetStop as stop:
+            status = STATUS_BUDGET_EXCEEDED
+            violation = stop.violation
+            if tracer is not None:
+                tracer.event(
+                    "engine.budget_exceeded",
+                    resource=stop.violation.resource,
+                    detail=str(stop.violation),
+                )
+        finally:
+            stats.elapsed_seconds = time.perf_counter() - start
+            if root is not None:
+                root.set(
+                    status=status,
+                    iterations=stats.iterations,
+                    rule_firings=stats.rule_firings,
+                    facts_derived=stats.facts_derived,
+                    nulls_created=stats.nulls_created,
+                )
+                root.__exit__(None, None, None)
+        return EvaluationResult(
+            database=db,
+            stats=stats,
+            program=program,
+            status=status,
+            violation=violation,
+        )
 
     # ------------------------------------------------------------------
     # Validation
@@ -222,35 +302,89 @@ class Engine:
     def _evaluate_stratum(
         self,
         stratum: Stratum,
+        index: int,
         db: Database,
         stats: EvaluationStats,
         nulls: NullFactory,
         skolems: Dict[str, SkolemFunctor],
     ) -> None:
-        if not stratum.recursive:
-            delta = self._fire_rules(stratum.rules, db, stats, nulls, skolems, None)
-            # A non-recursive stratum still needs a second pass when a rule
-            # both reads and writes predicates local to the stratum (this
-            # cannot happen by construction, but the invariant is cheap to
-            # keep if stratification ever coarsens).
-            return
-
-        # Recursive stratum: iterate to fixpoint.
-        recursive_predicates = stratum.predicates
-        delta: Optional[Dict[str, Set[Fact]]] = None
-        for iteration in range(self.max_iterations):
-            stats.iterations += 1
-            new_delta = self._fire_rules(
-                stratum.rules, db, stats, nulls, skolems,
-                delta if (self.semi_naive and iteration > 0) else None,
-                recursive_predicates=recursive_predicates,
+        tracer = self.tracer
+        governor = self.governor
+        span = (
+            tracer.span(
+                "engine.stratum",
+                index=index,
+                recursive=stratum.recursive,
+                predicates=sorted(stratum.predicates),
             )
-            if not any(new_delta.values()):
+            if tracer is not None
+            else None
+        )
+        iterations = 0
+        try:
+            if not stratum.recursive:
+                self._fire_rules(stratum.rules, db, stats, nulls, skolems, None)
+                # A non-recursive stratum still needs a second pass when a
+                # rule both reads and writes predicates local to the stratum
+                # (this cannot happen by construction, but the invariant is
+                # cheap to keep if stratification ever coarsens).
+                if governor is not None:
+                    violation = governor.check(stats)
+                    if violation is not None:
+                        self._trip(violation, stats)
                 return
-            delta = new_delta
-        raise EvaluationError(
-            f"stratum over {sorted(stratum.predicates)} did not reach a "
-            f"fixpoint within {self.max_iterations} iterations"
+
+            # Recursive stratum: iterate to fixpoint.
+            recursive_predicates = stratum.predicates
+            delta: Optional[Dict[str, Set[Fact]]] = None
+            for iteration in range(self.max_iterations):
+                stats.iterations += 1
+                iterations = iteration + 1
+                new_delta = self._fire_rules(
+                    stratum.rules, db, stats, nulls, skolems,
+                    delta if (self.semi_naive and iteration > 0) else None,
+                    recursive_predicates=recursive_predicates,
+                )
+                if not any(new_delta.values()):
+                    return
+                delta = new_delta
+                if governor is not None:
+                    violation = governor.check(stats)
+                    if violation is None and (
+                        governor.max_stratum_iterations is not None
+                        and iterations >= governor.max_stratum_iterations
+                    ):
+                        # More work remains but the next iteration would
+                        # bust the cap: stop now, cleanly.
+                        violation = BudgetExceeded(
+                            "iterations",
+                            governor.max_stratum_iterations,
+                            iterations,
+                            f"stratum {index}",
+                        )
+                    if violation is not None:
+                        self._trip(violation, stats)
+            raise ResourceLimitError(
+                f"stratum over {sorted(stratum.predicates)} did not reach a "
+                f"fixpoint within {self.max_iterations} iterations",
+                resource="iterations",
+                limit=self.max_iterations,
+                stats=stats,
+            )
+        finally:
+            if span is not None:
+                span.set(iterations=iterations)
+                span.__exit__(None, None, None)
+
+    def _trip(self, violation: BudgetExceeded, stats: EvaluationStats) -> None:
+        """Stop the run on a governor violation (graceful or strict)."""
+        if self.governor is not None and self.governor.graceful:
+            raise _BudgetStop(violation)
+        raise ResourceLimitError(
+            str(violation),
+            resource=violation.resource,
+            limit=violation.limit,
+            stats=stats,
         )
 
     def _fire_rules(
@@ -264,47 +398,114 @@ class Engine:
         recursive_predicates: Optional[Set[str]] = None,
     ) -> Dict[str, Set[Fact]]:
         """Fire every rule once; returns the per-predicate new facts."""
+        tracer = self.tracer
+        governor = self.governor
         new_facts: Dict[str, Set[Fact]] = {}
         pending: List[Tuple[str, Fact]] = []
-        for rule in rules:
-            plans: Optional[RulePlans] = None
-            if self.use_plans:
-                plans = self._plans_for(rule, stats)
-            if plans is not None:
-                if plans.is_aggregate:
-                    matches = self._aggregate_matches_plan(plans, db)
-                elif delta is not None and recursive_predicates:
-                    matches = self._semi_naive_matches_plan(
-                        plans, db, delta, recursive_predicates
-                    )
-                else:
-                    matches = execute_plan(plans.body_plan(), db)
-                for substitution in matches:
-                    stats.rule_firings += 1
-                    for predicate, fact in plans.instantiate_head(
-                        substitution, db, stats, nulls, skolems, self.max_nulls
-                    ):
-                        pending.append((predicate, fact))
-                continue
-            if rule.has_aggregate():
-                matches = self._aggregate_matches(rule, db)
-            elif delta is not None and recursive_predicates:
-                matches = self._semi_naive_matches(
-                    rule, db, delta, recursive_predicates
+        for rule_index, rule in enumerate(rules):
+            span = None
+            probe: Optional[Dict[Tuple[int, str], List[int]]] = None
+            before_firings = stats.rule_firings
+            before_pending = len(pending)
+            before_nulls = stats.nulls_created
+            if tracer is not None:
+                span = tracer.span(
+                    "engine.rule",
+                    label=rule.label or f"r{rule_index}",
+                    rule=str(rule),
                 )
-            else:
-                matches = self._match_body(list(rule.body), db, {})
-            for substitution in matches:
-                stats.rule_firings += 1
-                for predicate, fact in self._instantiate_head(
-                    rule, substitution, db, stats, nulls, skolems
-                ):
-                    pending.append((predicate, fact))
+                probe = {}
+            try:
+                plans: Optional[RulePlans] = None
+                if self.use_plans:
+                    plans = self._plans_for(rule, stats)
+                if plans is not None:
+                    if plans.is_aggregate:
+                        matches = self._aggregate_matches_plan(plans, db, probe)
+                    elif delta is not None and recursive_predicates:
+                        matches = self._semi_naive_matches_plan(
+                            plans, db, delta, recursive_predicates, probe
+                        )
+                    else:
+                        matches = execute_plan(plans.body_plan(), db, probe=probe)
+                    for substitution in matches:
+                        stats.rule_firings += 1
+                        for predicate, fact in plans.instantiate_head(
+                            substitution, db, stats, nulls, skolems, self.max_nulls
+                        ):
+                            pending.append((predicate, fact))
+                else:
+                    if rule.has_aggregate():
+                        matches = self._aggregate_matches(rule, db)
+                    elif delta is not None and recursive_predicates:
+                        matches = self._semi_naive_matches(
+                            rule, db, delta, recursive_predicates
+                        )
+                    else:
+                        matches = self._match_body(list(rule.body), db, {})
+                    for substitution in matches:
+                        stats.rule_firings += 1
+                        for predicate, fact in self._instantiate_head(
+                            rule, substitution, db, stats, nulls, skolems
+                        ):
+                            pending.append((predicate, fact))
+            finally:
+                if span is not None:
+                    firings = stats.rule_firings - before_firings
+                    produced = len(pending) - before_pending
+                    invented = stats.nulls_created - before_nulls
+                    span.set(firings=firings, produced=produced, nulls=invented)
+                    if probe:
+                        span.set(probe={
+                            f"{predicate}@{position}": {
+                                "candidates": counters[0],
+                                "matches": counters[1],
+                            }
+                            for (position, predicate), counters in sorted(
+                                probe.items()
+                            )
+                        })
+                        tracer.count(
+                            "plan.candidates_scanned",
+                            sum(c[0] for c in probe.values()),
+                        )
+                        tracer.count(
+                            "plan.facts_matched",
+                            sum(c[1] for c in probe.values()),
+                        )
+                    tracer.count("engine.rule_firings", firings)
+                    if invented:
+                        tracer.count("engine.nulls_created", invented)
+                    span.__exit__(None, None, None)
+            if governor is not None:
+                violation = governor.check_time() or governor.check_nulls(
+                    stats.nulls_created
+                )
+                if violation is not None:
+                    # Keep the work done so far: commit before stopping.
+                    self._commit_pending(pending, db, stats, new_facts)
+                    self._trip(violation, stats)
+        self._commit_pending(pending, db, stats, new_facts)
+        return new_facts
+
+    def _commit_pending(
+        self,
+        pending: List[Tuple[str, Fact]],
+        db: Database,
+        stats: EvaluationStats,
+        new_facts: Dict[str, Set[Fact]],
+    ) -> None:
+        """Deduplicating insert of the derived facts into the database."""
+        added = 0
         for predicate, fact in pending:
             if db.add(predicate, fact):
-                stats.facts_derived += 1
+                added += 1
                 new_facts.setdefault(predicate, set()).add(fact)
-        return new_facts
+        stats.facts_derived += added
+        if self.tracer is not None and pending:
+            self.tracer.count("engine.facts_derived", added)
+            self.tracer.count("engine.dedup_hits", len(pending) - added)
+        pending.clear()
 
     # ------------------------------------------------------------------
     # Compiled-plan evaluation paths
@@ -323,6 +524,7 @@ class Engine:
         db: Database,
         delta: Dict[str, Set[Fact]],
         recursive_predicates: Set[str],
+        probe: Optional[Dict[Tuple[int, str], List[int]]] = None,
     ) -> Iterator[Substitution]:
         """Semi-naive matching via the old/delta/full occurrence partition.
 
@@ -357,11 +559,14 @@ class Engine:
                 if base is None:
                     continue
                 yield from execute_plan(
-                    rest_plan, db, base, excludes if excludes else None
+                    rest_plan, db, base, excludes if excludes else None, probe
                 )
 
     def _aggregate_matches_plan(
-        self, plans: RulePlans, db: Database
+        self,
+        plans: RulePlans,
+        db: Database,
+        probe: Optional[Dict[Tuple[int, str], List[int]]] = None,
     ) -> Iterator[Substitution]:
         aggregate = plans.aggregate_plan()
         call = aggregate.call
@@ -371,7 +576,7 @@ class Engine:
         # Remember one full substitution per group so non-head variables
         # used by Skolem terms keep a witness binding.
         witnesses: Dict[Tuple[Any, ...], Substitution] = {}
-        for substitution in execute_plan(aggregate.pre_plan, db):
+        for substitution in execute_plan(aggregate.pre_plan, db, probe=probe):
             group = tuple(
                 _hashable(substitution.get(v)) for v in group_vars
             )
@@ -692,9 +897,12 @@ class Engine:
             if self._head_satisfied(resolved_heads, db):
                 return
             if stats.nulls_created + len(remaining_existential) > self.max_nulls:
-                raise EvaluationError(
+                raise ResourceLimitError(
                     f"null budget exceeded ({self.max_nulls}); the program "
-                    "likely falls outside the terminating fragment"
+                    "likely falls outside the terminating fragment",
+                    resource="nulls",
+                    limit=self.max_nulls,
+                    stats=stats,
                 )
             assignment = {
                 variable: nulls.fresh(variable.name)

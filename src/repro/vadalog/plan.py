@@ -32,7 +32,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
-from repro.errors import EvaluationError
+from repro.errors import EvaluationError, ResourceLimitError
 from repro.vadalog.ast import (
     AggregateCall,
     Assignment,
@@ -469,17 +469,28 @@ def compile_body(
 # ---------------------------------------------------------------------------
 
 
+#: Per-step probe statistics: ``(body position, predicate) -> [candidates
+#: scanned, facts matched]``, accumulated across plan executions.
+ProbeStats = Dict[Tuple[int, str], List[int]]
+
+
 def execute_plan(
     plan: BodyPlan,
     db: Database,
     initial: Optional[Substitution] = None,
     excludes: Optional[Dict[int, Set[Fact]]] = None,
+    probe: Optional[ProbeStats] = None,
 ) -> Iterator[Substitution]:
     """All substitutions satisfying the compiled body conjunction.
 
     ``excludes`` maps original body-literal indexes to fact sets the
     corresponding atom step must skip (the "old facts only" restriction
     of semi-naive evaluation).  Yielded dicts are fresh copies.
+
+    ``probe``, when given, collects per-step join statistics (candidate
+    facts scanned / facts that unified) keyed by the step's original
+    body position and predicate.  The un-probed loop is kept branch-free
+    so tracing disabled costs nothing on the hot path.
     """
     subst: Substitution = dict(initial) if initial else {}
     prefix_bound: List[Variable] = []
@@ -490,6 +501,9 @@ def execute_plan(
     n = len(steps)
     if n == 0:
         yield dict(subst)
+        return
+    if probe is not None:
+        yield from _execute_plan_probed(plan, db, subst, excludes, probe)
         return
     iterators: List[Optional[Iterator[Fact]]] = [None] * n
     undos: List[Optional[List[Variable]]] = [None] * n
@@ -504,6 +518,63 @@ def execute_plan(
         for fact in iterator:
             undo = step.try_fact(fact, subst, db)
             if undo is not None:
+                break
+        if undo is None:
+            iterators[depth] = None
+            depth -= 1
+            if depth < 0:
+                return
+            for var in undos[depth]:
+                del subst[var]
+        else:
+            undos[depth] = undo
+            if depth == n - 1:
+                yield dict(subst)
+                for var in undo:
+                    del subst[var]
+            else:
+                depth += 1
+
+
+def _execute_plan_probed(
+    plan: BodyPlan,
+    db: Database,
+    subst: Substitution,
+    excludes: Optional[Dict[int, Set[Fact]]],
+    probe: ProbeStats,
+) -> Iterator[Substitution]:
+    """The instrumented twin of the main execution loop.
+
+    Counts, per atom step, how many candidate facts the index probe
+    yielded and how many survived unification + filters — the join
+    selectivity a profile reader needs to spot a bad plan.
+    """
+    steps = plan.steps
+    n = len(steps)
+    counters = []
+    for step in steps:
+        key = (step.orig_index, step.predicate)
+        counter = probe.get(key)
+        if counter is None:
+            counter = [0, 0]
+            probe[key] = counter
+        counters.append(counter)
+    iterators: List[Optional[Iterator[Fact]]] = [None] * n
+    undos: List[Optional[List[Variable]]] = [None] * n
+    depth = 0
+    while True:
+        step = steps[depth]
+        counter = counters[depth]
+        iterator = iterators[depth]
+        if iterator is None:
+            iterator = step.candidates(db, subst, excludes)
+            iterators[depth] = iterator
+        undo: Optional[List[Variable]] = None
+        for fact in iterator:
+            counter[0] += 1
+            undo = step.try_fact(fact, subst, db)
+            if undo is not None:
+                counter[1] += 1
                 break
         if undo is None:
             iterators[depth] = None
@@ -756,9 +827,12 @@ class RulePlans:
             for _ in execute_plan(self.head_check_plan(), db, initial):
                 return
             if stats.nulls_created + len(self.existentials) > max_nulls:
-                raise EvaluationError(
+                raise ResourceLimitError(
                     f"null budget exceeded ({max_nulls}); the program "
-                    "likely falls outside the terminating fragment"
+                    "likely falls outside the terminating fragment",
+                    resource="nulls",
+                    limit=max_nulls,
+                    stats=stats,
                 )
             assignment = {
                 variable: nulls.fresh(variable.name)

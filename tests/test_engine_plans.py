@@ -2,6 +2,8 @@
 matcher, plan-compilation unit tests, composite-index tests, and the
 graph fast paths that ride along in the same change."""
 
+import random
+
 import pytest
 
 from repro.graph.algorithms import strongly_connected_components, topological_order
@@ -149,6 +151,126 @@ class TestDifferential:
             ["major"],
             own=[("a", "c", 0.3), ("b", "c", 0.3), ("a", "d", 0.2)],
         )
+
+
+# ---------------------------------------------------------------------------
+# Randomized differential battery
+#
+# Seeded program generators over three terminating-by-construction
+# families; every generated program must evaluate identically with
+# plans on and off.  52 programs total, deterministic per seed.
+# ---------------------------------------------------------------------------
+
+
+def _rand_pairs(rng, size, count):
+    pairs = set()
+    for _ in range(count):
+        pairs.add((f"n{rng.randrange(size)}", f"n{rng.randrange(size)}"))
+    return sorted(pairs)
+
+
+def _rand_weighted(rng, size, count):
+    triples = set()
+    for _ in range(count):
+        triples.add((
+            f"n{rng.randrange(size)}",
+            f"n{rng.randrange(size)}",
+            round(rng.uniform(0.05, 0.95), 2),
+        ))
+    return sorted(triples)
+
+
+def _recursion_case(rng):
+    """Negation-free recursion over a finite domain (no value invention)."""
+    size = rng.randrange(4, 9)
+    edges = _rand_pairs(rng, size, rng.randrange(6, 18))
+    variant = rng.randrange(4)
+    if variant == 0:
+        text = "e(X, Y) -> tc(X, Y).\ntc(X, Y), e(Y, Z) -> tc(X, Z)."
+        return text, ["tc"], {"e": edges}
+    if variant == 1:
+        text = "e(X, Y) -> tc(X, Y).\ntc(X, Y), tc(Y, Z) -> tc(X, Z)."
+        return text, ["tc"], {"e": edges}
+    if variant == 2:
+        text = (
+            "seed(X) -> even(X).\n"
+            "even(X), e(X, Y) -> odd(Y).\n"
+            "odd(X), e(X, Y) -> even(Y)."
+        )
+        return text, ["even", "odd"], {
+            "seed": [(f"n{rng.randrange(size)}",)], "e": edges,
+        }
+    text = (
+        "f(X, Y) -> sg(X, Y).\n"
+        "up(X, U), sg(U, V), up(Y, V) -> sg(X, Y)."
+    )
+    ups = _rand_pairs(rng, size, rng.randrange(6, 14))
+    return text, ["sg"], {"f": edges, "up": ups}
+
+
+def _aggregate_case(rng):
+    """Monotonic aggregates (msum / mcount / mmax), some recursive."""
+    size = rng.randrange(4, 8)
+    triples = _rand_weighted(rng, size, rng.randrange(6, 16))
+    variant = rng.randrange(3)
+    if variant == 0:
+        text = (
+            "company(X) -> controls(X, X).\n"
+            "controls(X, Z), own(Z, Y, W), V = msum(W, <Z>), V > 0.5"
+            " -> controls(X, Y)."
+        )
+        companies = sorted(
+            {(a,) for a, _, _ in triples} | {(b,) for _, b, _ in triples}
+        )
+        return text, ["controls"], {"company": companies, "own": triples}
+    if variant == 1:
+        text = "own(Z, Y, W), C = mcount(W, <Z>), C > 1 -> popular(Y)."
+        return text, ["popular"], {"own": triples}
+    text = "own(Z, Y, W), V = mmax(W, <Z>), V > 0.4 -> strong(Y, V)."
+    return text, ["strong"], {"own": triples}
+
+
+def _existential_case(rng):
+    """Existential heads: restricted-chase nulls and Skolem linkers."""
+    size = rng.randrange(3, 7)
+    names = [f"n{i}" for i in range(size)]
+    variant = rng.randrange(3)
+    if variant == 0:
+        # Some tuples pre-satisfied: nulls only for the rest.
+        people = [(n,) for n in rng.sample(names, rng.randrange(2, size + 1))]
+        known = [(n, f"id-{n}") for n in rng.sample(names, rng.randrange(1, size))]
+        text = "person(X) -> hasid(X, Y)."
+        return text, ["hasid"], {"person": people, "hasid": known}
+    if variant == 1:
+        weighted = _rand_weighted(rng, size, rng.randrange(4, 10))
+        text = (
+            "own(X, Y, W) -> holding(#h(X, Y), X, Y, W).\n"
+            "holding(H, X, Y, W) -> via(H, Y)."
+        )
+        return text, ["holding", "via"], {"own": weighted}
+    companies = [(n,) for n in rng.sample(names, rng.randrange(2, size + 1))]
+    text = (
+        "c(X) -> officer(X, P), person(P).\n"
+        "officer(X, P) -> rep(P, X)."
+    )
+    return text, ["officer", "person", "rep"], {"c": companies}
+
+
+class TestRandomizedDifferential:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_negation_free_recursion(self, seed):
+        text, predicates, inputs = _recursion_case(random.Random(1000 + seed))
+        differential(text, predicates, semi_naive=bool(seed % 2), **inputs)
+
+    @pytest.mark.parametrize("seed", range(16))
+    def test_monotonic_aggregates(self, seed):
+        text, predicates, inputs = _aggregate_case(random.Random(2000 + seed))
+        differential(text, predicates, **inputs)
+
+    @pytest.mark.parametrize("seed", range(16))
+    def test_existential_skolem(self, seed):
+        text, predicates, inputs = _existential_case(random.Random(3000 + seed))
+        differential(text, predicates, **inputs)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,200 @@
+"""Property-based parse → pretty-print → parse round-trip tests.
+
+Seeded random program generators (no third-party property-testing
+library) for both concrete syntaxes.  The property: for any generated
+program text, ``parse(str(parse(text)))`` must equal ``parse(text)`` —
+the printed form is itself valid syntax and loses nothing.  AST nodes
+are frozen dataclasses, so equality is structural.
+"""
+
+import random
+
+import pytest
+
+from repro.metalog import parse_metalog
+from repro.vadalog import parse_program
+
+# ---------------------------------------------------------------------------
+# Vadalog generator
+# ---------------------------------------------------------------------------
+
+_V_PREDS = ["p", "q", "r", "s"]
+_V_STRINGS = ["a", "kappa", "x1", "v"]
+_V_OPS = ["+", "-", "*"]
+_V_CMPS = ["==", "!=", "<", "<=", ">", ">="]
+
+
+def _v_const(rng):
+    roll = rng.random()
+    if roll < 0.4:
+        return str(rng.randrange(0, 50))
+    if roll < 0.7:
+        return f'"{rng.choice(_V_STRINGS)}"'
+    if roll < 0.9:
+        return f"{rng.randrange(1, 9)}.5"
+    return rng.choice(["true", "false"])
+
+
+def _vadalog_rule(rng):
+    bound = []
+    parts = []
+    for _ in range(rng.randrange(1, 4)):
+        pred = rng.choice(_V_PREDS)
+        terms = []
+        for _ in range(rng.randrange(1, 4)):
+            roll = rng.random()
+            if bound and roll < 0.35:
+                terms.append(rng.choice(bound))
+            elif roll < 0.55:
+                terms.append(_v_const(rng))
+            else:
+                fresh = f"V{len(bound)}"
+                bound.append(fresh)
+                terms.append(fresh)
+        parts.append(f"{pred}({', '.join(terms)})")
+    if bound and rng.random() < 0.3:
+        negated = rng.sample(bound, rng.randrange(1, min(2, len(bound)) + 1))
+        parts.append(f"not absent({', '.join(negated)})")
+    if bound and rng.random() < 0.4:
+        parts.append(
+            f"{rng.choice(bound)} {rng.choice(_V_CMPS)} {rng.randrange(10)}"
+        )
+    if bound and rng.random() < 0.4:
+        fresh = f"V{len(bound)}"
+        parts.append(
+            f"{fresh} = {rng.choice(bound)} "
+            f"{rng.choice(_V_OPS)} {rng.randrange(1, 5)}"
+        )
+        bound.append(fresh)
+    if bound and rng.random() < 0.25:
+        fresh = f"V{len(bound)}"
+        group = rng.choice(bound)
+        parts.append(f"{fresh} = msum({rng.choice(bound)}, <{group}>)")
+        bound.append(fresh)
+    head_terms = []
+    for _ in range(rng.randrange(1, 3)):
+        roll = rng.random()
+        if bound and roll < 0.55:
+            head_terms.append(rng.choice(bound))
+        elif bound and roll < 0.7:
+            picked = rng.sample(bound, min(len(bound), 2))
+            head_terms.append(f"#f({', '.join(picked)})")
+        else:
+            head_terms.append(f"E{rng.randrange(3)}")
+    return f"{', '.join(parts)} -> out{rng.randrange(3)}({', '.join(head_terms)})."
+
+
+def _vadalog_program(rng):
+    lines = [_vadalog_rule(rng) for _ in range(rng.randrange(1, 5))]
+    if rng.random() < 0.3:
+        lines.append(f'@output("out{rng.randrange(3)}").')
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# MetaLog generator
+# ---------------------------------------------------------------------------
+
+_M_LABELS = ["Company", "Person", "Asset"]
+_M_RELS = ["OWNS", "CONTROLS", "KNOWS"]
+_M_ATTRS = ["name", "percentage", "since"]
+
+
+def _m_attrs(rng, bound):
+    if rng.random() < 0.5:
+        return ""
+    pairs = []
+    for attr in rng.sample(_M_ATTRS, rng.randrange(1, 3)):
+        if rng.random() < 0.6:
+            fresh = f"w{len(bound)}"
+            bound.append(fresh)
+            pairs.append(f"{attr}: {fresh}")
+        else:
+            pairs.append(f'{attr}: "{rng.choice(["alpha", "beta"])}"')
+    return "; " + ", ".join(pairs)
+
+
+def _m_node(rng, bound):
+    fresh = f"x{len(bound)}"
+    bound.append(fresh)
+    label = f": {rng.choice(_M_LABELS)}" if rng.random() < 0.8 else ""
+    return f"({fresh}{label}{_m_attrs(rng, bound)})"
+
+
+def _m_edge(rng, bound):
+    rel = rng.choice(_M_RELS)
+    if rng.random() < 0.3:
+        return f"[:{rel}]*"  # one-or-more repetition (Example 4.4)
+    return f"[:{rel}{_m_attrs(rng, bound)}]"
+
+
+def _metalog_rule(rng):
+    bound = []
+    pattern = _m_node(rng, bound)
+    for _ in range(rng.randrange(1, 3)):
+        pattern += _m_edge(rng, bound) + _m_node(rng, bound)
+    parts = [pattern]
+    weights = [b for b in bound if b.startswith("w")]
+    if weights and rng.random() < 0.4:
+        fresh = f"w{len(bound)}"
+        bound.append(fresh)
+        parts.append(f"{fresh} = msum({rng.choice(weights)}, <{bound[0]}>)")
+        weights.append(fresh)
+    if weights and rng.random() < 0.4:
+        parts.append(f"{rng.choice(weights)} > 0.5")
+    source, target = bound[0], rng.choice([b for b in bound if b.startswith("x")])
+    rel = rng.choice(_M_RELS)
+    if rng.random() < 0.7:
+        head = f"exists c : ({source})[c: {rel}]({target})"
+    else:
+        head = f"({source})[:{rel}]({target})"
+    return f"{', '.join(parts)} -> {head}."
+
+
+def _metalog_program(rng):
+    return "\n".join(_metalog_rule(rng) for _ in range(rng.randrange(1, 4)))
+
+
+# ---------------------------------------------------------------------------
+# The round-trip property
+# ---------------------------------------------------------------------------
+
+
+class TestVadalogRoundTrip:
+    @pytest.mark.parametrize("seed", range(30))
+    def test_parse_print_parse_fixed_point(self, seed):
+        text = _vadalog_program(random.Random(4000 + seed))
+        first = parse_program(text)
+        second = parse_program(str(first))
+        assert second.rules == first.rules, text
+        assert second.annotations == first.annotations, text
+        assert str(second) == str(first), text
+
+    def test_known_forms_survive(self):
+        text = (
+            'own(X, Y, W), V = msum(W, <Y>), V > 0.5, not blocked(X)'
+            ' -> holding(#h(X, Y), X, E).\n'
+            '@output("holding").'
+        )
+        first = parse_program(text)
+        assert parse_program(str(first)).rules == first.rules
+
+
+class TestMetaLogRoundTrip:
+    @pytest.mark.parametrize("seed", range(30))
+    def test_parse_print_parse_fixed_point(self, seed):
+        text = _metalog_program(random.Random(5000 + seed))
+        first = parse_metalog(text)
+        second = parse_metalog(str(first))
+        assert second.rules == first.rules, text
+        assert str(second) == str(first), text
+
+    def test_known_forms_survive(self):
+        text = (
+            "(x: Company)[:CONTROLS](z: Company)"
+            "[:OWNS; percentage: w](y: Company),\n"
+            "    v = msum(w, <z>), v > 0.5 -> exists c : (x)[c: CONTROLS](y).\n"
+            "(x: Person)[:KNOWS]*(y: Person) -> (x)[:KNOWS](y)."
+        )
+        first = parse_metalog(text)
+        assert parse_metalog(str(first)).rules == first.rules
