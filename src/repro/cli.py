@@ -11,6 +11,7 @@ translator / materializer).  This CLI exposes each:
     kgmodel translate schema.gsl --model relational --ddl
     kgmodel compile   rules.metalog
     kgmodel reason    schema.gsl data.json rules.metalog -o enriched.json
+    kgmodel load      schema.gsl data.json --target graph-store --graceful
     kgmodel stats     --companies 5000 --seed 42
 
 (Equivalently ``python -m repro.cli ...``.)
@@ -121,10 +122,38 @@ def cmd_reason(args) -> int:
     engine = None
     if tracer is not None or governor is not None:
         engine = Engine(tracer=tracer, governor=governor)
+    checkpoint = None
+    if args.resume and not args.checkpoint:
+        raise KGModelError("--resume requires --checkpoint DIR")
+    if args.checkpoint:
+        from repro.ssst import MaterializationCheckpoint
+        from repro.ssst.checkpoint import run_fingerprint
+
+        checkpoint = MaterializationCheckpoint(args.checkpoint, tracer=tracer)
+        if not args.resume:
+            # Checkpointing without --resume starts fresh: drop any
+            # snapshots a previous (possibly interrupted) run left.
+            checkpoint.begin(
+                run_fingerprint(schema, data, sigma, args.instance_oid)
+            )
+            checkpoint.clear()
     report = IntensionalMaterializer(engine=engine, tracer=tracer).materialize(
-        schema, data, sigma, instance_oid=args.instance_oid
+        schema, data, sigma, instance_oid=args.instance_oid,
+        checkpoint=checkpoint,
     )
+    if report.resumed_from is not None:
+        print(
+            f"resumed from checkpointed phase {report.resumed_from!r}"
+            " (completed phases skipped)",
+            file=sys.stderr,
+        )
     print("derived:", report.derived_counts, file=sys.stderr)
+    if report.flush_dropped_edges:
+        print(
+            f"warning: {report.flush_dropped_edges} derived edge(s) dropped "
+            "at flush (endpoint missing from the dictionary graph)",
+            file=sys.stderr,
+        )
     print(
         "phases:",
         {k: f"{v:.2f}s" for k, v in report.phase_breakdown().items()},
@@ -155,6 +184,67 @@ def cmd_reason(args) -> int:
 
         print(graph_to_json(report.instance.data))
     return 3 if report.truncated else 0
+
+
+def cmd_load(args) -> int:
+    from repro.deploy import (
+        GRACEFUL,
+        STRICT,
+        FaultInjector,
+        GraphStore,
+        QuarantineReport,
+        RetryPolicy,
+        TripleStore,
+        load_graph_store,
+        load_triple_store,
+    )
+
+    schema = parse_gsl(_read(args.schema))
+    schema.validate()
+    data = load_graph(args.data)
+
+    if args.target == "graph-store":
+        store = GraphStore()
+        store.deploy(SSST().translate(schema, "property-graph").target_schema)
+        loader = load_graph_store
+    else:
+        store = TripleStore()
+        store.deploy(SSST().translate(schema, "rdf").target_schema)
+        loader = load_triple_store
+
+    target = store
+    if args.fault_rate or args.crash_after is not None:
+        target = FaultInjector(
+            store,
+            fault_rate=args.fault_rate,
+            crash_after=args.crash_after,
+            seed=args.fault_seed,
+        )
+        print(
+            f"fault injection: rate={args.fault_rate}"
+            f" crash_after={args.crash_after} seed={args.fault_seed}",
+            file=sys.stderr,
+        )
+
+    quarantine = QuarantineReport()
+    report = loader(
+        schema,
+        data,
+        target,
+        mode=GRACEFUL if args.graceful else STRICT,
+        policy=RetryPolicy(max_attempts=args.retries, sleep=lambda _s: None),
+        batch_size=args.batch_size,
+        quarantine=quarantine,
+    )
+    print(report.summary(), file=sys.stderr)
+    if args.quarantine:
+        quarantine.save(args.quarantine)
+        print(
+            f"quarantine report ({len(quarantine)} rejection(s)) written to "
+            f"{args.quarantine}",
+            file=sys.stderr,
+        )
+    return 4 if quarantine else 0
 
 
 def cmd_stats(args) -> int:
@@ -228,7 +318,56 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-facts", default=None, type=int,
         help="derived-fact budget; exceeding it yields partial results (exit 3)",
     )
+    p.add_argument(
+        "--checkpoint", default=None, metavar="DIR",
+        help="persist each completed chase phase into this directory",
+    )
+    p.add_argument(
+        "--resume", action="store_true",
+        help="resume from the checkpoint's last completed phase "
+             "(requires --checkpoint)",
+    )
     p.set_defaults(func=cmd_reason)
+
+    p = sub.add_parser(
+        "load", help="transactionally load an instance into a deployed store"
+    )
+    p.add_argument("schema")
+    p.add_argument("data", help="instance graph (JSON interchange format)")
+    p.add_argument(
+        "--target", choices=["graph-store", "triple-store"],
+        default="graph-store",
+    )
+    grp = p.add_mutually_exclusive_group()
+    grp.add_argument(
+        "--strict", action="store_true",
+        help="fail fast: first integrity violation rolls back the whole load "
+             "(default)",
+    )
+    grp.add_argument(
+        "--graceful", action="store_true",
+        help="degrade gracefully: quarantine rejected records, load the rest "
+             "(exit 4 when any are quarantined)",
+    )
+    p.add_argument(
+        "--quarantine", default=None, metavar="OUT.JSON",
+        help="write the per-record rejection report to this file",
+    )
+    p.add_argument("--batch-size", default=200, type=int)
+    p.add_argument(
+        "--retries", default=5, type=int,
+        help="max attempts per store mutation on transient faults",
+    )
+    p.add_argument(
+        "--fault-rate", default=0.0, type=float,
+        help="inject transient faults at this per-mutation probability",
+    )
+    p.add_argument("--fault-seed", default=0, type=int)
+    p.add_argument(
+        "--crash-after", default=None, type=int,
+        help="inject a crash after N successful mutations",
+    )
+    p.set_defaults(func=cmd_load)
 
     p = sub.add_parser("stats", help="synthetic-registry statistics (Sec. 2.1)")
     p.add_argument("--companies", type=int, default=1000)

@@ -104,6 +104,15 @@ class GraphDictionary:
         self._schema_names[schema.schema_oid] = schema.name
         return schema.schema_oid
 
+    def register(self, schema: SuperSchema) -> None:
+        """Record a schema as present without serializing it again.
+
+        Used when the dictionary graph was restored from a checkpoint:
+        the schema's constructs are already in the graph, so
+        :meth:`store` would fail on duplicate OIDs.
+        """
+        self._schema_names.setdefault(schema.schema_oid, schema.name)
+
     def load(self, schema_oid: Any) -> SuperSchema:
         """Parse a super-schema back from the dictionary."""
         name = self._schema_names.get(schema_oid)

@@ -268,6 +268,28 @@ class SuperSchema:
 
         return validate_super_schema(self, strict=strict)
 
+    def ensure_attribute_oids(self) -> None:
+        """Assign the (deterministic) OIDs of attributes not yet minted.
+
+        :meth:`to_dictionary` assigns attribute OIDs lazily as it
+        serializes; anything that references ``attribute.oid`` before the
+        schema is first stored (the SSST views do) must call this first
+        so both paths agree on the same OIDs.
+        """
+        soid = self.schema_oid
+        for node in self.nodes:
+            for attribute in node.attributes:
+                if attribute.oid is None:
+                    attribute.oid = construct_oid(
+                        soid, "attr", node.type_name, attribute.name
+                    )
+        for edge in self.edges:
+            for attribute in edge.attributes:
+                if attribute.oid is None:
+                    attribute.oid = construct_oid(
+                        soid, "attr", edge.type_name, attribute.name
+                    )
+
     # ------------------------------------------------------------------
     # Graph-dictionary serialization
     # ------------------------------------------------------------------

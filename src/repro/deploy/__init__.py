@@ -1,4 +1,5 @@
-"""Deployment backends: in-memory target systems and schema renderers."""
+"""Deployment backends: in-memory target systems, schema renderers, and
+the resilience layer (transactions, retry/backoff, fault injection)."""
 
 from repro.deploy.csv_dataset import CSVDataset
 from repro.deploy.cypher import (
@@ -9,22 +10,50 @@ from repro.deploy.graph_store import GraphStore
 from repro.deploy.loaders import load_graph_store, load_triple_store
 from repro.deploy.rdfs_doc import generate_rdfs
 from repro.deploy.relational_engine import RelationalEngine
+from repro.deploy.resilience import (
+    GRACEFUL,
+    STRICT,
+    CrashFault,
+    FaultInjector,
+    LoadReport,
+    QuarantineReport,
+    Rejection,
+    RetryPolicy,
+    TripleLoadReport,
+    graph_store_state,
+    no_retry,
+)
 from repro.deploy.sql_ddl import generate_ddl, parse_ddl
 from repro.deploy.sql_views import PushdownResult, generate_sql_views
+from repro.deploy.transactions import Savepoint, UndoLog, transaction
 from repro.deploy.triple_store import TripleStore
 
 __all__ = [
     "CSVDataset",
-    "generate_cypher_constraints",
-    "generate_label_documentation",
+    "CrashFault",
+    "FaultInjector",
+    "GRACEFUL",
     "GraphStore",
+    "LoadReport",
+    "QuarantineReport",
+    "Rejection",
+    "RelationalEngine",
+    "RetryPolicy",
+    "STRICT",
+    "Savepoint",
+    "TripleLoadReport",
+    "TripleStore",
+    "UndoLog",
+    "generate_cypher_constraints",
+    "generate_ddl",
+    "generate_label_documentation",
+    "generate_rdfs",
+    "generate_sql_views",
+    "graph_store_state",
     "load_graph_store",
     "load_triple_store",
-    "generate_rdfs",
-    "RelationalEngine",
-    "generate_ddl",
+    "no_retry",
     "parse_ddl",
     "PushdownResult",
-    "generate_sql_views",
-    "TripleStore",
+    "transaction",
 ]

@@ -17,9 +17,10 @@ the store's catalog.
 from __future__ import annotations
 
 import re
+from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
 
-from repro.errors import DeploymentError, IntegrityError
+from repro.errors import DeploymentError, IntegrityError, ModelError
 from repro.graph.property_graph import Edge, Node, PropertyGraph
 from repro.metalog.analysis import GraphCatalog
 from repro.models.property_graph import PGSchema
@@ -31,6 +32,22 @@ _EDGE_QUERY_RE = re.compile(
     r"return\s*\(.*\)$",
     re.IGNORECASE,
 )
+
+
+@dataclass(frozen=True)
+class StructuralSavepoint:
+    """A size watermark over the store's insertion-ordered state.
+
+    The graph store only ever *inserts* (nodes, edges, unique-index
+    entries), so a savepoint needs no per-mutation undo journal: rolling
+    back pops each structure down to its recorded size.  Savepoints cost
+    O(1) to open and nest trivially — an inner rollback restores a later
+    watermark, the outer one an earlier watermark.
+    """
+
+    graph_mark: Tuple[int, int]
+    unique_marks: Tuple[Tuple[Tuple[str, str], int], ...]
+    labels_mark: int
 
 
 class GraphStore:
@@ -45,6 +62,31 @@ class GraphStore:
         self._relationships: Dict[str, List[Tuple[Set[str], Set[str], Dict[str, Any]]]] = {}
         self._unique: Dict[Tuple[str, str], Dict[Any, Any]] = {}
         self._labels_by_node: Dict[Any, Set[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Savepoint protocol (savepoint / rollback_to / release)
+    # ------------------------------------------------------------------
+    def savepoint(self) -> StructuralSavepoint:
+        """Open a savepoint; pair with :meth:`rollback_to` / :meth:`release`."""
+        return StructuralSavepoint(
+            self.graph.insertion_mark(),
+            tuple((key, len(index)) for key, index in self._unique.items()),
+            len(self._labels_by_node),
+        )
+
+    def rollback_to(self, savepoint: StructuralSavepoint) -> int:
+        """Undo every mutation made since ``savepoint``."""
+        undone = self.graph.rollback_to_mark(savepoint.graph_mark)
+        while len(self._labels_by_node) > savepoint.labels_mark:
+            self._labels_by_node.popitem()
+        for key, mark in savepoint.unique_marks:
+            index = self._unique[key]
+            while len(index) > mark:
+                index.popitem()
+        return undone
+
+    def release(self, savepoint: StructuralSavepoint) -> None:
+        """Commit a savepoint — nothing accumulates, so this is free."""
 
     # ------------------------------------------------------------------
     # Schema deployment
@@ -69,8 +111,14 @@ class GraphStore:
                 target_labels = set(
                     schema.node_class_by_oid(relationship.target_oid).labels
                 )
-            except Exception:
-                source_labels, target_labels = set(), set()
+            except ModelError as exc:
+                # A relationship class pointing at a node-class OID the
+                # schema does not define is a broken translation, not a
+                # constraint-free relationship.
+                raise DeploymentError(
+                    f"relationship {relationship.name!r} has a dangling "
+                    f"endpoint OID: {exc}"
+                ) from exc
             self._relationships.setdefault(relationship.name, []).append(
                 (
                     source_labels,

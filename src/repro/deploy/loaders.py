@@ -1,88 +1,435 @@
-"""Instance loaders for the non-relational target systems.
+"""Transactional instance loaders for the non-relational target systems.
 
 These are the instance-level halves of the Copy mappings: they push a
 plain typed property graph (an instance of a super-schema) into a
 deployed target system, validated against the translated schema.
+
+Since the resilience rework the loaders are *staged, transactional, and
+idempotent*:
+
+- **stage, then apply** — every record is first validated against the
+  super-schema (unknown/missing labels are counted and quarantined, no
+  longer silently dropped), then applied in batches under store
+  savepoints;
+- **retry with backoff** — a transient failure
+  (:class:`~repro.errors.TransientDeploymentError`, e.g. from a
+  :class:`~repro.deploy.resilience.FaultInjector`) rolls the in-flight
+  batch back and retries it under the caller's
+  :class:`~repro.deploy.resilience.RetryPolicy`;
+- **graceful degradation** — in ``mode="graceful"`` a per-record
+  integrity violation lands in the :class:`~repro.deploy.resilience.QuarantineReport`
+  instead of aborting; ``mode="strict"`` (the default) preserves the
+  historical fail-fast semantics and additionally rolls the *entire*
+  load back, so a failed strict load leaves the store untouched;
+- **idempotent replay** — records already present in the store (from a
+  crashed earlier attempt) are detected and skipped, so re-running a
+  load after a crash converges on exactly the clean-load state.
+
+Returned reports stay unpack-compatible with the historical returns
+(``(nodes, edges)`` tuple / asserted-triple int).
 """
 
 from __future__ import annotations
 
 from contextlib import nullcontext
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.schema import SuperSchema
-from repro.deploy.graph_store import GraphStore
-from repro.deploy.triple_store import TripleStore
+from repro.deploy.resilience import (
+    GRACEFUL,
+    STRICT,
+    LoadReport,
+    QuarantineReport,
+    Rejection,
+    RetryPolicy,
+    TripleLoadReport,
+    no_retry,
+)
+from repro.errors import DeploymentError, GraphError, IntegrityError
 from repro.graph.property_graph import PropertyGraph
 from repro.obs.tracer import Tracer
 
+#: Default number of records per transactional batch.
+DEFAULT_BATCH_SIZE = 200
 
+
+def _check_mode(mode: str) -> None:
+    if mode not in (STRICT, GRACEFUL):
+        raise DeploymentError(f"unknown load mode {mode!r} (strict|graceful)")
+
+
+class _Batcher:
+    """Shared batch runner: savepoint per attempt, retry on transients."""
+
+    def __init__(
+        self,
+        store: Any,
+        mode: str,
+        policy: RetryPolicy,
+        tracer: Optional[Tracer],
+    ):
+        self.store = store
+        self.mode = mode
+        self.policy = policy
+        self.tracer = tracer
+        self.batches = 0
+        self.retries = 0
+        self.rollbacks = 0
+        self.rejections: List[Rejection] = []
+
+    @property
+    def single_shot(self) -> bool:
+        """True when the policy never retries — apply callbacks then call
+        the store directly instead of paying the closure-per-mutation
+        cost of :meth:`mutate` (the fault-free fast path)."""
+        return self.policy.max_attempts == 1
+
+    def mutate(self, operation):
+        """Run one store mutation under the retry policy.
+
+        A transient failure is raised *before* the mutation applies (the
+        record is never half-written), so retrying is simply calling the
+        mutation again after the policy's backoff — no rollback needed at
+        this granularity.
+        """
+        if self.policy.max_attempts == 1:
+            return operation()
+
+        def bump_retries(attempt_no: int, error: BaseException) -> None:
+            self.retries += 1
+
+        return self.policy.call(
+            operation, tracer=self.tracer, on_retry=bump_retries
+        )
+
+    def run(self, batch: List[Any], apply_record) -> Dict[str, int]:
+        """Apply one batch under a savepoint; returns merged record counts.
+
+        ``apply_record(record, counts, mutate)`` receives :meth:`mutate`
+        to wrap each individual store call.  The batch savepoint guards
+        the permanent failures — an integrity violation (strict mode),
+        an injected crash, or retry exhaustion rolls the whole in-flight
+        batch back, so only complete batches are ever committed.
+        """
+        savepoint = self.store.savepoint()
+        counts: Dict[str, int] = {}
+        rejections: List[Rejection] = []
+        try:
+            for record in batch:
+                try:
+                    apply_record(record, counts, self.mutate)
+                except (IntegrityError, GraphError) as exc:
+                    if self.mode != GRACEFUL:
+                        raise
+                    rejections.append(
+                        Rejection(record[0], _describe(record), str(exc))
+                    )
+        except BaseException:
+            self.store.rollback_to(savepoint)
+            self.rollbacks += 1
+            if self.tracer is not None:
+                self.tracer.count("deploy.rollbacks", 1)
+            raise
+        finally:
+            self.store.release(savepoint)
+        self.batches += 1
+        self.rejections.extend(rejections)
+        if rejections and self.tracer is not None:
+            self.tracer.count("deploy.quarantined", len(rejections))
+        return counts
+
+
+def _describe(record: Tuple[Any, ...]) -> Dict[str, Any]:
+    """A JSON-able description of a staged record for quarantine files."""
+    kind = record[0]
+    if kind == "node":
+        _, node, labels = record
+        return {"id": node.id, "label": node.label, "labels": labels}
+    if kind == "edge":
+        edge = record[1]
+        return {
+            "id": edge.id,
+            "source": edge.source,
+            "target": edge.target,
+            "label": edge.label,
+        }
+    if kind == "triples":
+        _, subject, triples = record
+        return {"subject": subject, "triples": [list(t) for t in triples]}
+    return {"record": str(record)}
+
+
+def _chunks(records: List[Any], size: int) -> List[List[Any]]:
+    return [records[i : i + size] for i in range(0, len(records), size)]
+
+
+# ----------------------------------------------------------------------
+# Graph store
+# ----------------------------------------------------------------------
 def load_graph_store(
     schema: SuperSchema,
     data: PropertyGraph,
-    store: GraphStore,
+    store: Any,
     tracer: Optional[Tracer] = None,
-) -> Tuple[int, int]:
+    *,
+    mode: str = STRICT,
+    policy: Optional[RetryPolicy] = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    quarantine: Optional[QuarantineReport] = None,
+) -> LoadReport:
     """Load a typed instance into a schema-enforcing graph store.
 
     Nodes are multi-tagged with their type plus every ancestor type (the
     instance-level counterpart of the multi-label strategy's type
-    accumulation).  Returns (nodes, relationships) created.
+    accumulation).  Returns a :class:`~repro.deploy.resilience.LoadReport`
+    (unpacks as the historical ``(nodes, relationships)`` pair).
     """
-    tracer = tracer if tracer is not None else store.tracer
+    _check_mode(mode)
+    policy = policy if policy is not None else no_retry()
+    tracer = tracer if tracer is not None else getattr(store, "tracer", None)
+    report = LoadReport(mode=mode)
+    if quarantine is not None:
+        report.quarantine = quarantine
     span = tracer.span("deploy.flush", store=store.name) if tracer else nullcontext()
     with span:
-        nodes = edges = 0
+        # ---- stage: validate against the super-schema -----------------
+        node_records: List[Tuple[str, Any, List[str]]] = []
+        labels_by_type: Dict[str, List[str]] = {}
         for node in data.nodes():
             if node.label is None or not schema.has_node(node.label):
+                report.skipped_nodes += 1
+                report.quarantine.reject(
+                    "node",
+                    {"id": node.id, "label": node.label},
+                    f"label {node.label!r} is not in the schema",
+                )
                 continue
-            sm_node = schema.get_node(node.label)
-            labels = [sm_node.type_name] + [
-                a.type_name for a in schema.ancestors_of(sm_node)
-            ]
-            store.create_node(node.id, labels, **node.properties)
-            nodes += 1
+            labels = labels_by_type.get(node.label)
+            if labels is None:
+                sm_node = schema.get_node(node.label)
+                labels = [sm_node.type_name] + [
+                    a.type_name for a in schema.ancestors_of(sm_node)
+                ]
+                labels_by_type[node.label] = labels
+            node_records.append(("node", node, labels))
+        edge_records: List[Tuple[str, Any, int, Tuple]] = []
+        edge_multiplicity: Dict[Tuple[Any, Any, Any, Tuple], int] = {}
         for edge in data.edges():
             if edge.label is None or not schema.has_edge(edge.label):
+                report.skipped_edges += 1
+                report.quarantine.reject(
+                    "edge",
+                    {
+                        "id": edge.id, "source": edge.source,
+                        "target": edge.target, "label": edge.label,
+                    },
+                    f"label {edge.label!r} is not in the schema",
+                )
                 continue
-            store.create_relationship(
-                edge.source, edge.target, edge.label, **edge.properties
+            key = (
+                edge.source, edge.target, edge.label,
+                tuple(sorted(edge.properties.items())),
             )
-            edges += 1
+            ordinal = edge_multiplicity.get(key, 0)
+            edge_multiplicity[key] = ordinal + 1
+            edge_records.append(("edge", edge, ordinal, key))
+
+        # ---- apply: transactional batches, idempotent replay ----------
+        graph = store.graph
+        # Replay detection compares multiplicities against what the store
+        # already holds; indexed once up front so a fresh load (the common
+        # case: empty store, empty index) pays nothing per edge.
+        existing_multiplicity: Dict[Tuple[Any, Any, Any, Tuple], int] = {}
+        for candidate in graph.edges():
+            key = (
+                candidate.source, candidate.target, candidate.label,
+                tuple(sorted(candidate.properties.items())),
+            )
+            existing_multiplicity[key] = existing_multiplicity.get(key, 0) + 1
+
+        batcher = _Batcher(store, mode, policy, tracer)
+        single_shot = batcher.single_shot
+
+        def apply_node(record, counts: Dict[str, int], mutate) -> None:
+            _, node, labels = record
+            if graph.has_node(node.id):
+                counts["replayed"] = counts.get("replayed", 0) + 1
+                if tracer is not None:
+                    tracer.count("deploy.replay_skipped", 1)
+                return
+            if single_shot:
+                store.create_node(node.id, labels, **node.properties)
+            else:
+                mutate(
+                    lambda: store.create_node(node.id, labels, **node.properties)
+                )
+            counts["nodes"] = counts.get("nodes", 0) + 1
+
+        def apply_edge(record, counts: Dict[str, int], mutate) -> None:
+            _, edge, ordinal, key = record
+            if existing_multiplicity.get(key, 0) > ordinal:
+                counts["replayed"] = counts.get("replayed", 0) + 1
+                if tracer is not None:
+                    tracer.count("deploy.replay_skipped", 1)
+                return
+            if single_shot:
+                store.create_relationship(
+                    edge.source, edge.target, edge.label, **edge.properties
+                )
+            else:
+                mutate(
+                    lambda: store.create_relationship(
+                        edge.source, edge.target, edge.label, **edge.properties
+                    )
+                )
+            counts["edges"] = counts.get("edges", 0) + 1
+
+        load_savepoint = store.savepoint()
+        try:
+            for batch in _chunks(node_records, batch_size):
+                counts = batcher.run(batch, apply_node)
+                report.nodes += counts.get("nodes", 0)
+                report.replayed += counts.get("replayed", 0)
+            for batch in _chunks(edge_records, batch_size):
+                counts = batcher.run(batch, apply_edge)
+                report.edges += counts.get("edges", 0)
+                report.replayed += counts.get("replayed", 0)
+        except (IntegrityError, GraphError):
+            # Strict mode: an integrity violation anywhere voids the
+            # whole load — committed batches included — before raising.
+            store.rollback_to(load_savepoint)
+            if tracer is not None:
+                tracer.count("deploy.rollbacks", 1)
+            raise
+        finally:
+            store.release(load_savepoint)
+        report.batches = batcher.batches
+        report.retries = batcher.retries
+        report.rollbacks = batcher.rollbacks
+        report.quarantine.extend(batcher.rejections)
         if tracer:
-            span.set(nodes=nodes, relationships=edges)
-    return nodes, edges
+            span.set(
+                nodes=report.nodes,
+                relationships=report.edges,
+                skipped=report.skipped,
+                quarantined=report.quarantined,
+                replayed=report.replayed,
+                batches=report.batches,
+                retries=report.retries,
+            )
+    return report
 
 
+# ----------------------------------------------------------------------
+# Triple store
+# ----------------------------------------------------------------------
 def load_triple_store(
     schema: SuperSchema,
     data: PropertyGraph,
-    store: TripleStore,
+    store: Any,
     tracer: Optional[Tracer] = None,
-) -> int:
+    *,
+    mode: str = STRICT,
+    policy: Optional[RetryPolicy] = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    quarantine: Optional[QuarantineReport] = None,
+) -> TripleLoadReport:
     """Load a typed instance as triples (edge properties are dropped —
     RDF reification is out of scope; documented substitution).
 
-    Returns the number of asserted triples.
+    Returns a :class:`~repro.deploy.resilience.TripleLoadReport`; it
+    compares as the historical asserted-triple count.
     """
-    tracer = tracer if tracer is not None else store.tracer
+    _check_mode(mode)
+    policy = policy if policy is not None else no_retry()
+    tracer = tracer if tracer is not None else getattr(store, "tracer", None)
+    report_quarantine = quarantine if quarantine is not None else QuarantineReport()
+    skipped_nodes = skipped_edges = 0
     span = tracer.span("deploy.flush", store=store.name) if tracer else nullcontext()
     with span:
-        before = store.count()
+        # ---- stage -----------------------------------------------------
+        records: List[Tuple[str, Any, List[Tuple[Any, str, Any]]]] = []
         for node in data.nodes():
             if node.label is None or not schema.has_node(node.label):
+                skipped_nodes += 1
+                report_quarantine.reject(
+                    "node",
+                    {"id": node.id, "label": node.label},
+                    f"label {node.label!r} is not in the schema",
+                )
                 continue
-            store.add(node.id, "rdf:type", node.label)
+            triples: List[Tuple[Any, str, Any]] = [(node.id, "rdf:type", node.label)]
             sm_node = schema.get_node(node.label)
             declared = {a.name for a in schema.inherited_attributes(sm_node)}
             for name, value in node.properties.items():
                 if name in declared and value is not None:
-                    store.add(node.id, name, value)
+                    triples.append((node.id, name, value))
+            records.append(("triples", node.id, triples))
         for edge in data.edges():
             if edge.label is None or not schema.has_edge(edge.label):
+                skipped_edges += 1
+                report_quarantine.reject(
+                    "edge",
+                    {
+                        "id": edge.id, "source": edge.source,
+                        "target": edge.target, "label": edge.label,
+                    },
+                    f"label {edge.label!r} is not in the schema",
+                )
                 continue
-            store.add(edge.source, edge.label, edge.target)
+            records.append(
+                ("triples", edge.source, [(edge.source, edge.label, edge.target)])
+            )
+
+        # ---- apply -----------------------------------------------------
+        before = store.count()
+
+        def apply_record(record, counts: Dict[str, int], mutate) -> None:
+            _, _subject, triples = record
+            replay = all(store.has(s, p, o) for s, p, o in triples)
+            if replay:
+                counts["replayed"] = counts.get("replayed", 0) + 1
+                if tracer is not None:
+                    tracer.count("deploy.replay_skipped", 1)
+                return
+            for subject, predicate, obj in triples:
+                mutate(
+                    lambda s=subject, p=predicate, o=obj: store.add(s, p, o)
+                )
+
+        batcher = _Batcher(store, mode, policy, tracer)
+        load_savepoint = store.savepoint()
+        replayed = 0
+        try:
+            for batch in _chunks(records, batch_size):
+                counts = batcher.run(batch, apply_record)
+                replayed += counts.get("replayed", 0)
+        except (IntegrityError, GraphError):
+            store.rollback_to(load_savepoint)
+            if tracer is not None:
+                tracer.count("deploy.rollbacks", 1)
+            raise
+        finally:
+            store.release(load_savepoint)
         asserted = store.count() - before
+        report_quarantine.extend(batcher.rejections)
         if tracer:
-            span.set(triples=asserted)
-    return asserted
+            span.set(
+                triples=asserted,
+                skipped=skipped_nodes + skipped_edges,
+                quarantined=len(batcher.rejections) + skipped_nodes + skipped_edges,
+                replayed=replayed,
+                batches=batcher.batches,
+                retries=batcher.retries,
+            )
+    return TripleLoadReport(
+        asserted,
+        skipped_nodes=skipped_nodes,
+        skipped_edges=skipped_edges,
+        replayed=replayed,
+        batches=batcher.batches,
+        retries=batcher.retries,
+        rollbacks=batcher.rollbacks,
+        quarantine=report_quarantine,
+        mode=mode,
+    )

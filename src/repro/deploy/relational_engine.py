@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
+from repro.deploy.transactions import SavepointMixin, UndoLog
 from repro.errors import DeploymentError, IntegrityError
 from repro.models.relational import Column, ForeignKey, RelationalSchema, Table
 from repro.obs.tracer import Tracer
@@ -39,7 +40,7 @@ class _StoredTable:
     unique_indexes: Dict[str, Dict[Any, int]] = field(default_factory=dict)
 
 
-class RelationalEngine:
+class RelationalEngine(SavepointMixin):
     """An in-memory RDBMS enforcing the translated schema."""
 
     def __init__(self, name: str = "rdbms", tracer: Optional[Tracer] = None):
@@ -48,6 +49,7 @@ class RelationalEngine:
         self._tables: Dict[str, _StoredTable] = {}
         self._foreign_keys: List[ForeignKey] = []
         self._deferred: bool = False
+        self._undo = UndoLog()
 
     # ------------------------------------------------------------------
     # Schema deployment
@@ -119,10 +121,27 @@ class RelationalEngine:
         if not self._deferred:
             self._check_row_references(table_name, row)
         stored.rows.append(row)
+        pk_key = tuple(row[c] for c in pk_columns) if pk_columns else None
         if pk_columns:
-            stored.pk_index[tuple(row[c] for c in pk_columns)] = len(stored.rows) - 1
+            stored.pk_index[pk_key] = len(stored.rows) - 1
+        if self._undo.active:
+            self._undo.record(
+                lambda s=stored, r=row, k=pk_key: self._undo_insert(s, r, k)
+            )
         if self.tracer is not None:
             self.tracer.count("deploy.rows_written", 1)
+
+    @staticmethod
+    def _undo_insert(
+        stored: _StoredTable, row: Dict[str, Any], pk_key: Optional[Tuple[Any, ...]]
+    ) -> None:
+        # Undo entries run newest-first, so the row is the table's last.
+        if stored.rows and stored.rows[-1] is row:
+            stored.rows.pop()
+        else:  # pragma: no cover - defensive, reverse order guarantees tail
+            stored.rows.remove(row)
+        if pk_key is not None:
+            stored.pk_index.pop(pk_key, None)
 
     def insert_many(self, table_name: str, rows: Iterable[Dict[str, Any]]) -> int:
         count = 0

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
 
+from repro.deploy.transactions import SavepointMixin, UndoLog
 from repro.errors import DeploymentError, IntegrityError
 from repro.models.rdf import RDFSchema
 from repro.obs.tracer import Tracer
@@ -28,13 +29,14 @@ RDF_TYPE = "rdf:type"
 RDFS_SUBCLASS = "rdfs:subClassOf"
 
 
-class TripleStore:
+class TripleStore(SavepointMixin):
     """An RDFS-aware triple store."""
 
     def __init__(self, name: str = "triple-store", tracer: Optional[Tracer] = None):
         self.name = name
         self.tracer = tracer
         self._triples: Set[Triple] = set()
+        self._undo = UndoLog()
         self._schema: Optional[RDFSchema] = None
         self._superclasses: Dict[str, Set[str]] = {}
         self._domains: Dict[str, str] = {}
@@ -100,6 +102,8 @@ class TripleStore:
         if triple in self._triples:
             return
         self._triples.add(triple)
+        if self._undo.active:
+            self._undo.record(lambda t=triple: self._triples.discard(t))
         if self.tracer is not None:
             self.tracer.count("deploy.triples_written", 1)
 
@@ -139,6 +143,10 @@ class TripleStore:
             if obj is not None and triple[2] != obj:
                 continue
             yield triple
+
+    def has(self, subject: Any, predicate: str, obj: Any) -> bool:
+        """O(1) membership test (used for idempotent replay detection)."""
+        return (subject, predicate, obj) in self._triples
 
     def instances_of(self, class_name: str) -> Set[Any]:
         """Subjects typed (directly or by inference) with the class."""

@@ -86,3 +86,33 @@ class DeploymentError(KGModelError):
 
 class IntegrityError(DeploymentError):
     """A constraint (key, foreign key, domain, uniqueness) was violated."""
+
+
+class TransientDeploymentError(DeploymentError):
+    """A deployment operation failed for a *transient* reason.
+
+    Transient failures (a dropped connection, a lock timeout, an injected
+    chaos fault) are the retryable class: a
+    :class:`~repro.deploy.resilience.RetryPolicy` catches exactly this
+    type, rolls the in-flight batch back, and tries again.  Everything
+    else — :class:`IntegrityError` in particular — is permanent and
+    propagates immediately.
+    """
+
+
+class RetryExhaustedError(DeploymentError):
+    """Every attempt allowed by a retry policy failed.
+
+    ``attempts`` counts the tries made and ``last_error`` keeps the final
+    transient failure (also chained as ``__cause__``), so callers can
+    tell a genuinely unreachable target from a too-tight policy.
+    """
+
+    def __init__(self, message, attempts=None, last_error=None):
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+class CheckpointError(KGModelError):
+    """A materialization checkpoint is unreadable or inconsistent."""

@@ -154,6 +154,45 @@ class PropertyGraph:
                 return candidate
 
     # ------------------------------------------------------------------
+    # Insertion marks (structural savepoints)
+    # ------------------------------------------------------------------
+    def insertion_mark(self) -> Tuple[int, int]:
+        """Capture the current ``(node_count, edge_count)`` watermark.
+
+        Valid for :meth:`rollback_to_mark` only while every mutation since
+        the mark is an *insertion* (``add_node`` / ``add_edge``): node and
+        edge dicts are insertion-ordered, so the tail past the watermark
+        is exactly the post-mark additions.  The deploy stores satisfy
+        this (they never remove during a load), which makes a savepoint
+        O(1) instead of one undo closure per mutation.
+        """
+        return (len(self._nodes), len(self._edges))
+
+    def rollback_to_mark(self, mark: Tuple[int, int]) -> int:
+        """Remove everything inserted after :meth:`insertion_mark`.
+
+        Edges are popped before nodes so incidence stays total; returns
+        the number of elements removed.
+        """
+        node_mark, edge_mark = mark
+        undone = 0
+        while len(self._edges) > edge_mark:
+            edge_id, edge = self._edges.popitem()
+            self._out[edge.source].remove(edge_id)
+            self._in[edge.target].remove(edge_id)
+            if edge.label is not None:
+                self._edges_by_label[edge.label].discard(edge_id)
+            undone += 1
+        while len(self._nodes) > node_mark:
+            node_id, node = self._nodes.popitem()
+            del self._out[node_id]
+            del self._in[node_id]
+            if node.label is not None:
+                self._nodes_by_label[node.label].discard(node_id)
+            undone += 1
+        return undone
+
+    # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
     def set_node_property(self, node_id: Any, name: str, value: Any) -> None:

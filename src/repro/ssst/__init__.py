@@ -1,6 +1,7 @@
 """SSST: schema translation (Algorithm 1) and intensional materialization
 (Algorithm 2)."""
 
+from repro.ssst.checkpoint import MaterializationCheckpoint, run_fingerprint
 from repro.ssst.inverse import (
     graph_instance_to_relational,
     relational_instance_to_graph,
@@ -18,7 +19,9 @@ __all__ = [
     "graph_instance_to_relational",
     "relational_instance_to_graph",
     "IntensionalMaterializer",
+    "MaterializationCheckpoint",
     "MaterializationReport",
+    "run_fingerprint",
     "CompiledRelationalSigma",
     "reason_over_relational",
     "translate_sigma_for_relational",

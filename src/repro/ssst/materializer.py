@@ -71,6 +71,12 @@ class MaterializationReport:
     reason_stats: Optional[EvaluationStats] = None
     status: str = STATUS_FIXPOINT
     violation: Optional[BudgetExceeded] = None
+    #: Derived I_SM_* edges dropped at flush because an endpoint never
+    #: made it into the dictionary graph (a lossy program, not a bug in
+    #: the flush) — surfaced instead of silently discarded.
+    flush_dropped_edges: int = 0
+    #: Name of the checkpointed phase this run resumed from, if any.
+    resumed_from: Optional[str] = None
 
     @property
     def truncated(self) -> bool:
@@ -110,6 +116,7 @@ class IntensionalMaterializer:
         instance_oid: Any = 1,
         dictionary: Optional[GraphDictionary] = None,
         strict: bool = False,
+        checkpoint=None,
     ) -> MaterializationReport:
         """Materialize the intensional component ``sigma`` over ``data``.
 
@@ -117,31 +124,37 @@ class IntensionalMaterializer:
         ``schema`` (node labels are type names).  The result's
         ``instance`` holds the enriched plain graph, including the
         derived nodes and edges.
+
+        ``checkpoint`` (a
+        :class:`~repro.ssst.checkpoint.MaterializationCheckpoint`)
+        persists each phase that reaches fixpoint; passing the same
+        checkpoint again resumes from the last completed phase instead
+        of repeating it.  A checkpoint written for different inputs is
+        discarded, not resumed.
         """
         report = MaterializationReport(instance=None)  # filled below
         tracer = self.tracer
+
+        resume_from: Optional[str] = None
+        if checkpoint is not None:
+            from repro.ssst.checkpoint import run_fingerprint
+
+            checkpoint.begin(run_fingerprint(schema, data, sigma, instance_oid))
+            resume_from = checkpoint.resume_phase()
 
         # ---------------- Phase 1: LOAD (lines 1-4) ----------------
         with tracer.span("materialize.load") as load_span:
             if dictionary is None:
                 dictionary = GraphDictionary()
-            if schema.schema_oid not in dictionary.schema_oids():
-                dictionary.store(schema)
-            instance = SuperInstance.from_plain_graph(
-                schema, data, instance_oid, strict=strict
-            )
-            instance.to_dictionary(dictionary.graph)
 
+            # The views below reference attribute OIDs; mint them before
+            # anything else so the resumed and fresh paths agree.
+            schema.ensure_attribute_oids()
             sigma_catalog = catalog_from_super_schema(schema)
             compiled = compile_metalog(sigma, sigma_catalog)
-
-            staging = graph_to_database(
-                dictionary.graph,
-                dictionary_catalog(),
-                node_labels=_INSTANCE_NODE_LABELS,
-                edge_labels=_INSTANCE_EDGE_LABELS,
-            )
             # Lines 5-6: the views, from the static analysis of Sigma.
+            # Recomputed even on resume: compilation is deterministic and
+            # cheap relative to the chase invocations it feeds.
             v_in = input_views(
                 schema,
                 compiled.input_node_labels,
@@ -156,39 +169,85 @@ class IntensionalMaterializer:
                 instance_oid,
                 sigma_catalog,
             )
-            # Materialize V_I into the staging area (Section 6 optimization).
-            result_in = self.engine.run(v_in, database=staging)
-            self._merge_status(report, result_in)
+
+            if resume_from is not None:
+                staged_db, dictionary.graph, phase_meta = checkpoint.load_phase(
+                    resume_from
+                )
+                dictionary.register(schema)
+                report.resumed_from = resume_from
+                load_span.set(resumed=True, phase=resume_from)
+                tracer.count("deploy.replay_skipped", 1)
+            else:
+                if schema.schema_oid not in dictionary.schema_oids():
+                    dictionary.store(schema)
+                instance = SuperInstance.from_plain_graph(
+                    schema, data, instance_oid, strict=strict
+                )
+                instance.to_dictionary(dictionary.graph)
+                staging = graph_to_database(
+                    dictionary.graph,
+                    dictionary_catalog(),
+                    node_labels=_INSTANCE_NODE_LABELS,
+                    edge_labels=_INSTANCE_EDGE_LABELS,
+                )
+                # Materialize V_I into the staging area (Section 6
+                # optimization).
+                result_in = self.engine.run(v_in, database=staging)
+                self._merge_status(report, result_in)
+                staged_db = result_in.database
+                if checkpoint is not None and not report.truncated:
+                    checkpoint.save_phase(
+                        "load", database=staged_db, graph=dictionary.graph
+                    )
         report.load_seconds = load_span.duration
 
         # ---------------- Phase 2: REASON (lines 7-8) ----------------
         with tracer.span("materialize.reason") as reason_span:
-            before = {
-                label: result_in.database.count(label)
-                for label in sorted(
-                    compiled.derived_node_labels | compiled.derived_edge_labels
+            if resume_from == "reason":
+                report.derived_counts = dict(phase_meta.get("derived_counts", {}))
+                result_db = staged_db
+                reason_span.set(resumed=True)
+                tracer.count("deploy.replay_skipped", 1)
+            else:
+                before = {
+                    label: staged_db.count(label)
+                    for label in sorted(
+                        compiled.derived_node_labels | compiled.derived_edge_labels
+                    )
+                }
+                result_sigma = self.engine.run(compiled.program, database=staged_db)
+                report.reason_stats = result_sigma.stats
+                self._merge_status(report, result_sigma)
+                report.derived_counts = {
+                    label: result_sigma.database.count(label) - before.get(label, 0)
+                    for label in before
+                }
+                reason_span.set(
+                    status=result_sigma.status,
+                    facts_derived=result_sigma.stats.facts_derived,
                 )
-            }
-            result_sigma = self.engine.run(
-                compiled.program, database=result_in.database
-            )
-            report.reason_stats = result_sigma.stats
-            self._merge_status(report, result_sigma)
-            report.derived_counts = {
-                label: result_sigma.database.count(label) - before.get(label, 0)
-                for label in before
-            }
-            reason_span.set(
-                status=result_sigma.status,
-                facts_derived=result_sigma.stats.facts_derived,
-            )
+                result_db = result_sigma.database
+                if checkpoint is not None and not report.truncated:
+                    checkpoint.save_phase(
+                        "reason",
+                        database=result_db,
+                        graph=dictionary.graph,
+                        meta={"derived_counts": report.derived_counts},
+                    )
         report.reason_seconds = reason_span.duration
 
         # ---------------- Phase 3: FLUSH (line 9) ----------------
+        # Never checkpointed: flushing is idempotent (existing OIDs are
+        # skipped), so re-running it always yields a complete store.
         with tracer.span("materialize.flush") as flush_span:
-            result_out = self.engine.run(v_out, database=result_sigma.database)
+            result_out = self.engine.run(v_out, database=result_db)
             self._merge_status(report, result_out)
-            _flush_instance_facts(result_out.database, dictionary.graph)
+            added, dropped = _flush_instance_facts(
+                result_out.database, dictionary.graph
+            )
+            report.flush_dropped_edges = dropped
+            flush_span.set(added=added, dropped_edges=dropped)
             report.instance = SuperInstance.from_dictionary(
                 dictionary.graph, schema, instance_oid, name=f"{data.name}+derived"
             )
@@ -203,14 +262,21 @@ class IntensionalMaterializer:
             report.violation = result.violation
 
 
-def _flush_instance_facts(database: Database, graph: PropertyGraph) -> int:
+def _flush_instance_facts(
+    database: Database, graph: PropertyGraph
+) -> "tuple[int, int]":
     """Write new I_SM_* facts back into the dictionary graph.
 
     Facts whose OID already exists in the graph are the ones loaded in
     phase 1 and are skipped; only derived instance constructs are added.
-    Returns the number of new graph elements.
+    Returns ``(added, dropped)``: the number of new graph elements and
+    the number of derived edges dropped because an endpoint OID is
+    absent from the graph (output views referencing constructs the
+    program never materialized) — callers surface the latter instead of
+    losing facts silently.
     """
     added = 0
+    dropped = 0
     for label in _INSTANCE_NODE_LABELS:
         for fact in sorted(database.facts(label), key=repr):
             oid, inst, third = fact
@@ -229,7 +295,8 @@ def _flush_instance_facts(database: Database, graph: PropertyGraph) -> int:
             if graph.has_edge(oid):
                 continue
             if not graph.has_node(source) or not graph.has_node(target):
+                dropped += 1
                 continue
             graph.add_edge(source, target, label, edge_id=oid, instanceOID=inst)
             added += 1
-    return added
+    return added, dropped

@@ -282,13 +282,21 @@ def reason_over_relational(
     engine_db,
     reasoner: Optional[Engine] = None,
     insert: bool = True,
+    policy=None,
+    quarantine=None,
+    batch_size: int = 200,
 ) -> Dict[str, List[Dict[str, Any]]]:
     """Apply Sigma directly to a deployed relational instance.
 
     ``engine_db`` is a :class:`~repro.deploy.relational_engine.RelationalEngine`
     with the translated schema deployed and the instance loaded.  Returns
     the newly derived rows per table; when ``insert`` is true they are
-    also written back (foreign-key checks deferred until the end).
+    also written back in transactional batches: each batch commits under
+    a store savepoint, transient failures are retried per row under
+    ``policy`` (a :class:`~repro.deploy.resilience.RetryPolicy`), and a
+    permanent failure mid-batch rolls that batch back — re-running the
+    function replays idempotently because already-inserted rows are
+    filtered out up front.
     """
     compiled = translate_sigma_for_relational(sigma, schema, relational)
     database = Database()
@@ -302,6 +310,12 @@ def reason_over_relational(
     reasoner = reasoner or Engine()
     result = reasoner.run(compiled.program, database=database)
 
+    from repro.deploy.resilience import no_retry
+    from repro.errors import IntegrityError
+
+    policy = policy if policy is not None else no_retry()
+    tracer = getattr(engine_db, "tracer", None)
+
     derived: Dict[str, List[Dict[str, Any]]] = {}
     for table_name in sorted(set(compiled.derived_tables.values())):
         header = [c.name for c in relational.table(table_name).columns]
@@ -314,23 +328,41 @@ def reason_over_relational(
                 continue
             fresh_rows.append(dict(zip(header, fact)))
         if insert and fresh_rows:
-            # Rows violating the target's constraints are skipped rather
-            # than inserted: e.g. the control program's self-seed
+            # Rows violating the target's constraints are quarantined
+            # rather than inserted: e.g. the control program's self-seed
             # CONTROLS(p, p) for a person that is not a Business fails
             # the bridge's target-side foreign key.  The graph world has
             # no such constraint; the relational one rightly enforces it.
             kept: List[Dict[str, Any]] = []
-            from repro.errors import IntegrityError
-
-            for row in fresh_rows:
+            for start in range(0, len(fresh_rows), batch_size):
+                batch = fresh_rows[start : start + batch_size]
+                savepoint = engine_db.savepoint()
+                batch_kept: List[Dict[str, Any]] = []
                 try:
-                    engine_db.insert(
-                        table_name,
-                        **{k: v for k, v in row.items() if v is not None},
-                    )
-                except IntegrityError:
-                    continue
-                kept.append(row)
+                    for row in batch:
+                        values = {k: v for k, v in row.items() if v is not None}
+                        try:
+                            policy.call(
+                                lambda t=table_name, v=values: engine_db.insert(
+                                    t, **v
+                                ),
+                                tracer=tracer,
+                            )
+                        except IntegrityError as exc:
+                            if quarantine is not None:
+                                quarantine.reject("row", row, str(exc))
+                            if tracer is not None:
+                                tracer.count("deploy.quarantined", 1)
+                            continue
+                        batch_kept.append(row)
+                except BaseException:
+                    engine_db.rollback_to(savepoint)
+                    if tracer is not None:
+                        tracer.count("deploy.rollbacks", 1)
+                    raise
+                finally:
+                    engine_db.release(savepoint)
+                kept.extend(batch_kept)
             fresh_rows = kept
         derived[table_name] = fresh_rows
     return derived
