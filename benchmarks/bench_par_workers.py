@@ -1,0 +1,42 @@
+"""E-PAR — partition-parallel chase: E-CTRL company control at 5k
+companies across worker counts, with serial output as the correctness
+oracle.
+
+Speedup is hardware-dependent: on a single-core container the process
+pool adds fork/IPC overhead and cannot beat serial, so the matrix
+records honest numbers either way.  The assertion is the part that must
+always hold — every worker count produces exactly the serial result.
+"""
+
+import os
+
+import pytest
+from conftest import banner
+
+from repro.finkg.control import (
+    controls_pairs_from_graph,
+    run_control_metalog,
+)
+from repro.vadalog.engine import Engine
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_epar_control_workers(benchmark, shareholding_graphs, workers):
+    graph = shareholding_graphs[5000]
+    serial = run_control_metalog(graph, node_label="Company")
+    expected = controls_pairs_from_graph(serial.graph)
+
+    engine = Engine(workers=workers)
+
+    def reason():
+        return run_control_metalog(graph, node_label="Company", engine=engine)
+
+    outcome = benchmark.pedantic(reason, rounds=2, iterations=1)
+    banner(
+        f"E-PAR company control, 5k companies — workers={workers} "
+        f"(host cores: {os.cpu_count()})"
+    )
+    stats = outcome.result.stats
+    print(f"  chase: {stats.iterations} iterations, "
+          f"{stats.facts_derived} facts, {stats.elapsed_seconds:.2f}s")
+    assert controls_pairs_from_graph(outcome.graph) == expected

@@ -1,0 +1,80 @@
+"""Parallel-vs-serial differential smoke battery (CI gate).
+
+Runs the full 52-program randomized battery — the same generators the
+serial differential suite uses — through ``Engine.run(workers=N)`` and
+compares every output predicate against the interpreted serial oracle,
+up to labeled-null identity.  Exit status is non-zero on any mismatch.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/parallel_battery.py --workers 2
+"""
+
+import argparse
+import os
+import random
+import sys
+import time
+
+# The battery reuses the program generators of tests/test_engine_plans.py;
+# make the repo root importable regardless of how the script is invoked.
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from repro.vadalog import Engine, parse_program
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--backend", default=None, choices=["process", "thread", "serial"]
+    )
+    parser.add_argument(
+        "--min-partition", type=int, default=1,
+        help="fan-out threshold (default 1: dispatch everything)",
+    )
+    args = parser.parse_args()
+
+    import repro.vadalog.parallel as parallel
+
+    parallel.DEFAULT_MIN_PARTITION = args.min_partition
+
+    from tests.test_engine_plans import (
+        _aggregate_case,
+        _canon,
+        _existential_case,
+        _recursion_case,
+    )
+
+    cases = []
+    for seed in range(20):
+        cases.append(("recursion", seed, _recursion_case(random.Random(1000 + seed))))
+    for seed in range(16):
+        cases.append(("aggregate", seed, _aggregate_case(random.Random(2000 + seed))))
+    for seed in range(16):
+        cases.append(("existential", seed, _existential_case(random.Random(3000 + seed))))
+
+    start = time.perf_counter()
+    mismatches = 0
+    for kind, seed, (text, predicates, inputs) in cases:
+        program = parse_program(text)
+        oracle = Engine(use_plans=False).run(program, inputs=inputs)
+        result = Engine(
+            workers=args.workers, parallel_backend=args.backend
+        ).run(program, inputs=inputs)
+        for predicate in predicates:
+            if _canon(oracle.facts(predicate)) != _canon(result.facts(predicate)):
+                mismatches += 1
+                print(f"MISMATCH {kind} seed={seed} predicate={predicate}")
+                break
+    elapsed = time.perf_counter() - start
+    print(
+        f"parallel battery: {len(cases)} programs, workers={args.workers}, "
+        f"backend={args.backend or 'auto'}, mismatches={mismatches}, "
+        f"{elapsed:.1f}s"
+    )
+    return 1 if mismatches else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

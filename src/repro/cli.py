@@ -120,8 +120,8 @@ def cmd_reason(args) -> int:
             graceful=True,
         )
     engine = None
-    if tracer is not None or governor is not None:
-        engine = Engine(tracer=tracer, governor=governor)
+    if tracer is not None or governor is not None or args.workers:
+        engine = Engine(tracer=tracer, governor=governor, workers=args.workers)
     checkpoint = None
     if args.resume and not args.checkpoint:
         raise KGModelError("--resume requires --checkpoint DIR")
@@ -326,6 +326,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", action="store_true",
         help="resume from the checkpoint's last completed phase "
              "(requires --checkpoint)",
+    )
+    p.add_argument(
+        "--workers", default=None, type=int, metavar="N",
+        help="partition-parallel chase with N workers (results are "
+             "bit-identical to serial; strata with existential heads "
+             "run serially)",
     )
     p.set_defaults(func=cmd_reason)
 

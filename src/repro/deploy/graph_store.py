@@ -43,9 +43,14 @@ class StructuralSavepoint:
     back pops each structure down to its recorded size.  Savepoints cost
     O(1) to open and nest trivially — an inner rollback restores a later
     watermark, the outer one an earlier watermark.
+
+    The insert-only assumption is *checked*, not trusted: the graph mark
+    embeds the underlying graph's mutation epoch, so if anything deleted
+    from the graph behind the store's back, ``rollback_to`` raises
+    :class:`~repro.errors.DeploymentError` instead of corrupting state.
     """
 
-    graph_mark: Tuple[int, int]
+    graph_mark: Tuple[int, int, int]
     unique_marks: Tuple[Tuple[Tuple[str, str], int], ...]
     labels_mark: int
 

@@ -22,6 +22,12 @@ bookkeeping in the relational engine).  The graph store instead
 implements the same three-method protocol with size watermarks over its
 insertion-ordered state (:class:`~repro.deploy.graph_store.StructuralSavepoint`)
 — O(1) savepoints with zero per-mutation cost on the load fast path.
+Structural savepoints assume insert-only mutation between mark and
+rollback; the underlying graph enforces the assumption with a mutation
+epoch and raises :class:`~repro.errors.DeploymentError` on a stale mark,
+so an interleaved deletion surfaces as a clean transaction failure
+instead of silent store corruption.  Stores that legitimately delete
+inside transactions must use the :class:`UndoLog` protocol instead.
 """
 
 from __future__ import annotations

@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
-from repro.errors import GraphError
+from repro.errors import DeploymentError, GraphError
 
 
 @dataclass(frozen=True)
@@ -90,6 +90,10 @@ class PropertyGraph:
         self._nodes_by_label: Dict[str, Set[Any]] = {}
         self._edges_by_label: Dict[str, Set[Any]] = {}
         self._auto_id = 1
+        # Bumped by every deletion; insertion marks embed the epoch at
+        # capture time so a popitem rollback can detect that the
+        # "tail == post-mark additions" assumption has been broken.
+        self._mutation_epoch = 0
 
     # ------------------------------------------------------------------
     # Construction
@@ -156,8 +160,8 @@ class PropertyGraph:
     # ------------------------------------------------------------------
     # Insertion marks (structural savepoints)
     # ------------------------------------------------------------------
-    def insertion_mark(self) -> Tuple[int, int]:
-        """Capture the current ``(node_count, edge_count)`` watermark.
+    def insertion_mark(self) -> Tuple[int, int, int]:
+        """Capture the ``(node_count, edge_count, mutation_epoch)`` watermark.
 
         Valid for :meth:`rollback_to_mark` only while every mutation since
         the mark is an *insertion* (``add_node`` / ``add_edge``): node and
@@ -165,16 +169,34 @@ class PropertyGraph:
         is exactly the post-mark additions.  The deploy stores satisfy
         this (they never remove during a load), which makes a savepoint
         O(1) instead of one undo closure per mutation.
-        """
-        return (len(self._nodes), len(self._edges))
 
-    def rollback_to_mark(self, mark: Tuple[int, int]) -> int:
+        The embedded mutation epoch makes the assumption *checked* rather
+        than trusted: ``remove_node`` / ``remove_edge`` bump the graph's
+        epoch, so a mark taken before an interleaved deletion no longer
+        matches and :meth:`rollback_to_mark` refuses it instead of
+        silently popping unrelated elements.
+        """
+        return (len(self._nodes), len(self._edges), self._mutation_epoch)
+
+    def rollback_to_mark(self, mark: Tuple[int, int, int]) -> int:
         """Remove everything inserted after :meth:`insertion_mark`.
 
         Edges are popped before nodes so incidence stays total; returns
-        the number of elements removed.
+        the number of elements removed.  Raises
+        :class:`~repro.errors.DeploymentError` when the mark is *stale* —
+        a deletion happened after it was taken, so the insertion-ordered
+        tail no longer corresponds to the post-mark additions and a
+        popitem rollback would corrupt the store.
         """
-        node_mark, edge_mark = mark
+        node_mark, edge_mark, epoch = mark
+        if epoch != self._mutation_epoch:
+            raise DeploymentError(
+                f"stale insertion mark for graph {self.name!r}: "
+                f"{self._mutation_epoch - epoch} deletion(s) interleaved "
+                f"since the mark was taken; a structural rollback would "
+                f"remove the wrong elements (use an undo-log transaction "
+                f"when deletions can occur)"
+            )
         undone = 0
         while len(self._edges) > edge_mark:
             edge_id, edge = self._edges.popitem()
@@ -208,6 +230,7 @@ class PropertyGraph:
         edge = self._edges.pop(edge_id, None)
         if edge is None:
             raise GraphError(f"unknown edge {edge_id!r} in {self.name!r}")
+        self._mutation_epoch += 1
         self._out[edge.source].remove(edge_id)
         self._in[edge.target].remove(edge_id)
         if edge.label is not None:
@@ -220,6 +243,7 @@ class PropertyGraph:
         for edge_id in list(self._out[node_id]) + list(self._in[node_id]):
             if edge_id in self._edges:
                 self.remove_edge(edge_id)
+        self._mutation_epoch += 1
         node = self._nodes.pop(node_id)
         del self._out[node_id]
         del self._in[node_id]
@@ -406,6 +430,7 @@ class PropertyGraph:
             label: set(ids) for label, ids in self._edges_by_label.items()
         }
         clone._auto_id = self._auto_id
+        clone._mutation_epoch = self._mutation_epoch
         return clone
 
     def to_networkx(self):

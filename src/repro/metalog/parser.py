@@ -387,10 +387,26 @@ class _Parser:
         contributors: Tuple[Variable, ...] = ()
         if self.stream.accept_punct(","):
             self.stream.expect_punct("<")
-            names = [str(self.stream.expect("IDENT").value)]
+            names = [self._contributor_name(name)]
             while self.stream.accept_punct(","):
-                names.append(str(self.stream.expect("IDENT").value))
+                names.append(self._contributor_name(name))
             self.stream.expect_punct(">")
             contributors = tuple(Variable(n) for n in names)
         self.stream.expect_punct(")")
         return AggregateCall(name, value, contributors)
+
+    def _contributor_name(self, aggregate: str) -> str:
+        """One contributor in ``<z, ...>`` — must name a variable.
+
+        In MetaLog every bare identifier is a variable, so the only
+        non-variable spellings an IDENT token can carry are the boolean
+        constants; coercing those into variables would silently change
+        the aggregate's grouping.
+        """
+        token = self.stream.expect("IDENT")
+        name = str(token.value)
+        if name in ("true", "false"):
+            raise self.stream.error(
+                f"contributor {name!r} in {aggregate}(...) is not a variable"
+            )
+        return name

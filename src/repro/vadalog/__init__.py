@@ -27,6 +27,7 @@ from repro.vadalog.ast import (
 )
 from repro.vadalog.database import Database, Relation
 from repro.vadalog.engine import Engine, EvaluationResult, EvaluationStats
+from repro.vadalog.parallel import ParallelChase, WorkerCrashError
 from repro.vadalog.parser import parse_program, parse_rule
 from repro.vadalog.stratify import Stratum, stratify
 from repro.vadalog.terms import (
@@ -58,6 +59,8 @@ __all__ = [
     "Engine",
     "EvaluationResult",
     "EvaluationStats",
+    "ParallelChase",
+    "WorkerCrashError",
     "parse_program",
     "parse_rule",
     "Stratum",

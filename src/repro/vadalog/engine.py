@@ -165,6 +165,14 @@ class Engine:
         graceful mode a tripped budget ends the run early with a partial
         database and ``status == "budget_exceeded"``; in strict mode it
         raises :class:`~repro.errors.ResourceLimitError`.
+    workers:
+        Default worker count for :meth:`run`.  ``None`` or ``1`` keeps
+        the serial chase; ``N > 1`` routes parallel-safe strata through
+        :class:`~repro.vadalog.parallel.ParallelChase` (outputs stay
+        bit-identical to the serial engine).  Requires ``use_plans``.
+    parallel_backend:
+        Force the parallel backend (``"process"``, ``"thread"`` or
+        ``"serial"``); ``None`` auto-selects.
     """
 
     def __init__(
@@ -176,6 +184,8 @@ class Engine:
         use_plans: bool = True,
         tracer: Optional[Tracer] = None,
         governor: Optional[ResourceGovernor] = None,
+        workers: Optional[int] = None,
+        parallel_backend: Optional[str] = None,
     ):
         self.max_iterations = max_iterations
         self.max_nulls = max_nulls
@@ -184,6 +194,8 @@ class Engine:
         self.use_plans = use_plans
         self.tracer = tracer
         self.governor = governor
+        self.workers = workers
+        self.parallel_backend = parallel_backend
         # Rule -> RulePlans; rules are frozen dataclasses, so structurally
         # equal rules (across programs) share one compiled plan bundle.
         self._plan_cache: Dict[Any, RulePlans] = {}
@@ -194,8 +206,14 @@ class Engine:
         program: Program,
         database: Optional[Database] = None,
         inputs: Optional[Dict[str, Iterable[Sequence[Any]]]] = None,
+        workers: Optional[int] = None,
     ) -> EvaluationResult:
-        """Saturate ``database`` (copied) with ``program`` and return it."""
+        """Saturate ``database`` (copied) with ``program`` and return it.
+
+        ``workers`` overrides the engine-level default for this run; any
+        value above 1 evaluates parallel-safe strata with partitioned
+        fan-out (see :mod:`repro.vadalog.parallel`).
+        """
         start = time.perf_counter()
         tracer = self.tracer
         governor = self.governor
@@ -227,18 +245,35 @@ class Engine:
         strata = stratify(working)
         stats.strata = len(strata)
 
+        effective_workers = self.workers if workers is None else workers
+        parallel = None
+        if effective_workers is not None and effective_workers > 1 and self.use_plans:
+            from repro.vadalog.parallel import ParallelChase
+
+            parallel = ParallelChase(
+                self, effective_workers, backend=self.parallel_backend
+            )
+
         if governor is not None:
             governor.begin()
         status = STATUS_FIXPOINT
         violation: Optional[BudgetExceeded] = None
         root = (
-            tracer.span("engine.run", rules=len(program.rules), strata=len(strata))
+            tracer.span(
+                "engine.run",
+                rules=len(program.rules),
+                strata=len(strata),
+                workers=effective_workers or 1,
+            )
             if tracer is not None
             else None
         )
         try:
             for index, stratum in enumerate(strata):
-                self._evaluate_stratum(stratum, index, db, stats, nulls, skolems)
+                if parallel is not None:
+                    parallel.evaluate_stratum(stratum, index, db, stats, nulls, skolems)
+                else:
+                    self._evaluate_stratum(stratum, index, db, stats, nulls, skolems)
         except _BudgetStop as stop:
             status = STATUS_BUDGET_EXCEEDED
             violation = stop.violation
@@ -249,6 +284,8 @@ class Engine:
                     detail=str(stop.violation),
                 )
         finally:
+            if parallel is not None:
+                parallel.close()
             stats.elapsed_seconds = time.perf_counter() - start
             if root is not None:
                 root.set(
@@ -419,9 +456,15 @@ class Engine:
                 plans: Optional[RulePlans] = None
                 if self.use_plans:
                     plans = self._plans_for(rule, stats)
+                in_recursion = bool(
+                    recursive_predicates
+                    and rule.body_predicates() & recursive_predicates
+                )
                 if plans is not None:
                     if plans.is_aggregate:
-                        matches = self._aggregate_matches_plan(plans, db, probe)
+                        matches = self._aggregate_matches_plan(
+                            plans, db, probe, recursive=in_recursion
+                        )
                     elif delta is not None and recursive_predicates:
                         matches = self._semi_naive_matches_plan(
                             plans, db, delta, recursive_predicates, probe
@@ -436,7 +479,9 @@ class Engine:
                             pending.append((predicate, fact))
                 else:
                     if rule.has_aggregate():
-                        matches = self._aggregate_matches(rule, db)
+                        matches = self._aggregate_matches(
+                            rule, db, recursive=in_recursion
+                        )
                     elif delta is not None and recursive_predicates:
                         matches = self._semi_naive_matches(
                             rule, db, delta, recursive_predicates
@@ -567,12 +612,13 @@ class Engine:
         plans: RulePlans,
         db: Database,
         probe: Optional[Dict[Tuple[int, str], List[int]]] = None,
+        recursive: bool = False,
     ) -> Iterator[Substitution]:
         aggregate = plans.aggregate_plan()
         call = aggregate.call
         target = aggregate.target
         group_vars = aggregate.group_vars
-        accumulator = GroupAccumulator(call.function)
+        accumulator = GroupAccumulator(call.function, recursive=recursive)
         # Remember one full substitution per group so non-head variables
         # used by Skolem terms keep a witness binding.
         witnesses: Dict[Tuple[Any, ...], Substitution] = {}
@@ -780,7 +826,9 @@ class Engine:
     # ------------------------------------------------------------------
     # Aggregates
     # ------------------------------------------------------------------
-    def _aggregate_matches(self, rule: Rule, db: Database) -> Iterator[Substitution]:
+    def _aggregate_matches(
+        self, rule: Rule, db: Database, recursive: bool = False
+    ) -> Iterator[Substitution]:
         aggregate_assignment = next(a for a in rule.assignments() if a.is_aggregate)
         call = _find_aggregate(aggregate_assignment.expression)
         target = aggregate_assignment.target
@@ -804,7 +852,7 @@ class Engine:
              if v != target and v.name != "_" and v not in rule.existential_variables()),
             key=lambda v: v.name,
         )
-        accumulator = GroupAccumulator(call.function)
+        accumulator = GroupAccumulator(call.function, recursive=recursive)
         # Remember one full substitution per group so non-head variables
         # used by Skolem terms keep a witness binding.
         witnesses: Dict[Tuple[Any, ...], Substitution] = {}

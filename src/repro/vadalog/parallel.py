@@ -1,0 +1,1067 @@
+"""Partition-parallel chase execution.
+
+The serial engine already freezes the database during rule firing: every
+iteration derives its facts against the *pre-iteration* instance and
+commits them in one deduplicating step at the end
+(:meth:`~repro.vadalog.engine.Engine._fire_rules`).  Rule firing within
+an iteration is therefore embarrassingly parallel — the only sequential
+points are the commit and the fixpoint test.  This module exploits that
+structure with a BSP-style coordinator:
+
+1. the **coordinator** (:class:`ParallelChase`) owns the per-stratum
+   fixpoint loop, builds evaluation *tasks*, and performs the single
+   deterministic commit per iteration on the master database;
+2. **tasks** split a rule's work along the first step of its compiled
+   plan (:mod:`repro.vadalog.plan`): full/naive firings chunk the step-0
+   relation, semi-naive firings hash-partition the delta facts by the
+   join key the plan chose (:func:`~repro.vadalog.plan.delta_partition_positions`),
+   and aggregate rules fan the pre-body matches out and merge the
+   partial :class:`~repro.vadalog.aggregates.GroupAccumulator` states —
+   the per-contributor collision resolution is associative and
+   commutative, so the merge is partition-order independent;
+3. **backends** evaluate tasks: a persistent ``multiprocessing`` worker
+   pool holding replica databases (deltas are broadcast after each
+   commit), a thread pool sharing the master database (the fallback when
+   state does not pickle), and an inline serial executor (used below the
+   small-delta threshold).
+
+Because workers never commit — they only *derive* — the result set of an
+iteration is the union over tasks, which equals the serial engine's
+result exactly.  Outputs are bit-identical to serial evaluation for
+parallel-safe strata; strata that are not parallel-safe (existential
+heads, whose restricted-chase check and null invention are inherently
+sequential, and aggregate rules whose head depends on a body witness
+beyond the group key) run through the serial engine as a barrier, so
+wardedness and chase order are preserved.
+
+Crash containment: a worker death (or an injected dispatch fault) abandons
+the pool and re-runs the current stratum serially from the current master
+database — correct because the chase is monotone and workers never held
+uncommitted state the master depends on.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+from multiprocessing.connection import wait as _wait_connections
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import EvaluationError, ResourceLimitError
+from repro.obs.governor import BudgetExceeded
+from repro.vadalog.aggregates import GroupAccumulator
+from repro.vadalog.ast import AggregateCall, Atom, BinOp, FunctionCall, Rule
+from repro.vadalog.database import Database, Fact
+from repro.vadalog.plan import (
+    RulePlans,
+    check_condition,
+    delta_partition_positions,
+    evaluate_expression,
+    execute_plan,
+)
+from repro.vadalog.stratify import Stratum
+from repro.vadalog.terms import Variable
+
+Substitution = Dict[Variable, Any]
+
+#: Below this many step-0 / delta facts a rule is evaluated inline on the
+#: coordinator: dispatch + pickling would cost more than the join.
+DEFAULT_MIN_PARTITION = 64
+
+#: Backend names accepted by :class:`ParallelChase`.
+BACKEND_PROCESS = "process"
+BACKEND_THREAD = "thread"
+BACKEND_SERIAL = "serial"
+
+
+class WorkerCrashError(RuntimeError):
+    """A worker died (or a dispatch fault was injected) mid-stratum."""
+
+
+# ---------------------------------------------------------------------------
+# Task evaluation (pure functions of replica state; runs in any backend)
+# ---------------------------------------------------------------------------
+
+
+class _NullStats:
+    """Stand-in stats object for worker-side head instantiation.
+
+    Parallel-safe rules have no existential head variables, so the only
+    field :meth:`RulePlans.instantiate_head` could touch is never read.
+    """
+
+    nulls_created = 0
+
+
+class _StratumContext:
+    """Compiled per-stratum state a backend evaluates tasks against."""
+
+    def __init__(self, rules: Sequence[Rule], recursive_predicates: Set[str]):
+        self.rules = list(rules)
+        self.recursive_predicates = set(recursive_predicates)
+        self.plans = [RulePlans(rule) for rule in self.rules]
+        # Original body indexes of recursive-atom occurrences, per rule —
+        # mirrors the serial engine's semi-naive occurrence partition.
+        self.recursive_indexes: List[List[int]] = [
+            [
+                i
+                for i, literal in enumerate(rule.body)
+                if isinstance(literal, Atom)
+                and literal.predicate in self.recursive_predicates
+            ]
+            for rule in self.rules
+        ]
+        # Whether each rule reads its own stratum (drives the recursive
+        # mprod validation inside GroupAccumulator).
+        self.in_recursion = [
+            bool(rule.body_predicates() & self.recursive_predicates)
+            for rule in self.rules
+        ]
+        self.skolems: Dict[str, Any] = {}
+        self._stats = _NullStats()
+
+    def _instantiate(
+        self,
+        plans: RulePlans,
+        matches: Iterator[Substitution],
+        db: Database,
+    ) -> Tuple[int, List[Tuple[str, Fact]]]:
+        firings = 0
+        derived: List[Tuple[str, Fact]] = []
+        for substitution in matches:
+            firings += 1
+            for predicate, fact in plans.instantiate_head(
+                substitution, db, self._stats, None, self.skolems, 0
+            ):
+                # Pre-filter facts the replica already holds: they would
+                # be dropped by the master's deduplicating commit anyway,
+                # and not shipping them keeps result payloads small.
+                if not db.has(predicate, fact):
+                    derived.append((predicate, fact))
+        return firings, derived
+
+    def evaluate(
+        self,
+        db: Database,
+        delta: Dict[str, Set[Fact]],
+        task: Tuple[Any, ...],
+    ) -> Tuple[str, Any, Any]:
+        """Evaluate one task against ``db``; returns a result message.
+
+        Task shapes (all payloads picklable):
+
+        - ``("full", rule_idx, chunk)`` — run the body plan with step 0
+          restricted to ``chunk``; returns derived head facts.
+        - ``("delta", rule_idx, occurrence, chunk)`` — semi-naive firing
+          for one recursive occurrence over a delta partition; earlier
+          occurrences are excluded from this backend's copy of the delta
+          (the exact old/delta/full partition of the serial engine).
+        - ``("agg", rule_idx, chunk)`` — accumulate aggregate
+          contributions for a pre-body partition; returns the raw
+          accumulator state plus one witness group key per group.
+        """
+        kind = task[0]
+        rule_idx = task[1]
+        plans = self.plans[rule_idx]
+        if kind == "full":
+            chunk = task[2]
+            firings, derived = self._instantiate(
+                plans,
+                execute_plan(plans.body_plan(), db, first_candidates=chunk),
+                db,
+            )
+            return ("facts", firings, derived)
+        if kind == "delta":
+            occurrence, chunk = task[2], task[3]
+            binder = plans.delta_binder(occurrence)
+            rest_plan = plans.delta_plan(occurrence)
+            body = plans.rule.body
+            excludes: Dict[int, Set[Fact]] = {}
+            for earlier in self.recursive_indexes[rule_idx]:
+                if earlier >= occurrence:
+                    break
+                earlier_delta = delta.get(body[earlier].predicate)
+                if earlier_delta:
+                    excludes[earlier] = earlier_delta
+
+            def matches() -> Iterator[Substitution]:
+                for fact in chunk:
+                    base = binder.match(fact)
+                    if base is None:
+                        continue
+                    yield from execute_plan(
+                        rest_plan, db, base, excludes if excludes else None
+                    )
+
+            firings, derived = self._instantiate(plans, matches(), db)
+            return ("facts", firings, derived)
+        if kind == "agg":
+            chunk = task[2]
+            aggregate = plans.aggregate_plan()
+            call = aggregate.call
+            group_vars = aggregate.group_vars
+            accumulator = GroupAccumulator(
+                call.function, recursive=self.in_recursion[rule_idx]
+            )
+            witnesses: Dict[Tuple[Any, ...], Tuple[Any, ...]] = {}
+            for substitution in execute_plan(
+                aggregate.pre_plan, db, first_candidates=chunk
+            ):
+                group = tuple(_hashable(substitution.get(v)) for v in group_vars)
+                if call.contributors:
+                    contributor = tuple(
+                        _hashable(substitution.get(v)) for v in call.contributors
+                    )
+                else:
+                    contributor = tuple(
+                        sorted(
+                            (
+                                (v.name, _hashable(value))
+                                for v, value in substitution.items()
+                            ),
+                            key=lambda item: item[0],
+                        )
+                    )
+                value = evaluate_expression(call.value, substitution)
+                accumulator.contribute(group, contributor, value)
+                witnesses.setdefault(
+                    group, tuple(substitution.get(v) for v in group_vars)
+                )
+            return ("agg", accumulator.state(), witnesses)
+        raise EvaluationError(f"unknown parallel task kind {kind!r}")
+
+
+def _witness_variables(expression: Any) -> Set[Variable]:
+    """Variables an expression reads when aggregate calls are pre-folded.
+
+    Mirrors :func:`repro.vadalog.plan.evaluate_expression` with
+    ``aggregate_value`` set: an :class:`AggregateCall` node returns the
+    folded value without touching its own variables, so they do not
+    constrain parallel safety.
+    """
+    if isinstance(expression, AggregateCall):
+        return set()
+    if isinstance(expression, BinOp):
+        return _witness_variables(expression.left) | _witness_variables(
+            expression.right
+        )
+    if isinstance(expression, FunctionCall):
+        variables: Set[Variable] = set()
+        for argument in expression.arguments:
+            variables |= _witness_variables(argument)
+        return variables
+    return expression.variables()
+
+
+def _hashable(value: Any) -> Any:
+    """Make lists/dicts usable in group keys (mirrors the engine's)."""
+    if isinstance(value, list):
+        return tuple(_hashable(v) for v in value)
+    if isinstance(value, dict):
+        return tuple(sorted((k, _hashable(v)) for k, v in value.items()))
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Backends
+# ---------------------------------------------------------------------------
+
+
+class _SerialBackend:
+    """Inline task evaluation on the coordinator (no pool).
+
+    Shares the master database, so broadcasts are no-ops; used directly
+    for ``workers=1``-equivalent debugging and as the executor of last
+    resort.
+    """
+
+    name = BACKEND_SERIAL
+
+    def __init__(self, db: Database):
+        self._db = db
+        self._context: Optional[_StratumContext] = None
+        self._delta: Dict[str, Set[Fact]] = {}
+
+    def set_rules(self, rules: Sequence[Rule], recursive: Set[str]) -> None:
+        self._context = _StratumContext(rules, recursive)
+
+    def broadcast_delta(self, delta: Dict[str, Set[Fact]]) -> None:
+        self._delta = delta  # facts are already in the shared master db
+
+    def sync(self, facts: Dict[str, List[Fact]]) -> None:
+        pass
+
+    def run_tasks(
+        self, tasks: Sequence[Tuple[Any, ...]]
+    ) -> List[Tuple[int, Tuple[str, Any, Any]]]:
+        context = self._context
+        return [
+            (0, context.evaluate(self._db, self._delta, task)) for task in tasks
+        ]
+
+    def close(self) -> None:
+        pass
+
+    def abandon(self) -> None:
+        pass
+
+
+class _ThreadBackend:
+    """Thread-pool evaluation against the shared master database.
+
+    The GIL serializes the pure-Python joins, so this backend exists for
+    interface parity and as the fallback when replica state does not
+    pickle — not for speedup.  Reads are safe: the master database is
+    frozen during rule firing, and the lazily built relation indexes are
+    idempotent (a racing rebuild produces the same dict).
+    """
+
+    name = BACKEND_THREAD
+
+    def __init__(self, db: Database, workers: int):
+        from concurrent.futures import ThreadPoolExecutor
+
+        self._db = db
+        self._workers = workers
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="chase"
+        )
+        self._context: Optional[_StratumContext] = None
+        self._delta: Dict[str, Set[Fact]] = {}
+
+    def set_rules(self, rules: Sequence[Rule], recursive: Set[str]) -> None:
+        self._context = _StratumContext(rules, recursive)
+
+    def broadcast_delta(self, delta: Dict[str, Set[Fact]]) -> None:
+        self._delta = delta
+
+    def sync(self, facts: Dict[str, List[Fact]]) -> None:
+        pass
+
+    def run_tasks(
+        self, tasks: Sequence[Tuple[Any, ...]]
+    ) -> List[Tuple[int, Tuple[str, Any, Any]]]:
+        context = self._context
+        db, delta = self._db, self._delta
+        futures = [
+            self._pool.submit(context.evaluate, db, delta, task) for task in tasks
+        ]
+        return [
+            (i % self._workers, future.result())
+            for i, future in enumerate(futures)
+        ]
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=False)
+
+    def abandon(self) -> None:
+        self.close()
+
+
+def _worker_main(connection, worker_id: int) -> None:
+    """Entry point of one pool process: replica database + task loop."""
+    db = Database()
+    delta: Dict[str, Set[Fact]] = {}
+    context: Optional[_StratumContext] = None
+    while True:
+        try:
+            message = connection.recv()
+        except (EOFError, OSError):
+            return
+        kind = message[0]
+        if kind == "stop":
+            connection.close()
+            return
+        if kind == "init":
+            db = Database()
+            for predicate, facts in message[1].items():
+                db.add_all(predicate, facts)
+        elif kind == "sync":
+            for predicate, facts in message[1].items():
+                db.add_all(predicate, facts)
+        elif kind == "delta":
+            delta = {}
+            for predicate, facts in message[1].items():
+                db.add_all(predicate, facts)
+                delta[predicate] = set(facts)
+        elif kind == "rules":
+            context = _StratumContext(message[1], message[2])
+        elif kind == "task":
+            task_id, task = message[1], message[2]
+            try:
+                result = context.evaluate(db, delta, task)
+                connection.send(("ok", task_id, worker_id, result))
+            except Exception as exc:  # ship the failure to the master
+                try:
+                    connection.send(("err", task_id, worker_id, exc))
+                except Exception:
+                    connection.send(
+                        ("err", task_id, worker_id, EvaluationError(str(exc)))
+                    )
+
+
+class _ProcessBackend:
+    """Persistent forked workers, each holding a replica database.
+
+    The master ships the initial snapshot once, then only the
+    per-iteration deltas — the replica converges in lock-step with the
+    master's commits.  Tasks are dispatched one-at-a-time per worker
+    (lock-step send/recv), which bounds pipe buffering and cannot
+    deadlock regardless of payload size.
+    """
+
+    name = BACKEND_PROCESS
+
+    def __init__(self, db: Database, workers: int):
+        context = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+        )
+        snapshot = {
+            predicate: list(db.relation(predicate))
+            for predicate in db.predicates()
+        }
+        # Fail over to threads *before* any worker starts if the state
+        # cannot cross a process boundary.
+        pickle.dumps(snapshot)
+        self._workers = workers
+        self._procs: List[Any] = []
+        self._conns: List[Any] = []
+        for worker_id in range(workers):
+            parent, child = context.Pipe()
+            process = context.Process(
+                target=_worker_main, args=(child, worker_id), daemon=True
+            )
+            process.start()
+            child.close()
+            self._procs.append(process)
+            self._conns.append(parent)
+        self._broadcast(("init", snapshot))
+
+    # -- plumbing -------------------------------------------------------
+    def _broadcast(self, message: Tuple[Any, ...]) -> None:
+        for connection in self._conns:
+            try:
+                connection.send(message)
+            except (OSError, ValueError, pickle.PicklingError) as exc:
+                raise WorkerCrashError(f"broadcast failed: {exc}") from exc
+
+    def set_rules(self, rules: Sequence[Rule], recursive: Set[str]) -> None:
+        self._broadcast(("rules", list(rules), set(recursive)))
+
+    def broadcast_delta(self, delta: Dict[str, Set[Fact]]) -> None:
+        self._broadcast(
+            ("delta", {predicate: list(facts) for predicate, facts in delta.items()})
+        )
+
+    def sync(self, facts: Dict[str, List[Fact]]) -> None:
+        if facts:
+            self._broadcast(("sync", facts))
+
+    def run_tasks(
+        self, tasks: Sequence[Tuple[Any, ...]]
+    ) -> List[Tuple[int, Tuple[str, Any, Any]]]:
+        """Evaluate ``tasks``; returns (worker_id, result) in task order."""
+        n = len(self._conns)
+        queues: List[List[Tuple[int, Tuple[Any, ...]]]] = [[] for _ in range(n)]
+        for task_id, task in enumerate(tasks):
+            queues[task_id % n].append((task_id, task))
+        results: List[Optional[Tuple[int, Tuple[str, Any, Any]]]] = [
+            None
+        ] * len(tasks)
+        outstanding = 0
+        cursor = [0] * n
+
+        def dispatch(worker: int) -> int:
+            position = cursor[worker]
+            if position >= len(queues[worker]):
+                return 0
+            task_id, task = queues[worker][position]
+            cursor[worker] = position + 1
+            try:
+                self._conns[worker].send(("task", task_id, task))
+            except (OSError, ValueError, pickle.PicklingError) as exc:
+                raise WorkerCrashError(
+                    f"worker {worker} unreachable: {exc}"
+                ) from exc
+            return 1
+
+        for worker in range(n):
+            outstanding += dispatch(worker)
+        error: Optional[BaseException] = None
+        while outstanding:
+            by_conn = {id(c): w for w, c in enumerate(self._conns)}
+            for connection in _wait_connections(self._conns, timeout=None):
+                worker = by_conn[id(connection)]
+                try:
+                    message = connection.recv()
+                except (EOFError, OSError) as exc:
+                    raise WorkerCrashError(
+                        f"worker {worker} died mid-task: {exc}"
+                    ) from exc
+                outstanding -= 1
+                status, task_id, worker_id, payload = message
+                if status == "err":
+                    # Finish draining before re-raising so the pool stays
+                    # protocol-consistent for the next batch.
+                    if error is None:
+                        error = payload
+                else:
+                    results[task_id] = (worker_id, payload)
+                outstanding += dispatch(worker)
+        if error is not None:
+            raise error
+        return results  # type: ignore[return-value]
+
+    def close(self) -> None:
+        for connection in self._conns:
+            try:
+                connection.send(("stop",))
+                connection.close()
+            except (OSError, ValueError):
+                pass
+        for process in self._procs:
+            process.join(timeout=2.0)
+            if process.is_alive():
+                process.terminate()
+
+    def abandon(self) -> None:
+        """Hard-kill the pool after a crash (no protocol goodbye)."""
+        for connection in self._conns:
+            try:
+                connection.close()
+            except OSError:
+                pass
+        for process in self._procs:
+            if process.is_alive():
+                process.terminate()
+        for process in self._procs:
+            process.join(timeout=2.0)
+
+
+# ---------------------------------------------------------------------------
+# The coordinator
+# ---------------------------------------------------------------------------
+
+
+class ParallelChase:
+    """Runs the engine's strata with partitioned fan-out.
+
+    Constructed by :meth:`Engine.run` when ``workers > 1``; owns the
+    fixpoint loop for parallel-safe strata and delegates the rest to the
+    serial engine (a *serial barrier*).  All commits happen on the master
+    database through the engine's own deduplicating commit, so outputs
+    are bit-identical to serial evaluation.
+
+    Parameters
+    ----------
+    engine:
+        The owning :class:`~repro.vadalog.engine.Engine`; its tracer,
+        governor, iteration caps and plan cache are reused.
+    workers:
+        Pool width.  ``1`` degenerates to inline evaluation.
+    backend:
+        Force a backend (``"process"``, ``"thread"``, ``"serial"``).
+        Default ``None`` auto-selects: process pool, falling back to
+        threads when state does not pickle.
+    min_partition:
+        Fan out only when a rule has at least this many step-0 / delta
+        facts; smaller extents are evaluated inline on the coordinator.
+    dispatch_hook:
+        Optional callable invoked once per dispatched task batch element
+        — the seam used by fault-injection tests (an exception from the
+        hook is handled exactly like a worker crash).
+    """
+
+    def __init__(
+        self,
+        engine: Any,
+        workers: int,
+        backend: Optional[str] = None,
+        min_partition: Optional[int] = None,
+        dispatch_hook: Optional[Callable[[], None]] = None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.engine = engine
+        self.workers = workers
+        self.backend_choice = backend
+        if min_partition is None:
+            min_partition = DEFAULT_MIN_PARTITION
+        self.min_partition = max(1, min_partition)
+        self.dispatch_hook = dispatch_hook
+        self.tracer = engine.tracer
+        self.governor = engine.governor
+        self._backend: Optional[Any] = None
+        #: Facts committed on the master but not yet shipped to replicas.
+        self._pending_sync: Dict[str, List[Fact]] = {}
+        #: (rule index, task) pairs deferred for inline evaluation within
+        #: the current firing round (extent below ``min_partition``).
+        self._inline_tasks: List[Tuple[int, Tuple[Any, ...]]] = []
+        #: Cached inline-evaluation context for the current stratum.
+        self._inline_context: Optional[_StratumContext] = None
+
+    # -- backend lifecycle ---------------------------------------------
+    def _ensure_backend(self, db: Database) -> Any:
+        if self._backend is not None:
+            return self._backend
+        choice = self.backend_choice
+        if choice == BACKEND_SERIAL or self.workers == 1:
+            self._backend = _SerialBackend(db)
+        elif choice == BACKEND_THREAD:
+            self._backend = _ThreadBackend(db, self.workers)
+        else:
+            try:
+                self._backend = _ProcessBackend(db, self.workers)
+            except (pickle.PicklingError, TypeError, AttributeError) as exc:
+                if choice == BACKEND_PROCESS:
+                    raise
+                if self.tracer is not None:
+                    self.tracer.event(
+                        "parallel.backend_fallback",
+                        to=BACKEND_THREAD,
+                        reason=str(exc),
+                    )
+                self._backend = _ThreadBackend(db, self.workers)
+        # A fresh backend starts from a full snapshot: nothing pending.
+        self._pending_sync.clear()
+        return self._backend
+
+    def _reset_backend(self) -> None:
+        if self._backend is not None:
+            self._backend.abandon()
+            self._backend = None
+        self._pending_sync.clear()
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._backend is not None:
+            self._backend.close()
+            self._backend = None
+        self._pending_sync.clear()
+
+    # -- safety analysis ------------------------------------------------
+    def _rule_parallel_safe(self, rule: Rule, stats: Any) -> bool:
+        if rule.existential_variables():
+            # Null invention and the restricted-chase satisfaction check
+            # read facts committed by *earlier firings of the same
+            # iteration* on the serial path; replaying that order across
+            # workers would serialize them anyway.
+            return False
+        if rule.has_aggregate():
+            plans = self.engine._plans_for(rule, stats)
+            aggregate = plans.aggregate_plan()
+            if plans.placeholders:
+                # Skolem head arguments may reference non-group witness
+                # variables; keep the witness semantics of the serial path.
+                return False
+            # Variables the assignment expression actually *reads* when
+            # the aggregate call is replaced by the folded value.  A
+            # variable outside the group key (e.g. ``T = msum(V) + W``
+            # with non-group ``W``) takes whichever witness binding the
+            # serial scan saw last — scan-order dependent, so only the
+            # serial scan reproduces it.
+            needed = _witness_variables(aggregate.assignment.expression)
+            needed -= {aggregate.target}
+            if needed - set(aggregate.group_vars):
+                return False
+        return True
+
+    def _stratum_parallel_safe(self, stratum: Stratum, stats: Any) -> bool:
+        return all(
+            self._rule_parallel_safe(rule, stats) for rule in stratum.rules
+        )
+
+    # -- stratum evaluation --------------------------------------------
+    def evaluate_stratum(
+        self,
+        stratum: Stratum,
+        index: int,
+        db: Database,
+        stats: Any,
+        nulls: Any,
+        skolems: Dict[str, Any],
+    ) -> None:
+        """Evaluate one stratum, in parallel when safe, serially otherwise."""
+        if not self._stratum_parallel_safe(stratum, stats):
+            self._serial_barrier(stratum, index, db, stats, nulls, skolems)
+            return
+        try:
+            self._evaluate_parallel(stratum, index, db, stats, nulls, skolems)
+        except WorkerCrashError as crash:
+            if self.tracer is not None:
+                self.tracer.count("parallel.worker_crashes", 1)
+                self.tracer.event(
+                    "parallel.crash_fallback", stratum=index, reason=str(crash)
+                )
+            # The chase is monotone and every commit lives on the master:
+            # rerunning the stratum serially from the current database is
+            # correct (at worst it re-derives facts the commit dedups).
+            self._reset_backend()
+            self._serial_barrier(stratum, index, db, stats, nulls, skolems)
+
+    def _serial_barrier(
+        self,
+        stratum: Stratum,
+        index: int,
+        db: Database,
+        stats: Any,
+        nulls: Any,
+        skolems: Dict[str, Any],
+    ) -> None:
+        if self.tracer is not None:
+            self.tracer.count("parallel.serial_barriers", 1)
+        heads: Set[str] = set()
+        for rule in stratum.rules:
+            heads |= rule.head_predicates()
+        before = {predicate: db.facts(predicate) for predicate in heads}
+        try:
+            self.engine._evaluate_stratum(stratum, index, db, stats, nulls, skolems)
+        finally:
+            # Even a budget-tripped stratum committed partial results that
+            # replicas must see before any later parallel work.
+            for predicate, old in before.items():
+                fresh = db.facts(predicate) - old
+                if fresh:
+                    self._pending_sync.setdefault(predicate, []).extend(fresh)
+
+    def _evaluate_parallel(
+        self,
+        stratum: Stratum,
+        index: int,
+        db: Database,
+        stats: Any,
+        nulls: Any,
+        skolems: Dict[str, Any],
+    ) -> None:
+        engine = self.engine
+        governor = self.governor
+        backend = self._ensure_backend(db)
+        self._flush_sync(backend)
+        backend.set_rules(stratum.rules, stratum.predicates)
+        span = (
+            self.tracer.span(
+                "parallel.stratum",
+                index=index,
+                workers=self.workers,
+                backend=backend.name,
+                recursive=stratum.recursive,
+                predicates=sorted(stratum.predicates),
+            )
+            if self.tracer is not None
+            else None
+        )
+        iterations = 0
+        try:
+            if not stratum.recursive:
+                new_facts = self._fire_parallel(
+                    stratum.rules, db, stats, nulls, skolems, None, None, backend
+                )
+                self._register_commit(backend, new_facts, recursive=False)
+                if governor is not None:
+                    violation = governor.check(stats)
+                    if violation is not None:
+                        engine._trip(violation, stats)
+                return
+
+            delta: Optional[Dict[str, Set[Fact]]] = None
+            for iteration in range(engine.max_iterations):
+                stats.iterations += 1
+                iterations = iteration + 1
+                new_delta = self._fire_parallel(
+                    stratum.rules,
+                    db,
+                    stats,
+                    nulls,
+                    skolems,
+                    delta if (engine.semi_naive and iteration > 0) else None,
+                    stratum.predicates,
+                    backend,
+                )
+                if not any(new_delta.values()):
+                    return
+                self._register_commit(backend, new_delta, recursive=True)
+                delta = new_delta
+                if governor is not None:
+                    violation = governor.check(stats)
+                    if violation is None and (
+                        governor.max_stratum_iterations is not None
+                        and iterations >= governor.max_stratum_iterations
+                    ):
+                        violation = BudgetExceeded(
+                            "iterations",
+                            governor.max_stratum_iterations,
+                            iterations,
+                            f"stratum {index}",
+                        )
+                    if violation is not None:
+                        engine._trip(violation, stats)
+            raise ResourceLimitError(
+                f"stratum over {sorted(stratum.predicates)} did not reach a "
+                f"fixpoint within {engine.max_iterations} iterations",
+                resource="iterations",
+                limit=engine.max_iterations,
+                stats=stats,
+            )
+        finally:
+            if span is not None:
+                span.set(iterations=iterations)
+                span.__exit__(None, None, None)
+
+    # -- the per-iteration fan-out --------------------------------------
+    def _register_commit(
+        self,
+        backend: Any,
+        new_facts: Dict[str, Set[Fact]],
+        recursive: bool,
+    ) -> None:
+        """Ship freshly committed facts to the replicas.
+
+        Recursive iterations broadcast immediately (the facts double as
+        the next iteration's delta); non-recursive commits queue for the
+        next parallel stratum.
+        """
+        live = {p: facts for p, facts in new_facts.items() if facts}
+        if not live:
+            return
+        if recursive:
+            backend.broadcast_delta(live)
+        else:
+            for predicate, facts in live.items():
+                self._pending_sync.setdefault(predicate, []).extend(facts)
+
+    def _flush_sync(self, backend: Any) -> None:
+        if self._pending_sync:
+            backend.sync(
+                {p: list(facts) for p, facts in self._pending_sync.items()}
+            )
+            self._pending_sync.clear()
+
+    def _fire_parallel(
+        self,
+        rules: List[Rule],
+        db: Database,
+        stats: Any,
+        nulls: Any,
+        skolems: Dict[str, Any],
+        delta: Optional[Dict[str, Set[Fact]]],
+        recursive_predicates: Optional[Set[str]],
+        backend: Any,
+    ) -> Dict[str, Set[Fact]]:
+        """One parallel firing round; returns the committed new facts."""
+        engine = self.engine
+        tracer = self.tracer
+        tasks: List[Tuple[Any, ...]] = []
+        #: task position -> rule index (to attribute aggregate partials).
+        task_rules: List[int] = []
+        pending: List[Tuple[str, Fact]] = []
+        new_facts: Dict[str, Set[Fact]] = {}
+        per_worker: Dict[int, int] = {}
+        #: rule index -> (accumulator, witnesses) merged across tasks.
+        partials: Dict[int, Tuple[GroupAccumulator, Dict[Any, Tuple[Any, ...]]]] = {}
+
+        def fold(rule_idx: int, worker_id: int, result: Tuple[str, Any, Any]) -> None:
+            """Merge one task result into the round's pending state."""
+            if result[0] == "facts":
+                _, firings, derived = result
+                stats.rule_firings += firings
+                per_worker[worker_id] = per_worker.get(worker_id, 0) + firings
+                pending.extend(derived)
+                return
+            _, state, witnesses = result
+            merged = partials.get(rule_idx)
+            if merged is None:
+                rule = rules[rule_idx]
+                plans = engine._plans_for(rule, stats)
+                in_recursion = bool(
+                    recursive_predicates
+                    and rule.body_predicates() & recursive_predicates
+                )
+                merged = (
+                    GroupAccumulator(
+                        plans.aggregate_plan().call.function,
+                        recursive=in_recursion,
+                    ),
+                    {},
+                )
+                partials[rule_idx] = merged
+            merged[0].load_state(state)
+            for group, witness in witnesses.items():
+                merged[1].setdefault(group, witness)
+
+        self._inline_tasks = []
+        for rule_idx, rule in enumerate(rules):
+            plans = engine._plans_for(rule, stats)
+            if plans.is_aggregate:
+                built = self._build_aggregate_tasks(plans, rule_idx, db)
+            elif delta is not None and recursive_predicates:
+                built = self._build_delta_tasks(
+                    plans, rule_idx, delta, recursive_predicates
+                )
+            else:
+                built = self._build_full_tasks(plans, rule_idx, db)
+            for task in built:
+                tasks.append(task)
+                task_rules.append(rule_idx)
+        inline = self._inline_tasks
+        self._inline_tasks = []
+
+        if self.dispatch_hook is not None:
+            try:
+                for _ in range(len(tasks) + len(inline)):
+                    self.dispatch_hook()
+            except Exception as exc:
+                raise WorkerCrashError(f"dispatch fault: {exc}") from exc
+
+        task_span = (
+            tracer.span(
+                "parallel.round",
+                tasks=len(tasks),
+                inline=len(inline),
+                rules=len(rules),
+            )
+            if tracer is not None
+            else None
+        )
+        try:
+            results = backend.run_tasks(tasks) if tasks else []
+            for (worker_id, result), rule_idx in zip(results, task_rules):
+                fold(rule_idx, worker_id, result)
+
+            # Inline work: rules whose extent was below the partition
+            # threshold, evaluated directly against the master database.
+            if inline:
+                if tracer is not None:
+                    tracer.count("parallel.inline_tasks", len(inline))
+                context = self._inline_context
+                if context is None or context.rules != rules:
+                    context = _StratumContext(rules, recursive_predicates or set())
+                    self._inline_context = context
+                inline_delta = delta or {}
+                for rule_idx, task in inline:
+                    fold(rule_idx, 0, context.evaluate(db, inline_delta, task))
+        finally:
+            if task_span is not None:
+                task_span.set(
+                    firings_by_worker={
+                        str(w): n for w, n in sorted(per_worker.items())
+                    }
+                )
+                task_span.__exit__(None, None, None)
+
+        # Finish aggregates on the master: fold the merged accumulator,
+        # rebuild the group substitution, and instantiate heads.
+        for rule_idx in sorted(partials):
+            rule = rules[rule_idx]
+            plans = engine._plans_for(rule, stats)
+            aggregate = plans.aggregate_plan()
+            accumulator, witnesses = partials[rule_idx]
+            for group, value in accumulator.results():
+                base: Substitution = dict(
+                    zip(aggregate.group_vars, witnesses[group])
+                )
+                substitution = dict(base)
+                substitution[aggregate.target] = evaluate_expression(
+                    aggregate.assignment.expression, base, aggregate_value=value
+                )
+                if not all(
+                    check_condition(c, substitution) for c in aggregate.post
+                ):
+                    continue
+                stats.rule_firings += 1
+                for predicate, fact in plans.instantiate_head(
+                    substitution, db, stats, nulls, skolems, engine.max_nulls
+                ):
+                    pending.append((predicate, fact))
+
+        if tracer is not None and tasks:
+            tracer.count("parallel.tasks", len(tasks))
+        engine._commit_pending(pending, db, stats, new_facts)
+        return new_facts
+
+    # -- task builders ---------------------------------------------------
+    def _chunk(self, facts: List[Fact]) -> List[List[Fact]]:
+        """Deterministic near-even slicing of a fact list."""
+        workers = self.workers
+        size, extra = divmod(len(facts), workers)
+        chunks: List[List[Fact]] = []
+        start = 0
+        for i in range(workers):
+            end = start + size + (1 if i < extra else 0)
+            if end > start:
+                chunks.append(facts[start:end])
+            start = end
+        return chunks
+
+    def _observe_skew(self, chunks: List[List[Fact]]) -> None:
+        if self.tracer is None or not chunks:
+            return
+        sizes = [len(c) for c in chunks]
+        mean = sum(sizes) / len(sizes)
+        if mean > 0:
+            self.tracer.observe("parallel.partition_skew", max(sizes) / mean)
+
+    def _build_full_tasks(
+        self, plans: RulePlans, rule_idx: int, db: Database
+    ) -> List[Tuple[Any, ...]]:
+        steps = plans.body_plan().steps
+        if not steps:
+            self._inline_tasks.append((rule_idx, ("full", rule_idx, None)))
+            return []
+        extent = list(db.relation(steps[0].predicate))
+        if len(extent) < self.min_partition:
+            self._inline_tasks.append((rule_idx, ("full", rule_idx, extent)))
+            return []
+        chunks = self._chunk(extent)
+        self._observe_skew(chunks)
+        return [("full", rule_idx, chunk) for chunk in chunks]
+
+    def _build_delta_tasks(
+        self,
+        plans: RulePlans,
+        rule_idx: int,
+        delta: Dict[str, Set[Fact]],
+        recursive_predicates: Set[str],
+    ) -> List[Tuple[Any, ...]]:
+        body = plans.rule.body
+        tasks: List[Tuple[Any, ...]] = []
+        for occurrence, literal in enumerate(body):
+            if not (
+                isinstance(literal, Atom)
+                and literal.predicate in recursive_predicates
+            ):
+                continue
+            delta_facts = delta.get(literal.predicate)
+            if not delta_facts:
+                continue
+            facts = list(delta_facts)
+            if len(facts) < self.min_partition:
+                self._inline_tasks.append(
+                    (rule_idx, ("delta", rule_idx, occurrence, facts))
+                )
+                continue
+            positions = delta_partition_positions(plans, occurrence)
+            buckets: List[List[Fact]] = [[] for _ in range(self.workers)]
+            for fact in facts:
+                key = tuple(fact[p] for p in positions)
+                buckets[hash(key) % self.workers].append(fact)
+            chunks = [bucket for bucket in buckets if bucket]
+            self._observe_skew(chunks)
+            tasks.extend(
+                ("delta", rule_idx, occurrence, chunk) for chunk in chunks
+            )
+        return tasks
+
+    def _build_aggregate_tasks(
+        self, plans: RulePlans, rule_idx: int, db: Database
+    ) -> List[Tuple[Any, ...]]:
+        steps = plans.aggregate_plan().pre_plan.steps
+        if not steps:
+            self._inline_tasks.append((rule_idx, ("agg", rule_idx, None)))
+            return []
+        extent = list(db.relation(steps[0].predicate))
+        if len(extent) < self.min_partition:
+            self._inline_tasks.append((rule_idx, ("agg", rule_idx, extent)))
+            return []
+        chunks = self._chunk(extent)
+        self._observe_skew(chunks)
+        return [("agg", rule_idx, chunk) for chunk in chunks]

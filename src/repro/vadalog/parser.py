@@ -297,13 +297,30 @@ class _Parser:
         contributors: Tuple[Variable, ...] = ()
         if self.stream.accept_punct(","):
             self.stream.expect_punct("<")
-            names = [self.stream.expect("IDENT").value]
+            names = [self._contributor_name(name)]
             while self.stream.accept_punct(","):
-                names.append(self.stream.expect("IDENT").value)
+                names.append(self._contributor_name(name))
             self.stream.expect_punct(">")
-            contributors = tuple(Variable(str(n)) for n in names)
+            contributors = tuple(Variable(n) for n in names)
         self.stream.expect_punct(")")
         return AggregateCall(name, value, contributors)
+
+    def _contributor_name(self, aggregate: str) -> str:
+        """One contributor in ``<z, ...>`` — must name a variable.
+
+        A lowercase identifier here would otherwise be silently coerced
+        into a fresh variable that binds nothing, making every body match
+        contribute under the same key — a data-dependent wrong answer
+        rather than an error.
+        """
+        token = self.stream.expect("IDENT")
+        name = str(token.value)
+        if not _is_variable_name(name):
+            raise self.stream.error(
+                f"contributor {name!r} in {aggregate}(...) is not a variable "
+                f"(variables start with an uppercase letter or underscore)"
+            )
+        return name
 
 
 def _is_variable_name(name: str) -> bool:

@@ -160,21 +160,31 @@ def stratify(program: Program) -> List[Stratum]:
             key=lambda s: s.index,
         )
         target.rules.append(rule)
-        # Non-monotonic aggregates (min, avg) cannot be recomputed to
-        # fixpoint: their value may shrink as contributions arrive, but
-        # facts are never retracted.  Reject them inside recursion.
+        # Non-monotonic aggregates (min, avg, prod) cannot be recomputed
+        # to fixpoint: their value may shrink or oscillate as contributions
+        # arrive, but facts are never retracted.  Reject them inside
+        # recursion.  The explicitly-monotonic spelling ``mprod`` is the
+        # one conditional exception: it asserts non-decreasing use (every
+        # contribution >= 1) and the engine validates that assertion at
+        # runtime — the bare ``prod`` spelling makes no such promise and
+        # stays rejected.
         if target.recursive and rule.has_aggregate():
             reads_own_stratum = bool(rule.body_predicates() & target.predicates)
             if reads_own_stratum:
-                from repro.vadalog.aggregates import is_monotonic
-                from repro.vadalog.ast import expression_has_aggregate, AggregateCall
+                from repro.vadalog.aggregates import is_recursion_safe
 
                 for assignment in rule.assignments():
                     call = _aggregate_of(assignment.expression)
-                    if call is not None and not is_monotonic(call.function):
+                    if call is not None and not is_recursion_safe(call.function):
+                        hint = (
+                            "; spell it 'mprod' to assert validated "
+                            "non-decreasing use (every factor >= 1)"
+                            if call.function == "prod"
+                            else ""
+                        )
                         raise VadalogError(
                             f"non-monotonic aggregate {call.function!r} in a "
-                            f"recursive rule: {rule}"
+                            f"recursive rule: {rule}{hint}"
                         )
 
     return [stratum for stratum in strata if stratum.rules]

@@ -1,0 +1,235 @@
+"""Partition-parallel chase: differential battery, crashes, governance.
+
+The contract under test (:mod:`repro.vadalog.parallel`) is strict:
+``Engine.run(workers=N)`` must produce *bit-identical* output to the
+serial interpreter for every program — parallel-safe strata through the
+partitioned fan-out, the rest through the serial barrier.  The
+randomized battery reuses the exact program generators of the serial
+differential suite (:mod:`tests.test_engine_plans`), with the
+interpreted (plan-free) engine as the oracle.
+"""
+
+import random
+
+import pytest
+
+from repro.deploy.resilience import CrashFault, FaultInjector
+from repro.obs import RecordingTracer, ResourceGovernor
+from repro.obs.governor import STATUS_BUDGET_EXCEEDED
+from repro.vadalog import Engine, parse_program
+from repro.vadalog.parallel import ParallelChase, WorkerCrashError
+from tests.test_engine_plans import (
+    _aggregate_case,
+    _canon,
+    _existential_case,
+    _recursion_case,
+)
+
+
+@pytest.fixture(autouse=True)
+def tiny_partitions(monkeypatch):
+    """Dispatch every task to real workers (no inline short-circuit)."""
+    import repro.vadalog.parallel as parallel
+
+    monkeypatch.setattr(parallel, "DEFAULT_MIN_PARTITION", 1)
+
+
+def assert_parallel_matches_serial(text, predicates, inputs, workers=2, **engine_kw):
+    program = parse_program(text)
+    oracle = Engine(use_plans=False).run(program, inputs=inputs)
+    result = Engine(workers=workers, **engine_kw).run(program, inputs=inputs)
+    for predicate in predicates:
+        assert _canon(oracle.facts(predicate)) == _canon(
+            result.facts(predicate)
+        ), predicate
+    return oracle, result
+
+
+class TestRandomizedParallelDifferential:
+    """The 52-program battery, parallel vs the serial interpreter."""
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_negation_free_recursion(self, seed):
+        text, predicates, inputs = _recursion_case(random.Random(1000 + seed))
+        assert_parallel_matches_serial(text, predicates, inputs)
+
+    @pytest.mark.parametrize("seed", range(16))
+    def test_monotonic_aggregates(self, seed):
+        text, predicates, inputs = _aggregate_case(random.Random(2000 + seed))
+        assert_parallel_matches_serial(text, predicates, inputs)
+
+    @pytest.mark.parametrize("seed", range(16))
+    def test_existential_heads(self, seed):
+        text, predicates, inputs = _existential_case(random.Random(3000 + seed))
+        assert_parallel_matches_serial(text, predicates, inputs)
+
+    @pytest.mark.parametrize("seed", [0, 7, 13])
+    def test_thread_backend_subset(self, seed):
+        text, predicates, inputs = _recursion_case(random.Random(1000 + seed))
+        assert_parallel_matches_serial(
+            text, predicates, inputs, parallel_backend="thread"
+        )
+
+    @pytest.mark.parametrize("seed", [2, 9])
+    def test_four_workers_subset(self, seed):
+        text, predicates, inputs = _aggregate_case(random.Random(2000 + seed))
+        assert_parallel_matches_serial(text, predicates, inputs, workers=4)
+
+
+class TestStatsParity:
+    def test_stats_match_serial_engine(self):
+        text = (
+            "e(X, Y) -> tc(X, Y).\n"
+            "tc(X, Y), e(Y, Z) -> tc(X, Z).\n"
+            "tc(X, Y), S = mcount(Y) -> fan(X, S).\n"
+        )
+        inputs = {"e": [(f"n{i}", f"n{(i * 7 + 3) % 40}") for i in range(120)]}
+        program = parse_program(text)
+        serial = Engine().run(program, inputs=inputs)
+        result = Engine(workers=2).run(program, inputs=inputs)
+        assert result.facts("tc") == serial.facts("tc")
+        assert result.facts("fan") == serial.facts("fan")
+        assert result.stats.rule_firings == serial.stats.rule_firings
+        assert result.stats.facts_derived == serial.stats.facts_derived
+        assert result.stats.iterations == serial.stats.iterations
+
+
+class TestObservability:
+    def test_spans_and_skew_histogram(self):
+        tracer = RecordingTracer()
+        text = "e(X, Y) -> tc(X, Y).\ntc(X, Y), e(Y, Z) -> tc(X, Z)."
+        inputs = {"e": [(f"n{i}", f"n{(i * 3 + 1) % 60}") for i in range(120)]}
+        Engine(workers=2, tracer=tracer).run(parse_program(text), inputs=inputs)
+        strata = tracer.find_spans("parallel.stratum")
+        assert strata and strata[0].attrs["workers"] == 2
+        rounds = tracer.find_spans("parallel.round")
+        assert rounds and "firings_by_worker" in rounds[0].attrs
+        assert tracer.metrics.counters().get("parallel.tasks", 0) > 0
+        assert "parallel.partition_skew" in tracer.metrics.histograms()
+
+    def test_existential_stratum_counts_serial_barrier(self):
+        tracer = RecordingTracer()
+        Engine(workers=2, tracer=tracer).run(
+            parse_program("p(X) -> q(X, Y)."),
+            inputs={"p": [(i,) for i in range(8)]},
+        )
+        assert tracer.metrics.counters().get("parallel.serial_barriers") == 1
+
+
+class TestGovernorAcrossWorkers:
+    def test_fact_budget_trips_with_workers(self):
+        governor = ResourceGovernor(max_facts=50, graceful=True)
+        text = "e(X, Y) -> tc(X, Y).\ntc(X, Y), e(Y, Z) -> tc(X, Z)."
+        inputs = {"e": [(i, (i + 1) % 80) for i in range(80)]}
+        result = Engine(workers=2, governor=governor).run(
+            parse_program(text), inputs=inputs
+        )
+        assert result.status == STATUS_BUDGET_EXCEEDED
+        assert result.truncated and result.violation.resource == "facts"
+
+    def test_iteration_budget_trips_with_workers(self):
+        governor = ResourceGovernor(max_stratum_iterations=2, graceful=True)
+        text = "e(X, Y) -> tc(X, Y).\ntc(X, Y), e(Y, Z) -> tc(X, Z)."
+        inputs = {"e": [(i, i + 1) for i in range(70)]}
+        result = Engine(workers=2, governor=governor).run(
+            parse_program(text), inputs=inputs
+        )
+        assert result.status == STATUS_BUDGET_EXCEEDED
+        assert result.violation.resource == "iterations"
+
+
+class TestWorkerCrashFallback:
+    """A dying worker degrades to the serial path, never to wrong answers."""
+
+    def _run_with_hook(self, hook, tracer=None):
+        import repro.vadalog.parallel as parallel
+
+        text = "e(X, Y) -> tc(X, Y).\ntc(X, Y), e(Y, Z) -> tc(X, Z)."
+        inputs = {"e": [(f"n{i}", f"n{(i * 7 + 3) % 40}") for i in range(120)]}
+        program = parse_program(text)
+        serial = Engine().run(program, inputs=inputs)
+        engine = Engine(tracer=tracer)
+        chase = ParallelChase(engine, workers=2, dispatch_hook=hook, min_partition=1)
+        engine_run = engine.run
+        # Route the run through our hook-carrying coordinator.
+        original = parallel.ParallelChase
+        parallel.ParallelChase = lambda *a, **k: chase
+        try:
+            result = engine_run(program, inputs=inputs, workers=2)
+        finally:
+            parallel.ParallelChase = original
+        assert result.facts("tc") == serial.facts("tc")
+        return result
+
+    def test_injected_crash_falls_back_to_serial(self):
+        # Reuse the deployment layer's seeded fault injector as the crash
+        # source: the dispatch hook stands in for a store mutator.
+        injector = FaultInjector(object(), crash_after=3, seed=11)
+
+        def hook():
+            injector._inject("parallel.dispatch")
+            injector.mutations_applied += 1
+
+        tracer = RecordingTracer()
+        self._run_with_hook(hook, tracer=tracer)
+        assert injector.mutations_applied == 3
+        assert tracer.metrics.counters().get("parallel.worker_crashes", 0) >= 1
+
+    def test_crash_fault_wrapped_as_worker_crash(self):
+        engine = Engine()
+        chase = ParallelChase(
+            engine,
+            workers=2,
+            dispatch_hook=lambda: (_ for _ in ()).throw(CrashFault("boom")),
+            min_partition=1,
+        )
+        program = parse_program("e(X, Y) -> tc(X, Y).")
+        from repro.vadalog.database import Database
+        from repro.vadalog.engine import EvaluationStats
+        from repro.vadalog.stratify import stratify
+        from repro.vadalog.terms import NullFactory
+
+        db = Database()
+        db.add_all("e", [(i, i + 1) for i in range(10)])
+        (stratum,) = stratify(program)
+        with pytest.raises(WorkerCrashError):
+            chase._evaluate_parallel(
+                stratum, 0, db, EvaluationStats(), NullFactory(), {}
+            )
+        chase.close()
+
+    def test_worker_side_errors_propagate(self):
+        # A genuine evaluation error inside a worker (division by zero)
+        # must surface as the same error type the serial engine raises,
+        # not as a crash fallback.
+        from repro.errors import EvaluationError
+
+        text = "p(X), Y = 1 / X -> q(Y)."
+        inputs = {"p": [(i,) for i in range(-5, 5)]}  # includes 0
+        with pytest.raises(EvaluationError):
+            Engine(workers=2).run(parse_program(text), inputs=inputs)
+
+
+class TestEngineWiring:
+    def test_run_override_beats_engine_default(self):
+        text = "e(X, Y) -> tc(X, Y).\ntc(X, Y), e(Y, Z) -> tc(X, Z)."
+        inputs = {"e": [(i, (i + 1) % 30) for i in range(30)]}
+        program = parse_program(text)
+        serial = Engine().run(program, inputs=inputs)
+        engine = Engine(workers=4)
+        assert engine.run(program, inputs=inputs, workers=1).facts(
+            "tc"
+        ) == serial.facts("tc")
+        assert engine.run(program, inputs=inputs).facts("tc") == serial.facts("tc")
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelChase(Engine(), workers=0)
+
+    def test_cli_reason_accepts_workers_flag(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["reason", "s.gsl", "d.json", "r.metalog", "--workers", "2"]
+        )
+        assert args.workers == 2
