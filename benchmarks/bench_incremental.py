@@ -1,0 +1,213 @@
+"""E-INCR — incremental materialization vs full re-materialization.
+
+Builds shareholding registries (``Business`` nodes, ``OWNS`` stakes) at
+several sizes, materializes the company-control pipeline once with
+``retain=True``, then applies single-stake registry updates through
+``IntensionalMaterializer.update`` and compares the per-update engine
+time against the full Algorithm 2 engine time (load + reason + flush).
+
+Every measured sequence is also verified differentially: after all
+updates, the enriched instance must be fact-set-identical (up to
+labeled-null renaming) to a from-scratch materialization of the mutated
+registry.  Exit status is non-zero on any mismatch or, with
+``--require-speedup``, when the median engine speedup falls below the
+threshold.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_incremental.py
+    PYTHONPATH=src python benchmarks/bench_incremental.py \
+        --sizes 500 --updates 4 --out BENCH_INCR.json
+"""
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from repro.finkg import programs
+from repro.finkg.company_schema import company_super_schema
+from repro.finkg.generator import ShareholdingConfig, generate_shareholding_data
+from repro.graph.property_graph import PropertyGraph
+from repro.metalog import parse_metalog
+from repro.ssst import IntensionalMaterializer, RegistryDelta
+
+
+def business_registry(companies: int, seed: int = 42) -> PropertyGraph:
+    """A flat shareholding registry typed against the company super
+    schema: ``Business``/``PhysicalPerson`` nodes, ``OWNS`` stakes."""
+    data = generate_shareholding_data(ShareholdingConfig(companies=companies, seed=seed))
+    graph = PropertyGraph("registry")
+    for pid in data.persons:
+        graph.add_node(pid, "PhysicalPerson", fiscalCode=f"FC-{pid}")
+    for cid in data.companies:
+        graph.add_node(
+            cid, "Business",
+            fiscalCode=f"FC-{cid}", businessName=f"{cid} SpA",
+        )
+    for index, stake in enumerate(data.stakes):
+        graph.add_edge(
+            stake.owner, stake.company, "OWNS",
+            edge_id=f"stake-{index}", percentage=stake.percentage,
+        )
+    return graph
+
+
+def canon_instance(graph):
+    """Fact-set canonicalization: invented OIDs (labeled nulls) collapse
+    to a sentinel so isomorphic enrichments compare equal."""
+
+    def can(value):
+        return value if isinstance(value, (str, int, float, bool)) else "<derived>"
+
+    nodes = set()
+    for node in graph.nodes():
+        nodes.add((
+            can(node.id), node.label,
+            tuple(sorted((k, can(v)) for k, v in node.properties.items())),
+        ))
+    edges = set()
+    for edge in graph.edges():
+        edges.add((
+            can(edge.source), can(edge.target), edge.label,
+            tuple(sorted((k, can(v)) for k, v in edge.properties.items())),
+        ))
+    return nodes, edges
+
+
+def run_size(companies: int, updates: int, seed: int, verify: bool) -> dict:
+    registry = business_registry(companies, seed=seed)
+    # update() maintains the registry in place; capture the base size now.
+    base_nodes, base_edges = registry.node_count, registry.edge_count
+    schema = company_super_schema()
+    sigma = parse_metalog(programs.CONTROL_PROGRAM)
+
+    materializer = IntensionalMaterializer()
+    start = time.perf_counter()
+    report = materializer.materialize(
+        schema, registry, sigma, instance_oid=9, retain=True
+    )
+    full_total = time.perf_counter() - start
+    full_engine = report.load_seconds + report.reason_seconds + report.flush_seconds
+
+    businesses = sorted(
+        (node.id for node in registry.nodes("Business")), key=str
+    )
+    update_rows = []
+    for i in range(updates):
+        owner = businesses[(7 * i + 3) % len(businesses)]
+        target = businesses[(11 * i + 41) % len(businesses)]
+        if owner == target:
+            target = businesses[(11 * i + 42) % len(businesses)]
+        delta = RegistryDelta(add_edges=[
+            (f"bench-stake-{i}", owner, target, "OWNS", {"percentage": 0.71}),
+        ])
+        start = time.perf_counter()
+        outcome = materializer.update(delta)
+        total = time.perf_counter() - start
+        update_rows.append({
+            "kind": "insert-stake",
+            "total_seconds": round(total, 4),
+            "engine_seconds": round(outcome.engine_seconds, 4),
+            "strata_recomputed": outcome.strata_recomputed,
+            "flushed": outcome.flushed,
+        })
+
+    # One deletion to exercise the delete/re-derive path at scale.
+    start = time.perf_counter()
+    outcome = materializer.update(RegistryDelta(remove_edges=["bench-stake-0"]))
+    total = time.perf_counter() - start
+    update_rows.append({
+        "kind": "remove-stake",
+        "total_seconds": round(total, 4),
+        "engine_seconds": round(outcome.engine_seconds, 4),
+        "strata_recomputed": outcome.strata_recomputed,
+        "flushed": outcome.flushed,
+    })
+
+    ok = True
+    if verify:
+        reference = IntensionalMaterializer().materialize(
+            company_super_schema(), registry, sigma, instance_oid=9
+        )
+        ok = canon_instance(outcome.instance.data) == canon_instance(
+            reference.instance.data
+        )
+
+    engine_times = [row["engine_seconds"] for row in update_rows]
+    total_times = [row["total_seconds"] for row in update_rows]
+    row = {
+        "companies": companies,
+        "registry_nodes": base_nodes,
+        "registry_edges": base_edges,
+        "controls_derived": report.derived_counts.get("CONTROLS", 0),
+        "full_total_seconds": round(full_total, 4),
+        "full_engine_seconds": round(full_engine, 4),
+        "full_phases": {
+            "load": round(report.load_seconds, 4),
+            "reason": round(report.reason_seconds, 4),
+            "flush": round(report.flush_seconds, 4),
+        },
+        "updates": update_rows,
+        "median_update_engine_seconds": round(statistics.median(engine_times), 4),
+        "median_update_total_seconds": round(statistics.median(total_times), 4),
+        "engine_speedup": round(full_engine / max(statistics.median(engine_times), 1e-9), 2),
+        "total_speedup": round(full_total / max(statistics.median(total_times), 1e-9), 2),
+        "differential_ok": ok,
+    }
+    return row
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sizes", type=int, nargs="+", default=[1000, 5000])
+    parser.add_argument("--updates", type=int, default=5,
+                        help="single-stake insertions per size (plus one delete)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--out", default="BENCH_INCR.json")
+    parser.add_argument("--no-verify", action="store_true",
+                        help="skip the from-scratch differential check")
+    parser.add_argument("--require-speedup", type=float, default=None,
+                        help="fail unless every size clears this engine speedup")
+    args = parser.parse_args()
+
+    rows = []
+    for companies in args.sizes:
+        row = run_size(companies, args.updates, args.seed, not args.no_verify)
+        rows.append(row)
+        print(
+            f"E-INCR {companies} companies: full engine "
+            f"{row['full_engine_seconds']:.2f}s, median update engine "
+            f"{row['median_update_engine_seconds']:.3f}s -> "
+            f"{row['engine_speedup']:.1f}x (total {row['total_speedup']:.1f}x), "
+            f"differential {'OK' if row['differential_ok'] else 'MISMATCH'}"
+        )
+
+    payload = {
+        "experiment": "E-INCR",
+        "program": "CONTROL_PROGRAM",
+        "updates_per_size": args.updates,
+        "seed": args.seed,
+        "results": rows,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+
+    if any(not row["differential_ok"] for row in rows):
+        return 1
+    if args.require_speedup is not None and any(
+        row["engine_speedup"] < args.require_speedup for row in rows
+    ):
+        print(f"speedup below required {args.require_speedup}x")
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

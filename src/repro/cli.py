@@ -11,6 +11,7 @@ translator / materializer).  This CLI exposes each:
     kgmodel translate schema.gsl --model relational --ddl
     kgmodel compile   rules.metalog
     kgmodel reason    schema.gsl data.json rules.metalog -o enriched.json
+    kgmodel update    schema.gsl data.json rules.metalog --from changes.json
     kgmodel load      schema.gsl data.json --target graph-store --graceful
     kgmodel stats     --companies 5000 --seed 42
 
@@ -186,6 +187,87 @@ def cmd_reason(args) -> int:
     return 3 if report.truncated else 0
 
 
+def cmd_update(args) -> int:
+    import json
+
+    from repro.ssst import RegistryDelta
+
+    schema = parse_gsl(_read(args.schema))
+    data = load_graph(args.data)
+    sigma = parse_metalog(_read(args.program))
+
+    delta = RegistryDelta()
+    if args.changes:
+        with open(args.changes, "r", encoding="utf-8") as handle:
+            delta = RegistryDelta.from_json_dict(json.load(handle))
+    for raw in args.add or []:
+        try:
+            entry = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise KGModelError(f"--add expects a JSON object: {exc}") from exc
+        if not isinstance(entry, dict) or "id" not in entry or "type" not in entry:
+            raise KGModelError(
+                f"--add entry needs at least 'id' and 'type': {raw!r}"
+            )
+        properties = dict(entry.get("properties", {}))
+        if "source" in entry and "target" in entry:
+            delta.add_edges.append(
+                (entry["id"], entry["source"], entry["target"],
+                 entry["type"], properties)
+            )
+        else:
+            delta.add_nodes.append((entry["id"], entry["type"], properties))
+    for element_id in args.remove or []:
+        if data.has_node(element_id):
+            delta.remove_nodes.append(element_id)
+        elif data.has_edge(element_id):
+            delta.remove_edges.append(element_id)
+        else:
+            raise KGModelError(
+                f"--remove {element_id!r}: no such node or edge in {args.data}"
+            )
+    if delta.is_empty():
+        raise KGModelError(
+            "no changes given (use --from changes.json, --add, or --remove)"
+        )
+
+    materializer = IntensionalMaterializer()
+    report = materializer.materialize(
+        schema, data, sigma, instance_oid=args.instance_oid,
+        retain=True, track_support=args.track_support,
+    )
+    if report.truncated:
+        print(
+            "warning: base materialization was truncated — refusing to "
+            "apply the delta on partial results",
+            file=sys.stderr,
+        )
+        return 3
+    outcome = materializer.update(delta)
+    print(
+        f"applied: +{len(delta.add_nodes)} nodes, +{len(delta.add_edges)} edges, "
+        f"-{len(delta.remove_nodes)} nodes, -{len(delta.remove_edges)} edges",
+        file=sys.stderr,
+    )
+    print(
+        "update phases:",
+        {k: f"{v:.3f}s" for k, v in outcome.phase_breakdown().items()},
+        f"(strata recomputed: {outcome.strata_recomputed},"
+        f" dictionary elements flushed: {outcome.flushed})",
+        file=sys.stderr,
+    )
+    if outcome.flush_delta is not None:
+        print("store delta:", outcome.flush_delta.summary(), file=sys.stderr)
+    if args.output:
+        save_graph(outcome.instance.data, args.output)
+        print(f"enriched instance written to {args.output}", file=sys.stderr)
+    else:
+        from repro.graph.io import graph_to_json
+
+        print(graph_to_json(outcome.instance.data))
+    return 0
+
+
 def cmd_load(args) -> int:
     from repro.deploy import (
         GRACEFUL,
@@ -334,6 +416,36 @@ def build_parser() -> argparse.ArgumentParser:
              "run serially)",
     )
     p.set_defaults(func=cmd_reason)
+
+    p = sub.add_parser(
+        "update",
+        help="apply a registry delta incrementally (delta-chase, no re-run)",
+    )
+    p.add_argument("schema")
+    p.add_argument("data", help="instance graph (JSON interchange format)")
+    p.add_argument("program", help="MetaLog rules file")
+    p.add_argument(
+        "--from", dest="changes", default=None, metavar="CHANGES.JSON",
+        help="batch of changes: {add_nodes, add_edges, remove_nodes, remove_edges}",
+    )
+    p.add_argument(
+        "--add", action="append", metavar="JSON",
+        help='inline element to add, e.g. \'{"id": "o9", "source": "c1", '
+             '"target": "c9", "type": "OWNS", "properties": {"percentage": 0.6}}\''
+             " (an edge when it has source+target keys, else a node)",
+    )
+    p.add_argument(
+        "--remove", action="append", metavar="ID",
+        help="node or edge id to remove (resolved against the data graph)",
+    )
+    p.add_argument("-o", "--output", default=None)
+    p.add_argument("--instance-oid", default=1, type=int)
+    p.add_argument(
+        "--track-support", action="store_true",
+        help="record derivation support during the chase so deletions can "
+             "walk exact support sets instead of over-deleting",
+    )
+    p.set_defaults(func=cmd_update)
 
     p = sub.add_parser(
         "load", help="transactionally load an instance into a deployed store"

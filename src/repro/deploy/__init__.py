@@ -2,6 +2,7 @@
 the resilience layer (transactions, retry/backoff, fault injection)."""
 
 from repro.deploy.csv_dataset import CSVDataset
+from repro.deploy.delta import DeltaFlushReport, FlushDelta
 from repro.deploy.cypher import (
     generate_cypher_constraints,
     generate_label_documentation,
@@ -31,6 +32,8 @@ from repro.deploy.triple_store import TripleStore
 __all__ = [
     "CSVDataset",
     "CrashFault",
+    "DeltaFlushReport",
+    "FlushDelta",
     "FaultInjector",
     "GRACEFUL",
     "GraphStore",

@@ -1,0 +1,155 @@
+"""Instance-level flush deltas for the deployment targets.
+
+The incremental materialization path (``IntensionalMaterializer.update``)
+maintains the enriched instance in place instead of re-deriving it, so
+re-loading the whole instance into a deployed store would throw the
+saving away at the last hop.  A :class:`FlushDelta` is the difference
+between two enriched instances expressed at the plain-graph level —
+exactly what each store's ``apply_flush_delta`` method consumes to bring
+a previously loaded store up to date without a full reload.
+
+The records carry everything any backend needs to *undo* an element
+(the triple store must retract attribute triples, so removed/updated
+records keep the old property values), and each backend reuses the
+PR 3 savepoint machinery appropriate to its mutation model:
+
+- :class:`~repro.deploy.graph_store.GraphStore` applies removals and
+  in-place property updates first, then guards the insert batch with a
+  structural savepoint (structural savepoints are insert-only, so the
+  destructive half runs *before* the watermark is taken);
+- :class:`~repro.deploy.relational_engine.RelationalEngine` and
+  :class:`~repro.deploy.triple_store.TripleStore` record undo closures
+  for deletions too, so their whole delta applies under one savepoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from repro.graph.property_graph import PropertyGraph
+
+#: ``(node_id, type_name, properties)``
+NodeRecord = Tuple[Any, str, Dict[str, Any]]
+#: ``(node_id, type_name, new_properties, old_properties)``
+UpdateRecord = Tuple[Any, str, Dict[str, Any], Dict[str, Any]]
+#: ``(edge_id, source, target, type_name, properties)``
+EdgeRecord = Tuple[Any, Any, Any, str, Dict[str, Any]]
+
+
+@dataclass
+class FlushDelta:
+    """Plain-graph changes between two versions of an enriched instance."""
+
+    added_nodes: List[NodeRecord] = field(default_factory=list)
+    added_edges: List[EdgeRecord] = field(default_factory=list)
+    updated_nodes: List[UpdateRecord] = field(default_factory=list)
+    removed_nodes: List[NodeRecord] = field(default_factory=list)
+    removed_edges: List[EdgeRecord] = field(default_factory=list)
+
+    @property
+    def total_changes(self) -> int:
+        return (
+            len(self.added_nodes) + len(self.added_edges)
+            + len(self.updated_nodes)
+            + len(self.removed_nodes) + len(self.removed_edges)
+        )
+
+    def changed(self) -> bool:
+        return self.total_changes > 0
+
+    def summary(self) -> str:
+        return (
+            f"+{len(self.added_nodes)}/~{len(self.updated_nodes)}"
+            f"/-{len(self.removed_nodes)} nodes, "
+            f"+{len(self.added_edges)}/-{len(self.removed_edges)} edges"
+        )
+
+    @classmethod
+    def diff(cls, old: PropertyGraph, new: PropertyGraph) -> "FlushDelta":
+        """The delta that turns ``old`` into ``new``.
+
+        Elements are matched by id.  A node whose label changed is
+        reported as removed + added (stores key constraints off the
+        label); one whose properties changed becomes an update.  Edges
+        are immutable records in every backend, so any change to an
+        edge's endpoints, label, or properties is removed + added.
+        """
+        delta = cls()
+        for node in new.nodes():
+            if not old.has_node(node.id):
+                delta.added_nodes.append(
+                    (node.id, node.label, dict(node.properties))
+                )
+                continue
+            previous = old.node(node.id)
+            if previous.label != node.label:
+                delta.removed_nodes.append(
+                    (previous.id, previous.label, dict(previous.properties))
+                )
+                delta.added_nodes.append(
+                    (node.id, node.label, dict(node.properties))
+                )
+            elif previous.properties != node.properties:
+                delta.updated_nodes.append(
+                    (node.id, node.label,
+                     dict(node.properties), dict(previous.properties))
+                )
+        for node in old.nodes():
+            if not new.has_node(node.id):
+                delta.removed_nodes.append(
+                    (node.id, node.label, dict(node.properties))
+                )
+        for edge in new.edges():
+            if old.has_edge(edge.id):
+                previous = old.edge(edge.id)
+                if (
+                    previous.source == edge.source
+                    and previous.target == edge.target
+                    and previous.label == edge.label
+                    and previous.properties == edge.properties
+                ):
+                    continue
+                delta.removed_edges.append(
+                    (previous.id, previous.source, previous.target,
+                     previous.label, dict(previous.properties))
+                )
+            delta.added_edges.append(
+                (edge.id, edge.source, edge.target, edge.label,
+                 dict(edge.properties))
+            )
+        for edge in old.edges():
+            if not new.has_edge(edge.id):
+                delta.removed_edges.append(
+                    (edge.id, edge.source, edge.target, edge.label,
+                     dict(edge.properties))
+                )
+        return delta
+
+
+@dataclass
+class DeltaFlushReport:
+    """Outcome of one ``apply_flush_delta`` call on a deployed store."""
+
+    nodes_added: int = 0
+    nodes_updated: int = 0
+    nodes_removed: int = 0
+    edges_added: int = 0
+    edges_removed: int = 0
+    #: Records skipped because the element (or its label) is absent —
+    #: removals of never-loaded elements are counted, not errors.
+    skipped: int = 0
+
+    @property
+    def applied(self) -> int:
+        return (
+            self.nodes_added + self.nodes_updated + self.nodes_removed
+            + self.edges_added + self.edges_removed
+        )
+
+    def summary(self) -> str:
+        return (
+            f"delta-flush: +{self.nodes_added}/~{self.nodes_updated}"
+            f"/-{self.nodes_removed} nodes, +{self.edges_added}"
+            f"/-{self.edges_removed} edges, {self.skipped} skipped"
+        )

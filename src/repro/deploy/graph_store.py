@@ -20,7 +20,8 @@ import re
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
 
-from repro.errors import DeploymentError, IntegrityError, ModelError
+from repro.deploy.delta import DeltaFlushReport, FlushDelta
+from repro.errors import DeploymentError, GraphError, IntegrityError, ModelError
 from repro.graph.property_graph import Edge, Node, PropertyGraph
 from repro.metalog.analysis import GraphCatalog
 from repro.models.property_graph import PGSchema
@@ -216,6 +217,145 @@ class GraphStore:
         if self.tracer is not None:
             self.tracer.count("deploy.relationships_written", 1)
         return edge
+
+    def delete_relationship(
+        self,
+        source: Any,
+        target: Any,
+        name: str,
+        properties: Optional[Dict[str, Any]] = None,
+    ) -> bool:
+        """Delete one relationship matching endpoints, label, and (when
+        given) properties; returns False when no match exists.
+
+        Deleting bumps the underlying graph's mutation epoch, so it must
+        not run between a structural savepoint and its rollback — the
+        delta-flush path therefore applies removals *before* opening the
+        insert savepoint.
+        """
+        for edge in self.graph.out_edges(source, name):
+            if edge.target != target:
+                continue
+            if properties is not None and edge.properties != properties:
+                continue
+            self.graph.remove_edge(edge.id)
+            if self.tracer is not None:
+                self.tracer.count("deploy.relationships_removed", 1)
+            return True
+        return False
+
+    def delete_node(self, node_id: Any) -> bool:
+        """Delete a node, its incident relationships, and its index
+        entries; returns False when the node is unknown."""
+        if not self.graph.has_node(node_id):
+            return False
+        node = self.graph.node(node_id)
+        labels = self._labels_by_node.pop(node_id, set())
+        for (label, prop_name), index in self._unique.items():
+            if label in labels and prop_name in node.properties:
+                value = node.properties[prop_name]
+                if index.get(value) == node_id:
+                    del index[value]
+        self.graph.remove_node(node_id)
+        if self.tracer is not None:
+            self.tracer.count("deploy.nodes_removed", 1)
+        return True
+
+    def update_node_properties(
+        self, node_id: Any, properties: Dict[str, Any]
+    ) -> None:
+        """Replace a node's properties in place, revalidating them."""
+        node = self.graph.node(node_id)
+        labels = self._labels_by_node.get(node_id, {node.label})
+        if self._schema is not None:
+            declared: Dict[str, Any] = {}
+            for label in labels:
+                declared.update(self._node_properties.get(label, {}))
+            for name in properties:
+                if name not in declared:
+                    raise IntegrityError(
+                        f"property {name!r} not declared for labels "
+                        f"{sorted(labels)}"
+                    )
+        for (label, prop_name), index in self._unique.items():
+            if label not in labels:
+                continue
+            old_value = node.properties.get(prop_name)
+            new_value = properties.get(prop_name)
+            if old_value == new_value:
+                continue
+            if new_value is not None and index.get(new_value) not in (
+                None, node_id
+            ):
+                raise IntegrityError(
+                    f"unique constraint on {label}.{prop_name} "
+                    f"violated by {new_value!r}"
+                )
+            if old_value is not None and index.get(old_value) == node_id:
+                del index[old_value]
+            if new_value is not None:
+                index[new_value] = node_id
+        node.properties.clear()
+        node.properties.update(properties)
+
+    def apply_flush_delta(
+        self, delta: FlushDelta, schema: Any = None
+    ) -> DeltaFlushReport:
+        """Bring a previously loaded store up to date with a
+        :class:`~repro.deploy.delta.FlushDelta` instead of a full reload.
+
+        ``schema`` (a :class:`~repro.core.schema.SuperSchema`) enables
+        the same multi-label tagging the full loader applies; without it
+        added nodes get their type name as the only label.  Removals and
+        in-place updates run first — structural savepoints assume
+        insert-only mutation, so the insert batch alone is guarded: an
+        integrity violation rolls the inserts back and re-raises, while
+        the destructive half (which cannot violate integrity) stays.
+        """
+        report = DeltaFlushReport()
+        for edge_id, source, target, label, properties in delta.removed_edges:
+            if self.delete_relationship(source, target, label, properties):
+                report.edges_removed += 1
+            else:
+                report.skipped += 1
+        for node_id, _label, _properties in delta.removed_nodes:
+            if self.delete_node(node_id):
+                report.nodes_removed += 1
+            else:
+                report.skipped += 1
+        for node_id, _label, properties, _old in delta.updated_nodes:
+            if not self.graph.has_node(node_id):
+                report.skipped += 1
+                continue
+            self.update_node_properties(node_id, properties)
+            report.nodes_updated += 1
+        savepoint = self.savepoint()
+        try:
+            for node_id, label, properties in delta.added_nodes:
+                if self.graph.has_node(node_id):
+                    report.skipped += 1
+                    continue
+                labels: Any = [label]
+                if schema is not None and schema.has_node(label):
+                    sm_node = schema.get_node(label)
+                    labels = [sm_node.type_name] + [
+                        a.type_name for a in schema.ancestors_of(sm_node)
+                    ]
+                self.create_node(node_id, labels, **properties)
+                report.nodes_added += 1
+            for _edge_id, source, target, label, properties in delta.added_edges:
+                self.create_relationship(source, target, label, **properties)
+                report.edges_added += 1
+        except (IntegrityError, GraphError):
+            self.rollback_to(savepoint)
+            if self.tracer is not None:
+                self.tracer.count("deploy.rollbacks", 1)
+            raise
+        finally:
+            self.release(savepoint)
+        if self.tracer is not None:
+            self.tracer.count("incr.flushed_delta", report.applied)
+        return report
 
     def labels_of(self, node_id: Any) -> Set[str]:
         return set(self._labels_by_node.get(node_id, set()))

@@ -150,6 +150,105 @@ class RelationalEngine(SavepointMixin):
             count += 1
         return count
 
+    def delete(self, table_name: str, **values: Any) -> int:
+        """Delete every row matching the given column values exactly.
+
+        Rows referenced by a foreign key from a remaining row raise
+        :class:`~repro.errors.IntegrityError` (RESTRICT semantics), so a
+        delta cannot silently orphan references.  Deletions are
+        undo-logged — inside a savepoint a rollback restores the rows —
+        and the positional primary-key index is rebuilt after each
+        change.  Returns the number of rows removed.
+        """
+        stored = self._stored(table_name)
+        survivors: List[Dict[str, Any]] = []
+        removed: List[Dict[str, Any]] = []
+        for row in stored.rows:
+            if all(row.get(k) == v for k, v in values.items()):
+                removed.append(row)
+            else:
+                survivors.append(row)
+        if not removed:
+            return 0
+        previous = stored.rows
+        stored.rows = survivors
+        # Reference checks resolve targets through the pk index, so it
+        # must reflect the removal before RESTRICT is evaluated.
+        self._reindex(stored)
+        try:
+            for foreign_key in self._foreign_keys:
+                if foreign_key.target_table != table_name:
+                    continue
+                source = self._stored(foreign_key.source_table)
+                for row in source.rows:
+                    self._check_reference(foreign_key, row)
+        except IntegrityError:
+            stored.rows = previous
+            self._reindex(stored)
+            raise
+        if self._undo.active:
+            self._undo.record(
+                lambda s=stored, rows=previous: self._undo_delete(s, rows)
+            )
+        if self.tracer is not None:
+            self.tracer.count("deploy.rows_removed", len(removed))
+        return len(removed)
+
+    def _undo_delete(
+        self, stored: _StoredTable, rows: List[Dict[str, Any]]
+    ) -> None:
+        stored.rows = rows
+        self._reindex(stored)
+
+    @staticmethod
+    def _reindex(stored: _StoredTable) -> None:
+        """Rebuild the positional primary-key index after a deletion."""
+        pk_columns = stored.table.primary_key()
+        stored.pk_index = (
+            {
+                tuple(row[c] for c in pk_columns): position
+                for position, row in enumerate(stored.rows)
+            }
+            if pk_columns
+            else {}
+        )
+
+    def apply_flush_delta(
+        self,
+        added: Optional[Dict[str, List[Dict[str, Any]]]] = None,
+        removed: Optional[Dict[str, List[Dict[str, Any]]]] = None,
+    ) -> Dict[str, int]:
+        """Apply a row-level delta (table name -> rows) transactionally.
+
+        Removals run first (so a changed row expressed as remove+insert
+        does not trip its own primary key), then the inserts — all under
+        one savepoint: both mutation kinds are undo-logged, so any
+        constraint violation rolls the whole delta back.  Returns
+        ``{"inserted": n, "deleted": m}``.
+        """
+        counts = {"inserted": 0, "deleted": 0}
+        savepoint = self.savepoint()
+        try:
+            for table_name, rows in (removed or {}).items():
+                for row in rows:
+                    counts["deleted"] += self.delete(table_name, **row)
+            for table_name, rows in (added or {}).items():
+                for row in rows:
+                    self.insert(table_name, **row)
+                    counts["inserted"] += 1
+        except (IntegrityError, DeploymentError):
+            self.rollback_to(savepoint)
+            if self.tracer is not None:
+                self.tracer.count("deploy.rollbacks", 1)
+            raise
+        finally:
+            self.release(savepoint)
+        if self.tracer is not None:
+            self.tracer.count(
+                "incr.flushed_delta", counts["inserted"] + counts["deleted"]
+            )
+        return counts
+
     class _DeferredConstraints:
         def __init__(self, engine: "RelationalEngine"):
             self.engine = engine

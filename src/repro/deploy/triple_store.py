@@ -127,6 +127,95 @@ class TripleStore(SavepointMixin):
                     f"{domain!r} (types: {sorted(map(str, declared_types))})"
                 )
 
+    def retract(self, subject: Any, predicate: str, obj: Any) -> bool:
+        """Retract one asserted triple; returns False when absent.
+
+        Entailed triples are *not* withdrawn: a type asserted via
+        rdfs9/rdfs2/rdfs3 for this statement may also be supported by
+        other statements, and the store keeps no provenance to decide.
+        Callers that need exact semantics retract the base triples of an
+        element and re-assert what remains (the delta-flush path does).
+        Retraction is undo-logged, so it participates in savepoints.
+        """
+        triple = (subject, predicate, obj)
+        if triple not in self._triples:
+            return False
+        self._triples.discard(triple)
+        if self._undo.active:
+            self._undo.record(lambda t=triple: self._triples.add(t))
+        if self.tracer is not None:
+            self.tracer.count("deploy.triples_removed", 1)
+        return True
+
+    def apply_flush_delta(self, delta, schema: Any = None):
+        """Apply a :class:`~repro.deploy.delta.FlushDelta` transactionally.
+
+        Removed and updated records carry their old property values, so
+        the exact previously asserted triples can be retracted (the
+        documented entailment caveat of :meth:`retract` applies to the
+        *inferred* supertype triples of removed subjects).  Assertions
+        and retractions are both undo-logged, so the whole delta applies
+        under one savepoint: any integrity violation rolls everything
+        back.  ``schema`` (a super-schema) filters node properties to
+        the declared attributes, mirroring the full loader; edge
+        properties are dropped as in the full loader (no reification).
+        """
+        from repro.deploy.delta import DeltaFlushReport
+
+        def node_triples(node_id, label, properties) -> List[Triple]:
+            triples: List[Triple] = [(node_id, RDF_TYPE, label)]
+            declared = None
+            if schema is not None and schema.has_node(label):
+                sm_node = schema.get_node(label)
+                declared = {a.name for a in schema.inherited_attributes(sm_node)}
+            for name, value in properties.items():
+                if declared is not None and name not in declared:
+                    continue
+                if value is not None:
+                    triples.append((node_id, name, value))
+            return triples
+
+        report = DeltaFlushReport()
+        savepoint = self.savepoint()
+        try:
+            for node_id, label, properties in delta.removed_nodes:
+                hits = sum(
+                    self.retract(s, p, o)
+                    for s, p, o in node_triples(node_id, label, properties)
+                )
+                if hits:
+                    report.nodes_removed += 1
+                else:
+                    report.skipped += 1
+            for _eid, source, target, label, _props in delta.removed_edges:
+                if self.retract(source, label, target):
+                    report.edges_removed += 1
+                else:
+                    report.skipped += 1
+            for node_id, label, new, old in delta.updated_nodes:
+                for triple in node_triples(node_id, label, old):
+                    self.retract(*triple)
+                for s, p, o in node_triples(node_id, label, new):
+                    self.add(s, p, o)
+                report.nodes_updated += 1
+            for node_id, label, properties in delta.added_nodes:
+                for s, p, o in node_triples(node_id, label, properties):
+                    self.add(s, p, o)
+                report.nodes_added += 1
+            for _eid, source, target, label, _props in delta.added_edges:
+                self.add(source, label, target)
+                report.edges_added += 1
+        except (IntegrityError, DeploymentError):
+            self.rollback_to(savepoint)
+            if self.tracer is not None:
+                self.tracer.count("deploy.rollbacks", 1)
+            raise
+        finally:
+            self.release(savepoint)
+        if self.tracer is not None:
+            self.tracer.count("incr.flushed_delta", report.applied)
+        return report
+
     # ------------------------------------------------------------------
     def triples(
         self,

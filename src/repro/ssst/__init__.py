@@ -2,11 +2,16 @@
 (Algorithm 2)."""
 
 from repro.ssst.checkpoint import MaterializationCheckpoint, run_fingerprint
+from repro.ssst.incremental import RegistryDelta, UpdateReport
 from repro.ssst.inverse import (
     graph_instance_to_relational,
     relational_instance_to_graph,
 )
-from repro.ssst.materializer import IntensionalMaterializer, MaterializationReport
+from repro.ssst.materializer import (
+    IntensionalMaterializer,
+    MaterializationReport,
+    RetainedMaterialization,
+)
 from repro.ssst.sigma_relational import (
     CompiledRelationalSigma,
     reason_over_relational,
@@ -21,6 +26,9 @@ __all__ = [
     "IntensionalMaterializer",
     "MaterializationCheckpoint",
     "MaterializationReport",
+    "RegistryDelta",
+    "RetainedMaterialization",
+    "UpdateReport",
     "run_fingerprint",
     "CompiledRelationalSigma",
     "reason_over_relational",

@@ -1,0 +1,279 @@
+"""Registry-level incremental updates over a retained materialization.
+
+The paper's deployment regime (Section 6) re-runs Algorithm 2 from
+scratch whenever the source registry changes.  This module provides the
+model-level half of the alternative: a registry delta (companies,
+persons, stakes added or removed from the plain data graph) is encoded
+into the exact ``I_SM_*`` instance-construct facts the load phase would
+have produced for those elements — mirroring
+:meth:`repro.core.instances.SuperInstance.to_dictionary`, whose OIDs are
+deterministic functions of the element ids — and then pushed through the
+three retained chase states (load, reason, flush views) with
+:meth:`repro.vadalog.engine.Engine.apply_delta` instead of re-running
+any of them.
+
+Only :class:`RegistryDelta` / :class:`UpdateReport` and the fact
+encoding live here; the orchestration is
+:meth:`repro.ssst.materializer.IntensionalMaterializer.update`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.core.oid import construct_oid
+from repro.core.schema import SuperSchema
+from repro.deploy.delta import FlushDelta
+from repro.errors import SchemaError
+from repro.vadalog.incremental import DeltaResult
+
+Fact = Tuple[Any, ...]
+
+#: ``(node_id, type_name, properties)``
+NodeSpec = Tuple[Any, str, Dict[str, Any]]
+#: ``(edge_id, source, target, type_name, properties)``
+EdgeSpec = Tuple[Any, Any, Any, str, Dict[str, Any]]
+
+
+@dataclass
+class RegistryDelta:
+    """A batch of changes to the source registry (the plain data graph)."""
+
+    add_nodes: List[NodeSpec] = field(default_factory=list)
+    add_edges: List[EdgeSpec] = field(default_factory=list)
+    remove_nodes: List[Any] = field(default_factory=list)
+    remove_edges: List[Any] = field(default_factory=list)
+
+    def is_empty(self) -> bool:
+        return not (
+            self.add_nodes or self.add_edges
+            or self.remove_nodes or self.remove_edges
+        )
+
+    @classmethod
+    def from_json_dict(cls, payload: Dict[str, Any]) -> "RegistryDelta":
+        """Parse the ``kgmodel update --from`` changes format.
+
+        .. code-block:: json
+
+            {"add_nodes":  [{"id": "c9", "type": "Business",
+                             "properties": {"name": "NewCo"}}],
+             "add_edges":  [{"id": "o9", "source": "c1", "target": "c9",
+                             "type": "OWNS",
+                             "properties": {"percentage": 0.6}}],
+             "remove_nodes": ["c3"],
+             "remove_edges": ["o7"]}
+        """
+        known = {"add_nodes", "add_edges", "remove_nodes", "remove_edges"}
+        unknown = set(payload) - known
+        if unknown:
+            raise SchemaError(
+                f"unknown change keys {sorted(unknown)} (expected {sorted(known)})"
+            )
+        delta = cls()
+        for entry in payload.get("add_nodes", []):
+            try:
+                delta.add_nodes.append(
+                    (entry["id"], entry["type"], dict(entry.get("properties", {})))
+                )
+            except (KeyError, TypeError) as exc:
+                raise SchemaError(f"bad add_nodes entry {entry!r}: {exc}") from exc
+        for entry in payload.get("add_edges", []):
+            try:
+                delta.add_edges.append(
+                    (
+                        entry["id"], entry["source"], entry["target"],
+                        entry["type"], dict(entry.get("properties", {})),
+                    )
+                )
+            except (KeyError, TypeError) as exc:
+                raise SchemaError(f"bad add_edges entry {entry!r}: {exc}") from exc
+        delta.remove_nodes.extend(payload.get("remove_nodes", []))
+        delta.remove_edges.extend(payload.get("remove_edges", []))
+        return delta
+
+
+@dataclass
+class UpdateReport:
+    """Outcome of one :meth:`IntensionalMaterializer.update` call."""
+
+    instance: Any  # the refreshed enriched SuperInstance
+    #: Net engine changes per retained chase state, in order.
+    delta_load: Optional[DeltaResult] = None
+    delta_reason: Optional[DeltaResult] = None
+    delta_flush: Optional[DeltaResult] = None
+    #: Plain-graph difference of the enriched instance — what a deployed
+    #: store needs to catch up (``store.apply_flush_delta``).
+    flush_delta: Optional[FlushDelta] = None
+    #: Dictionary-graph elements added/removed by the delta flush.
+    flushed: int = 0
+    flush_dropped_edges: int = 0
+    #: Chase-maintenance time only (the paper's "reasoning" phase).
+    engine_seconds: float = 0.0
+    #: Total wall time of the update, decode/diff included.
+    update_seconds: float = 0.0
+
+    @property
+    def strata_recomputed(self) -> int:
+        return sum(
+            d.strata_recomputed
+            for d in (self.delta_load, self.delta_reason, self.delta_flush)
+            if d is not None
+        )
+
+    def phase_breakdown(self) -> Dict[str, float]:
+        return {
+            "load": self.delta_load.elapsed_seconds if self.delta_load else 0.0,
+            "reason": self.delta_reason.elapsed_seconds if self.delta_reason else 0.0,
+            "flush": self.delta_flush.elapsed_seconds if self.delta_flush else 0.0,
+        }
+
+
+# ---------------------------------------------------------------------------
+# I_SM_* fact encoding (mirrors SuperInstance.to_dictionary)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class EncodedConstructs:
+    """The staging facts and dictionary-graph elements of some registry
+    elements — the same encoding ``to_dictionary`` + ``graph_to_database``
+    produce, computed directly for a delta."""
+
+    facts: Dict[str, Set[Fact]] = field(default_factory=dict)
+    #: ``(oid, label, properties)`` dictionary-graph nodes.
+    graph_nodes: List[Tuple[str, str, Dict[str, Any]]] = field(default_factory=list)
+    #: ``(edge_id, source, target, label, properties)`` graph edges.
+    graph_edges: List[Tuple[str, str, str, str, Dict[str, Any]]] = field(
+        default_factory=list
+    )
+
+    def _fact(self, label: str, fact: Fact) -> None:
+        self.facts.setdefault(label, set()).add(fact)
+
+    def node(self, oid: str, label: str, **properties: Any) -> None:
+        self.graph_nodes.append((oid, label, properties))
+        if label == "I_SM_Attribute":
+            third = properties.get("value")
+        else:
+            third = properties.get("sourceOID")
+        self._fact(label, (oid, properties.get("instanceOID"), third))
+
+    def edge(
+        self, edge_id: str, source: str, target: str, label: str, ioid: Any
+    ) -> None:
+        self.graph_edges.append(
+            (edge_id, source, target, label, {"instanceOID": ioid})
+        )
+        self._fact(label, (edge_id, source, target, ioid))
+
+    def merge(self, other: "EncodedConstructs") -> None:
+        for label, facts in other.facts.items():
+            self.facts.setdefault(label, set()).update(facts)
+        self.graph_nodes.extend(other.graph_nodes)
+        self.graph_edges.extend(other.graph_edges)
+
+
+def instance_iid(instance_oid: Any, kind: str, *parts: Any) -> str:
+    """The deterministic OID ``to_dictionary`` mints for an instance
+    construct — recomputable from the element id alone."""
+    return construct_oid(instance_oid, f"i-{kind}", *parts)
+
+
+def encode_node(
+    schema: SuperSchema,
+    instance_oid: Any,
+    node_id: Any,
+    type_name: str,
+    properties: Dict[str, Any],
+) -> EncodedConstructs:
+    """Encode one plain node as its ``I_SM_*`` constructs.
+
+    Raises :class:`~repro.errors.SchemaError` for an unknown type.
+    Properties the schema does not model are skipped, exactly as the
+    full load path does.
+    """
+    sm_node = schema.get_node(type_name)
+    out = EncodedConstructs()
+    node_iid = instance_iid(instance_oid, "node", node_id)
+    out.node(
+        node_iid, "I_SM_Node", instanceOID=instance_oid, sourceOID=node_id
+    )
+    out.edge(
+        f"{node_iid}-[SM_REFERENCES]->{sm_node.oid}",
+        node_iid, sm_node.oid, "SM_REFERENCES", instance_oid,
+    )
+    attributes = {a.name: a for a in schema.inherited_attributes(sm_node)}
+    for name, value in properties.items():
+        attribute = attributes.get(name)
+        if attribute is None:
+            continue
+        attr_iid = instance_iid(instance_oid, "nattr", node_id, name)
+        out.node(
+            attr_iid, "I_SM_Attribute", instanceOID=instance_oid, value=value
+        )
+        out.edge(
+            f"{attr_iid}-[SM_REFERENCES]->{attribute.oid}",
+            attr_iid, attribute.oid, "SM_REFERENCES", instance_oid,
+        )
+        out.edge(
+            f"{node_iid}-[I_SM_HAS_NODE_PROPERTY]->{attr_iid}",
+            node_iid, attr_iid, "I_SM_HAS_NODE_PROPERTY", instance_oid,
+        )
+    return out
+
+
+def encode_edge(
+    schema: SuperSchema,
+    instance_oid: Any,
+    edge_id: Any,
+    source: Any,
+    target: Any,
+    type_name: str,
+    properties: Dict[str, Any],
+) -> EncodedConstructs:
+    """Encode one plain edge as its ``I_SM_*`` constructs.
+
+    The endpoint ``I_SM_Node`` OIDs are recomputed from the endpoint
+    ids (they are deterministic), so the endpoints need not be part of
+    the same delta.
+    """
+    sm_edge = schema.get_edge(type_name)
+    out = EncodedConstructs()
+    edge_iid = instance_iid(instance_oid, "edge", edge_id)
+    source_iid = instance_iid(instance_oid, "node", source)
+    target_iid = instance_iid(instance_oid, "node", target)
+    out.node(
+        edge_iid, "I_SM_Edge", instanceOID=instance_oid, sourceOID=edge_id
+    )
+    out.edge(
+        f"{edge_iid}-[SM_REFERENCES]->{sm_edge.oid}",
+        edge_iid, sm_edge.oid, "SM_REFERENCES", instance_oid,
+    )
+    out.edge(
+        f"{edge_iid}-[I_SM_FROM]", edge_iid, source_iid, "I_SM_FROM",
+        instance_oid,
+    )
+    out.edge(
+        f"{edge_iid}-[I_SM_TO]", edge_iid, target_iid, "I_SM_TO",
+        instance_oid,
+    )
+    attributes = {a.name: a for a in sm_edge.attributes}
+    for name, value in properties.items():
+        attribute = attributes.get(name)
+        if attribute is None:
+            continue
+        attr_iid = instance_iid(instance_oid, "eattr", edge_id, name)
+        out.node(
+            attr_iid, "I_SM_Attribute", instanceOID=instance_oid, value=value
+        )
+        out.edge(
+            f"{attr_iid}-[SM_REFERENCES]->{attribute.oid}",
+            attr_iid, attribute.oid, "SM_REFERENCES", instance_oid,
+        )
+        out.edge(
+            f"{edge_iid}-[I_SM_HAS_EDGE_PROPERTY]->{attr_iid}",
+            edge_iid, attr_iid, "I_SM_HAS_EDGE_PROPERTY", instance_oid,
+        )
+    return out

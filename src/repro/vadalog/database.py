@@ -93,6 +93,41 @@ class Relation:
             backing.add(tup)
         return len(backing) - before
 
+    def remove(self, fact: Fact) -> bool:
+        """Delete a fact; returns True when it was present.
+
+        Both index kinds are maintained in place (emptied buckets are
+        dropped), so a relation stays probe-consistent across the
+        delete/re-derive passes of incremental maintenance.
+        """
+        fact = tuple(fact)
+        if fact not in self._facts:
+            return False
+        self._facts.discard(fact)
+        for position, index in self._indexes.items():
+            bucket = index.get(fact[position])
+            if bucket is not None:
+                bucket.discard(fact)
+                if not bucket:
+                    del index[fact[position]]
+        for positions, index2 in self._composite.items():
+            key = tuple(fact[p] for p in positions)
+            bucket = index2.get(key)
+            if bucket is not None:
+                try:
+                    bucket.remove(fact)
+                except ValueError:
+                    pass
+                if not bucket:
+                    del index2[key]
+        return True
+
+    def reset(self, facts: Iterable[Iterable[Any]]) -> None:
+        """Replace the whole extension; indexes rebuild lazily."""
+        self._facts = {tuple(fact) for fact in facts}
+        self._indexes = {}
+        self._composite = {}
+
     def copy(self) -> "Relation":
         """A fresh relation with the same facts; indexes rebuild lazily."""
         clone = Relation(self.name, self.arity)
@@ -178,6 +213,28 @@ class Database:
     def add_all(self, predicate: str, facts: Iterable[Iterable[Any]]) -> int:
         """Insert many facts; returns the number of new ones."""
         return self.relation(predicate).add_many(facts)
+
+    def remove(self, predicate: str, fact: Iterable[Any]) -> bool:
+        """Delete one fact; returns True when it was present."""
+        relation = self._relations.get(predicate)
+        if relation is None:
+            return False
+        return relation.remove(tuple(fact))
+
+    def remove_all(self, predicate: str, facts: Iterable[Iterable[Any]]) -> int:
+        """Delete many facts; returns the number actually present."""
+        relation = self._relations.get(predicate)
+        if relation is None:
+            return 0
+        removed = 0
+        for fact in facts:
+            if relation.remove(tuple(fact)):
+                removed += 1
+        return removed
+
+    def reset(self, predicate: str, facts: Iterable[Iterable[Any]]) -> None:
+        """Replace the extension of ``predicate`` wholesale."""
+        self.relation(predicate).reset(facts)
 
     def facts(self, predicate: str) -> Set[Fact]:
         """A snapshot set of the facts of ``predicate`` (empty if unknown)."""

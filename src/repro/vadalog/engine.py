@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Any, Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import EvaluationError, ResourceLimitError, VadalogError
 from repro.obs.governor import (
@@ -114,6 +114,14 @@ class EvaluationResult:
     when a graceful :class:`~repro.obs.governor.ResourceGovernor` cut the
     run short — then ``violation`` says which budget tripped and the
     database holds every fact derived up to the cutoff.
+
+    **Snapshot semantics.** :meth:`facts`, :meth:`outputs` and
+    :meth:`per_stratum_facts` return snapshots that later engine activity
+    cannot mutate.  ``database`` itself, by contrast, is a *live* view:
+    when the result was produced with ``retain_state=True`` it is the very
+    database that :meth:`Engine.apply_delta` updates in place.  Callers
+    that need a stable copy of the whole database should call
+    ``result.database.copy()`` (or use the snapshot methods).
     """
 
     database: Database
@@ -121,6 +129,11 @@ class EvaluationResult:
     program: Program
     status: str = STATUS_FIXPOINT
     violation: Optional[BudgetExceeded] = None
+    #: Retained evaluation state (``run(retain_state=True)`` only); the
+    #: handle :meth:`Engine.apply_delta` propagates incremental updates
+    #: through.  ``None`` for ordinary runs and for truncated runs, whose
+    #: partial per-stratum partitions would be unsound to update.
+    state: Optional[Any] = None
 
     @property
     def truncated(self) -> bool:
@@ -128,12 +141,42 @@ class EvaluationResult:
         return self.status == STATUS_BUDGET_EXCEEDED
 
     def facts(self, predicate: str) -> Set[Fact]:
-        """All facts of ``predicate`` after the chase."""
+        """A snapshot set of the facts of ``predicate`` after the chase."""
         return self.database.facts(predicate)
 
     def outputs(self) -> Dict[str, Set[Fact]]:
         """Facts of each ``@output`` predicate."""
         return {p: self.database.facts(p) for p in self.program.output_predicates()}
+
+    def per_stratum_facts(self) -> Dict[int, Dict[str, FrozenSet[Fact]]]:
+        """Stable per-stratum snapshot of the database.
+
+        Returns ``{stratum index: {predicate: frozenset of facts}}`` where
+        stratum indexes follow the stratification of ``program`` and the
+        key ``-1`` collects predicates no stratum owns (extensional-only
+        relations).  Every set is frozen at call time, so the snapshot is
+        immune to later ``apply_delta`` activity — this is the supported
+        way to observe the engine's stratum partition, replacing any need
+        to reach into engine internals.
+        """
+        if self.state is not None:
+            return self.state.per_stratum_snapshot()
+        rules = [rule for rule in self.program.rules if rule.body]
+        working = Program(rules=rules, annotations=list(self.program.annotations))
+        snapshot: Dict[int, Dict[str, FrozenSet[Fact]]] = {}
+        owned: Set[str] = set()
+        for index, stratum in enumerate(stratify(working)):
+            snapshot[index] = {
+                predicate: frozenset(self.database.relation(predicate))
+                for predicate in sorted(stratum.predicates)
+            }
+            owned |= stratum.predicates
+        snapshot[-1] = {
+            predicate: frozenset(self.database.relation(predicate))
+            for predicate in self.database.predicates()
+            if predicate not in owned
+        }
+        return snapshot
 
 
 class Engine:
@@ -199,6 +242,12 @@ class Engine:
         # Rule -> RulePlans; rules are frozen dataclasses, so structurally
         # equal rules (across programs) share one compiled plan bundle.
         self._plan_cache: Dict[Any, RulePlans] = {}
+        # Transient sinks, set only while a retaining run (or an
+        # incremental boundary recompute) is in flight; None keeps the
+        # default hot path branchless beyond one cheap comparison.
+        self._retain_sink: Optional[Any] = None
+        self._support_sink: Optional[Any] = None
+        self._support_templates: Dict[Any, Optional[Tuple[Any, ...]]] = {}
 
     # ------------------------------------------------------------------
     def run(
@@ -207,12 +256,24 @@ class Engine:
         database: Optional[Database] = None,
         inputs: Optional[Dict[str, Iterable[Sequence[Any]]]] = None,
         workers: Optional[int] = None,
+        retain_state: bool = False,
+        track_support: bool = False,
     ) -> EvaluationResult:
         """Saturate ``database`` (copied) with ``program`` and return it.
 
         ``workers`` overrides the engine-level default for this run; any
         value above 1 evaluates parallel-safe strata with partitioned
         fan-out (see :mod:`repro.vadalog.parallel`).
+
+        ``retain_state`` keeps the evaluation state — per-stratum fact
+        partitions, the extensional snapshot, saturated aggregate
+        accumulators, null/Skolem factories — on ``result.state`` so
+        :meth:`apply_delta` can propagate later insertions and deletions
+        without re-running the chase.  Retention forces the serial chase
+        (parallel replicas do not share the retained accumulators).
+        ``track_support`` additionally records bounded support sets per
+        derived fact, letting the delete/re-derive pass walk recorded
+        supports instead of re-joining; it implies ``retain_state``.
         """
         start = time.perf_counter()
         tracer = self.tracer
@@ -221,6 +282,7 @@ class Engine:
         if self.check_wardedness:
             check_warded(program).raise_if_violated()
 
+        retain_state = retain_state or track_support
         db = database.copy() if database is not None else Database()
         if inputs:
             for predicate, facts in inputs.items():
@@ -245,7 +307,28 @@ class Engine:
         strata = stratify(working)
         stats.strata = len(strata)
 
+        state = None
+        if retain_state:
+            from repro.vadalog.incremental import MaterializedState, SupportIndex
+
+            state = MaterializedState(
+                program=program,
+                working=working,
+                strata=strata,
+                database=db,
+                nulls=nulls,
+                skolems=skolems,
+            )
+            state.edb = {
+                predicate: set(db.relation(predicate))
+                for predicate in db.predicates()
+            }
+            if track_support:
+                state.support = SupportIndex()
+
         effective_workers = self.workers if workers is None else workers
+        if state is not None:
+            effective_workers = None
         parallel = None
         if effective_workers is not None and effective_workers > 1 and self.use_plans:
             from repro.vadalog.parallel import ParallelChase
@@ -269,14 +352,25 @@ class Engine:
             else None
         )
         try:
+            if state is not None:
+                self._retain_sink = state
+                self._support_sink = state.support
             for index, stratum in enumerate(strata):
                 if parallel is not None:
                     parallel.evaluate_stratum(stratum, index, db, stats, nulls, skolems)
                 else:
                     self._evaluate_stratum(stratum, index, db, stats, nulls, skolems)
+                if state is not None:
+                    state.per_stratum.append({
+                        predicate: frozenset(db.relation(predicate))
+                        for predicate in sorted(stratum.predicates)
+                    })
         except _BudgetStop as stop:
             status = STATUS_BUDGET_EXCEEDED
             violation = stop.violation
+            # A truncated run retains nothing: the partial per-stratum
+            # partitions would be unsound to update incrementally.
+            state = None
             if tracer is not None:
                 tracer.event(
                     "engine.budget_exceeded",
@@ -284,6 +378,8 @@ class Engine:
                     detail=str(stop.violation),
                 )
         finally:
+            self._retain_sink = None
+            self._support_sink = None
             if parallel is not None:
                 parallel.close()
             stats.elapsed_seconds = time.perf_counter() - start
@@ -296,13 +392,38 @@ class Engine:
                     nulls_created=stats.nulls_created,
                 )
                 root.__exit__(None, None, None)
-        return EvaluationResult(
+        result = EvaluationResult(
             database=db,
             stats=stats,
             program=program,
             status=status,
             violation=violation,
+            state=state,
         )
+        if state is not None:
+            state.engine = self
+        return result
+
+    # ------------------------------------------------------------------
+    def apply_delta(
+        self,
+        result: Any,
+        added: Optional[Dict[str, Iterable[Sequence[Any]]]] = None,
+        removed: Optional[Dict[str, Iterable[Sequence[Any]]]] = None,
+    ) -> "Any":
+        """Propagate extensional insertions/deletions through a retained run.
+
+        ``result`` is an :class:`EvaluationResult` produced with
+        ``retain_state=True`` (or its ``.state`` directly).  Returns a
+        :class:`~repro.vadalog.incremental.DeltaResult` describing every
+        per-predicate change; the retained database is updated in place.
+        See :mod:`repro.vadalog.incremental` for the maintenance strategy
+        (semi-naive insertion deltas, DRed deletion, per-stratum safety
+        fallbacks).
+        """
+        from repro.vadalog.incremental import apply_delta
+
+        return apply_delta(self, result, added=added, removed=removed)
 
     # ------------------------------------------------------------------
     # Validation
@@ -460,6 +581,11 @@ class Engine:
                     recursive_predicates
                     and rule.body_predicates() & recursive_predicates
                 )
+                recorder = (
+                    self._support_template(rule)
+                    if self._support_sink is not None
+                    else None
+                )
                 if plans is not None:
                     if plans.is_aggregate:
                         matches = self._aggregate_matches_plan(
@@ -471,12 +597,24 @@ class Engine:
                         )
                     else:
                         matches = execute_plan(plans.body_plan(), db, probe=probe)
-                    for substitution in matches:
-                        stats.rule_firings += 1
-                        for predicate, fact in plans.instantiate_head(
-                            substitution, db, stats, nulls, skolems, self.max_nulls
-                        ):
-                            pending.append((predicate, fact))
+                    if recorder is None:
+                        for substitution in matches:
+                            stats.rule_firings += 1
+                            for predicate, fact in plans.instantiate_head(
+                                substitution, db, stats, nulls, skolems, self.max_nulls
+                            ):
+                                pending.append((predicate, fact))
+                    else:
+                        for substitution in matches:
+                            stats.rule_firings += 1
+                            start = len(pending)
+                            for predicate, fact in plans.instantiate_head(
+                                substitution, db, stats, nulls, skolems, self.max_nulls
+                            ):
+                                pending.append((predicate, fact))
+                            self._record_supports(
+                                recorder, substitution, pending, start
+                            )
                 else:
                     if rule.has_aggregate():
                         matches = self._aggregate_matches(
@@ -488,12 +626,24 @@ class Engine:
                         )
                     else:
                         matches = self._match_body(list(rule.body), db, {})
-                    for substitution in matches:
-                        stats.rule_firings += 1
-                        for predicate, fact in self._instantiate_head(
-                            rule, substitution, db, stats, nulls, skolems
-                        ):
-                            pending.append((predicate, fact))
+                    if recorder is None:
+                        for substitution in matches:
+                            stats.rule_firings += 1
+                            for predicate, fact in self._instantiate_head(
+                                rule, substitution, db, stats, nulls, skolems
+                            ):
+                                pending.append((predicate, fact))
+                    else:
+                        for substitution in matches:
+                            stats.rule_firings += 1
+                            start = len(pending)
+                            for predicate, fact in self._instantiate_head(
+                                rule, substitution, db, stats, nulls, skolems
+                            ):
+                                pending.append((predicate, fact))
+                            self._record_supports(
+                                recorder, substitution, pending, start
+                            )
             finally:
                 if span is not None:
                     firings = stats.rule_firings - before_firings
@@ -551,6 +701,69 @@ class Engine:
             self.tracer.count("engine.facts_derived", added)
             self.tracer.count("engine.dedup_hits", len(pending) - added)
         pending.clear()
+
+    # ------------------------------------------------------------------
+    # Support recording (track_support=True)
+    # ------------------------------------------------------------------
+    def _support_template(self, rule: Rule) -> Optional[Tuple[Any, ...]]:
+        """Resolver for a rule's ground positive body atoms, or None.
+
+        Supports are recordable only when the body atoms can be fully
+        reconstructed from a match substitution: non-aggregate,
+        non-existential rules with no anonymous variables in positive
+        atoms.  Other rules fall back to join-based over-deletion (or a
+        boundary recompute) at delete time.
+        """
+        cached = self._support_templates.get(rule, _UNSET)
+        if cached is not _UNSET:
+            return cached
+        template: Optional[Tuple[Any, ...]] = None
+        if not rule.has_aggregate() and not rule.existential_variables():
+            atoms: List[Tuple[str, Tuple[Tuple[bool, Any], ...]]] = []
+            ok = True
+            for literal in rule.body:
+                if not isinstance(literal, Atom):
+                    continue
+                ops: List[Tuple[bool, Any]] = []
+                for term in literal.terms:
+                    if is_variable(term):
+                        if term.name == "_":
+                            ok = False
+                            break
+                        ops.append((True, term))
+                    else:
+                        ops.append((False, term))
+                if not ok:
+                    break
+                atoms.append((literal.predicate, tuple(ops)))
+            if ok and atoms:
+                template = tuple(atoms)
+        self._support_templates[rule] = template
+        return template
+
+    def _record_supports(
+        self,
+        recorder: Tuple[Any, ...],
+        substitution: Substitution,
+        pending: List[Tuple[str, Fact]],
+        start: int,
+    ) -> None:
+        """Record one support (the instantiated positive body) per head fact."""
+        if len(pending) == start:
+            return
+        sink = self._support_sink
+        body_key = tuple(
+            (
+                predicate,
+                tuple(
+                    substitution[payload] if is_var else payload
+                    for is_var, payload in ops
+                ),
+            )
+            for predicate, ops in recorder
+        )
+        for item in pending[start:]:
+            sink.record(item, body_key)
 
     # ------------------------------------------------------------------
     # Compiled-plan evaluation paths
@@ -640,6 +853,14 @@ class Engine:
             value = self._evaluate(call.value, substitution)
             accumulator.contribute(group, contributor, value)
             witnesses.setdefault(group, substitution)
+
+        if self._retain_sink is not None:
+            # Each fixpoint iteration overwrites the entry, so the final
+            # (saturated) accumulator is what the retained state keeps —
+            # captured for free from the naive in-stratum recomputation.
+            self._retain_sink.store_aggregate(
+                plans.rule, accumulator, witnesses, group_vars
+            )
 
         for group, value in accumulator.results():
             base = witnesses[group]
@@ -874,6 +1095,11 @@ class Engine:
             value = self._evaluate(call.value, substitution)
             accumulator.contribute(group, contributor, value)
             witnesses.setdefault(group, substitution)
+
+        if self._retain_sink is not None:
+            self._retain_sink.store_aggregate(
+                rule, accumulator, witnesses, tuple(group_vars)
+            )
 
         for group, value in accumulator.results():
             base = dict(witnesses[group])

@@ -689,7 +689,10 @@ class DeltaBinder:
 class AggregatePlan:
     """Compiled aggregate rule: pre-body plan + grouping metadata."""
 
-    __slots__ = ("assignment", "call", "target", "pre_plan", "post", "group_vars")
+    __slots__ = (
+        "assignment", "call", "target", "pre", "pre_plan", "post", "group_vars",
+        "_pre_delta", "_pre_binders",
+    )
 
     def __init__(self, rule: Rule):
         self.assignment = next(a for a in rule.assignments() if a.is_aggregate)
@@ -708,6 +711,7 @@ class AggregatePlan:
                 )
             else:
                 pre.append(literal)
+        self.pre = tuple(pre)
         self.pre_plan = compile_body(pre)
         self.post = tuple(post)
         self.group_vars = tuple(sorted(
@@ -716,6 +720,36 @@ class AggregatePlan:
              and v not in rule.existential_variables()),
             key=lambda v: v.name,
         ))
+        self._pre_delta: Dict[int, BodyPlan] = {}
+        self._pre_binders: Dict[int, DeltaBinder] = {}
+
+    def pre_delta_binder(self, index: int) -> DeltaBinder:
+        """Delta binder for the ``index``-th pre-body literal (an Atom)."""
+        binder = self._pre_binders.get(index)
+        if binder is None:
+            binder = DeltaBinder(self.pre[index])
+            self._pre_binders[index] = binder
+        return binder
+
+    def pre_delta_plan(self, index: int) -> BodyPlan:
+        """Rest-of-pre plan with the ``index``-th atom's variables bound.
+
+        The incremental maintainer joins each new delta fact of one pre
+        occurrence against the rest of the aggregate's contribution body
+        — the semi-naive partition over *changed* predicates, mirroring
+        :meth:`RulePlans.delta_plan` but scoped to the pre body (the rule
+        body proper contains the aggregate assignment, which must never
+        appear in a join plan).
+        """
+        plan = self._pre_delta.get(index)
+        if plan is None:
+            atom = self.pre[index]
+            bound = {v for v in atom.variables() if v.name != "_"}
+            rest = [literal for i, literal in enumerate(self.pre) if i != index]
+            indexes = [i for i in range(len(self.pre)) if i != index]
+            plan = compile_body(rest, bound, indexes)
+            self._pre_delta[index] = plan
+        return plan
 
 
 # ---------------------------------------------------------------------------
@@ -731,6 +765,7 @@ class RulePlans:
     __slots__ = (
         "rule", "is_aggregate", "head_ops", "placeholders", "head_bound_vars",
         "existentials", "_body", "_delta", "_binders", "_aggregate", "_head_check",
+        "_rederive",
     )
 
     def __init__(self, rule: Rule):
@@ -741,6 +776,7 @@ class RulePlans:
         self._binders: Dict[int, DeltaBinder] = {}
         self._aggregate: Optional[AggregatePlan] = None
         self._head_check: Optional[BodyPlan] = None
+        self._rederive: Dict[int, BodyPlan] = {}
 
         body_vars = rule.body_variables()
         head_ops: List[Tuple[str, Tuple[Tuple[int, Any], ...]]] = []
@@ -801,6 +837,37 @@ class RulePlans:
         if self._aggregate is None:
             self._aggregate = AggregatePlan(self.rule)
         return self._aggregate
+
+    def rederive_bound_vars(self, head_index: int) -> Tuple[Variable, ...]:
+        """Body variables recoverable from a ground fact of head ``head_index``:
+        the atom's frontier variables plus its Skolem argument variables."""
+        _, slots = self.head_ops[head_index]
+        placeholders = {ph: arg_ops for ph, _, arg_ops in self.placeholders}
+        bound: Set[Variable] = set()
+        for kind, payload in slots:
+            if kind == _K_VAR:
+                bound.add(payload)
+            elif kind == _K_SKOLEM:
+                for is_var, argument in placeholders[payload]:
+                    if is_var and argument.name != "_":
+                        bound.add(argument)
+        return tuple(sorted(bound, key=lambda v: v.name))
+
+    def rederive_plan(self, head_index: int) -> BodyPlan:
+        """Goal-directed body plan for re-deriving one head fact.
+
+        Compiled with the recoverable head variables *pre-bound*, because
+        :func:`execute_plan` must not be handed initial bindings a plan
+        was not compiled for — ``AtomStep.bind`` overwrites variables it
+        believes are novel, silently clobbering the goal bindings.
+        """
+        plan = self._rederive.get(head_index)
+        if plan is None:
+            plan = compile_body(
+                self.rule.body, self.rederive_bound_vars(head_index)
+            )
+            self._rederive[head_index] = plan
+        return plan
 
     def head_check_plan(self) -> BodyPlan:
         """Conjunctive-match plan over the head, for the restricted chase."""

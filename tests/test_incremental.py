@@ -1,0 +1,636 @@
+"""Incremental materialization: delta-chase differential battery,
+DRed edge cases, materializer updates, and store delta-flush appliers."""
+
+import random
+
+import pytest
+
+from repro.deploy import FlushDelta, GraphStore, RelationalEngine, TripleStore
+from repro.errors import EvaluationError, IntegrityError, SchemaError
+from repro.finkg import programs
+from repro.finkg.company_schema import company_super_schema
+from repro.graph.property_graph import PropertyGraph
+from repro.metalog import parse_metalog
+from repro.models.relational import Column, ForeignKey, RelationalSchema, Table
+from repro.ssst import SSST, IntensionalMaterializer, RegistryDelta
+from repro.vadalog import Engine, parse_program
+
+from tests.test_engine_plans import (
+    _aggregate_case,
+    _canon,
+    _existential_case,
+    _recursion_case,
+)
+
+KINDS = ("insert", "delete", "mixed")
+
+
+# ---------------------------------------------------------------------------
+# Engine-level differential battery: apply_delta vs from-scratch oracle
+# ---------------------------------------------------------------------------
+
+
+def _mutation(rng, inputs, templates, kind):
+    """A random extensional delta over one of the case's input relations.
+
+    ``templates`` holds one original fact per predicate, so fresh facts
+    keep the right arity/value shapes even after a relation was emptied
+    by an earlier round's deletions.
+    """
+    added, removed = {}, {}
+    candidates = [p for p in sorted(inputs) if p in templates]
+    predicate = rng.choice(candidates)
+    facts = sorted(inputs[predicate], key=repr)
+
+    def fresh_value(value):
+        if isinstance(value, float):
+            return round(rng.random(), 3)
+        return f"x{rng.randrange(12)}"
+
+    if kind in ("insert", "mixed") or not facts:
+        added[predicate] = [
+            tuple(fresh_value(v) for v in templates[predicate])
+            for _ in range(rng.randrange(1, 4))
+        ]
+    if kind in ("delete", "mixed") and facts:
+        removed[predicate] = rng.sample(
+            facts, min(len(facts), rng.randrange(1, 3))
+        )
+    return added, removed
+
+
+def _mutated_inputs(inputs, added, removed):
+    mutated = {p: set(facts) for p, facts in inputs.items()}
+    for predicate, facts in removed.items():
+        mutated[predicate] -= set(facts)
+    for predicate, facts in added.items():
+        mutated.setdefault(predicate, set()).update(facts)
+    return {p: sorted(facts, key=repr) for p, facts in mutated.items()}
+
+
+def delta_differential(text, predicates, inputs, rng, kind, use_plans=True,
+                       track_support=False):
+    """Retained run + apply_delta must equal a from-scratch oracle, up to
+    labeled-null renaming, after each of two chained updates."""
+    program = parse_program(text)
+    engine = Engine(use_plans=use_plans)
+    result = engine.run(
+        program, inputs=inputs, retain_state=True, track_support=track_support
+    )
+    templates = {
+        p: sorted(facts, key=repr)[0] for p, facts in inputs.items() if facts
+    }
+    current = inputs
+    for _round in range(2):
+        added, removed = _mutation(rng, current, templates, kind)
+        engine.apply_delta(result, added=added, removed=removed)
+        current = _mutated_inputs(current, added, removed)
+        oracle = Engine(use_plans=False).run(program, inputs=current)
+        for predicate in predicates:
+            assert _canon(result.facts(predicate)) == _canon(
+                oracle.facts(predicate)
+            ), f"{kind} mismatch on {predicate} (round {_round})"
+
+
+class TestEngineDeltaDifferential:
+    @pytest.mark.parametrize("use_plans", [True, False])
+    @pytest.mark.parametrize("seed", range(14))
+    def test_recursion(self, seed, use_plans):
+        rng = random.Random(5000 + seed)
+        text, predicates, inputs = _recursion_case(rng)
+        delta_differential(
+            text, predicates, inputs, rng, KINDS[seed % 3], use_plans=use_plans
+        )
+
+    @pytest.mark.parametrize("use_plans", [True, False])
+    @pytest.mark.parametrize("seed", range(14))
+    def test_aggregates(self, seed, use_plans):
+        rng = random.Random(6000 + seed)
+        text, predicates, inputs = _aggregate_case(rng)
+        delta_differential(
+            text, predicates, inputs, rng, KINDS[seed % 3], use_plans=use_plans
+        )
+
+    @pytest.mark.parametrize("use_plans", [True, False])
+    @pytest.mark.parametrize("seed", range(14))
+    def test_existentials(self, seed, use_plans):
+        rng = random.Random(7000 + seed)
+        text, predicates, inputs = _existential_case(rng)
+        delta_differential(
+            text, predicates, inputs, rng, KINDS[seed % 3], use_plans=use_plans
+        )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_track_support_variant(self, seed):
+        rng = random.Random(8000 + seed)
+        text, predicates, inputs = _recursion_case(rng)
+        delta_differential(
+            text, predicates, inputs, rng, KINDS[seed % 3], track_support=True
+        )
+
+
+# ---------------------------------------------------------------------------
+# DRed edge cases
+# ---------------------------------------------------------------------------
+
+
+class TestDRedEdgeCases:
+    def test_alternative_derivation_survives(self):
+        """A fact with two derivations loses one premise and is
+        re-derived through the other."""
+        program = parse_program("e(X, Y) -> p(X, Y).\nf(X, Y) -> p(X, Y).")
+        engine = Engine()
+        result = engine.run(
+            program,
+            inputs={"e": [("a", "b")], "f": [("a", "b")]},
+            retain_state=True,
+        )
+        delta = engine.apply_delta(result, removed={"e": [("a", "b")]})
+        assert result.facts("p") == {("a", "b")}
+        assert delta.overdeleted >= 1
+        assert delta.rederived >= 1
+        assert "p" not in {p for p, facts in delta.removed.items() if facts}
+
+    def test_cyclic_support_does_not_keep_ghosts(self):
+        """Facts supporting each other through a cycle must not survive
+        on mutual support once the external premise is gone."""
+        program = parse_program(
+            "e(X, Y) -> tc(X, Y).\ntc(X, Y), e(Y, Z) -> tc(X, Z)."
+        )
+        engine = Engine()
+        edges = [("a", "b"), ("b", "c"), ("c", "a")]
+        result = engine.run(program, inputs={"e": edges}, retain_state=True)
+        engine.apply_delta(result, removed={"e": [("c", "a")]})
+        oracle = Engine().run(
+            program, inputs={"e": [("a", "b"), ("b", "c")]}
+        )
+        assert result.facts("tc") == oracle.facts("tc")
+
+    def test_delete_then_readd_round_trips(self):
+        program = parse_program(
+            "e(X, Y) -> tc(X, Y).\ntc(X, Y), e(Y, Z) -> tc(X, Z)."
+        )
+        engine = Engine()
+        edges = [("a", "b"), ("b", "c"), ("c", "d")]
+        result = engine.run(program, inputs={"e": edges}, retain_state=True)
+        before = set(result.facts("tc"))
+        engine.apply_delta(result, removed={"e": [("b", "c")]})
+        assert set(result.facts("tc")) != before
+        engine.apply_delta(result, added={"e": [("b", "c")]})
+        assert set(result.facts("tc")) == before
+
+    def test_removing_derived_fact_is_skipped(self):
+        program = parse_program("e(X, Y) -> p(X, Y).")
+        engine = Engine()
+        result = engine.run(
+            program, inputs={"e": [("a", "b")]}, retain_state=True
+        )
+        delta = engine.apply_delta(result, removed={"p": [("a", "b")]})
+        assert delta.skipped_removals == 1
+        assert not delta.changed()
+        assert result.facts("p") == {("a", "b")}
+
+    def test_apply_delta_requires_retained_state(self):
+        program = parse_program("e(X, Y) -> p(X, Y).")
+        engine = Engine()
+        result = engine.run(program, inputs={"e": [("a", "b")]})
+        with pytest.raises(EvaluationError, match="retain_state"):
+            engine.apply_delta(result, added={"e": [("b", "c")]})
+
+
+# ---------------------------------------------------------------------------
+# EvaluationResult.per_stratum_facts
+# ---------------------------------------------------------------------------
+
+
+class TestPerStratumFacts:
+    PROGRAM = (
+        "e(X, Y) -> r(X, Y).\n"
+        "r(X, Y), not blocked(X) -> ok(X, Y)."
+    )
+
+    def test_partition_covers_derived_predicates(self):
+        result = Engine().run(
+            parse_program(self.PROGRAM),
+            inputs={"e": [("a", "b")], "blocked": [("z",)]},
+        )
+        snapshot = result.per_stratum_facts()
+        owners = {
+            predicate: index
+            for index, relations in snapshot.items()
+            for predicate in relations
+        }
+        assert owners["r"] < owners["ok"]  # negation forces a later stratum
+        assert snapshot[owners["ok"]]["ok"] == frozenset({("a", "b")})
+        assert "e" in snapshot[-1] or "e" in snapshot[owners["r"]]
+
+    def test_snapshot_is_stable_under_updates(self):
+        engine = Engine()
+        result = engine.run(
+            parse_program(self.PROGRAM),
+            inputs={"e": [("a", "b")], "blocked": [("z",)]},
+            retain_state=True,
+        )
+        snapshot = result.per_stratum_facts()
+        frozen = {
+            index: {p: set(facts) for p, facts in relations.items()}
+            for index, relations in snapshot.items()
+        }
+        engine.apply_delta(result, added={"e": [("b", "c")]})
+        assert {
+            index: {p: set(facts) for p, facts in relations.items()}
+            for index, relations in snapshot.items()
+        } == frozen
+        assert result.facts("ok") == {("a", "b"), ("b", "c")}
+
+
+# ---------------------------------------------------------------------------
+# Materializer update (registry delta through the retained pipeline)
+# ---------------------------------------------------------------------------
+
+
+def _canon_graph(graph):
+    def can(value):
+        return value if isinstance(value, (str, int, float, bool)) else "<derived>"
+
+    nodes = {
+        (can(n.id), n.label,
+         tuple(sorted((k, can(v)) for k, v in n.properties.items())))
+        for n in graph.nodes()
+    }
+    edges = {
+        (can(e.source), can(e.target), e.label,
+         tuple(sorted((k, can(v)) for k, v in e.properties.items())))
+        for e in graph.edges()
+    }
+    return nodes, edges
+
+
+def _control_sigma():
+    return parse_metalog(programs.CONTROL_PROGRAM)
+
+
+@pytest.fixture()
+def retained(company_schema, owns_instance):
+    materializer = IntensionalMaterializer()
+    report = materializer.materialize(
+        company_schema, owns_instance, _control_sigma(),
+        instance_oid=9, retain=True,
+    )
+    return materializer, report
+
+
+def _owns_graph():
+    """A fresh copy of the conftest ``owns_instance`` shape, for building
+    expected registries (``update`` maintains the caller's graph in
+    place, so the fixture object itself reflects the delta afterwards)."""
+    data = PropertyGraph("owns")
+    for business in ("B1", "B2", "B3"):
+        data.add_node(
+            business, "Business",
+            fiscalCode=f"FC{business}", businessName=f"{business} SpA",
+            legalNature="spa", shareholdingCapital=1000.0,
+        )
+    data.add_edge("B1", "B2", "OWNS", percentage=0.6)
+    data.add_edge("B2", "B3", "OWNS", percentage=0.3)
+    data.add_edge("B1", "B3", "OWNS", percentage=0.3)
+    return data
+
+
+def _reference(data):
+    return IntensionalMaterializer().materialize(
+        company_super_schema(), data, _control_sigma(), instance_oid=9
+    )
+
+
+class TestMaterializerUpdate:
+    def test_insert_differential(self, retained, owns_instance):
+        materializer, _report = retained
+        delta = RegistryDelta(
+            add_nodes=[("B4", "Business", {
+                "fiscalCode": "FCB4", "businessName": "B4 SpA",
+                "legalNature": "spa", "shareholdingCapital": 500.0})],
+            add_edges=[("o4", "B3", "B4", "OWNS", {"percentage": 0.9})],
+        )
+        outcome = materializer.update(delta)
+        expected = _owns_graph()
+        expected.add_node(
+            "B4", "Business", fiscalCode="FCB4", businessName="B4 SpA",
+            legalNature="spa", shareholdingCapital=500.0,
+        )
+        expected.add_edge("B3", "B4", "OWNS", percentage=0.9, edge_id="o4")
+        assert _canon_graph(outcome.instance.data) == _canon_graph(
+            _reference(expected).instance.data
+        )
+        # The registry graph passed to materialize() is maintained in place.
+        assert owns_instance.has_node("B4")
+        assert outcome.flush_delta.changed()
+        assert outcome.engine_seconds > 0
+
+    def test_delete_differential(self, retained, owns_instance):
+        materializer, _report = retained
+        edge = min(owns_instance.edges("OWNS"),
+                   key=lambda e: (e.source, e.target))
+        outcome = materializer.update(RegistryDelta(remove_edges=[edge.id]))
+        expected = _owns_graph()
+        match = min(
+            (e for e in expected.edges("OWNS")
+             if (e.source, e.target) == (edge.source, edge.target)),
+            key=lambda e: str(e.id),
+        )
+        expected.remove_edge(match.id)
+        assert _canon_graph(outcome.instance.data) == _canon_graph(
+            _reference(expected).instance.data
+        )
+
+    def test_node_removal_cascades_incident_edges(self, retained):
+        materializer, _report = retained
+        outcome = materializer.update(RegistryDelta(remove_nodes=["B3"]))
+        expected = _owns_graph()
+        expected.remove_node("B3")
+        assert _canon_graph(outcome.instance.data) == _canon_graph(
+            _reference(expected).instance.data
+        )
+        assert not outcome.instance.data.has_node("B3")
+
+    def test_chained_updates(self, retained):
+        materializer, _report = retained
+        materializer.update(RegistryDelta(
+            add_nodes=[("B4", "Business", {"fiscalCode": "FCB4",
+                                           "businessName": "B4 SpA"})],
+            add_edges=[("o4", "B1", "B4", "OWNS", {"percentage": 0.8})],
+        ))
+        outcome = materializer.update(RegistryDelta(remove_nodes=["B4"]))
+        assert _canon_graph(outcome.instance.data) == _canon_graph(
+            _reference(_owns_graph()).instance.data
+        )
+        assert materializer.retained.updates_applied == 2
+
+    def test_update_requires_retained_run(self, company_schema, owns_instance):
+        materializer = IntensionalMaterializer()
+        materializer.materialize(
+            company_schema, owns_instance, _control_sigma(), instance_oid=9
+        )
+        with pytest.raises(EvaluationError, match="retain=True"):
+            materializer.update(RegistryDelta(remove_nodes=["B1"]))
+
+    def test_unknown_type_rejected(self, retained):
+        materializer, _report = retained
+        with pytest.raises(SchemaError):
+            materializer.update(RegistryDelta(
+                add_nodes=[("X1", "NotAType", {})]
+            ))
+
+    def test_duplicate_node_rejected(self, retained):
+        materializer, _report = retained
+        with pytest.raises(SchemaError, match="already"):
+            materializer.update(RegistryDelta(
+                add_nodes=[("B1", "Business", {})]
+            ))
+
+    def test_missing_endpoint_rejected(self, retained):
+        materializer, _report = retained
+        with pytest.raises(SchemaError, match="missing node"):
+            materializer.update(RegistryDelta(
+                add_edges=[("oX", "B1", "ghost", "OWNS", {"percentage": 0.5})]
+            ))
+
+    def test_remove_unknown_element_rejected(self, retained):
+        materializer, _report = retained
+        with pytest.raises(SchemaError, match="unknown"):
+            materializer.update(RegistryDelta(remove_nodes=["ghost"]))
+
+    def test_compile_cache_reused(self, company_schema, owns_instance):
+        materializer = IntensionalMaterializer()
+        sigma = _control_sigma()
+        materializer.materialize(
+            company_schema, owns_instance, sigma, instance_oid=9
+        )
+        first = dict(materializer._compile_cache)
+        materializer.materialize(
+            company_schema, owns_instance, sigma, instance_oid=9
+        )
+        assert len(materializer._compile_cache) == 1
+        key, entry = next(iter(materializer._compile_cache.items()))
+        assert first[key] is entry  # second run reused the compiled views
+
+
+class TestRegistryDelta:
+    def test_from_json_dict(self):
+        delta = RegistryDelta.from_json_dict({
+            "add_nodes": [{"id": "c9", "type": "Business",
+                           "properties": {"businessName": "NewCo"}}],
+            "add_edges": [{"id": "o9", "source": "c1", "target": "c9",
+                           "type": "OWNS",
+                           "properties": {"percentage": 0.6}}],
+            "remove_nodes": ["c3"],
+            "remove_edges": ["o7"],
+        })
+        assert delta.add_nodes == [
+            ("c9", "Business", {"businessName": "NewCo"})
+        ]
+        assert delta.add_edges == [
+            ("o9", "c1", "c9", "OWNS", {"percentage": 0.6})
+        ]
+        assert delta.remove_nodes == ["c3"] and delta.remove_edges == ["o7"]
+        assert not delta.is_empty()
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(SchemaError, match="unknown change keys"):
+            RegistryDelta.from_json_dict({"nodes": []})
+
+    def test_bad_entry_rejected(self):
+        with pytest.raises(SchemaError, match="add_edges"):
+            RegistryDelta.from_json_dict({
+                "add_edges": [{"id": "o9", "source": "c1"}]
+            })
+
+
+# ---------------------------------------------------------------------------
+# FlushDelta.diff and the store appliers
+# ---------------------------------------------------------------------------
+
+
+class TestFlushDeltaDiff:
+    def test_categories(self):
+        old = PropertyGraph("old")
+        old.add_node("a", "A", x=1)
+        old.add_node("b", "A", x=2)
+        old.add_node("c", "A", x=3)
+        old.add_edge("a", "b", "R", edge_id="e1")
+        old.add_edge("b", "c", "R", edge_id="e2", w=1)
+        new = PropertyGraph("new")
+        new.add_node("a", "A", x=1)        # unchanged
+        new.add_node("b", "B", x=2)        # label change -> remove + add
+        new.add_node("d", "A", x=4)        # added; c removed
+        new.add_edge("a", "b", "R", edge_id="e1")        # unchanged
+        new.add_edge("a", "d", "R", edge_id="e3")        # added; e2 removed
+        delta = FlushDelta.diff(old, new)
+        assert {n[0] for n in delta.added_nodes} == {"b", "d"}
+        assert {n[0] for n in delta.removed_nodes} == {"b", "c"}
+        assert not delta.updated_nodes
+        assert {e[0] for e in delta.added_edges} == {"e3"}
+        assert {e[0] for e in delta.removed_edges} == {"e2"}
+        assert delta.changed() and delta.total_changes == 6
+        assert "+2" in delta.summary()
+
+    def test_property_change_is_update(self):
+        old = PropertyGraph("old")
+        old.add_node("a", "A", x=1)
+        new = PropertyGraph("new")
+        new.add_node("a", "A", x=2)
+        delta = FlushDelta.diff(old, new)
+        assert delta.updated_nodes == [("a", "A", {"x": 2}, {"x": 1})]
+        assert not delta.added_nodes and not delta.removed_nodes
+
+
+def _business_props(fiscal_code, name):
+    return {
+        "fiscalCode": fiscal_code, "businessName": name,
+        "legalNature": "spa", "shareholdingCapital": 1000.0,
+    }
+
+
+@pytest.fixture()
+def pg_store(company_schema):
+    store = GraphStore()
+    store.deploy(
+        SSST().translate(company_schema, "property-graph").target_schema
+    )
+    store.create_node("B1", ["Business", "LegalPerson"],
+                      **_business_props("FC1", "One SpA"))
+    store.create_node("B2", ["Business", "LegalPerson"],
+                      **_business_props("FC2", "Two SpA"))
+    store.create_relationship("B1", "B2", "OWNS", percentage=0.6)
+    return store
+
+
+class TestGraphStoreDelta:
+    def test_apply_delta(self, pg_store, company_schema):
+        delta = FlushDelta(
+            added_nodes=[("B3", "Business", _business_props("FC3", "Three SpA"))],
+            added_edges=[("x", "B2", "B3", "OWNS", {"percentage": 0.9})],
+            updated_nodes=[("B1", "Business",
+                            _business_props("FC1", "One"),
+                            _business_props("FC1", "One SpA"))],
+        )
+        report = pg_store.apply_flush_delta(delta, schema=company_schema)
+        assert report.nodes_added == 1 and report.edges_added == 1
+        assert report.nodes_updated == 1 and report.skipped == 0
+        assert pg_store.graph.node("B1").get("businessName") == "One"
+        # Multi-label tagging follows the schema's generalizations.
+        assert "LegalPerson" in pg_store.labels_of("B3")
+
+    def test_removals_and_skips(self, pg_store):
+        delta = FlushDelta(
+            removed_edges=[("x", "B1", "B2", "OWNS", {"percentage": 0.6})],
+            removed_nodes=[("B2", "Business", {}), ("ghost", "Business", {})],
+        )
+        report = pg_store.apply_flush_delta(delta)
+        assert report.edges_removed == 1 and report.nodes_removed == 1
+        assert report.skipped == 1  # the ghost removal is counted, not fatal
+        assert not pg_store.graph.has_node("B2")
+
+    def test_failed_insert_batch_rolls_back(self, pg_store, company_schema):
+        delta = FlushDelta(
+            added_nodes=[("B9", "Business", _business_props("FC9", "Nine SpA"))],
+            added_edges=[("x", "B9", "nowhere", "OWNS", {"percentage": 0.1})],
+        )
+        with pytest.raises(Exception):
+            pg_store.apply_flush_delta(delta, schema=company_schema)
+        assert not pg_store.graph.has_node("B9")  # insert batch rolled back
+
+
+@pytest.fixture()
+def rel_engine():
+    schema = RelationalSchema("mini")
+    schema.tables["person"] = Table("person", [
+        Column("pid", "string", is_pk=True),
+        Column("name", "string"),
+    ])
+    schema.tables["pet"] = Table("pet", [
+        Column("tag", "string", is_pk=True),
+        Column("owner_pid", "string"),
+    ])
+    schema.foreign_keys.append(
+        ForeignKey("fk_owner", "pet", ["owner_pid"], "person", ["pid"])
+    )
+    engine = RelationalEngine()
+    engine.deploy(schema)
+    engine.insert("person", pid="p1", name="Ada")
+    engine.insert("person", pid="p2", name="Bob")
+    engine.insert("pet", tag="t1", owner_pid="p1")
+    return engine
+
+
+class TestRelationalDelta:
+    def test_apply_delta(self, rel_engine):
+        counts = rel_engine.apply_flush_delta(
+            added={"person": [{"pid": "p3", "name": "Cyd"}]},
+            removed={"pet": [{"tag": "t1"}]},
+        )
+        assert counts == {"inserted": 1, "deleted": 1}
+        assert rel_engine.count("person") == 3
+        assert rel_engine.count("pet") == 0
+
+    def test_fk_restrict_on_delete(self, rel_engine):
+        with pytest.raises(IntegrityError):
+            rel_engine.delete("person", pid="p1")  # referenced by pet t1
+        assert rel_engine.count("person") == 2
+
+    def test_failed_delta_rolls_back_everything(self, rel_engine):
+        with pytest.raises(IntegrityError):
+            rel_engine.apply_flush_delta(
+                added={
+                    "person": [{"pid": "p3", "name": "Cyd"}],
+                    "pet": [{"tag": "t2", "owner_pid": "ghost"}],  # bad FK
+                },
+            )
+        assert rel_engine.count("person") == 2  # p3 rolled back
+        assert rel_engine.count("pet") == 1
+
+    def test_delete_rebuilds_pk_index(self, rel_engine):
+        rel_engine.apply_flush_delta(removed={"pet": [{"tag": "t1"}]})
+        assert rel_engine.delete("person", pid="p1") == 1
+        assert list(rel_engine.select("person", pid="p2"))[0]["name"] == "Bob"
+
+
+class TestTripleStoreDelta:
+    @pytest.fixture()
+    def store(self, company_schema):
+        store = TripleStore()
+        store.deploy(SSST().translate(company_schema, "rdf").target_schema)
+        store.add("B1", "rdf:type", "Business")
+        store.add("B1", "fiscalCode", "FC1")
+        store.add("B2", "rdf:type", "Business")
+        store.add("B1", "OWNS", "B2")
+        return store
+
+    def test_apply_delta(self, store, company_schema):
+        report = store.apply_flush_delta(FlushDelta(
+            added_nodes=[("B3", "Business", {"fiscalCode": "FC3",
+                                             "notDeclared": 1})],
+            added_edges=[("x", "B2", "B3", "OWNS", {})],
+            removed_edges=[("y", "B1", "B2", "OWNS", {})],
+        ), schema=company_schema)
+        assert report.nodes_added == 1
+        assert report.edges_added == 1 and report.edges_removed == 1
+        assert store.has("B3", "fiscalCode", "FC3")
+        assert not store.has("B3", "notDeclared", 1)  # schema-filtered
+        assert not store.has("B1", "OWNS", "B2")
+        assert store.has("B2", "OWNS", "B3")
+
+    def test_node_removal_retracts_attributes(self, store, company_schema):
+        report = store.apply_flush_delta(FlushDelta(
+            removed_nodes=[("B1", "Business", {"fiscalCode": "FC1"})],
+        ), schema=company_schema)
+        assert report.nodes_removed == 1
+        assert not store.has("B1", "rdf:type", "Business")
+        assert not store.has("B1", "fiscalCode", "FC1")
+
+    def test_retract_is_undo_logged(self, store):
+        savepoint = store.savepoint()
+        assert store.retract("B1", "OWNS", "B2")
+        assert not store.has("B1", "OWNS", "B2")
+        store.rollback_to(savepoint)
+        assert store.has("B1", "OWNS", "B2")
