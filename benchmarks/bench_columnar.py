@@ -1,0 +1,235 @@
+"""E-COL — columnar fact storage vs the tuple-at-a-time backend.
+
+Materializes the company-control pipeline over generated shareholding
+registries with both storage backends (``Engine(columnar=True)`` — the
+default — and ``Engine(columnar=False)``), records per-phase wall time
+(load / reason / flush) and the Python-heap peak (``tracemalloc``), and
+verifies the two enriched instances are fact-set identical up to
+labeled-null renaming.  Process-level peak RSS (``resource.ru_maxrss``)
+is recorded once per run for context; it is monotonic per process, so
+only tracemalloc peaks are comparable across backends.
+
+The emitted JSON is validated against an inline schema before it is
+written, and ``--check FILE`` re-validates an existing payload (used by
+the CI ``col-smoke`` job).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_columnar.py
+    PYTHONPATH=src python benchmarks/bench_columnar.py \
+        --sizes 1000 50000 --out BENCH_COL.json
+    PYTHONPATH=src python benchmarks/bench_columnar.py --check BENCH_COL.json
+"""
+
+import argparse
+import json
+import os
+import resource
+import sys
+import time
+import tracemalloc
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from repro.finkg import programs
+from repro.finkg.company_schema import company_super_schema
+from repro.metalog import parse_metalog
+from repro.ssst import IntensionalMaterializer
+from repro.vadalog import Engine
+
+from bench_incremental import business_registry, canon_instance
+
+
+def _materialize(companies: int, seed: int, columnar: bool):
+    registry = business_registry(companies, seed=seed)
+    schema = company_super_schema()
+    sigma = parse_metalog(programs.CONTROL_PROGRAM)
+    materializer = IntensionalMaterializer(engine=Engine(columnar=columnar))
+    start = time.perf_counter()
+    report = materializer.materialize(schema, registry, sigma, instance_oid=9)
+    total = time.perf_counter() - start
+    return report, total
+
+
+def _backend_row(companies: int, seed: int, columnar: bool, memory: bool) -> dict:
+    report, total = _materialize(companies, seed, columnar)
+    row = {
+        "backend": "columnar" if columnar else "tuple",
+        "total_seconds": round(total, 4),
+        "load_seconds": round(report.load_seconds, 4),
+        "reason_seconds": round(report.reason_seconds, 4),
+        "flush_seconds": round(report.flush_seconds, 4),
+        "controls_derived": report.derived_counts.get("CONTROLS", 0),
+        "instance": report.instance,
+    }
+    if memory:
+        # Separate pass: tracemalloc distorts wall time, so timing and
+        # memory never share a run.
+        tracemalloc.start()
+        _materialize(companies, seed, columnar)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        row["peak_heap_bytes"] = peak
+    return row
+
+
+def run_size(companies: int, seed: int, memory: bool, verify: bool) -> dict:
+    col = _backend_row(companies, seed, columnar=True, memory=memory)
+    tup = _backend_row(companies, seed, columnar=False, memory=memory)
+    ok = True
+    if verify:
+        ok = canon_instance(col["instance"].data) == canon_instance(
+            tup["instance"].data
+        )
+    for row in (col, tup):
+        del row["instance"]
+    result = {
+        "companies": companies,
+        "columnar": col,
+        "tuple": tup,
+        "load_speedup": round(
+            tup["load_seconds"] / max(col["load_seconds"], 1e-9), 2
+        ),
+        "total_speedup": round(
+            tup["total_seconds"] / max(col["total_seconds"], 1e-9), 2
+        ),
+        "differential_ok": ok,
+    }
+    if memory:
+        result["heap_reduction"] = round(
+            1.0 - col["peak_heap_bytes"] / max(tup["peak_heap_bytes"], 1), 3
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Payload schema (kept dependency-free: no jsonschema in the image)
+# ---------------------------------------------------------------------------
+
+_BACKEND_FIELDS = {
+    "backend": str,
+    "total_seconds": (int, float),
+    "load_seconds": (int, float),
+    "reason_seconds": (int, float),
+    "flush_seconds": (int, float),
+    "controls_derived": int,
+}
+_ROW_FIELDS = {
+    "companies": int,
+    "columnar": dict,
+    "tuple": dict,
+    "load_speedup": (int, float),
+    "total_speedup": (int, float),
+    "differential_ok": bool,
+}
+_TOP_FIELDS = {
+    "experiment": str,
+    "program": str,
+    "seed": int,
+    "peak_rss_kb": int,
+    "results": list,
+}
+
+
+def validate(payload: dict) -> list:
+    """Structural check of a BENCH_COL payload; returns problem strings."""
+    problems = []
+
+    def check(obj, fields, where):
+        for field, types in fields.items():
+            if field not in obj:
+                problems.append(f"{where}: missing field '{field}'")
+            elif not isinstance(obj[field], types):
+                problems.append(
+                    f"{where}: field '{field}' has type "
+                    f"{type(obj[field]).__name__}"
+                )
+
+    check(payload, _TOP_FIELDS, "payload")
+    if payload.get("experiment") != "E-COL":
+        problems.append("payload: experiment must be 'E-COL'")
+    for i, row in enumerate(payload.get("results") or []):
+        where = f"results[{i}]"
+        if not isinstance(row, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        check(row, _ROW_FIELDS, where)
+        for backend in ("columnar", "tuple"):
+            sub = row.get(backend)
+            if isinstance(sub, dict):
+                check(sub, _BACKEND_FIELDS, f"{where}.{backend}")
+        if not row.get("differential_ok", False):
+            problems.append(f"{where}: differential_ok is not true")
+    if not payload.get("results"):
+        problems.append("payload: results is empty")
+    return problems
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sizes", type=int, nargs="+", default=[1000])
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--out", default="BENCH_COL.json")
+    parser.add_argument("--no-memory", action="store_true",
+                        help="skip the tracemalloc pass (halves runtime)")
+    parser.add_argument("--no-verify", action="store_true",
+                        help="skip the columnar-vs-tuple differential check")
+    parser.add_argument("--require-load-speedup", type=float, default=None,
+                        help="fail unless every size clears this load speedup")
+    parser.add_argument("--check", metavar="FILE", default=None,
+                        help="validate an existing payload and exit")
+    args = parser.parse_args()
+
+    if args.check is not None:
+        with open(args.check, "r", encoding="utf-8") as handle:
+            problems = validate(json.load(handle))
+        for problem in problems:
+            print(f"schema: {problem}", file=sys.stderr)
+        print(f"{args.check}: {'INVALID' if problems else 'schema OK'}")
+        return 1 if problems else 0
+
+    rows = []
+    for companies in args.sizes:
+        row = run_size(companies, args.seed, not args.no_memory, not args.no_verify)
+        rows.append(row)
+        mem = (
+            f", heap -{row['heap_reduction'] * 100:.0f}%"
+            if "heap_reduction" in row
+            else ""
+        )
+        print(
+            f"E-COL {companies} companies: load "
+            f"{row['tuple']['load_seconds']:.2f}s -> "
+            f"{row['columnar']['load_seconds']:.2f}s "
+            f"({row['load_speedup']:.1f}x), total {row['total_speedup']:.1f}x"
+            f"{mem}, differential "
+            f"{'OK' if row['differential_ok'] else 'MISMATCH'}"
+        )
+
+    payload = {
+        "experiment": "E-COL",
+        "program": "CONTROL_PROGRAM",
+        "seed": args.seed,
+        "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        "results": rows,
+    }
+    problems = validate(payload)
+    for problem in problems:
+        print(f"schema: {problem}", file=sys.stderr)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+
+    if problems:
+        return 1
+    if args.require_load_speedup is not None and any(
+        row["load_speedup"] < args.require_load_speedup for row in rows
+    ):
+        print(f"load speedup below required {args.require_load_speedup}x")
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

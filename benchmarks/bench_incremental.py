@@ -18,6 +18,11 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_incremental.py
     PYTHONPATH=src python benchmarks/bench_incremental.py \
         --sizes 500 --updates 4 --out BENCH_INCR.json
+
+    # Columnar scaling point (50k-100k companies; --no-columnar for the
+    # tuple-backend baseline of the same sweep):
+    PYTHONPATH=src python benchmarks/bench_incremental.py \
+        --sizes 50000 --updates 3 --no-verify --out BENCH_INCR_50K.json
 """
 
 import argparse
@@ -35,6 +40,7 @@ from repro.finkg.generator import ShareholdingConfig, generate_shareholding_data
 from repro.graph.property_graph import PropertyGraph
 from repro.metalog import parse_metalog
 from repro.ssst import IntensionalMaterializer, RegistryDelta
+from repro.vadalog import Engine
 
 
 def business_registry(companies: int, seed: int = 42) -> PropertyGraph:
@@ -79,14 +85,17 @@ def canon_instance(graph):
     return nodes, edges
 
 
-def run_size(companies: int, updates: int, seed: int, verify: bool) -> dict:
+def run_size(
+    companies: int, updates: int, seed: int, verify: bool,
+    columnar: bool = True,
+) -> dict:
     registry = business_registry(companies, seed=seed)
     # update() maintains the registry in place; capture the base size now.
     base_nodes, base_edges = registry.node_count, registry.edge_count
     schema = company_super_schema()
     sigma = parse_metalog(programs.CONTROL_PROGRAM)
 
-    materializer = IntensionalMaterializer()
+    materializer = IntensionalMaterializer(engine=Engine(columnar=columnar))
     start = time.perf_counter()
     report = materializer.materialize(
         schema, registry, sigma, instance_oid=9, retain=True
@@ -131,7 +140,9 @@ def run_size(companies: int, updates: int, seed: int, verify: bool) -> dict:
 
     ok = True
     if verify:
-        reference = IntensionalMaterializer().materialize(
+        reference = IntensionalMaterializer(
+            engine=Engine(columnar=columnar)
+        ).materialize(
             company_super_schema(), registry, sigma, instance_oid=9
         )
         ok = canon_instance(outcome.instance.data) == canon_instance(
@@ -171,13 +182,18 @@ def main() -> int:
     parser.add_argument("--out", default="BENCH_INCR.json")
     parser.add_argument("--no-verify", action="store_true",
                         help="skip the from-scratch differential check")
+    parser.add_argument("--no-columnar", action="store_true",
+                        help="use the tuple-at-a-time storage backend")
     parser.add_argument("--require-speedup", type=float, default=None,
                         help="fail unless every size clears this engine speedup")
     args = parser.parse_args()
 
     rows = []
     for companies in args.sizes:
-        row = run_size(companies, args.updates, args.seed, not args.no_verify)
+        row = run_size(
+            companies, args.updates, args.seed, not args.no_verify,
+            columnar=not args.no_columnar,
+        )
         rows.append(row)
         print(
             f"E-INCR {companies} companies: full engine "
@@ -192,6 +208,7 @@ def main() -> int:
         "program": "CONTROL_PROGRAM",
         "updates_per_size": args.updates,
         "seed": args.seed,
+        "backend": "tuple" if args.no_columnar else "columnar",
         "results": rows,
     }
     with open(args.out, "w", encoding="utf-8") as handle:

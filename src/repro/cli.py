@@ -114,15 +114,29 @@ def cmd_reason(args) -> int:
     if args.trace or args.profile:
         tracer = RecordingTracer()
     governor = None
-    if any(v is not None for v in (args.budget_seconds, args.max_facts)):
+    if any(
+        v is not None
+        for v in (args.budget_seconds, args.max_facts, args.max_resident_facts)
+    ):
         governor = ResourceGovernor(
             budget_seconds=args.budget_seconds,
             max_facts=args.max_facts,
+            max_resident_facts=args.max_resident_facts,
             graceful=True,
         )
     engine = None
-    if tracer is not None or governor is not None or args.workers:
-        engine = Engine(tracer=tracer, governor=governor, workers=args.workers)
+    if (
+        tracer is not None
+        or governor is not None
+        or args.workers
+        or args.no_columnar
+    ):
+        engine = Engine(
+            tracer=tracer,
+            governor=governor,
+            workers=args.workers,
+            columnar=not args.no_columnar,
+        )
     checkpoint = None
     if args.resume and not args.checkpoint:
         raise KGModelError("--resume requires --checkpoint DIR")
@@ -414,6 +428,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="partition-parallel chase with N workers (results are "
              "bit-identical to serial; strata with existential heads "
              "run serially)",
+    )
+    p.add_argument(
+        "--no-columnar", action="store_true",
+        help="use the original tuple-set fact storage instead of the "
+             "columnar (dictionary-encoded) backend",
+    )
+    p.add_argument(
+        "--max-resident-facts", default=None, type=int, metavar="N",
+        help="spill cold relations to sqlite3-backed column pages when "
+             "more than N facts are resident (columnar backend only)",
     )
     p.set_defaults(func=cmd_reason)
 

@@ -18,7 +18,6 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional
 
-from repro.core.oid import construct_oid
 from repro.core.schema import SuperSchema
 from repro.errors import SchemaError
 from repro.graph.property_graph import PropertyGraph
@@ -76,16 +75,17 @@ class SuperInstance:
         ioid = self.instance_oid
         schema = self.schema
 
-        def iid(kind: str, *parts: Any) -> str:
-            return construct_oid(ioid, f"i-{kind}", *parts)
-
+        # OIDs are inlined f-strings below — same shape construct_oid
+        # would produce (``{ioid}:i-node:{id}``), minus a call per fact.
         def reference(source: str, target: str) -> None:
-            edge_id = f"{source}-[SM_REFERENCES]->{target}"
-            if not graph.has_edge(edge_id):
-                graph.add_edge(
-                    source, target, "SM_REFERENCES", edge_id=edge_id,
-                    instanceOID=ioid,
-                )
+            # Edge ids embed the (fresh) source node id, so no duplicate
+            # probe is needed: re-encoding an instance raises in add_node
+            # before any edge could repeat.
+            graph.add_edge(
+                source, target, "SM_REFERENCES",
+                edge_id=f"{source}-[SM_REFERENCES]->{target}",
+                instanceOID=ioid,
+            )
 
         def attach(owner_iid: str, label: str, attr_iid: str) -> None:
             graph.add_edge(
@@ -94,53 +94,74 @@ class SuperInstance:
                 instanceOID=ioid,
             )
 
+        # Per-label caches: schema lookups and inherited-attribute maps
+        # are identical for every node/edge of the same label, and the
+        # registry has millions of instances over a handful of labels.
+        node_attr_cache: Dict[str, Any] = {}
+        edge_attr_cache: Dict[str, Any] = {}
         node_iids: Dict[Any, str] = {}
+        add_node = graph.add_node
+        add_edge = graph.add_edge
         for node in self.data.nodes():
-            if node.label is None:
+            label = node.label
+            if label is None:
                 continue
-            sm_node = schema.get_node(node.label)
-            node_iid = iid("node", node.id)
+            cached = node_attr_cache.get(label)
+            if cached is None:
+                sm_node = schema.get_node(label)
+                cached = node_attr_cache[label] = (
+                    sm_node.oid,
+                    {a.name: a for a in schema.inherited_attributes(sm_node)},
+                )
+            label_oid, attributes = cached
+            node_iid = f"{ioid}:i-node:{node.id}"
             node_iids[node.id] = node_iid
-            graph.add_node(
+            add_node(
                 node_iid, "I_SM_Node", instanceOID=ioid, sourceOID=node.id
             )
-            reference(node_iid, sm_node.oid)
-            attributes = {a.name: a for a in schema.inherited_attributes(sm_node)}
+            reference(node_iid, label_oid)
             for name, value in node.properties.items():
                 attribute = attributes.get(name)
                 if attribute is None:
                     continue  # property not modeled by the schema
-                attr_iid = iid("nattr", node.id, name)
-                graph.add_node(
+                attr_iid = f"{ioid}:i-nattr:{node.id}:{name}"
+                add_node(
                     attr_iid, "I_SM_Attribute", instanceOID=ioid, value=value
                 )
                 reference(attr_iid, attribute.oid)
                 attach(node_iid, "I_SM_HAS_NODE_PROPERTY", attr_iid)
 
         for edge in self.data.edges():
-            if edge.label is None:
+            label = edge.label
+            if label is None:
                 continue
-            sm_edge = schema.get_edge(edge.label)
-            edge_iid = iid("edge", edge.id)
-            graph.add_node(
+            cached = edge_attr_cache.get(label)
+            if cached is None:
+                sm_edge = schema.get_edge(label)
+                cached = edge_attr_cache[label] = (
+                    sm_edge.oid,
+                    {a.name: a for a in sm_edge.attributes},
+                )
+            label_oid, attributes = cached
+            edge_iid = f"{ioid}:i-edge:{edge.id}"
+            add_node(
                 edge_iid, "I_SM_Edge", instanceOID=ioid, sourceOID=edge.id
             )
-            reference(edge_iid, sm_edge.oid)
-            graph.add_edge(
+            reference(edge_iid, label_oid)
+            add_edge(
                 edge_iid, node_iids[edge.source], "I_SM_FROM",
                 edge_id=f"{edge_iid}-[I_SM_FROM]", instanceOID=ioid,
             )
-            graph.add_edge(
+            add_edge(
                 edge_iid, node_iids[edge.target], "I_SM_TO",
                 edge_id=f"{edge_iid}-[I_SM_TO]", instanceOID=ioid,
             )
-            attributes = {a.name: a for a in sm_edge.attributes}
             for name, value in edge.properties.items():
                 attribute = attributes.get(name)
                 if attribute is None:
                     continue
-                attr_iid = iid("eattr", edge.id, name)
-                graph.add_node(
+                attr_iid = f"{ioid}:i-eattr:{edge.id}:{name}"
+                add_node(
                     attr_iid, "I_SM_Attribute", instanceOID=ioid, value=value
                 )
                 reference(attr_iid, attribute.oid)

@@ -25,7 +25,7 @@ from typing import Any, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 from repro.errors import DeploymentError, GraphError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Node:
     """A node of a property graph.
 
@@ -46,7 +46,7 @@ class Node:
         return self.properties[name]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Edge:
     """A directed edge of a property graph.
 

@@ -448,9 +448,15 @@ def graph_to_database(
     catalog: GraphCatalog,
     node_labels: Optional[Iterable[str]] = None,
     edge_labels: Optional[Iterable[str]] = None,
+    columnar: bool = False,
 ) -> Database:
-    """Extract a relational instance from a property graph (phase 1)."""
-    database = Database()
+    """Extract a relational instance from a property graph (phase 1).
+
+    ``columnar=True`` loads straight into dictionary-encoded columnar
+    relations, so an engine run with the (default) columnar backend
+    skips the tuple-to-columnar conversion copy.
+    """
+    database = Database(columnar=columnar)
     node_labels = (
         set(node_labels) if node_labels is not None else set(catalog.node_properties)
     )

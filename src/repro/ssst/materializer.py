@@ -289,11 +289,18 @@ class IntensionalMaterializer:
                     dictionary_catalog(),
                     node_labels=_INSTANCE_NODE_LABELS,
                     edge_labels=_INSTANCE_EDGE_LABELS,
+                    columnar=self.engine.columnar,
                 )
                 # Materialize V_I into the staging area (Section 6
                 # optimization).
+                # The staging database is materializer-owned: let
+                # every phase evaluate in place instead of copying the
+                # full extension per run.  With ``retain=True`` the
+                # three phase results must stay distinct snapshots (the
+                # delta-chase baselines), so copies are kept.
                 result_in = self.engine.run(
-                    v_in, database=staging, retain_state=retain
+                    v_in, database=staging, retain_state=retain,
+                    copy_database=retain,
                 )
                 self._merge_status(report, result_in)
                 staged_db = result_in.database
@@ -320,6 +327,7 @@ class IntensionalMaterializer:
                 result_sigma = self.engine.run(
                     compiled.program, database=staged_db,
                     retain_state=retain, track_support=track_support,
+                    copy_database=retain,
                 )
                 report.reason_stats = result_sigma.stats
                 self._merge_status(report, result_sigma)
@@ -346,7 +354,8 @@ class IntensionalMaterializer:
         # skipped), so re-running it always yields a complete store.
         with tracer.span("materialize.flush") as flush_span:
             result_out = self.engine.run(
-                v_out, database=result_db, retain_state=retain
+                v_out, database=result_db, retain_state=retain,
+                copy_database=retain,
             )
             self._merge_status(report, result_out)
             added, dropped = _flush_instance_facts(

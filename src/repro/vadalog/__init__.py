@@ -25,6 +25,7 @@ from repro.vadalog.ast import (
     SkolemTerm,
     TermExpr,
 )
+from repro.vadalog.columnar import ColumnarRelation, SpillStore, ValueInterner
 from repro.vadalog.database import Database, Relation
 from repro.vadalog.engine import Engine, EvaluationResult, EvaluationStats
 from repro.vadalog.parallel import ParallelChase, WorkerCrashError
@@ -56,6 +57,9 @@ __all__ = [
     "TermExpr",
     "Database",
     "Relation",
+    "ColumnarRelation",
+    "SpillStore",
+    "ValueInterner",
     "Engine",
     "EvaluationResult",
     "EvaluationStats",

@@ -15,6 +15,8 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import EvaluationError
+from repro.vadalog.columnar import ColumnarRelation, SpillStore, ValueInterner
+from repro.vadalog.terms import values_equal
 
 Fact = Tuple[Any, ...]
 
@@ -33,9 +35,11 @@ class Relation:
         self._facts: Set[Fact] = set()
         # position -> value -> set of facts; built lazily per position.
         self._indexes: Dict[int, Dict[Any, Set[Fact]]] = {}
-        # (positions...) -> value tuple -> list of facts; built lazily per
-        # position combination (the access paths of compiled join plans).
-        self._composite: Dict[Tuple[int, ...], Dict[Tuple[Any, ...], List[Fact]]] = {}
+        # (positions...) -> value tuple -> insertion-ordered fact dict
+        # (an ordered set: O(1) delete, list-like iteration order); built
+        # lazily per position combination (the access paths of compiled
+        # join plans).
+        self._composite: Dict[Tuple[int, ...], Dict[Tuple[Any, ...], Dict[Fact, None]]] = {}
 
     def __len__(self) -> int:
         return len(self._facts)
@@ -62,7 +66,7 @@ class Relation:
             index.setdefault(fact[position], set()).add(fact)
         for positions, index2 in self._composite.items():
             key = tuple(fact[p] for p in positions)
-            index2.setdefault(key, []).append(fact)
+            index2.setdefault(key, {})[fact] = None
         return True
 
     def add_many(self, facts: Iterable[Iterable[Any]]) -> int:
@@ -114,10 +118,9 @@ class Relation:
             key = tuple(fact[p] for p in positions)
             bucket = index2.get(key)
             if bucket is not None:
-                try:
-                    bucket.remove(fact)
-                except ValueError:
-                    pass
+                # Ordered-dict buckets make this O(1); the old list-backed
+                # buckets paid an O(n) ``list.remove`` per DRed deletion.
+                bucket.pop(fact, None)
                 if not bucket:
                     del index2[key]
         return True
@@ -145,13 +148,13 @@ class Relation:
 
     def _ensure_composite(
         self, positions: Tuple[int, ...]
-    ) -> Dict[Tuple[Any, ...], List[Fact]]:
+    ) -> Dict[Tuple[Any, ...], Dict[Fact, None]]:
         index = self._composite.get(positions)
         if index is None:
             index = {}
             for fact in self._facts:
                 key = tuple(fact[p] for p in positions)
-                index.setdefault(key, []).append(fact)
+                index.setdefault(key, {})[fact] = None
             self._composite[positions] = index
         return index
 
@@ -173,7 +176,9 @@ class Relation:
         """Iterate facts matching the given (position, value) constraints.
 
         The most selective indexed position is used as the access path and
-        the remaining constraints are verified per fact.
+        the remaining constraints are verified per fact with the chase's
+        type-aware equality (a plain ``==`` filter would equate 1, 1.0
+        and True, which ``lookup_key`` documents the chase distinguishes).
         """
         if not bound:
             yield from self._facts
@@ -188,21 +193,38 @@ class Relation:
             if best_candidates is None or len(candidates) < len(best_candidates):
                 best_candidates = candidates
         for fact in best_candidates or ():
-            if all(fact[position] == value for position, value in bound):
+            if all(values_equal(fact[position], value) for position, value in bound):
                 yield fact
 
 
 class Database:
-    """A set of relations, keyed by predicate name."""
+    """A set of relations, keyed by predicate name.
 
-    def __init__(self):
+    Two storage backends share one facade: the original tuple-set
+    :class:`Relation` (``columnar=False``, the default for direct
+    construction) and the dictionary-encoded :class:`ColumnarRelation`
+    (``columnar=True``, the engine's default).  All facade methods accept
+    and return decoded fact tuples either way; :meth:`to_backend`
+    converts between the two.
+    """
+
+    def __init__(self, columnar: bool = False, spill_path: Optional[str] = None):
         self._relations: Dict[str, Relation] = {}
+        self.columnar = columnar
+        self._interner: Optional[ValueInterner] = ValueInterner() if columnar else None
+        self._spill_path = spill_path
+        self._store: Optional[SpillStore] = None
 
     def relation(self, predicate: str) -> Relation:
         """Return (creating on demand) the relation for ``predicate``."""
         relation = self._relations.get(predicate)
         if relation is None:
-            relation = Relation(predicate)
+            if self.columnar:
+                relation = ColumnarRelation(predicate, interner=self._interner)
+                if self._store is not None:
+                    relation.attach_store(self._store)
+            else:
+                relation = Relation(predicate)
             self._relations[predicate] = relation
         return relation
 
@@ -213,6 +235,20 @@ class Database:
     def add_all(self, predicate: str, facts: Iterable[Iterable[Any]]) -> int:
         """Insert many facts; returns the number of new ones."""
         return self.relation(predicate).add_many(facts)
+
+    def add_all_report(self, predicate: str, facts: List[Fact]) -> List[Fact]:
+        """Insert many facts; returns the ones that were new, in order.
+
+        Columnar relations take a vectorized bulk path; the tuple
+        backend inserts per fact.  Either way dedup is sequential-add
+        semantics (first ``==``-level occurrence wins).
+        """
+        relation = self.relation(predicate)
+        report = getattr(relation, "add_many_report", None)
+        if report is not None:
+            return report(facts)
+        add = relation.add
+        return [fact for fact in facts if add(tuple(fact))]
 
     def remove(self, predicate: str, fact: Iterable[Any]) -> bool:
         """Delete one fact; returns True when it was present."""
@@ -256,10 +292,100 @@ class Database:
         return sum(len(rel) for rel in self._relations.values())
 
     def copy(self) -> "Database":
-        clone = Database()
+        clone = Database(columnar=self.columnar, spill_path=self._spill_path)
+        if self.columnar:
+            # Copies share the append-only interner: codes stay
+            # comparable across snapshots and no re-encoding happens.
+            clone._interner = self._interner
         for name, relation in self._relations.items():
             clone._relations[name] = relation.copy()
         return clone
+
+    def to_backend(self, columnar: bool) -> "Database":
+        """A copy of this database on the requested backend.
+
+        Same-backend requests still copy (callers rely on isolation).
+        """
+        if columnar == self.columnar:
+            return self.copy()
+        clone = Database(columnar=columnar, spill_path=self._spill_path)
+        for name, relation in self._relations.items():
+            target = clone.relation(name)
+            if relation.arity is not None:
+                target.arity = relation.arity
+            target.add_many(relation)
+        return clone
+
+    # -- spill-to-disk ---------------------------------------------------
+    def _ensure_store(self) -> Optional[SpillStore]:
+        if not self.columnar:
+            return None
+        if self._store is None:
+            self._store = SpillStore(self._spill_path)
+            for relation in self._relations.values():
+                relation.attach_store(self._store)
+        return self._store
+
+    def total_resident_facts(self) -> int:
+        """Facts currently held in memory (spilled relations excluded)."""
+        if not self.columnar:
+            return self.total_facts()
+        return sum(
+            len(rel) for rel in self._relations.values() if not rel.spilled
+        )
+
+    def spill_over_budget(
+        self, budget: int, keep: Iterable[str] = ()
+    ) -> List[str]:
+        """Spill cold relations until ≤ ``budget`` facts stay resident.
+
+        Relations named in ``keep`` (needed by upcoming strata) are never
+        spilled.  Largest-first eviction; returns the spilled names.
+        Tuple-backend databases are a no-op.
+        """
+        if not self.columnar or budget < 0:
+            return []
+        resident = self.total_resident_facts()
+        if resident <= budget:
+            return []
+        keep_set = set(keep)
+        store = self._ensure_store()
+        if store is None:
+            return []
+        victims = sorted(
+            (
+                rel
+                for name, rel in self._relations.items()
+                if name not in keep_set and not rel.spilled and len(rel)
+            ),
+            key=len,
+            reverse=True,
+        )
+        spilled: List[str] = []
+        for rel in victims:
+            if resident <= budget:
+                break
+            resident -= rel.spill()
+            spilled.append(rel.name)
+        return spilled
+
+    def compact(self) -> None:
+        """Reclaim tombstoned rows in every columnar relation.
+
+        Only call at safe points: compaction renumbers row ids, which
+        invalidates any in-flight index iteration.
+        """
+        if not self.columnar:
+            return
+        for relation in self._relations.values():
+            if not relation.spilled:
+                relation.compact()
+
+    def close(self) -> None:
+        """Release the spill store (if one was opened)."""
+        if self._store is not None:
+            self._store.close()
+            self._store = None
 
     def merge(self, other: "Database") -> int:
         """Insert every fact of ``other``; returns how many were new."""

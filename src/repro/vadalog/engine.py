@@ -69,7 +69,10 @@ from repro.vadalog.plan import (
     check_condition as _plan_check_condition,
     evaluate_expression as _plan_evaluate,
     execute_plan,
+    execute_plan_batch,
     find_aggregate as _find_aggregate,
+    vectorized_body_substitutions,
+    vectorized_rule_matches,
     values_equal as _values_equal,
 )
 from repro.vadalog.stratify import Stratum, stratify
@@ -229,6 +232,7 @@ class Engine:
         governor: Optional[ResourceGovernor] = None,
         workers: Optional[int] = None,
         parallel_backend: Optional[str] = None,
+        columnar: bool = True,
     ):
         self.max_iterations = max_iterations
         self.max_nulls = max_nulls
@@ -239,6 +243,10 @@ class Engine:
         self.governor = governor
         self.workers = workers
         self.parallel_backend = parallel_backend
+        # Columnar (dictionary-encoded) fact storage with batch-at-a-time
+        # plan execution; ``columnar=False`` keeps the original tuple-set
+        # backend and tuple-at-a-time executor as a differential oracle.
+        self.columnar = columnar
         # Rule -> RulePlans; rules are frozen dataclasses, so structurally
         # equal rules (across programs) share one compiled plan bundle.
         self._plan_cache: Dict[Any, RulePlans] = {}
@@ -258,8 +266,15 @@ class Engine:
         workers: Optional[int] = None,
         retain_state: bool = False,
         track_support: bool = False,
+        copy_database: bool = True,
     ) -> EvaluationResult:
         """Saturate ``database`` (copied) with ``program`` and return it.
+
+        ``copy_database=False`` evaluates in place, mutating the caller's
+        ``database`` — for pipeline stages that own their staging database
+        and would otherwise pay a full-extension copy per phase.  A
+        backend mismatch still converts (the conversion is itself a fresh
+        database).
 
         ``workers`` overrides the engine-level default for this run; any
         value above 1 evaluates parallel-safe strata with partitioned
@@ -283,7 +298,14 @@ class Engine:
             check_warded(program).raise_if_violated()
 
         retain_state = retain_state or track_support
-        db = database.copy() if database is not None else Database()
+        if database is None:
+            db = Database(columnar=self.columnar)
+        elif database.columnar != self.columnar:
+            db = database.to_backend(self.columnar)
+        elif copy_database:
+            db = database.copy()
+        else:
+            db = database
         if inputs:
             for predicate, facts in inputs.items():
                 db.add_all(predicate, facts)
@@ -365,6 +387,31 @@ class Engine:
                         predicate: frozenset(db.relation(predicate))
                         for predicate in sorted(stratum.predicates)
                     })
+                if (
+                    governor is not None
+                    and governor.max_resident_facts is not None
+                    and state is None
+                    and db.columnar
+                ):
+                    # Stratum boundaries are safe points: no in-flight
+                    # index iteration, so tombstones can be reclaimed and
+                    # relations the remaining strata never read can move
+                    # to cold column pages.
+                    needed: Set[str] = set()
+                    for later in strata[index + 1:]:
+                        needed |= later.predicates
+                        for later_rule in later.rules:
+                            needed |= later_rule.body_predicates()
+                    db.compact()
+                    spilled = db.spill_over_budget(
+                        governor.max_resident_facts, keep=needed
+                    )
+                    if spilled and tracer is not None:
+                        tracer.event(
+                            "engine.spilled",
+                            relations=sorted(spilled),
+                            resident=db.total_resident_facts(),
+                        )
         except _BudgetStop as stop:
             status = STATUS_BUDGET_EXCEEDED
             violation = stop.violation
@@ -595,6 +642,32 @@ class Engine:
                         matches = self._semi_naive_matches_plan(
                             plans, db, delta, recursive_predicates, probe
                         )
+                    elif db.columnar:
+                        # Full evaluation of a simple rule: try the
+                        # whole-plan vectorized join first.  Probe
+                        # recording and support tracking need per-match
+                        # substitutions, so they stay on the batch path.
+                        vectorized = None
+                        if probe is None and recorder is None:
+                            vectorized = vectorized_rule_matches(plans, db)
+                        if vectorized is not None:
+                            firings, head_facts = vectorized
+                            stats.rule_firings += firings
+                            pending.extend(head_facts)
+                            matches = ()
+                        else:
+                            # Complex heads (Skolems, existentials) need
+                            # per-match work, but the join itself can
+                            # still run vectorized.
+                            matches = None
+                            if probe is None:
+                                matches = vectorized_body_substitutions(
+                                    plans.body_plan(), db
+                                )
+                            if matches is None:
+                                matches = execute_plan_batch(
+                                    plans.body_plan(), db, probe=probe
+                                )
                     else:
                         matches = execute_plan(plans.body_plan(), db, probe=probe)
                     if recorder is None:
@@ -692,10 +765,28 @@ class Engine:
     ) -> None:
         """Deduplicating insert of the derived facts into the database."""
         added = 0
-        for predicate, fact in pending:
-            if db.add(predicate, fact):
-                added += 1
-                new_facts.setdefault(predicate, set()).add(fact)
+        if db.columnar and len(pending) >= 256:
+            # Bulk path: group by predicate (facts of different
+            # predicates dedup independently, so grouping preserves
+            # sequential-add semantics) and insert each group in one
+            # vectorized call.
+            grouped: Dict[str, List[Fact]] = {}
+            for predicate, fact in pending:
+                bucket = grouped.get(predicate)
+                if bucket is None:
+                    grouped[predicate] = [fact]
+                else:
+                    bucket.append(fact)
+            for predicate, facts in grouped.items():
+                new = db.add_all_report(predicate, facts)
+                if new:
+                    added += len(new)
+                    new_facts.setdefault(predicate, set()).update(new)
+        else:
+            for predicate, fact in pending:
+                if db.add(predicate, fact):
+                    added += 1
+                    new_facts.setdefault(predicate, set()).add(fact)
         stats.facts_derived += added
         if self.tracer is not None and pending:
             self.tracer.count("engine.facts_derived", added)
@@ -812,6 +903,24 @@ class Engine:
                 earlier_delta = delta.get(body[earlier].predicate)
                 if earlier_delta:
                     excludes[earlier] = earlier_delta
+            if db.columnar:
+                # Batch-at-a-time: bind the whole delta partition up
+                # front and run the rest plan once over all the bases.
+                bases = [
+                    base
+                    for base in (binder.match(fact) for fact in delta_facts)
+                    if base is not None
+                ]
+                if bases:
+                    yield from execute_plan_batch(
+                        rest_plan,
+                        db,
+                        bases=bases,
+                        base_vars=tuple(var for _, var in binder.bind),
+                        excludes=excludes if excludes else None,
+                        probe=probe,
+                    )
+                continue
             for fact in delta_facts:
                 base = binder.match(fact)
                 if base is None:
@@ -835,7 +944,13 @@ class Engine:
         # Remember one full substitution per group so non-head variables
         # used by Skolem terms keep a witness binding.
         witnesses: Dict[Tuple[Any, ...], Substitution] = {}
-        for substitution in execute_plan(aggregate.pre_plan, db, probe=probe):
+        if db.columnar:
+            pre_matches: Iterator[Substitution] = execute_plan_batch(
+                aggregate.pre_plan, db, probe=probe
+            )
+        else:
+            pre_matches = execute_plan(aggregate.pre_plan, db, probe=probe)
+        for substitution in pre_matches:
             group = tuple(
                 _hashable(substitution.get(v)) for v in group_vars
             )

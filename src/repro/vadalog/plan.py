@@ -46,8 +46,17 @@ from repro.vadalog.ast import (
     SkolemTerm,
     TermExpr,
 )
+from repro.vadalog.columnar import _FNV_OFFSET as _FNV_OFFSET_NP
+from repro.vadalog.columnar import _FNV_PRIME as _FNV_PRIME_NP
 from repro.vadalog.database import Database, Fact
 from repro.vadalog.terms import SkolemFunctor, Variable
+
+from itertools import repeat as _repeat
+
+try:  # the vectorized full-plan executor needs numpy; scalar paths do not
+    import numpy as _np
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    _np = None
 
 Substitution = Dict[Variable, Any]
 
@@ -74,13 +83,10 @@ BUILTIN_FUNCTIONS: Dict[str, Callable[..., Any]] = {
 # ---------------------------------------------------------------------------
 
 
-def values_equal(a: Any, b: Any) -> bool:
-    """Equality that never mixes bool with 0/1 and tolerates numeric types."""
-    if isinstance(a, bool) or isinstance(b, bool):
-        return a is b or (isinstance(a, bool) and isinstance(b, bool) and a == b)
-    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
-        return a == b
-    return a == b
+# Re-exported so existing ``from repro.vadalog.plan import values_equal``
+# callers keep working; the definition lives in terms.py so the storage
+# layer can share it without a circular import.
+from repro.vadalog.terms import values_equal  # noqa: E402,F401
 
 
 def apply_binop(op: str, left: Any, right: Any) -> Any:
@@ -379,11 +385,14 @@ class AtomStep:
 class BodyPlan:
     """A compiled body: prefix filters, then the ordered atom steps."""
 
-    __slots__ = ("prefix", "steps")
+    __slots__ = ("prefix", "steps", "batch_cache")
 
     def __init__(self, prefix: List[Any], steps: List[AtomStep]):
         self.prefix = prefix
         self.steps = steps
+        # (base variable tuple) -> _BatchProgram, built on first use by
+        # the columnar batch executor.
+        self.batch_cache: Dict[Tuple[Variable, ...], Any] = {}
 
 
 # ---------------------------------------------------------------------------
@@ -608,6 +617,795 @@ def _execute_plan_probed(
                     del subst[var]
             else:
                 depth += 1
+
+
+# ---------------------------------------------------------------------------
+# Batch-at-a-time execution over columnar storage
+# ---------------------------------------------------------------------------
+
+#: Register sentinel: slot not bound yet.
+_ABSENT = object()
+
+
+class _RegView:
+    """Mapping view over the batch executor's register arrays.
+
+    Filters (CondFilter/AssignFilter/NegFilter) were written against
+    plain substitution dicts; this view lets them run unchanged over the
+    register-based batch executor.  Assignments store the raw value with
+    an unknown code (``None``) — codes are probed lazily when the value
+    later feeds an index key.
+    """
+
+    __slots__ = ("slots", "vals", "codes")
+
+    def __init__(self, slots: Dict[Variable, int], vals: List[Any], codes: List[Any]):
+        self.slots = slots
+        self.vals = vals
+        self.codes = codes
+
+    def __getitem__(self, var: Variable) -> Any:
+        slot = self.slots.get(var)
+        if slot is None:
+            raise KeyError(var)
+        value = self.vals[slot]
+        if value is _ABSENT:
+            raise KeyError(var)
+        return value
+
+    def __contains__(self, var: Variable) -> bool:
+        slot = self.slots.get(var)
+        return slot is not None and self.vals[slot] is not _ABSENT
+
+    def get(self, var: Variable, default: Any = None) -> Any:
+        slot = self.slots.get(var)
+        if slot is None:
+            return default
+        value = self.vals[slot]
+        return default if value is _ABSENT else value
+
+    def __setitem__(self, var: Variable, value: Any) -> None:
+        slot = self.slots[var]
+        self.vals[slot] = value
+        self.codes[slot] = None
+
+
+class _BatchStep:
+    """An :class:`AtomStep` lowered onto register slots and code columns."""
+
+    __slots__ = (
+        "predicate", "arity", "orig_index", "positions",
+        "key_ops", "bind_ops", "check_ops", "filters",
+    )
+
+    def __init__(self, step: AtomStep, slots: Dict[Variable, int]):
+        self.predicate = step.predicate
+        self.arity = step.arity
+        self.orig_index = step.orig_index
+        self.positions = step.positions
+        # (is_slot, slot-or-constant) per key position, aligned with
+        # ``positions`` (AtomStep builds both in one pass).
+        self.key_ops = tuple(
+            (True, slots[payload]) if is_var else (False, payload)
+            for is_var, payload in step.key_parts
+        )
+        self.bind_ops = tuple((pos, slots[var]) for pos, var in step.bind)
+        self.check_ops = tuple((pos, slots[var]) for pos, var in step.check)
+        self.filters = step.filters
+
+
+class _BatchProgram:
+    """A :class:`BodyPlan` compiled onto a fixed register file."""
+
+    __slots__ = ("slots", "nslots", "base_slots", "prefix", "steps")
+
+    def __init__(self, plan: BodyPlan, base_vars: Tuple[Variable, ...]):
+        slots: Dict[Variable, int] = {}
+        for var in base_vars:
+            slots.setdefault(var, len(slots))
+
+        def register(filters: Iterable[Any]) -> None:
+            for filt in filters:
+                if isinstance(filt, AssignFilter) and filt.binds:
+                    slots.setdefault(filt.target, len(slots))
+
+        register(plan.prefix)
+        steps: List[_BatchStep] = []
+        for step in plan.steps:
+            for _pos, var in step.bind:
+                slots.setdefault(var, len(slots))
+            # key/check vars reference earlier binds (already registered);
+            # filter assign-targets become visible to later steps.
+            steps.append(_BatchStep(step, slots))
+            register(step.filters)
+        self.slots = slots
+        self.nslots = len(slots)
+        self.base_slots = tuple((var, slots[var]) for var in base_vars)
+        self.prefix = tuple(plan.prefix)
+        self.steps = tuple(steps)
+
+
+def _batch_program(plan: BodyPlan, base_vars: Tuple[Variable, ...]) -> _BatchProgram:
+    program = plan.batch_cache.get(base_vars)
+    if program is None:
+        program = _BatchProgram(plan, base_vars)
+        plan.batch_cache[base_vars] = program
+    return program
+
+
+def execute_plan_batch(
+    plan: BodyPlan,
+    db: Database,
+    bases: Optional[Iterable[Substitution]] = None,
+    base_vars: Tuple[Variable, ...] = (),
+    excludes: Optional[Dict[int, Set[Fact]]] = None,
+    probe: Optional[ProbeStats] = None,
+) -> Iterator[Substitution]:
+    """Batch twin of :func:`execute_plan` for columnar databases.
+
+    Processes a whole batch of initial substitutions (``bases``, e.g.
+    one semi-naive delta partition) in one call over one compiled
+    register program.  Join keys probe the relation's eq-code indexes,
+    candidate verification compares dictionary codes (ints) instead of
+    decoding fact tuples, and only full matches materialize substitution
+    dicts.  Yields exactly the substitutions the tuple-at-a-time
+    executor yields (possibly in a different enumeration order).
+
+    ``bases`` items must bind exactly ``base_vars``; ``None`` means one
+    empty base (a full evaluation, like ``execute_plan`` without
+    ``initial``).
+    """
+    interner = db._interner
+    if interner is None:
+        raise EvaluationError("execute_plan_batch requires a columnar database")
+    program = _batch_program(plan, tuple(base_vars))
+    steps = program.steps
+    n = len(steps)
+    eq_of = interner.eq
+    value_of = interner.values
+    probe_exact = interner.probe
+    probe_eq = interner.probe_eq
+
+    # Per-(program, db) step environment: relations and pre-resolved
+    # constant key parts.  Cached on the database because the engine
+    # calls the same compiled program over the same database once per
+    # delta partition — at semi-naive scale that is hundreds of
+    # thousands of tiny calls, so the setup must not be per-call.  The
+    # cache entry pins the program object (so its id is never reused)
+    # and is invalidated when an unresolved constant might have been
+    # interned since resolution (the interner is append-only, so fully
+    # resolved keys stay valid forever).
+    envs = db.__dict__.setdefault("_batch_envs", {})
+    entry = envs.get(id(program))
+    if (
+        entry is not None
+        and entry[0] is program
+        and (entry[3] or entry[4] == len(value_of))
+    ):
+        relations = entry[1]
+        const_keys = entry[2]
+    else:
+        relations = []
+        const_keys = []
+        for bstep in steps:
+            relations.append(db.relation(bstep.predicate))
+            # Constants in the key resolve once (the interner only grows
+            # at commit time, never during a match pass).
+            resolved: Optional[Tuple[Tuple[int, ...], Tuple[int, ...]]] = ((), ())
+            eq_parts: List[int] = []
+            exact_parts: List[int] = []
+            for is_slot, payload in bstep.key_ops:
+                if is_slot:
+                    eq_parts.append(-1)
+                    exact_parts.append(-1)
+                    continue
+                eq_code = probe_eq(payload)
+                exact = probe_exact(payload)
+                if eq_code is None or exact is None or payload != payload:
+                    resolved = None  # constant unseen (or NaN): no match
+                    break
+                eq_parts.append(eq_code)
+                exact_parts.append(exact)
+            if resolved is not None:
+                resolved = (tuple(eq_parts), tuple(exact_parts))
+            const_keys.append(resolved)
+        envs[id(program)] = (
+            program,
+            relations,
+            const_keys,
+            all(k is not None for k in const_keys),
+            len(value_of),
+        )
+
+    if probe is None:
+        counters: List[List[int]] = [_COUNTER_SINK] * n
+    else:
+        counters = []
+        for bstep in steps:
+            key = (bstep.orig_index, bstep.predicate)
+            counter = probe.get(key)
+            if counter is None:
+                counter = [0, 0]
+                probe[key] = counter
+            counters.append(counter)
+    if excludes:
+        excluded_sets = [excludes.get(b.orig_index) for b in steps]
+    else:
+        excluded_sets = [None] * n
+
+    vals: List[Any] = [_ABSENT] * program.nslots
+    codes: List[Optional[int]] = [None] * program.nslots
+    view = _RegView(program.slots, vals, codes)
+    base_slots = program.base_slots
+    prefix = program.prefix
+    slot_of = program.slots
+    out_slots = tuple(slot_of.items())
+
+    if bases is None:
+        bases = ({},)
+
+    for base in bases:
+        for slot in range(program.nslots):
+            vals[slot] = _ABSENT
+            codes[slot] = None
+        for var, slot in base_slots:
+            value = base[var]
+            vals[slot] = value
+            codes[slot] = probe_exact(value)
+        failed = False
+        prefix_bound: List[Variable] = []
+        for filt in prefix:
+            if not filt.apply(view, db, prefix_bound):
+                failed = True
+                break
+        if failed:
+            continue
+        if n == 0:
+            yield {
+                var: vals[slot]
+                for var, slot in out_slots
+                if vals[slot] is not _ABSENT
+            }
+            continue
+
+        matchers: List[Optional[Iterator[List[int]]]] = [None] * n
+        undos: List[Optional[List[int]]] = [None] * n
+        last = n - 1
+        depth = 0
+        while True:
+            matcher = matchers[depth]
+            if matcher is None:
+                matcher = _step_matches(
+                    steps[depth],
+                    relations[depth],
+                    vals,
+                    codes,
+                    view,
+                    value_of,
+                    counters[depth],
+                    excluded_sets[depth],
+                    db,
+                    slot_of,
+                    const_keys[depth],
+                    eq_of,
+                    probe_exact,
+                )
+                matchers[depth] = matcher
+            undo = next(matcher, None)
+            if undo is None:
+                matchers[depth] = None
+                depth -= 1
+                if depth < 0:
+                    break
+                for slot in undos[depth]:
+                    vals[slot] = _ABSENT
+                    codes[slot] = None
+            else:
+                undos[depth] = undo
+                if depth == last:
+                    yield {
+                        var: vals[slot]
+                        for var, slot in out_slots
+                        if vals[slot] is not _ABSENT
+                    }
+                    for slot in undo:
+                        vals[slot] = _ABSENT
+                        codes[slot] = None
+                else:
+                    depth += 1
+
+
+_EMPTY_ROWS: Tuple[int, ...] = ()
+_COUNTER_SINK = [0, 0]  # shared throwaway when no ProbeStats is attached
+
+
+def _step_matches(
+    bstep: _BatchStep,
+    relation: Any,
+    vals: List[Any],
+    codes: List[Optional[int]],
+    view: _RegView,
+    value_of: List[Any],
+    counter: List[int],
+    excluded: Optional[Set[Fact]],
+    db: Database,
+    slot_of: Dict[Variable, int],
+    const_key: Optional[Tuple[Tuple[int, ...], Tuple[int, ...]]],
+    eq_of: List[int],
+    probe_exact: Any,
+) -> Iterator[List[int]]:
+    """Generator of undo-slot lists, one per accepted row of one step.
+
+    Fuses candidate enumeration and row acceptance for a single step
+    entry so the backtracking loop pays one generator resume per row
+    instead of a fresh many-argument call (the hot path of every batch
+    join).  Candidates come from an eq-keyed bucket; within a bucket,
+    exact-code equality is precisely ``values_equal`` (NaN excluded up
+    front: it never matches).  The caller must reset each yielded undo
+    list's slots to ``_ABSENT`` before resuming.
+    """
+    if relation.arity != bstep.arity:
+        return
+    verify: Optional[List[Tuple[int, int]]] = None
+    if bstep.positions:
+        if const_key is None:
+            return
+        const_eq, const_exact = const_key
+        eq_key: List[int] = []
+        verify = []
+        for i, (is_slot, payload) in enumerate(bstep.key_ops):
+            if is_slot:
+                code = codes[payload]
+                if code is None:
+                    code = probe_exact(vals[payload])
+                    if code is None:
+                        return
+                    codes[payload] = code
+                value = vals[payload]
+                if value != value:  # NaN never values_equal-matches
+                    return
+                eq_key.append(eq_of[code])
+                verify.append((bstep.positions[i], code))
+            else:
+                eq_key.append(const_eq[i])
+                verify.append((bstep.positions[i], const_exact[i]))
+        bucket = relation.candidate_rows(bstep.positions, tuple(eq_key))
+        if not bucket:
+            return
+        if relation.has_dead_rows:
+            live = relation.live_rows
+            rows_iter: Iterable[int] = (row for row in bucket if live[row])
+        else:
+            rows_iter = bucket
+    else:
+        rows_iter = relation.all_rows()
+    cols = relation.columns
+    filters = bstep.filters
+    bind_ops = bstep.bind_ops
+    check_ops = bstep.check_ops
+    decode = relation.decode_row
+    for row in rows_iter:
+        if excluded is not None and decode(row) in excluded:
+            continue
+        counter[0] += 1
+        if verify:
+            ok = True
+            for pos, expected in verify:
+                if cols[pos][row] != expected:
+                    ok = False
+                    break
+            if not ok:
+                continue
+        undo: List[int] = []
+        for pos, slot in bind_ops:
+            code = cols[pos][row]
+            vals[slot] = value_of[code]
+            codes[slot] = code
+            undo.append(slot)
+        ok = True
+        for pos, slot in check_ops:
+            code = cols[pos][row]
+            expected_code = codes[slot]
+            if expected_code is not None:
+                if code != expected_code:
+                    ok = False
+                    break
+                value = value_of[code]
+                if value != value:  # NaN: same code, still not equal
+                    ok = False
+                    break
+            elif not values_equal(vals[slot], value_of[code]):
+                ok = False
+                break
+        if ok and filters:
+            fbound: List[Variable] = []
+            for filt in filters:
+                if not filt.apply(view, db, fbound):
+                    ok = False
+                    break
+            for var in fbound:
+                undo.append(slot_of[var])
+        if not ok:
+            for slot in undo:
+                vals[slot] = _ABSENT
+                codes[slot] = None
+            continue
+        counter[1] += 1
+        yield undo
+
+
+# ---------------------------------------------------------------------------
+# Vectorized full-plan evaluation (columnar databases + numpy)
+# ---------------------------------------------------------------------------
+
+
+def execute_plan_vectorized(
+    plan: BodyPlan, db: Database
+) -> Optional[Tuple[int, Dict[Variable, Any]]]:
+    """Whole-plan sort-merge join over code columns, no per-row Python.
+
+    Handles the full-evaluation case (no initial substitutions) of plans
+    whose steps are pure atom joins — no prefix filters, no step filters
+    (conditions, assignments, negation).  Returns ``(n_matches, columns)``
+    where ``columns`` maps each plan variable to an int64 array of exact
+    codes, one entry per match (multiplicities preserved, enumeration
+    order unspecified).  Returns ``None`` when the plan or environment
+    does not qualify; the caller falls back to the scalar executor.
+
+    Matches are exactly the scalar executor's: join keys and repeated
+    occurrences compare exact codes (``values_equal``), and NaN-coded
+    values never match anything, including themselves.
+    """
+    interner = db._interner
+    if _np is None or interner is None:
+        return None
+    program = _batch_program(plan, ())
+    steps = program.steps
+    if program.prefix or not steps:
+        return None
+    neg_filters: List[Any] = []
+    for bstep in steps:
+        for filt in bstep.filters:
+            # Negations defer to a post-join anti-join; conditions and
+            # assignments keep the scalar path.
+            if type(filt) is not NegFilter or not filt.positions:
+                return None
+            neg_filters.append(filt)
+
+    probe_exact = interner.probe
+    nan_codes = interner.nan_codes
+    nan_arr = (
+        _np.fromiter(nan_codes, dtype=_np.int64, count=len(nan_codes))
+        if nan_codes
+        else None
+    )
+    nslots = program.nslots
+    slot_cols: List[Optional[Any]] = [None] * nslots
+    n = 1  # implicit single empty frontier row
+
+    for bstep in steps:
+        relation = db.relation(bstep.predicate)
+        if relation.arity != bstep.arity:
+            return (0, {})
+        const_ops: List[Tuple[int, int]] = []
+        slot_ops: List[Tuple[int, int]] = []
+        for i, (is_slot, payload) in enumerate(bstep.key_ops):
+            position = bstep.positions[i]
+            if is_slot:
+                slot_ops.append((position, payload))
+            else:
+                code = probe_exact(payload)
+                if code is None or payload != payload:
+                    return (0, {})  # unseen or NaN constant: no matches
+                const_ops.append((position, code))
+        cols, rows = relation.np_columns()
+        if not len(rows):
+            return (0, {})
+
+        if slot_ops:
+            fcols = []
+            for _position, slot in slot_ops:
+                arr = slot_cols[slot]
+                if arr is None:
+                    return None  # key references an unbound slot
+                fcols.append(arr)
+            if nan_arr is not None:
+                fmask = ~_np.isin(fcols[0], nan_arr)
+                for arr in fcols[1:]:
+                    fmask &= ~_np.isin(arr, nan_arr)
+                if not fmask.all():
+                    slot_cols = [
+                        arr[fmask] if arr is not None else None
+                        for arr in slot_cols
+                    ]
+                    fcols = [arr[fmask] for arr in fcols]
+                    n = len(fcols[0])
+                    if not n:
+                        return (0, {})
+            kpos = tuple(position for position, _slot in slot_ops)
+            skeys, srows = relation.np_join_key(kpos)
+            if len(fcols) == 1:
+                fkey = fcols[0]
+            else:
+                fkey = _np.full(n, _FNV_OFFSET_NP, dtype=_np.uint64)
+                prime = _np.uint64(_FNV_PRIME_NP)
+                for arr in fcols:
+                    fkey = (fkey ^ arr.astype(_np.uint64)) * prime
+            left = _np.searchsorted(skeys, fkey, side="left")
+            right = _np.searchsorted(skeys, fkey, side="right")
+            lens = right - left
+            total = int(lens.sum())
+            if not total:
+                return (0, {})
+            fidx = _np.repeat(_np.arange(n), lens)
+            cum = _np.concatenate(([0], _np.cumsum(lens)[:-1]))
+            sidx = _np.repeat(left - cum, lens) + _np.arange(total)
+            rrows = srows[sidx]
+            mask: Optional[Any] = None
+            if len(fcols) > 1:  # FNV key: verify exact codes per position
+                for (position, _slot), arr in zip(slot_ops, fcols):
+                    part = cols[position][rrows] == arr[fidx]
+                    mask = part if mask is None else mask & part
+            for position, code in const_ops:
+                part = cols[position][rrows] == code
+                mask = part if mask is None else mask & part
+            if mask is not None and not mask.all():
+                fidx = fidx[mask]
+                rrows = rrows[mask]
+                if not len(rrows):
+                    return (0, {})
+        else:
+            rrows = rows
+            for position, code in const_ops:
+                rrows = rrows[cols[position][rrows] == code]
+            if not len(rrows):
+                return (0, {})
+            m = len(rrows)
+            fidx = _np.repeat(_np.arange(n), m)
+            rrows = _np.tile(rrows, n)
+
+        if bstep.check_ops:
+            mask = None
+            for position, slot in bstep.check_ops:
+                arr = slot_cols[slot]
+                if arr is None:
+                    return None  # check references an unbound slot
+                fvals = arr[fidx]
+                part = cols[position][rrows] == fvals
+                if nan_arr is not None:
+                    part &= ~_np.isin(fvals, nan_arr)
+                mask = part if mask is None else mask & part
+            if mask is not None and not mask.all():
+                fidx = fidx[mask]
+                rrows = rrows[mask]
+                if not len(rrows):
+                    return (0, {})
+
+        slot_cols = [
+            arr[fidx] if arr is not None else None for arr in slot_cols
+        ]
+        for position, slot in bstep.bind_ops:
+            slot_cols[slot] = cols[position][rrows]
+        n = len(rrows)
+
+    for filt in neg_filters:
+        # Anti-join: drop frontier rows for which a values_equal match
+        # exists in the negated relation.  Deferring every negation to
+        # the end of the join changes pruning order, not the match set.
+        keep = _vectorized_neg_keep(
+            filt, program, slot_cols, n, db, nan_arr
+        )
+        if keep is None:
+            return None  # unbound slot — should not happen; be safe
+        if keep is not True:
+            if not keep.any():
+                return (0, {})
+            if not keep.all():
+                slot_cols = [
+                    arr[keep] if arr is not None else None
+                    for arr in slot_cols
+                ]
+                n = int(keep.sum())
+
+    return (
+        n,
+        {
+            var: slot_cols[slot]
+            for var, slot in program.slots.items()
+            if slot_cols[slot] is not None
+        },
+    )
+
+
+def _vectorized_neg_keep(
+    filt: NegFilter,
+    program: "_BatchProgram",
+    slot_cols: List[Any],
+    n: int,
+    db: Database,
+    nan_arr: Any,
+) -> Any:
+    """Keep-mask for one deferred :class:`NegFilter` (vectorized).
+
+    Returns ``True`` when every frontier row survives (no mask needed),
+    a bool array otherwise, or ``None`` when a referenced slot is
+    unbound and the caller must fall back to the scalar executor.
+
+    Match semantics mirror ``NegFilter.apply``: bound positions compare
+    with ``values_equal`` (exact codes, NaN never matches), free
+    variables are unconstrained except repeated ones (``samegroups``),
+    and an arity-mismatched or empty extension never matches.
+    """
+    relation = db.relation(filt.predicate)
+    if relation.arity != filt.arity or not len(relation):
+        return True
+    cols, rows = relation.np_columns()
+    # Candidate rows must repeat the value of any multiply-occurring
+    # free variable (and NaN repeats never count as equal).
+    for group in filt.samegroups:
+        base = cols[group[0]][rows]
+        gmask = _np.ones(len(rows), dtype=bool)
+        if nan_arr is not None:
+            gmask &= ~_np.isin(base, nan_arr)
+        for position in group[1:]:
+            gmask &= cols[position][rows] == base
+        rows = rows[gmask]
+        if not len(rows):
+            return True
+    probe_exact = db._interner.probe
+    const_ops: List[Tuple[int, int]] = []
+    slot_ops: List[Tuple[int, int]] = []
+    for position, (is_var, payload) in zip(filt.positions, filt.key_parts):
+        if is_var:
+            slot = program.slots.get(payload)
+            if slot is None:
+                return None
+            slot_ops.append((position, slot))
+        else:
+            code = probe_exact(payload)
+            if code is None or payload != payload:
+                return True  # unseen or NaN constant: no fact matches
+            const_ops.append((position, code))
+    for position, code in const_ops:
+        rows = rows[cols[position][rows] == code]
+        if not len(rows):
+            return True
+    if not slot_ops:
+        # Constants-only pattern with surviving candidates: the negated
+        # atom holds for every frontier row.
+        return _np.zeros(n, dtype=bool)
+    fcols = []
+    for _position, slot in slot_ops:
+        arr = slot_cols[slot]
+        if arr is None:
+            return None
+        fcols.append(arr)
+    # Frontier rows carrying NaN at a bound position can never match.
+    matchable = None
+    if nan_arr is not None:
+        for arr in fcols:
+            part = ~_np.isin(arr, nan_arr)
+            matchable = part if matchable is None else matchable & part
+    # Candidate set untouched by constants/samegroups: reuse the
+    # relation's cached sorted join key instead of re-sorting.
+    pristine = not const_ops and not filt.samegroups
+    if len(slot_ops) == 1:
+        # Single bound position: raw exact codes, presence is exact.
+        position = slot_ops[0][0]
+        if pristine:
+            rkeys, _srows = relation.np_join_key((position,))
+        else:
+            rkeys = _np.sort(cols[position][rows])
+        pos = _np.searchsorted(rkeys, fcols[0])
+        pos_c = _np.minimum(pos, len(rkeys) - 1)
+        found = rkeys[pos_c] == fcols[0]
+    else:
+        # FNV fold over the bound positions; verify suspects exactly.
+        fkey = _np.full(n, _FNV_OFFSET_NP, dtype=_np.uint64)
+        prime = _np.uint64(_FNV_PRIME_NP)
+        for (_position, _slot), arr in zip(slot_ops, fcols):
+            fkey = (fkey ^ arr.astype(_np.uint64)) * prime
+        if pristine:
+            skeys, srows = relation.np_join_key(
+                tuple(position for position, _slot in slot_ops)
+            )
+        else:
+            rkey = _np.full(len(rows), _FNV_OFFSET_NP, dtype=_np.uint64)
+            for (position, _slot), arr in zip(slot_ops, fcols):
+                rkey = (
+                    rkey ^ cols[position][rows].astype(_np.uint64)
+                ) * prime
+            order = _np.argsort(rkey, kind="stable")
+            skeys = rkey[order]
+            srows = rows[order]
+        left = _np.searchsorted(skeys, fkey, side="left")
+        right = _np.searchsorted(skeys, fkey, side="right")
+        lens = right - left
+        total = int(lens.sum())
+        if not total:
+            found = _np.zeros(n, dtype=bool)
+        else:
+            fidx = _np.repeat(_np.arange(n), lens)
+            cum = _np.concatenate(([0], _np.cumsum(lens)[:-1]))
+            sidx = _np.repeat(left - cum, lens) + _np.arange(total)
+            crows = srows[sidx]
+            pair_ok = _np.ones(total, dtype=bool)
+            for (position, _slot), arr in zip(slot_ops, fcols):
+                pair_ok &= cols[position][crows] == arr[fidx]
+            found = _np.zeros(n, dtype=bool)
+            found[fidx[pair_ok]] = True
+    if matchable is not None:
+        found &= matchable
+    return ~found
+
+
+def vectorized_body_substitutions(
+    plan: BodyPlan, db: Database
+) -> Optional[Iterator[Substitution]]:
+    """Vectorized join, scalar-consumable result.
+
+    For rules whose bodies qualify for :func:`execute_plan_vectorized`
+    but whose heads need per-match work (Skolem terms, existentials),
+    run the join vectorized and materialize one substitution dict per
+    match.  Enumeration order is unspecified; the dicts are exactly the
+    scalar executor's.  Returns ``None`` when the body does not qualify.
+    """
+    result = execute_plan_vectorized(plan, db)
+    if result is None:
+        return None
+    n, var_cols = result
+    if not n:
+        return iter(())
+    values = db._interner.values
+    variables = list(var_cols.keys())
+    columns = [
+        [values[c] for c in arr.tolist()] for arr in var_cols.values()
+    ]
+    rows = zip(*columns) if columns else _repeat((), n)
+    return (dict(zip(variables, row)) for row in rows)
+
+
+def vectorized_rule_matches(
+    plans: "RulePlans", db: Database
+) -> Optional[Tuple[int, List[Tuple[str, Fact]]]]:
+    """Vectorized firing of one simple rule: (n_matches, head facts).
+
+    Qualifies rules whose heads are plain substitution templates (no
+    existentials, no Skolem terms) over pure-join bodies; everything
+    else returns ``None`` and takes the scalar path.  The facts list is
+    ready for the engine's pending-commit queue and ``n_matches`` is the
+    exact count the scalar executor would have yielded.
+    """
+    if plans.placeholders or plans.existentials:
+        return None
+    result = execute_plan_vectorized(plans.body_plan(), db)
+    if result is None:
+        return None
+    n, var_cols = result
+    items: List[Tuple[str, Fact]] = []
+    if not n:
+        return (0, items)
+    values = db._interner.values
+    decoded: Dict[Variable, List[Any]] = {}
+    for predicate, slots in plans.head_ops:
+        out_cols: List[List[Any]] = []
+        for kind, payload in slots:
+            if kind == _K_VAR:
+                col = decoded.get(payload)
+                if col is None:
+                    codes = var_cols.get(payload)
+                    if codes is None:
+                        return None  # head variable unbound by the body
+                    col = [values[c] for c in codes.tolist()]
+                    decoded[payload] = col
+                out_cols.append(col)
+            else:  # _K_CONST (placeholders/existentials excluded above)
+                out_cols.append([payload] * n)
+        if out_cols:
+            items.extend(zip(_repeat(predicate), zip(*out_cols)))
+        else:
+            items.extend(_repeat((predicate, ()), n))
+    return (n, items)
 
 
 # ---------------------------------------------------------------------------

@@ -115,6 +115,15 @@ def is_ground(term: Any) -> bool:
     return not isinstance(term, Variable)
 
 
+def values_equal(a: Any, b: Any) -> bool:
+    """Equality that never mixes bool with 0/1 and tolerates numeric types."""
+    if isinstance(a, bool) or isinstance(b, bool):
+        return a is b or (isinstance(a, bool) and isinstance(b, bool) and a == b)
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        return a == b
+    return a == b
+
+
 def format_term(term: Any) -> str:
     """Human-readable rendering of any term."""
     if isinstance(term, (Variable, Null, SkolemValue)):
