@@ -1,0 +1,245 @@
+"""E-SERVE — goal-directed point queries vs full re-evaluation.
+
+Builds the serve-layer demo workload (the Example 4.1 company-control
+program over a generated shareholding registry), then answers single-
+binding point queries ``controls(c, B)?`` two ways: through the
+magic-sets rewrite (:class:`GoalDirectedEvaluator.answer`) and by
+re-running the full chase and filtering
+(:meth:`~GoalDirectedEvaluator.full_answer`).  Both paths run per query
+over the same extensional slice, exactly as the ``/query`` endpoint
+drives them.  Every magic answer is checked against its full-chase
+answer before timing is reported.
+
+Reported per size: end-to-end latency p50/p99, single-thread
+throughput, median *engine* seconds (the latency component the rewrite
+can actually shrink — parse/encode overhead is shared), and the median
+engine-time speedup.  The emitted JSON is schema-validated before
+writing, and ``--check FILE`` re-validates an existing payload (the CI
+``serve-smoke`` job uses it).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+    PYTHONPATH=src python benchmarks/bench_serve.py \
+        --sizes 1000 5000 --queries 12 --out BENCH_SERVE.json
+    PYTHONPATH=src python benchmarks/bench_serve.py --check BENCH_SERVE.json
+"""
+
+import argparse
+import json
+import os
+import random
+import resource
+import statistics
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from repro.cli import demo_serve_inputs
+from repro.vadalog import parse_program
+from repro.vadalog.magic import GoalDirectedEvaluator, Query
+from repro.vadalog.terms import Variable
+
+
+def _percentile(samples, fraction):
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _mode_row(label, wall_seconds, engine_seconds):
+    total = sum(wall_seconds)
+    return {
+        "mode": label,
+        "queries": len(wall_seconds),
+        "p50_ms": round(_percentile(wall_seconds, 0.50) * 1000.0, 3),
+        "p99_ms": round(_percentile(wall_seconds, 0.99) * 1000.0, 3),
+        "throughput_qps": round(len(wall_seconds) / max(total, 1e-9), 1),
+        "median_engine_seconds": round(
+            statistics.median(engine_seconds), 5
+        ),
+    }
+
+
+def run_size(companies, seed, queries, full_samples):
+    program_text, inputs = demo_serve_inputs(companies, seed)
+    program = parse_program(program_text)
+    evaluator = GoalDirectedEvaluator(program)
+    names = [name for (name,) in inputs["company"]]
+    rng = random.Random(seed)
+    subjects = rng.sample(names, min(queries, len(names)))
+
+    # Warm the rewrite/plan caches outside the timed region, the same
+    # way a server answers its first request before steady state.
+    warm = Query("controls", (subjects[0], Variable("B")))
+    evaluator.answer(warm, inputs=inputs)
+
+    magic_wall, magic_engine = [], []
+    differential_ok = True
+    expected = {}
+    for subject in subjects:
+        query = Query("controls", (subject, Variable("B")))
+        start = time.perf_counter()
+        answer = evaluator.answer(query, inputs=inputs)
+        magic_wall.append(time.perf_counter() - start)
+        magic_engine.append(answer.stats.elapsed_seconds)
+        expected[subject] = answer.facts
+        if answer.mode != "magic":
+            differential_ok = False
+
+    full_wall, full_engine = [], []
+    for subject in subjects[:full_samples]:
+        query = Query("controls", (subject, Variable("B")))
+        start = time.perf_counter()
+        answer = evaluator.full_answer(query, inputs=inputs)
+        full_wall.append(time.perf_counter() - start)
+        full_engine.append(answer.stats.elapsed_seconds)
+        if answer.facts != expected[subject]:
+            differential_ok = False
+
+    magic = _mode_row("magic", magic_wall, magic_engine)
+    full = _mode_row("full", full_wall, full_engine)
+    return {
+        "companies": companies,
+        "facts": sum(len(rows) for rows in inputs.values()),
+        "magic": magic,
+        "full": full,
+        "engine_speedup": round(
+            full["median_engine_seconds"]
+            / max(magic["median_engine_seconds"], 1e-9),
+            2,
+        ),
+        "differential_ok": differential_ok,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Payload schema (dependency-free: no jsonschema in the image)
+# ---------------------------------------------------------------------------
+
+_MODE_FIELDS = {
+    "mode": str,
+    "queries": int,
+    "p50_ms": (int, float),
+    "p99_ms": (int, float),
+    "throughput_qps": (int, float),
+    "median_engine_seconds": (int, float),
+}
+_ROW_FIELDS = {
+    "companies": int,
+    "facts": int,
+    "magic": dict,
+    "full": dict,
+    "engine_speedup": (int, float),
+    "differential_ok": bool,
+}
+_TOP_FIELDS = {
+    "experiment": str,
+    "program": str,
+    "seed": int,
+    "peak_rss_kb": int,
+    "results": list,
+}
+
+
+def validate(payload: dict) -> list:
+    """Structural check of a BENCH_SERVE payload; returns problems."""
+    problems = []
+
+    def check(obj, fields, where):
+        for field, types in fields.items():
+            if field not in obj:
+                problems.append(f"{where}: missing field '{field}'")
+            elif not isinstance(obj[field], types):
+                problems.append(
+                    f"{where}: field '{field}' has type "
+                    f"{type(obj[field]).__name__}"
+                )
+
+    check(payload, _TOP_FIELDS, "payload")
+    if payload.get("experiment") != "E-SERVE":
+        problems.append("payload: experiment must be 'E-SERVE'")
+    for i, row in enumerate(payload.get("results") or []):
+        where = f"results[{i}]"
+        if not isinstance(row, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        check(row, _ROW_FIELDS, where)
+        for mode in ("magic", "full"):
+            sub = row.get(mode)
+            if isinstance(sub, dict):
+                check(sub, _MODE_FIELDS, f"{where}.{mode}")
+        if not row.get("differential_ok", False):
+            problems.append(f"{where}: differential_ok is not true")
+    if not payload.get("results"):
+        problems.append("payload: results is empty")
+    return problems
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sizes", type=int, nargs="+", default=[1000, 5000])
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--queries", type=int, default=12,
+                        help="point queries per size (magic path)")
+    parser.add_argument("--full-samples", type=int, default=6,
+                        help="how many of those also run the full chase")
+    parser.add_argument("--out", default="BENCH_SERVE.json")
+    parser.add_argument("--require-speedup", type=float, default=None,
+                        help="fail unless every size clears this engine "
+                             "speedup")
+    parser.add_argument("--check", metavar="FILE", default=None,
+                        help="validate an existing payload and exit")
+    args = parser.parse_args()
+
+    if args.check is not None:
+        with open(args.check, "r", encoding="utf-8") as handle:
+            problems = validate(json.load(handle))
+        for problem in problems:
+            print(f"schema: {problem}", file=sys.stderr)
+        print(f"{args.check}: {'INVALID' if problems else 'schema OK'}")
+        return 1 if problems else 0
+
+    rows = []
+    for companies in args.sizes:
+        row = run_size(
+            companies, args.seed, args.queries,
+            max(1, min(args.full_samples, args.queries)),
+        )
+        rows.append(row)
+        print(
+            f"E-SERVE {companies} companies: magic p50 "
+            f"{row['magic']['p50_ms']:.1f}ms ({row['magic']['throughput_qps']:.0f} q/s) "
+            f"vs full p50 {row['full']['p50_ms']:.1f}ms, engine "
+            f"{row['engine_speedup']:.1f}x, differential "
+            f"{'OK' if row['differential_ok'] else 'MISMATCH'}"
+        )
+
+    payload = {
+        "experiment": "E-SERVE",
+        "program": "example-4.1-control",
+        "seed": args.seed,
+        "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        "results": rows,
+    }
+    problems = validate(payload)
+    for problem in problems:
+        print(f"schema: {problem}", file=sys.stderr)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+
+    if problems:
+        return 1
+    if args.require_speedup is not None and any(
+        row["engine_speedup"] < args.require_speedup for row in rows
+    ):
+        print(f"engine speedup below required {args.require_speedup}x")
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

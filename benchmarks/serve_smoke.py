@@ -1,0 +1,130 @@
+"""Smoke test for `kgmodel serve`: a real HTTP server under concurrent
+read/write load.
+
+Starts :class:`KGModelServer` on a loopback port over a transitive-
+closure chain, then runs reader threads (mixing snapshot, magic and
+cached requests plus graph traversals) against a writer posting deltas
+that extend the chain.  Every reader response is checked against the
+exact expected answer set for the epoch it reports — any torn read,
+non-200/503 status, or cross-epoch inconsistency fails the script.
+
+Exit codes: 0 success, 1 consistency or status failure.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/serve_smoke.py
+    PYTHONPATH=src python benchmarks/serve_smoke.py --readers 12 --deltas 30
+"""
+
+import argparse
+import json
+import os
+import sys
+import threading
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from repro.serve import ResultCache, ServeState, ServiceHandlers, build_server
+
+PROGRAM = "e(X, Y) -> tc(X, Y).\ntc(X, Y), e(Y, Z) -> tc(X, Z)."
+BASE = 6  # chain a0 -> ... -> a6 at epoch 0
+
+
+def fetch(url, body=None, timeout=30):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(body).encode() if body is not None else None,
+        headers={"Content-Type": "application/json"} if body else {},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--readers", type=int, default=8)
+    parser.add_argument("--deltas", type=int, default=24)
+    parser.add_argument("--delta-sleep", type=float, default=0.01)
+    args = parser.parse_args()
+
+    edges = [(f"a{i}", f"a{i + 1}") for i in range(BASE)]
+    state = ServeState(PROGRAM, inputs={"e": edges}, check_wardedness=False)
+    handlers = ServiceHandlers(state, cache=ResultCache(256))
+    expected = {
+        epoch: sorted(
+            [["a0", f"a{i}"] for i in range(1, BASE + epoch + 1)]
+        )
+        for epoch in range(args.deltas + 1)
+    }
+
+    stop = threading.Event()
+    errors = []
+    reads = [0] * args.readers
+    query = urllib.parse.quote('tc("a0", Y)?')
+
+    with build_server(handlers) as server:
+        def reader(index):
+            mode = ("snapshot", "magic")[index % 2]
+            url = f"{server.url}/query?q={query}&engine={mode}"
+            while not stop.is_set() or reads[index] < 3:
+                try:
+                    status, payload = fetch(url)
+                except Exception as exc:  # noqa: BLE001 - report and fail
+                    errors.append((index, "transport", repr(exc)))
+                    return
+                if status != 200:
+                    errors.append((index, "status", status, payload))
+                    return
+                if sorted(payload["answers"]) != expected.get(payload["epoch"]):
+                    errors.append((index, "torn", payload["epoch"]))
+                    return
+                reads[index] += 1
+
+        threads = [
+            threading.Thread(target=reader, args=(i,), daemon=True)
+            for i in range(args.readers)
+        ]
+        for thread in threads:
+            thread.start()
+
+        for i in range(args.deltas):
+            status, payload = fetch(
+                f"{server.url}/delta",
+                {"added": {"e": [[f"a{BASE + i}", f"a{BASE + i + 1}"]]}},
+            )
+            if status != 200 or payload["epoch"] != i + 1:
+                errors.append(("writer", status, payload))
+                break
+            time.sleep(args.delta_sleep)
+
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=60)
+        alive = sum(thread.is_alive() for thread in threads)
+        status, stats = fetch(f"{server.url}/stats")
+
+    for error in errors[:5]:
+        print(f"FAIL: {error}", file=sys.stderr)
+    if alive:
+        print(f"FAIL: {alive} reader thread(s) hung", file=sys.stderr)
+        return 1
+    if errors:
+        return 1
+    cache = stats["cache"]
+    print(
+        f"serve smoke OK: {sum(reads)} reads across {args.readers} readers, "
+        f"{args.deltas} deltas, final epoch "
+        f"{state.snapshot.epoch}, cache hit rate {cache['hit_rate']:.2f}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

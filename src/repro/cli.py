@@ -355,6 +355,97 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def demo_serve_inputs(companies: int, seed: int):
+    """The demo workload: the Example 4.1 control program over a
+    synthetic shareholding registry."""
+    from repro.finkg.generator import (
+        ShareholdingConfig,
+        generate_shareholding_data,
+    )
+
+    program = (
+        "company(X) -> controls(X, X).\n"
+        "controls(X, Z), own(Z, Y, W), V = msum(W, <Z>), V > 0.5"
+        " -> controls(X, Y).\n"
+    )
+    data = generate_shareholding_data(
+        ShareholdingConfig(companies=companies, seed=seed)
+    )
+    inputs = {
+        "company": [(c,) for c in data.companies],
+        "own": [
+            (s.owner, s.company, s.percentage) for s in data.stakes
+        ],
+    }
+    return program, inputs
+
+
+def cmd_serve(args) -> int:
+    import json
+
+    from repro.serve import (
+        KGModelServer,
+        ResultCache,
+        ServeState,
+        ServiceHandlers,
+    )
+
+    if args.demo_companies is not None:
+        program_text, inputs = demo_serve_inputs(
+            args.demo_companies, args.seed
+        )
+        if args.program or args.facts:
+            print(
+                "error: --demo-companies replaces --program/--facts",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        if not args.program:
+            print(
+                "error: provide --program FILE (with --facts) or "
+                "--demo-companies N",
+                file=sys.stderr,
+            )
+            return 2
+        with open(args.program, encoding="utf-8") as handle:
+            program_text = handle.read()
+        inputs = {}
+        if args.facts:
+            with open(args.facts, encoding="utf-8") as handle:
+                raw = json.load(handle)
+            inputs = {
+                predicate: [tuple(fact) for fact in facts]
+                for predicate, facts in raw.items()
+            }
+
+    print("materializing base state ...", flush=True)
+    state = ServeState(
+        program_text, inputs, columnar=not args.no_columnar
+    )
+    snap = state.snapshot
+    print(
+        f"materialized {snap.total_facts()} facts over "
+        f"{len(snap.predicates())} predicates (epoch {snap.epoch})"
+    )
+    handlers = ServiceHandlers(
+        state,
+        cache=ResultCache(args.cache_size),
+        readonly=args.readonly,
+        default_budget_ms=args.budget_ms,
+        default_max_facts=args.max_facts,
+    )
+    server = KGModelServer(handlers, host=args.host, port=args.port)
+    host, port = server.address
+    print(f"serving on http://{host}:{port} (Ctrl-C to stop)", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+        server.httpd.server_close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="kgmodel",
@@ -515,6 +606,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--companies", type=int, default=1000)
     p.add_argument("--seed", type=int, default=42)
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve point/graph queries over a retained materialization",
+    )
+    p.add_argument("--program", help="Vadalog program file")
+    p.add_argument(
+        "--facts", help="JSON file: {predicate: [[v1, v2, ...], ...]}"
+    )
+    p.add_argument(
+        "--demo-companies", type=int, default=None, metavar="N",
+        help="serve the company-control demo over a synthetic registry",
+    )
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8321)
+    p.add_argument("--cache-size", type=int, default=1024)
+    p.add_argument(
+        "--budget-ms", type=float, default=None,
+        help="default per-request engine budget (503 on trip)",
+    )
+    p.add_argument(
+        "--max-facts", type=int, default=None,
+        help="default per-request derived-fact budget",
+    )
+    p.add_argument(
+        "--readonly", action="store_true",
+        help="reject POST /delta",
+    )
+    p.add_argument(
+        "--no-columnar", action="store_true",
+        help="tuple fact storage instead of the columnar backend",
+    )
+    p.set_defaults(func=cmd_serve)
 
     return parser
 

@@ -1,0 +1,33 @@
+"""`kgmodel serve`: a long-lived, concurrent KG query service.
+
+The serving model is read-mostly: a single writer thread owns the
+retained materialization (:class:`~repro.vadalog.incremental.MaterializedState`)
+and, after every delta, publishes an immutable epoch-stamped
+:class:`StateSnapshot` by atomically swapping one attribute reference.
+Readers never take the write lock and never touch the live database —
+they see exactly one epoch per request, so there are no torn reads by
+construction.
+
+Point queries default to a snapshot scan of the materialized model;
+``engine=magic`` re-derives the answer goal-directedly through the
+magic-sets rewrite (:mod:`repro.vadalog.magic`) and ``engine=full``
+re-runs the whole chase — both against the snapshot's extensional
+facts, which makes them the built-in differential oracles for the
+snapshot path.
+"""
+
+from repro.serve.cache import ResultCache
+from repro.serve.handlers import RequestError, ServiceHandlers
+from repro.serve.server import KGModelServer, build_server
+from repro.serve.state import ServeMetrics, ServeState, StateSnapshot
+
+__all__ = [
+    "KGModelServer",
+    "RequestError",
+    "ResultCache",
+    "ServeMetrics",
+    "ServeState",
+    "ServiceHandlers",
+    "StateSnapshot",
+    "build_server",
+]

@@ -1,0 +1,75 @@
+"""A thread-safe LRU result cache keyed by ``(epoch, request)``.
+
+Epochs make invalidation structural: a cached entry can never serve a
+stale answer because the key embeds the epoch the answer was computed
+against, and the epoch is taken from the same snapshot the answer was
+computed from.  On every epoch swap the cache additionally drops all
+entries from superseded epochs (via :meth:`ServeState.subscribe`), so
+memory is bounded by one epoch's working set plus the LRU capacity.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Hashable, Optional, Tuple
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """LRU over ``(epoch, key)`` with hit/miss accounting."""
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Tuple[int, Hashable], Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def get(self, epoch: int, key: Hashable) -> Optional[Any]:
+        with self._lock:
+            entry = self._entries.get((epoch, key))
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end((epoch, key))
+            self.hits += 1
+            return entry
+
+    def put(self, epoch: int, key: Hashable, value: Any) -> None:
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._entries[(epoch, key)] = value
+            self._entries.move_to_end((epoch, key))
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def on_epoch(self, snapshot) -> None:
+        """Drop entries computed against superseded epochs."""
+        epoch = snapshot.epoch
+        with self._lock:
+            stale = [k for k in self._entries if k[0] != epoch]
+            for key in stale:
+                del self._entries[key]
+            self.invalidations += len(stale)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": (self.hits / total) if total else 0.0,
+                "invalidations": self.invalidations,
+            }

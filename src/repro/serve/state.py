@@ -1,0 +1,205 @@
+"""Serving state: a retained materialization behind immutable snapshots.
+
+Thread model
+------------
+
+One writer, many readers.  :class:`ServeState` owns the retained chase
+state (which :func:`repro.vadalog.incremental.apply_delta` mutates in
+place — the live database, the ``edb`` buckets, the aggregate
+accumulators are all writer-private).  After the base run and after
+every delta the writer *freezes* the world into a :class:`StateSnapshot`
+— plain dicts of frozensets/tuples with no reference into any mutable
+engine structure — and publishes it with a single attribute assignment.
+Attribute reads are atomic in CPython, so readers grab a coherent epoch
+with ``state.snapshot`` and never block, no matter how long a delta
+takes.
+
+Metrics are shared across threads, so unlike the engine-internal
+:class:`~repro.obs.metrics.MetricsRegistry` (lockless by design, single
+writer per run) the serve layer wraps one registry behind a lock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+from repro.vadalog.ast import Program
+from repro.vadalog.database import Fact
+from repro.vadalog.engine import Engine, EvaluationResult
+from repro.vadalog.magic import GoalDirectedEvaluator
+from repro.vadalog.parser import parse_program
+
+__all__ = ["ServeMetrics", "ServeState", "StateSnapshot"]
+
+#: Latency buckets for request histograms (milliseconds).
+LATENCY_BUCKETS_MS = (
+    0.5, 1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000,
+)
+
+
+class ServeMetrics:
+    """A thread-safe facade over :class:`MetricsRegistry`."""
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry or MetricsRegistry()
+        self._lock = threading.Lock()
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self.registry.counter(name).inc(amount)
+
+    def observe(self, name: str, value: float) -> None:
+        with self._lock:
+            self.registry.histogram(name, buckets=LATENCY_BUCKETS_MS).observe(
+                value
+            )
+
+    def set_gauge(self, name: str, value: int) -> None:
+        """Counters double as gauges for monotone values (epoch)."""
+        with self._lock:
+            counter = self.registry.counter(name)
+            if value > counter.value:
+                counter.inc(value - counter.value)
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return self.registry.snapshot()
+
+
+@dataclass(frozen=True)
+class StateSnapshot:
+    """One immutable epoch of the materialized model.
+
+    ``facts`` holds every predicate of the model (extensional and
+    derived) as frozensets; ``edb`` holds the extensional slice as plain
+    tuples, ready to be fed to a private per-request engine run
+    (``inputs=`` builds a fresh database, sharing no storage — safe
+    under concurrency, unlike handing the live columnar relations to
+    another thread).
+    """
+
+    epoch: int
+    facts: Mapping[str, FrozenSet[Fact]]
+    edb: Mapping[str, Tuple[Fact, ...]]
+    created_at: float = field(default_factory=time.time)
+
+    def predicates(self) -> List[str]:
+        return sorted(self.facts)
+
+    def count(self, predicate: str) -> int:
+        return len(self.facts.get(predicate, ()))
+
+    def arity(self, predicate: str) -> Optional[int]:
+        for fact in self.facts.get(predicate, ()):
+            return len(fact)
+        return None
+
+    def total_facts(self) -> int:
+        return sum(len(v) for v in self.facts.values())
+
+
+class ServeState:
+    """The writer side: retained chase state + snapshot publication."""
+
+    def __init__(
+        self,
+        program,
+        inputs: Optional[Mapping[str, Iterable[Fact]]] = None,
+        *,
+        columnar: bool = True,
+        use_plans: bool = True,
+        check_wardedness: bool = True,
+        metrics: Optional[ServeMetrics] = None,
+        engine: Optional[Engine] = None,
+    ):
+        if isinstance(program, str):
+            program = parse_program(program)
+        self.program: Program = program
+        self.metrics = metrics or ServeMetrics()
+        self.engine = engine or Engine(
+            columnar=columnar,
+            use_plans=use_plans,
+            check_wardedness=check_wardedness,
+        )
+        self.evaluator = GoalDirectedEvaluator(
+            program, columnar=columnar, use_plans=use_plans
+        )
+        self._write_lock = threading.Lock()
+        self._listeners: List[Any] = []
+
+        start = time.perf_counter()
+        self._result: EvaluationResult = self.engine.run(
+            program,
+            inputs=dict(inputs) if inputs else None,
+            retain_state=True,
+        )
+        self._snapshot = self._freeze(epoch=0)
+        self.metrics.observe(
+            "serve.materialize_ms", (time.perf_counter() - start) * 1000.0
+        )
+        self.metrics.set_gauge("serve.epoch", 0)
+
+    # -- snapshot construction (writer thread only) -------------------
+
+    def _freeze(self, epoch: int) -> StateSnapshot:
+        db = self._result.database
+        facts = {
+            predicate: frozenset(db.relation(predicate))
+            for predicate in db.predicates()
+        }
+        state = self._result.state
+        if state is not None:
+            edb = {
+                predicate: tuple(bucket)
+                for predicate, bucket in state.edb.items()
+                if bucket
+            }
+        else:  # pragma: no cover - retained runs always carry state
+            idb = self.program.idb_predicates()
+            edb = {
+                predicate: tuple(bucket)
+                for predicate, bucket in facts.items()
+                if predicate not in idb
+            }
+        return StateSnapshot(epoch=epoch, facts=facts, edb=edb)
+
+    # -- reader API ---------------------------------------------------
+
+    @property
+    def snapshot(self) -> StateSnapshot:
+        """The current epoch; a single atomic attribute read."""
+        return self._snapshot
+
+    # -- writer API ---------------------------------------------------
+
+    def subscribe(self, listener) -> None:
+        """``listener(snapshot)`` runs after every epoch swap (used by
+        the result cache to drop superseded entries)."""
+        self._listeners.append(listener)
+
+    def apply_delta(
+        self,
+        added: Optional[Mapping[str, Iterable[Fact]]] = None,
+        removed: Optional[Mapping[str, Iterable[Fact]]] = None,
+    ):
+        """Apply an extensional delta and publish the next epoch."""
+        with self._write_lock:
+            start = time.perf_counter()
+            delta = self.engine.apply_delta(
+                self._result,
+                added=dict(added) if added else None,
+                removed=dict(removed) if removed else None,
+            )
+            snapshot = self._freeze(epoch=self._snapshot.epoch + 1)
+            self._snapshot = snapshot  # atomic publication
+            elapsed_ms = (time.perf_counter() - start) * 1000.0
+        self.metrics.observe("serve.delta_ms", elapsed_ms)
+        self.metrics.inc("serve.deltas")
+        self.metrics.set_gauge("serve.epoch", snapshot.epoch)
+        for listener in self._listeners:
+            listener(snapshot)
+        return delta

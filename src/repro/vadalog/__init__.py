@@ -28,6 +28,14 @@ from repro.vadalog.ast import (
 from repro.vadalog.columnar import ColumnarRelation, SpillStore, ValueInterner
 from repro.vadalog.database import Database, Relation
 from repro.vadalog.engine import Engine, EvaluationResult, EvaluationStats
+from repro.vadalog.magic import (
+    GoalDirectedEvaluator,
+    MagicProgram,
+    Query,
+    QueryAnswer,
+    magic_rewrite,
+    parse_query,
+)
 from repro.vadalog.parallel import ParallelChase, WorkerCrashError
 from repro.vadalog.parser import parse_program, parse_rule
 from repro.vadalog.stratify import Stratum, stratify
@@ -63,6 +71,12 @@ __all__ = [
     "Engine",
     "EvaluationResult",
     "EvaluationStats",
+    "GoalDirectedEvaluator",
+    "MagicProgram",
+    "Query",
+    "QueryAnswer",
+    "magic_rewrite",
+    "parse_query",
     "ParallelChase",
     "WorkerCrashError",
     "parse_program",

@@ -123,10 +123,25 @@ def stratify(program: Program) -> List[Stratum]:
     positive, negative = dependency_edges(program)
     all_edges = positive | negative
 
+    # Head predicates of a multi-head rule are produced together, so they
+    # must share a stratum: otherwise the rule is attached to the latest
+    # of them and a consumer of an *earlier* head predicate can be
+    # scheduled before the rule ever fires.  Mutual pseudo-edges merge
+    # their components; they are kept out of the recursion test below
+    # (producing two predicates together is not a cycle).
+    cohead: Set[Tuple[str, str]] = set()
+    for rule in program.rules:
+        heads = sorted(rule.head_predicates())
+        if len(heads) > 1:
+            first = heads[0]
+            for other in heads[1:]:
+                cohead.add((first, other))
+                cohead.add((other, first))
+
     # Tarjan emits components in reverse topological order of the
     # condensation with respect to body -> head edges, i.e. the most
     # dependent components first; reverse to evaluate dependencies first.
-    components = list(reversed(_condense(predicates, all_edges)))
+    components = list(reversed(_condense(predicates, all_edges | cohead)))
     component_of: Dict[str, int] = {}
     for i, component in enumerate(components):
         for predicate in component:
@@ -143,8 +158,11 @@ def stratify(program: Program) -> List[Stratum]:
     strata: List[Stratum] = []
     for i, component in enumerate(components):
         members = set(component)
-        recursive = len(component) > 1 or any(
-            (p, p) in all_edges for p in component
+        # Recursion is judged on the *real* body -> head edges only: a
+        # component merged purely through co-head pseudo-edges needs no
+        # fixpoint iteration.
+        recursive = any(
+            (p, q) in all_edges for p in component for q in component
         )
         strata.append(Stratum(index=i, predicates=members, recursive=recursive))
 

@@ -1,0 +1,346 @@
+"""Magic-sets demand transformation: adornment/SIPS unit tests, the
+52-program differential battery with randomly chosen bound queries
+(goal-directed vs full chase, both storage backends), and the explicit
+unsound-stratum fallback cases."""
+
+import random
+
+import pytest
+
+from repro.errors import KGModelError, VadalogError
+from repro.vadalog import Engine, parse_program
+from repro.vadalog.magic import (
+    GoalDirectedEvaluator,
+    Query,
+    magic_rewrite,
+    parse_query,
+)
+from repro.vadalog.terms import Null, Variable
+
+from tests.test_engine_plans import (
+    _aggregate_case,
+    _canon,
+    _existential_case,
+    _recursion_case,
+)
+
+
+# ---------------------------------------------------------------------------
+# Query parsing and matching
+# ---------------------------------------------------------------------------
+
+
+class TestParseQuery:
+    def test_bound_and_free(self):
+        query = parse_query('controls("a", B)?')
+        assert query.predicate == "controls"
+        assert query.terms == ("a", Variable("B"))
+        assert query.adornment() == "bf"
+        assert query.bound_constants() == ("a",)
+
+    def test_all_free(self):
+        assert parse_query("p(X, Y)?").adornment() == "ff"
+
+    def test_numeric_and_bool_constants(self):
+        query = parse_query("p(1, 0.5, true, X)?")
+        assert query.adornment() == "bbbf"
+        assert query.terms[:3] == (1, 0.5, True)
+
+    def test_question_mark_optional(self):
+        assert parse_query('p("a")').terms == ("a",)
+
+    def test_rejects_non_atoms(self):
+        with pytest.raises(KGModelError):
+            parse_query("p(X), q(X)?")
+        with pytest.raises(KGModelError):
+            parse_query("p(X) -> q(X)?")
+        with pytest.raises(KGModelError):
+            parse_query("p(#h(X))?")
+
+    def test_matches_bound_positions(self):
+        query = parse_query('p("a", X)?')
+        assert query.matches(("a", 1))
+        assert not query.matches(("b", 1))
+        assert not query.matches(("a",))
+
+    def test_matches_repeated_variables(self):
+        query = parse_query("p(X, X)?")
+        assert query.matches((3, 3))
+        assert not query.matches((3, 4))
+
+    def test_matches_numeric_tolerance(self):
+        # values_equal semantics: 1 == 1.0 but True != 1.
+        assert parse_query("p(1)?").matches((1.0,))
+        assert not parse_query("p(true)?").matches((1,))
+
+
+# ---------------------------------------------------------------------------
+# Rewrite structure: adornments, SIPS, magic rules
+# ---------------------------------------------------------------------------
+
+
+TC = "e(X, Y) -> tc(X, Y).\ntc(X, Y), e(Y, Z) -> tc(X, Z)."
+SG = "f(X, Y) -> sg(X, Y).\nup(X, U), sg(U, V), down(V, Y) -> sg(X, Y)."
+CONTROL = (
+    "company(X) -> controls(X, X).\n"
+    "controls(X, Z), own(Z, Y, W), V = msum(W, <Z>), V > 0.5"
+    " -> controls(X, Y)."
+)
+
+
+class TestRewriteStructure:
+    def test_tc_bound_first(self):
+        rewrite = magic_rewrite(parse_program(TC), parse_query('tc("a", Y)?'))
+        assert rewrite.rewritten
+        assert rewrite.answer_predicate == "tc@bf"
+        assert rewrite.seed_predicate == "magic__tc@bf"
+        texts = {str(rule) for rule in rewrite.rules}
+        assert "magic__tc@bf(X), e(X, Y) -> tc@bf(X, Y)." in texts
+        assert "magic__tc@bf(X), tc@bf(X, Y), e(Y, Z) -> tc@bf(X, Z)." in texts
+
+    def test_seed_rule_carries_query_constants(self):
+        rewrite = magic_rewrite(parse_program(TC), parse_query('tc("a", Y)?'))
+        seed = rewrite.seed_rule(parse_query('tc("zz", Y)?'))
+        assert not seed.body
+        assert seed.head[0].predicate == "magic__tc@bf"
+        assert seed.head[0].terms == ("zz",)
+
+    def test_sips_passes_bindings_left_to_right(self):
+        # The recursive sg occurrence sits after up(X, U): the magic rule
+        # must push the demand through that join.
+        rewrite = magic_rewrite(parse_program(SG), parse_query('sg("a", Y)?'))
+        texts = {str(rule) for rule in rewrite.rules}
+        assert "magic__sg@bf(X), up(X, U) -> magic__sg@bf(U)." in texts
+
+    def test_tautological_magic_rules_dropped(self):
+        rewrite = magic_rewrite(
+            parse_program(CONTROL), parse_query('controls("a", Y)?')
+        )
+        for rule in rewrite.rules:
+            if not rule.body:
+                continue
+            assert [str(l) for l in rule.body] != [str(a) for a in rule.head]
+
+    def test_aggregate_group_variable_is_demand_passable(self):
+        rewrite = magic_rewrite(
+            parse_program(CONTROL), parse_query('controls("a", Y)?')
+        )
+        assert rewrite.rewritten
+        assert rewrite.answer_predicate == "controls@bf"
+
+    def test_aggregate_target_position_degrades_to_free(self):
+        text = "own(Z, Y, W), V = mmax(W, <Z>), V > 0.4 -> strong(Y, V)."
+        # Binding the result position V cannot restrict the aggregate:
+        # the adornment degrades to all-free and the rewrite falls back.
+        rewrite = magic_rewrite(
+            parse_program(text), parse_query("strong(Y, 0.7)?")
+        )
+        assert not rewrite.rewritten
+        assert any("no demand-passable" in r for r in rewrite.fallback_reasons)
+        # ... while binding the group position Y stays goal-directed.
+        rewrite = magic_rewrite(
+            parse_program(text), parse_query('strong("b", V)?')
+        )
+        assert rewrite.rewritten
+
+    def test_skolem_head_position_degrades_to_free(self):
+        text = "own(X, Y, W) -> holding(#h(X, Y), X, Y, W)."
+        query = Query("holding", (Variable("H"), "a", Variable("Y"), Variable("W")))
+        rewrite = magic_rewrite(parse_program(text), query)
+        assert rewrite.rewritten
+        assert rewrite.answer_predicate == "holding@fbff"
+
+    def test_all_free_query_falls_back_to_cone(self):
+        rewrite = magic_rewrite(parse_program(TC), parse_query("tc(X, Y)?"))
+        assert not rewrite.rewritten
+        assert rewrite.answer_predicate == "tc"
+        assert {str(r) for r in rewrite.rules} == {
+            str(r) for r in parse_program(TC).rules
+        }
+
+    def test_edb_query_needs_no_program(self):
+        rewrite = magic_rewrite(parse_program(TC), parse_query('e("a", Y)?'))
+        assert not rewrite.rewritten
+        assert rewrite.rules == []
+
+    def test_unrelated_rules_are_dropped(self):
+        text = TC + '\nnode(X), not tc("a", X) -> unreachable(X).'
+        rewrite = magic_rewrite(parse_program(text), parse_query('tc("a", Y)?'))
+        # tc is negated only by a rule tc itself never demands: the
+        # reachable-cone restriction keeps tc adornable.
+        assert rewrite.rewritten
+        predicates = {p for r in rewrite.rules for p in r.head_predicates()}
+        assert "unreachable" not in predicates
+
+
+class TestSoundnessFallbacks:
+    def test_negated_predicate_in_cone_goes_full(self):
+        text = (
+            "node(X), not bad(X) -> good(X).\n"
+            "edge(X, Y), bad(X) -> bad(Y)."
+        )
+        rewrite = magic_rewrite(
+            parse_program(text), parse_query('good("n1")?')
+        )
+        assert "bad" in rewrite.full_predicates
+        assert any("negation" in r for r in rewrite.fallback_reasons)
+        # bad's original rules ride along unrestricted.
+        assert "bad" in rewrite.cone_predicates
+
+    def test_existential_head_goes_full(self):
+        text = "person(X) -> hasid(X, Y).\nhasid(X, Y) -> owner(Y, X)."
+        rewrite = magic_rewrite(
+            parse_program(text), parse_query('owner(Y, "p")?')
+        )
+        assert "hasid" in rewrite.full_predicates
+        assert any("existential" in r for r in rewrite.fallback_reasons)
+
+    def test_query_on_full_predicate_is_cone_evaluation(self):
+        text = "person(X) -> hasid(X, Y)."
+        rewrite = magic_rewrite(
+            parse_program(text), parse_query('hasid("p", Y)?')
+        )
+        assert not rewrite.rewritten
+        assert rewrite.answer_predicate == "hasid"
+
+    def test_full_closure_covers_dependencies(self):
+        # reach feeds the existential rule: computing meet demands the
+        # complete reach, which demands the complete edge closure.
+        text = (
+            "edge(X, Y) -> reach(X, Y).\n"
+            "reach(X, Z), edge(Z, Y) -> reach(X, Y).\n"
+            "reach(X, Y) -> meet(X, Y, Z).\n"
+            "meet(X, Y, Z) -> venue(Z)."
+        )
+        rewrite = magic_rewrite(
+            parse_program(text), parse_query('venue("v")?')
+        )
+        assert {"meet", "reach"} <= rewrite.full_predicates
+
+
+# ---------------------------------------------------------------------------
+# Differential battery: magic vs full chase on the 52 seeded programs
+# ---------------------------------------------------------------------------
+
+
+def _bound_queries(rng, predicate, answers, arity):
+    """One hit query (positions bound from a real answer) and one miss."""
+    queries = []
+    if answers and arity:
+        sample = list(rng.choice(sorted(answers, key=repr)))
+        bindable = [
+            i for i, v in enumerate(sample) if not isinstance(v, Null)
+        ]
+        if bindable:
+            chosen = rng.sample(
+                bindable, rng.randrange(1, len(bindable) + 1)
+            )
+            terms = tuple(
+                sample[i] if i in chosen else Variable(f"Q{i}")
+                for i in range(arity)
+            )
+            queries.append(Query(predicate, terms))
+    if arity:
+        terms = ("@@miss@@",) + tuple(
+            Variable(f"Q{i}") for i in range(1, arity)
+        )
+        queries.append(Query(predicate, terms))
+    return queries
+
+
+def goal_differential(text, predicates, columnar, rng, **inputs):
+    program = parse_program(text)
+    evaluator = GoalDirectedEvaluator(program, columnar=columnar)
+    full = Engine(columnar=columnar).run(program, inputs=inputs)
+    checked = 0
+    for predicate in predicates:
+        answers = full.facts(predicate)
+        arity = len(next(iter(answers))) if answers else 2
+        for query in _bound_queries(rng, predicate, answers, arity):
+            expected = {f for f in answers if query.matches(f)}
+            got = evaluator.answer(query, inputs=inputs)
+            assert _canon(got.facts) == _canon(expected), (
+                f"{query} [{got.mode}]"
+            )
+            checked += 1
+    assert checked
+    return evaluator
+
+
+class TestRandomizedGoalDifferential:
+    @pytest.mark.parametrize("columnar", [True, False])
+    @pytest.mark.parametrize("seed", range(20))
+    def test_negation_free_recursion(self, seed, columnar):
+        rng = random.Random(1000 + seed)
+        text, predicates, inputs = _recursion_case(rng)
+        goal_differential(text, predicates, columnar, rng, **inputs)
+
+    @pytest.mark.parametrize("columnar", [True, False])
+    @pytest.mark.parametrize("seed", range(16))
+    def test_monotonic_aggregates(self, seed, columnar):
+        rng = random.Random(2000 + seed)
+        text, predicates, inputs = _aggregate_case(rng)
+        goal_differential(text, predicates, columnar, rng, **inputs)
+
+    @pytest.mark.parametrize("columnar", [True, False])
+    @pytest.mark.parametrize("seed", range(16))
+    def test_existential_skolem(self, seed, columnar):
+        rng = random.Random(3000 + seed)
+        text, predicates, inputs = _existential_case(rng)
+        goal_differential(text, predicates, columnar, rng, **inputs)
+
+
+# ---------------------------------------------------------------------------
+# The point of it all: demand restriction actually restricts
+# ---------------------------------------------------------------------------
+
+
+class TestDemandRestriction:
+    def test_magic_derives_fewer_facts_than_full(self):
+        # Two disconnected 40-node chains; demand on one endpoint must
+        # not compute the other component's closure.
+        edges = [(f"a{i}", f"a{i+1}") for i in range(40)]
+        edges += [(f"b{i}", f"b{i+1}") for i in range(40)]
+        program = parse_program(TC)
+        evaluator = GoalDirectedEvaluator(program)
+        answer = evaluator.answer('tc("a0", Y)?', inputs={"e": edges})
+        full = evaluator.full_answer('tc("a0", Y)?', inputs={"e": edges})
+        assert answer.facts == full.facts
+        assert len(answer.facts) == 40
+        assert answer.stats.facts_derived < full.stats.facts_derived / 4
+
+    def test_rewrite_cache_reused_across_constants(self):
+        program = parse_program(TC)
+        evaluator = GoalDirectedEvaluator(program)
+        first = evaluator.rewrite(parse_query('tc("a", Y)?'))
+        second = evaluator.rewrite(parse_query('tc("b", Y)?'))
+        assert first is second
+
+    def test_repeated_query_variable(self):
+        edges = [("a", "b"), ("b", "a"), ("b", "c")]
+        program = parse_program(TC)
+        evaluator = GoalDirectedEvaluator(program)
+        query = parse_query("tc(X, X)?")
+        got = evaluator.answer(query, inputs={"e": edges})
+        full = evaluator.full_answer(query, inputs={"e": edges})
+        assert got.facts == full.facts
+        assert got.facts == {("a", "a"), ("b", "b")}
+
+    def test_bindings_report_free_variables(self):
+        program = parse_program(TC)
+        evaluator = GoalDirectedEvaluator(program)
+        answer = evaluator.answer(
+            'tc("a", Y)?', inputs={"e": [("a", "b"), ("b", "c")]}
+        )
+        assert {"Y": "b"} in answer.bindings()
+        assert {"Y": "c"} in answer.bindings()
+
+    def test_database_not_mutated(self):
+        from repro.vadalog import Database
+
+        db = Database()
+        db.add_all("e", [("a", "b"), ("b", "c")])
+        evaluator = GoalDirectedEvaluator(parse_program(TC))
+        evaluator.answer('tc("a", Y)?', database=db)
+        assert set(db.predicates()) == {"e"}
+        assert db.count("e") == 2

@@ -1,0 +1,510 @@
+"""The query service: snapshot semantics, endpoint contracts, the result
+cache, resource budgets, the HTTP layer, and the read/write concurrency
+battery (many reader threads racing interleaved delta applications, with
+every response checked against its epoch's exact expected answers)."""
+
+import json
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.serve import (
+    KGModelServer,
+    ResultCache,
+    ServeMetrics,
+    ServeState,
+    ServiceHandlers,
+    build_server,
+)
+from repro.vadalog import Engine, parse_program
+
+TC = "e(X, Y) -> tc(X, Y).\ntc(X, Y), e(Y, Z) -> tc(X, Z)."
+
+CONTROL = (
+    "company(X) -> controls(X, X).\n"
+    "controls(X, Z), own(Z, Y, W), V = msum(W, <Z>), V > 0.5"
+    " -> controls(X, Y)."
+)
+
+
+def make_state(**kwargs):
+    return ServeState(
+        TC,
+        inputs={"e": [("a", "b"), ("b", "c"), ("x", "y")]},
+        check_wardedness=False,
+        **kwargs,
+    )
+
+
+# ---------------------------------------------------------------------------
+# ServeState: materialization, snapshots, isolation
+# ---------------------------------------------------------------------------
+
+
+class TestServeState:
+    def test_base_materialization_is_epoch_zero(self):
+        state = make_state()
+        snap = state.snapshot
+        assert snap.epoch == 0
+        assert snap.facts["tc"] == {
+            ("a", "b"), ("a", "c"), ("b", "c"), ("x", "y")
+        }
+        assert set(snap.edb) == {"e"}
+        assert snap.count("e") == 3
+        assert snap.arity("tc") == 2
+
+    def test_delta_publishes_next_epoch(self):
+        state = make_state()
+        delta = state.apply_delta(added={"e": [("c", "d")]})
+        snap = state.snapshot
+        assert snap.epoch == 1
+        assert ("a", "d") in snap.facts["tc"]
+        assert ("c", "d") in delta.added.get("tc", set())
+
+    def test_snapshot_isolation_across_deltas(self):
+        # The frozen snapshot must not alias any structure the writer
+        # mutates: an applied delta leaves old epochs byte-identical.
+        state = make_state()
+        old = state.snapshot
+        old_tc = old.facts["tc"]
+        old_edb = old.edb["e"]
+        state.apply_delta(added={"e": [("c", "d")]}, removed={"e": [("x", "y")]})
+        assert old.epoch == 0
+        assert old.facts["tc"] == old_tc
+        assert old.facts["tc"] == {
+            ("a", "b"), ("a", "c"), ("b", "c"), ("x", "y")
+        }
+        assert old.edb["e"] == old_edb
+        new = state.snapshot
+        assert new.epoch == 1
+        assert ("x", "y") not in new.facts["tc"]
+
+    def test_removal_retracts_derived_facts(self):
+        state = make_state()
+        state.apply_delta(removed={"e": [("b", "c")]})
+        assert state.snapshot.facts["tc"] == {("a", "b"), ("x", "y")}
+
+    def test_subscribers_see_every_epoch(self):
+        state = make_state()
+        seen = []
+        state.subscribe(lambda snap: seen.append(snap.epoch))
+        state.apply_delta(added={"e": [("c", "d")]})
+        state.apply_delta(added={"e": [("d", "f")]})
+        assert seen == [1, 2]
+
+    def test_epoch_gauge_exported(self):
+        state = make_state()
+        state.apply_delta(added={"e": [("c", "d")]})
+        metrics = state.metrics.snapshot()
+        assert metrics["counters"]["serve.epoch"] == 1
+        assert metrics["counters"]["serve.deltas"] == 1
+
+    def test_program_text_accepted(self):
+        state = ServeState(
+            CONTROL,
+            inputs={
+                "company": [("c1",), ("c2",)],
+                "own": [("c1", "c2", 0.6)],
+            },
+        )
+        assert ("c1", "c2") in state.snapshot.facts["controls"]
+
+
+# ---------------------------------------------------------------------------
+# ResultCache
+# ---------------------------------------------------------------------------
+
+
+class TestResultCache:
+    def test_hit_miss_accounting(self):
+        cache = ResultCache(capacity=4)
+        assert cache.get(0, "k") is None
+        cache.put(0, "k", "v")
+        assert cache.get(0, "k") == "v"
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+
+    def test_lru_eviction(self):
+        cache = ResultCache(capacity=2)
+        cache.put(0, "a", 1)
+        cache.put(0, "b", 2)
+        cache.get(0, "a")  # refresh a
+        cache.put(0, "c", 3)  # evicts b
+        assert cache.get(0, "a") == 1
+        assert cache.get(0, "b") is None
+        assert cache.get(0, "c") == 3
+
+    def test_epoch_keys_never_collide(self):
+        cache = ResultCache()
+        cache.put(0, "k", "old")
+        cache.put(1, "k", "new")
+        assert cache.get(0, "k") == "old"
+        assert cache.get(1, "k") == "new"
+
+    def test_on_epoch_drops_superseded(self):
+        cache = ResultCache()
+        cache.put(0, "a", 1)
+        cache.put(0, "b", 2)
+        cache.put(1, "c", 3)
+
+        class Snap:
+            epoch = 1
+
+        cache.on_epoch(Snap())
+        assert len(cache) == 1
+        assert cache.stats()["invalidations"] == 2
+
+    def test_zero_capacity_disables(self):
+        cache = ResultCache(capacity=0)
+        cache.put(0, "k", "v")
+        assert cache.get(0, "k") is None
+
+
+# ---------------------------------------------------------------------------
+# Handlers: endpoint contracts (driven without sockets)
+# ---------------------------------------------------------------------------
+
+
+def get(handlers, path, **params):
+    return handlers.handle("GET", path, {k: str(v) for k, v in params.items()})
+
+
+class TestHandlers:
+    def test_healthz(self):
+        handlers = ServiceHandlers(make_state())
+        status, payload = get(handlers, "/healthz")
+        assert status == 200
+        assert payload == {"status": "ok", "epoch": 0}
+
+    def test_schema_marks_derived_predicates(self):
+        handlers = ServiceHandlers(make_state())
+        status, payload = get(handlers, "/schema")
+        assert status == 200
+        by_name = {p["name"]: p for p in payload["predicates"]}
+        assert by_name["tc"]["derived"] and not by_name["e"]["derived"]
+        assert by_name["tc"]["arity"] == 2
+        assert payload["total_facts"] == 7
+
+    def test_query_snapshot_mode(self):
+        handlers = ServiceHandlers(make_state())
+        status, payload = get(handlers, "/query", q='tc("a", Y)?')
+        assert status == 200
+        assert payload["answers"] == [["a", "b"], ["a", "c"]]
+        assert payload["epoch"] == 0
+        assert not payload["cached"]
+
+    def test_engine_modes_agree_with_direct_evaluation(self):
+        inputs = {"e": [("a", "b"), ("b", "c"), ("x", "y")]}
+        direct = Engine().run(parse_program(TC), inputs=inputs)
+        expected = sorted(
+            [list(f) for f in direct.facts("tc") if f[0] == "a"]
+        )
+        handlers = ServiceHandlers(make_state())
+        for mode in ("snapshot", "magic", "full"):
+            status, payload = get(
+                handlers, "/query", q='tc("a", Y)?', engine=mode
+            )
+            assert status == 200
+            assert sorted(payload["answers"]) == expected, mode
+        _, magic = get(handlers, "/query", q='tc("a", Y)?', engine="magic")
+        assert magic["engine_stats"]["facts_derived"] > 0
+
+    def test_query_cache_round_trip_and_invalidation(self):
+        handlers = ServiceHandlers(make_state())
+        _, first = get(handlers, "/query", q='tc("a", Y)?')
+        _, second = get(handlers, "/query", q='tc("a", Y)?')
+        assert not first["cached"] and second["cached"]
+        assert second["answers"] == first["answers"]
+        # A delta bumps the epoch; the same request misses and recomputes.
+        handlers.handle("POST", "/delta", {}, {"added": {"e": [["c", "d"]]}})
+        status, third = get(handlers, "/query", q='tc("a", Y)?')
+        assert not third["cached"]
+        assert third["epoch"] == 1
+        assert ["a", "d"] in third["answers"]
+        assert handlers.cache.stats()["invalidations"] >= 1
+
+    def test_query_limit(self):
+        handlers = ServiceHandlers(make_state())
+        status, payload = get(handlers, "/query", q="tc(X, Y)?", limit=2)
+        assert status == 200
+        assert len(payload["answers"]) == 2
+        assert payload["limited"]
+        assert payload["answer_count"] == 4
+
+    def test_query_budget_exceeded_is_503_with_partial(self):
+        # max_facts=1 on the full chase trips the graceful governor.
+        handlers = ServiceHandlers(make_state())
+        status, payload = get(
+            handlers, "/query", q="tc(X, Y)?", engine="full", max_facts=1
+        )
+        assert status == 503
+        assert payload["status"] != "fixpoint"
+        assert "partial" in payload["error"]
+        assert payload["engine_stats"]["facts_derived"] >= 1
+
+    def test_query_client_errors(self):
+        handlers = ServiceHandlers(make_state())
+        assert get(handlers, "/query")[0] == 400
+        assert get(handlers, "/query", q="not a query!!")[0] == 400
+        assert get(handlers, "/query", q="tc(X, Y)?", engine="warp")[0] == 400
+        assert get(handlers, "/query", q="tc(X, Y)?", limit="many")[0] == 400
+        assert get(handlers, "/nope")[0] == 404
+        assert handlers.handle("PUT", "/query", {})[0] == 405
+
+    def test_neighborhood(self):
+        handlers = ServiceHandlers(make_state())
+        status, payload = get(
+            handlers, "/neighborhood", node="a", predicate="tc", depth=1
+        )
+        assert status == 200
+        assert payload["layers"][0] == ["a"]
+        assert sorted(payload["layers"][1]) == ["b", "c"]
+        status, payload = get(
+            handlers, "/neighborhood", node="c", predicate="e",
+            direction="in",
+        )
+        assert status == 200
+        assert payload["layers"][1] == ["b"]
+
+    def test_neighborhood_truncates_to_503(self):
+        handlers = ServiceHandlers(make_state())
+        status, payload = get(
+            handlers, "/neighborhood", node="a", predicate="tc",
+            depth=2, max_visited=1,
+        )
+        assert status == 503
+        assert payload["truncated"]
+
+    def test_path(self):
+        handlers = ServiceHandlers(make_state())
+        status, payload = get(
+            handlers, "/path", predicate="e", **{"from": "a", "to": "c"}
+        )
+        assert status == 200
+        assert payload["path"] == ["a", "b", "c"]
+        assert payload["length"] == 2
+        status, payload = get(
+            handlers, "/path", predicate="e", **{"from": "a", "to": "x"}
+        )
+        assert status == 200
+        assert payload["path"] is None
+
+    def test_delta_rejects_derived_and_readonly(self):
+        handlers = ServiceHandlers(make_state())
+        status, payload = handlers.handle(
+            "POST", "/delta", {}, {"added": {"tc": [["a", "z"]]}}
+        )
+        assert status == 400
+        assert "derived" in payload["error"]
+        assert handlers.handle("POST", "/delta", {}, {})[0] == 400
+        readonly = ServiceHandlers(make_state(), readonly=True)
+        status, _ = readonly.handle(
+            "POST", "/delta", {}, {"added": {"e": [["c", "d"]]}}
+        )
+        assert status == 403
+
+    def test_delta_reports_strata_classification(self):
+        handlers = ServiceHandlers(make_state())
+        status, payload = handlers.handle(
+            "POST", "/delta", {}, {"added": {"e": [["c", "d"]]}}
+        )
+        assert status == 200
+        assert payload["epoch"] == 1
+        # The report covers the extensional delta and its derived wake:
+        # c->d extends three closure paths (a->d, b->d, c->d).
+        assert payload["added"] == {"e": 1, "tc": 3}
+        assert sum(payload["strata"].values()) >= 1
+
+    def test_stats_exposes_cache_and_metrics(self):
+        handlers = ServiceHandlers(make_state())
+        get(handlers, "/query", q='tc("a", Y)?')
+        get(handlers, "/query", q='tc("a", Y)?')
+        status, payload = get(handlers, "/stats")
+        assert status == 200
+        assert payload["cache"]["hits"] == 1
+        assert payload["cache"]["hit_rate"] == 0.5
+        counters = payload["metrics"]["counters"]
+        assert counters["serve.requests.query"] == 2
+        assert counters["serve.cache.hits"] == 1
+        assert counters["serve.status.200"] >= 2
+
+    def test_existential_nulls_encode_as_tagged_objects(self):
+        state = ServeState(
+            "person(X) -> hasid(X, Y).",
+            inputs={"person": [("p1",)]},
+        )
+        handlers = ServiceHandlers(state)
+        status, payload = get(handlers, "/query", q='hasid("p1", Y)?')
+        assert status == 200
+        [[_, null]] = payload["answers"]
+        assert isinstance(null, dict) and "$null" in null
+        json.dumps(payload)  # the whole payload must be serializable
+
+
+# ---------------------------------------------------------------------------
+# HTTP layer: real sockets
+# ---------------------------------------------------------------------------
+
+
+def fetch(url, body=None):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(body).encode() if body is not None else None,
+        headers={"Content-Type": "application/json"} if body else {},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+class TestHTTPServer:
+    def test_round_trip(self):
+        handlers = ServiceHandlers(make_state())
+        with build_server(handlers) as server:
+            status, payload = fetch(f"{server.url}/healthz")
+            assert (status, payload["status"]) == (200, "ok")
+            status, payload = fetch(
+                f"{server.url}/query?q=tc(%22a%22,%20Y)?&engine=magic"
+            )
+            assert status == 200
+            assert payload["answers"] == [["a", "b"], ["a", "c"]]
+            status, payload = fetch(
+                f"{server.url}/delta", {"added": {"e": [["c", "d"]]}}
+            )
+            assert (status, payload["epoch"]) == (200, 1)
+            status, payload = fetch(f"{server.url}/query?q=tc(%22a%22,%20Y)?")
+            assert ["a", "d"] in payload["answers"]
+
+    def test_error_statuses_over_http(self):
+        handlers = ServiceHandlers(make_state())
+        with build_server(handlers) as server:
+            assert fetch(f"{server.url}/query")[0] == 400
+            assert fetch(f"{server.url}/nope")[0] == 404
+
+
+# ---------------------------------------------------------------------------
+# The concurrency battery: ≥8 readers racing ≥20 interleaved deltas
+# ---------------------------------------------------------------------------
+
+
+class TestConcurrencyBattery:
+    READERS = 10
+    DELTAS = 24
+    BASE = 4  # chain a0 -> a1 -> ... -> a4 at epoch 0
+
+    def expected_chain(self, epoch):
+        """At epoch e the chain reaches a{BASE+e}: tc('a0', Y) answers."""
+        return [[f"a{i}"] for i in range(1, self.BASE + epoch + 1)]
+
+    def test_readers_never_see_torn_epochs(self):
+        edges = [(f"a{i}", f"a{i+1}") for i in range(self.BASE)]
+        state = ServeState(TC, inputs={"e": edges}, check_wardedness=False)
+        handlers = ServiceHandlers(state)
+        expected = {
+            epoch: sorted(
+                [["a0", f"a{i}"] for i in range(1, self.BASE + epoch + 1)]
+            )
+            for epoch in range(self.DELTAS + 1)
+        }
+
+        stop = threading.Event()
+        errors = []
+        reads = [0] * self.READERS
+        epochs_seen = [set() for _ in range(self.READERS)]
+        modes = ("snapshot", "magic")
+
+        def reader(index):
+            mode = modes[index % len(modes)]
+            while not stop.is_set() or reads[index] < 5:
+                status, payload = handlers.handle(
+                    "GET", "/query",
+                    {"q": 'tc("a0", Y)?', "engine": mode},
+                )
+                if status != 200:
+                    errors.append((index, "status", status, payload))
+                    return
+                epoch = payload["epoch"]
+                if sorted(payload["answers"]) != expected.get(epoch):
+                    errors.append((index, "torn", epoch, payload["answers"]))
+                    return
+                epochs_seen[index].add(epoch)
+                reads[index] += 1
+
+        threads = [
+            threading.Thread(target=reader, args=(i,), daemon=True)
+            for i in range(self.READERS)
+        ]
+        for thread in threads:
+            thread.start()
+
+        for i in range(self.DELTAS):
+            status, payload = handlers.handle(
+                "POST", "/delta", {},
+                {"added": {"e": [[f"a{self.BASE + i}",
+                                  f"a{self.BASE + i + 1}"]]}},
+            )
+            assert status == 200
+            assert payload["epoch"] == i + 1
+            time.sleep(0.002)  # let readers interleave mid-stream
+
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not any(thread.is_alive() for thread in threads)
+        assert errors == [], errors[:3]
+        assert all(count >= 5 for count in reads)
+        assert state.snapshot.epoch == self.DELTAS
+        # Readers collectively observed writer progress, not one frozen
+        # epoch: the union must span several distinct epochs.
+        union = set().union(*epochs_seen)
+        assert len(union) >= 3
+        # And the cache stayed coherent: hits only ever served the
+        # epoch embedded in their key.
+        stats = handlers.cache.stats()
+        assert stats["hits"] + stats["misses"] == sum(reads)
+
+    def test_concurrent_mixed_endpoints_stay_consistent(self):
+        edges = [(f"a{i}", f"a{i+1}") for i in range(self.BASE)]
+        state = ServeState(TC, inputs={"e": edges}, check_wardedness=False)
+        handlers = ServiceHandlers(state)
+        stop = threading.Event()
+        errors = []
+
+        def prober():
+            while not stop.is_set():
+                status, schema = handlers.handle("GET", "/schema", {})
+                if status != 200:
+                    errors.append(("schema", status))
+                    return
+                # Within one response, counts are mutually consistent.
+                total = sum(p["facts"] for p in schema["predicates"])
+                if total != schema["total_facts"]:
+                    errors.append(("schema-torn", schema))
+                    return
+                status, payload = handlers.handle(
+                    "GET", "/neighborhood",
+                    {"node": "a0", "predicate": "tc", "depth": "1"},
+                )
+                if status != 200:
+                    errors.append(("neighborhood", status))
+                    return
+
+        threads = [
+            threading.Thread(target=prober, daemon=True) for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for i in range(self.DELTAS):
+            handlers.handle(
+                "POST", "/delta", {},
+                {"added": {"e": [[f"b{i}", f"b{i + 1}"]]}},
+            )
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert errors == []

@@ -281,6 +281,55 @@ class TestExistentialsAndSkolems:
             )
 
 
+class TestMultiHeadStratification:
+    """Regression: every head of a multi-head rule must land in the same
+    stratum, or consumers of the earlier head evaluate too soon."""
+
+    def test_co_heads_share_a_stratum(self):
+        from repro.vadalog.stratify import stratify
+
+        text = (
+            "base(X) -> p(X).\n"
+            "q0(X) -> q(X).\n"
+            "q(X) -> q2(X), p(X).\n"
+            "q2(X), q2(Y) -> q3(X, Y).\n"
+            "p(X), p(Y) -> pp(X, Y)."
+        )
+        strata = stratify(parse_program(text))
+        of = {
+            p: i
+            for i, s in enumerate(strata)
+            for r in s.rules
+            for p in r.head_predicates()
+        }
+        assert of["p"] == of["q2"]
+        assert of["q3"] > of["q2"]
+
+    def test_consumer_of_co_head_sees_all_facts(self):
+        # Before the co-head fix, the q(X) -> q2(X), p(X) rule was
+        # scheduled with p's (later) stratum while q3 read q2 from an
+        # earlier one, silently yielding q3 = {}.
+        result = run(
+            "base(X) -> p(X).\n"
+            "q0(X) -> q(X).\n"
+            "q(X) -> q2(X), p(X).\n"
+            "q2(X), q2(Y) -> q3(X, Y).\n"
+            "p(X), p(Y) -> pp(X, Y).",
+            base=[("a",)],
+            q0=[("b",)],
+        )
+        assert result.facts("q3") == {("b", "b")}
+        assert result.facts("pp") == {
+            ("a", "a"), ("a", "b"), ("b", "a"), ("b", "b")
+        }
+
+    def test_pseudo_edges_do_not_mark_recursion(self):
+        from repro.vadalog.stratify import stratify
+
+        strata = stratify(parse_program("a(X) -> b(X), c(X)."))
+        assert all(not stratum.recursive for stratum in strata)
+
+
 class TestValidation:
     def test_empty_head_rejected(self):
         from repro.vadalog.ast import Program, Rule, Atom
