@@ -1,0 +1,282 @@
+"""E-STREAM — sustained CDC streaming ingestion over the company KG.
+
+Builds shareholding registries (``Business``/``PhysicalPerson`` nodes,
+``OWNS`` stakes) at several sizes, bootstraps the full company-control
+materialization once, then drives a synthetic CDC feed (stake adds with
+periodic churn removals) through the crash-safe :class:`DeltaStream`
+pipeline into a deployed graph store.  Reported per size: sustained
+updates/sec after bootstrap, p50/p99 staleness (feed arrival to applied
+batch), the window coalesce ratio, and a differential check — the
+streamed store must be byte-identical to a from-scratch batch
+materialization of the final registry.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_stream.py
+    PYTHONPATH=src python benchmarks/bench_stream.py \
+        --sizes 300 --updates 60 --out BENCH_STREAM.json
+    PYTHONPATH=src python benchmarks/bench_stream.py --check BENCH_STREAM.json
+"""
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+try:
+    import repro  # noqa: F401 — installed package (CI) or PYTHONPATH=src
+except ImportError:
+    sys.path.insert(
+        0,
+        os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+        ),
+    )
+
+from repro.deploy import GraphStore, RetryPolicy
+from repro.deploy.loaders import load_graph_store
+from repro.deploy.resilience import graph_store_state
+from repro.finkg import programs
+from repro.finkg.company_schema import company_super_schema
+from repro.finkg.generator import ShareholdingConfig, generate_shareholding_data
+from repro.graph.property_graph import PropertyGraph
+from repro.metalog import parse_metalog
+from repro.ssst import SSST, IntensionalMaterializer
+from repro.stream import DeltaStream, GeneratorFeed, MaterializerSink
+
+
+def business_registry(companies: int, seed: int = 42) -> PropertyGraph:
+    data = generate_shareholding_data(
+        ShareholdingConfig(companies=companies, seed=seed)
+    )
+    graph = PropertyGraph("registry")
+    for pid in data.persons:
+        graph.add_node(
+            pid, "PhysicalPerson",
+            fiscalCode=f"FC-{pid}", name=f"Person {pid}", gender="female",
+        )
+    for cid in data.companies:
+        graph.add_node(
+            cid, "Business",
+            fiscalCode=f"FC-{cid}", businessName=f"{cid} SpA",
+            legalNature="spa", shareholdingCapital=1000.0,
+        )
+    for index, stake in enumerate(data.stakes):
+        graph.add_edge(
+            stake.owner, stake.company, "OWNS",
+            edge_id=f"stake-{index}", percentage=stake.percentage,
+        )
+    return graph
+
+
+def change_feed(registry: PropertyGraph, updates: int) -> list:
+    """A deterministic CDC trace: stake adds with periodic churn
+    removals of earlier additions (so windows contain genuine
+    add/remove interplay for the coalescer to fold)."""
+    businesses = sorted(
+        (node.id for node in registry.nodes("Business")), key=str
+    )
+    records = []
+    live = []
+    seq = 0
+    for i in range(updates):
+        owner = businesses[(7 * i + 3) % len(businesses)]
+        target = businesses[(11 * i + 41) % len(businesses)]
+        if owner == target:
+            target = businesses[(11 * i + 42) % len(businesses)]
+        seq += 1
+        records.append({
+            "seq": seq, "op": "add_edge", "id": f"cdc-stake-{i}",
+            "source": owner, "target": target, "type": "OWNS",
+            "properties": {"percentage": 0.5 + (i % 40) / 100.0},
+        })
+        live.append(i)
+        if i % 3 == 2 and len(live) > 1:
+            victim = live.pop(0)
+            seq += 1
+            records.append({
+                "seq": seq, "op": "remove_edge", "id": f"cdc-stake-{victim}",
+            })
+    return records
+
+
+def apply_changes(registry: PropertyGraph, records: list) -> PropertyGraph:
+    final = registry.copy()
+    for record in records:
+        if record["op"] == "add_edge":
+            final.add_edge(
+                record["source"], record["target"], record["type"],
+                edge_id=record["id"], **record["properties"],
+            )
+        elif record["op"] == "remove_edge":
+            final.remove_edge(record["id"])
+        else:
+            raise ValueError(f"unexpected op {record['op']!r}")
+    return final
+
+
+def deployed_store() -> GraphStore:
+    store = GraphStore()
+    store.deploy(
+        SSST().translate(company_super_schema(), "property-graph").target_schema
+    )
+    return store
+
+
+def run_size(
+    companies: int, updates: int, seed: int, batch_window: int,
+    fsync: bool, verify: bool,
+) -> dict:
+    schema = company_super_schema()
+    sigma = parse_metalog(programs.CONTROL_PROGRAM)
+    base = business_registry(companies, seed=seed)
+    records = change_feed(base, updates)
+
+    sink = MaterializerSink(
+        schema, sigma, base.copy(), instance_oid=9,
+        retry=RetryPolicy(sleep=lambda _s: None),
+    )
+    store = deployed_store()
+    sink.attach_graph_store(store)
+
+    timings = {}
+    original_bootstrap = sink.bootstrap
+
+    def timed_bootstrap():
+        start = time.perf_counter()
+        original_bootstrap()
+        timings["bootstrap"] = time.perf_counter() - start
+
+    sink.bootstrap = timed_bootstrap
+
+    with tempfile.TemporaryDirectory(prefix="bench_stream_") as log_dir:
+        stream = DeltaStream(
+            GeneratorFeed(records), sink, log_dir,
+            batch_window=batch_window, fsync=fsync,
+        )
+        start = time.perf_counter()
+        report = stream.run()
+        total_seconds = time.perf_counter() - start
+
+    bootstrap_seconds = timings.get("bootstrap", 0.0)
+    stream_seconds = max(total_seconds - bootstrap_seconds, 1e-9)
+    applied = (
+        report.records_seen
+        - report.records_quarantined
+        - report.duplicates_skipped
+    )
+
+    ok = True
+    if verify:
+        final = apply_changes(base, records)
+        reference = IntensionalMaterializer().materialize(
+            schema, final, sigma, instance_oid=9
+        )
+        reference_store = deployed_store()
+        load_graph_store(schema, reference.instance.data, reference_store)
+        ok = graph_store_state(store) == graph_store_state(reference_store)
+
+    return {
+        "companies": companies,
+        "registry_nodes": base.node_count,
+        "registry_edges": base.edge_count,
+        "feed_records": len(records),
+        "records_applied": applied,
+        "records_quarantined": report.records_quarantined,
+        "records_cancelled": report.records_cancelled,
+        "batches_applied": report.batches_applied,
+        "coalesce_ratio": round(report.coalesce_ratio(), 4),
+        "bootstrap_seconds": round(bootstrap_seconds, 4),
+        "stream_seconds": round(stream_seconds, 4),
+        "apply_seconds": round(report.apply_seconds, 4),
+        "sustained_updates_per_sec": round(applied / stream_seconds, 2),
+        "staleness_p50_seconds": round(report.staleness_p50(), 4),
+        "staleness_p99_seconds": round(report.staleness_p99(), 4),
+        "differential_ok": ok,
+    }
+
+
+REQUIRED_ROW_KEYS = {
+    "companies", "registry_nodes", "registry_edges", "feed_records",
+    "records_applied", "records_quarantined", "records_cancelled",
+    "batches_applied", "coalesce_ratio", "bootstrap_seconds",
+    "stream_seconds", "apply_seconds", "sustained_updates_per_sec",
+    "staleness_p50_seconds", "staleness_p99_seconds", "differential_ok",
+}
+
+
+def check_payload(path: str) -> int:
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    assert payload["experiment"] == "E-STREAM", payload.get("experiment")
+    assert payload["results"], "no benchmark rows"
+    for key in ("program", "batch_window", "fsync", "seed"):
+        assert key in payload, f"missing payload key {key!r}"
+    for row in payload["results"]:
+        missing = REQUIRED_ROW_KEYS - set(row)
+        assert not missing, f"missing keys: {sorted(missing)}"
+        assert row["differential_ok"] is True, row
+        assert row["sustained_updates_per_sec"] > 0, row
+        assert row["staleness_p99_seconds"] >= row["staleness_p50_seconds"]
+        assert 0.0 < row["coalesce_ratio"] <= 1.0, row
+    print(f"schema OK: {len(payload['results'])} size(s)")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sizes", type=int, nargs="+", default=[1000, 5000])
+    parser.add_argument("--updates", type=int, default=200,
+                        help="CDC stake additions per size (churn removals extra)")
+    parser.add_argument("--batch-window", type=int, default=32)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--out", default="BENCH_STREAM.json")
+    parser.add_argument("--no-fsync", action="store_true",
+                        help="skip per-record fsync of the delta log")
+    parser.add_argument("--no-verify", action="store_true",
+                        help="skip the from-scratch differential check")
+    parser.add_argument("--check", metavar="JSON",
+                        help="validate an existing payload against the schema")
+    args = parser.parse_args()
+
+    if args.check:
+        return check_payload(args.check)
+
+    rows = []
+    for companies in args.sizes:
+        row = run_size(
+            companies, args.updates, args.seed, args.batch_window,
+            not args.no_fsync, not args.no_verify,
+        )
+        rows.append(row)
+        print(
+            f"E-STREAM {companies} companies: bootstrap "
+            f"{row['bootstrap_seconds']:.2f}s, {row['records_applied']} records "
+            f"in {row['stream_seconds']:.2f}s -> "
+            f"{row['sustained_updates_per_sec']:.0f} updates/s, staleness "
+            f"p50 {row['staleness_p50_seconds']:.3f}s / "
+            f"p99 {row['staleness_p99_seconds']:.3f}s, coalesce "
+            f"{row['coalesce_ratio']:.2f}, differential "
+            f"{'OK' if row['differential_ok'] else 'MISMATCH'}"
+        )
+
+    payload = {
+        "experiment": "E-STREAM",
+        "program": "CONTROL_PROGRAM",
+        "batch_window": args.batch_window,
+        "fsync": not args.no_fsync,
+        "seed": args.seed,
+        "results": rows,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+
+    return 1 if any(not row["differential_ok"] for row in rows) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -49,6 +49,13 @@ from repro.graph.property_graph import PropertyGraph
 from repro.metalog import parse_metalog
 from repro.obs import ResourceGovernor
 from repro.ssst import SSST, IntensionalMaterializer, MaterializationCheckpoint
+from repro.stream import (
+    DeltaStream,
+    FeedFaultInjector,
+    GeneratorFeed,
+    MaterializerSink,
+    ServeStateSink,
+)
 from repro.vadalog.engine import Engine
 
 COMPANIES = 1000
@@ -226,6 +233,117 @@ def main() -> int:
         and resumed.derived_counts == baseline.derived_counts,
         f"resumed from {resumed.resumed_from!r}, "
         f"derived {resumed.derived_counts}",
+    )
+
+    # -- streaming: store crash mid-flush, resume from the delta log ---
+    registry = PropertyGraph("registry")
+    for i in range(30):
+        registry.add_node(
+            f"p{i}", "PhysicalPerson",
+            fiscalCode=f"FC-P{i}", name=f"P{i}", gender="female",
+        )
+        registry.add_node(
+            f"c{i}", "Business",
+            fiscalCode=f"FC-C{i}", businessName=f"C{i} SpA",
+            legalNature="spa", shareholdingCapital=1.0,
+        )
+        registry.add_edge(
+            f"p{i}", f"c{i}", "OWNS", edge_id=f"stake-{i}", percentage=0.8,
+        )
+    changes = []
+    for i in range(12):
+        changes.append({
+            "seq": 2 * i + 1, "op": "add_edge", "id": f"chaos-stake-{i}",
+            "source": f"p{i}", "target": f"c{(i + 7) % 30}", "type": "OWNS",
+            "properties": {"percentage": 0.55},
+        })
+        changes.append({"seq": 2 * i + 2, "op": "remove_edge", "id": f"stake-{i}"})
+    final = registry.copy()
+    for i in range(12):
+        final.add_edge(
+            f"p{i}", f"c{(i + 7) % 30}", "OWNS",
+            edge_id=f"chaos-stake-{i}", percentage=0.55,
+        )
+        final.remove_edge(f"stake-{i}")
+    reference = IntensionalMaterializer().materialize(
+        company_super_schema(), final, sigma, instance_oid=9
+    )
+    reference_store = fresh_graph_store()
+    load_graph_store(company_super_schema(), reference.instance.data,
+                     reference_store)
+    reference_state = graph_store_state(reference_store)
+
+    def stream_sink(store):
+        sink = MaterializerSink(
+            company_super_schema(), sigma, registry.copy(), instance_oid=9,
+            retry=quiet_policy(),
+        )
+        sink.attach_graph_store(store)
+        return sink
+
+    log_dir = tempfile.mkdtemp(prefix="chaos_stream_")
+    store = fresh_graph_store()
+    injector = FaultInjector(store)
+    sink = stream_sink(injector)
+    original_apply = sink.apply
+
+    def crashing_apply(batch, quarantine):
+        # Arm only after bootstrap: crash the very next store mutation.
+        injector.crash_after = injector.mutations_applied
+        return original_apply(batch, quarantine)
+
+    sink.apply = crashing_apply
+    crashed = False
+    try:
+        DeltaStream(
+            GeneratorFeed(changes), sink, log_dir, batch_window=4,
+            fsync=False, checkpoint_every=1,
+        ).run()
+    except CrashFault:
+        crashed = True
+    store = fresh_graph_store()
+    report = DeltaStream(
+        GeneratorFeed(changes), stream_sink(store), log_dir, batch_window=4,
+        fsync=False,
+    ).run(resume=True)
+    check(
+        "stream crash mid-flush resumes bit-identical to the batch run",
+        crashed
+        and report.replayed_records > 0
+        and graph_store_state(store) == reference_state,
+        f"replayed {report.replayed_records} records, "
+        f"{report.batches_applied} batches",
+    )
+
+    # -- streaming: torn/duplicated/reordered feed converges -----------
+    entries = [
+        {"seq": i, "op": "assert", "predicate": "e",
+         "fact": [f"n{i}", f"n{i + 1}"]}
+        for i in range(60)
+    ]
+    faulty = FeedFaultInjector(
+        GeneratorFeed(entries), seed=SEED,
+        torn_rate=0.1, duplicate_rate=0.1, reorder_rate=0.1,
+    )
+    program = "e(X, Y) -> tc(X, Y).\ntc(X, Y), e(Y, Z) -> tc(X, Z)."
+    sink = ServeStateSink(program=program, inputs={"e": [("a", "b")]})
+    report = DeltaStream(
+        faulty, sink, tempfile.mkdtemp(prefix="chaos_stream_"),
+        batch_window=8, fsync=False,
+    ).run()
+    accounted = (
+        report.records_quarantined + report.duplicates_skipped
+        == faulty.torn + faulty.duplicated
+    )
+    check(
+        "torn/duplicated/reordered feed converges with exact accounting",
+        faulty.torn > 0 and faulty.duplicated > 0 and faulty.reordered > 0
+        and accounted
+        and sink.state.snapshot.count("e") == 61 - faulty.torn,
+        f"{faulty.torn} torn, {faulty.duplicated} duplicated, "
+        f"{faulty.reordered} reordered; "
+        f"{report.records_quarantined} quarantined, "
+        f"{report.duplicates_skipped} deduplicated",
     )
 
     if _failures:

@@ -1,0 +1,203 @@
+"""CI smoke for crash-safe streaming: crash/resume bit-identity vs batch.
+
+Drives a CDC change feed over a small shareholding registry through the
+:class:`DeltaStream` pipeline twice — once to completion, once killed
+after the first batch and resumed from the durable delta log — and
+checks both runs against a from-scratch batch materialization of the
+final registry on *all three* deployed backends (property graph, RDF
+triple store, relational engine).  A serve-mode (fact stream) crash is
+replayed the same way against the incremental Vadalog engine.
+
+Exit codes: 0 success, 1 any divergence.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/stream_smoke.py
+    PYTHONPATH=src python benchmarks/stream_smoke.py --companies 200
+"""
+
+import argparse
+import os
+import sys
+import tempfile
+
+try:
+    import repro  # noqa: F401 — installed package (CI) or PYTHONPATH=src
+except ImportError:
+    sys.path.insert(
+        0,
+        os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+        ),
+    )
+
+from repro.deploy import GraphStore, RetryPolicy, TripleStore
+from repro.deploy.loaders import load_graph_store, load_triple_store
+from repro.deploy.relational_engine import RelationalEngine
+from repro.deploy.resilience import graph_store_state
+from repro.finkg import programs
+from repro.finkg.company_schema import company_super_schema
+from repro.metalog import parse_metalog
+from repro.ssst import SSST, IntensionalMaterializer
+from repro.ssst.inverse import graph_instance_to_relational
+from repro.stream import DeltaStream, GeneratorFeed, MaterializerSink, ServeStateSink
+
+from bench_stream import apply_changes, business_registry, change_feed
+
+_failures = []
+
+
+def check(name, condition, detail=""):
+    status = "ok" if condition else "FAIL"
+    print(f"stream smoke: {name}: {status}" + (f" ({detail})" if detail else ""))
+    if not condition:
+        _failures.append(name)
+
+
+def make_targets():
+    schema = company_super_schema()
+    graph_store = GraphStore()
+    graph_store.deploy(SSST().translate(schema, "property-graph").target_schema)
+    triple_store = TripleStore()
+    triple_store.deploy(SSST().translate(schema, "rdf").target_schema)
+    engine = RelationalEngine()
+    engine.deploy(SSST().translate(schema, "relational").target_schema)
+    return graph_store, triple_store, engine
+
+
+def make_sink(registry):
+    sink = MaterializerSink(
+        company_super_schema(),
+        parse_metalog(programs.CONTROL_PROGRAM),
+        registry,
+        instance_oid=9,
+        retry=RetryPolicy(sleep=lambda _s: None),
+    )
+    targets = make_targets()
+    sink.attach_graph_store(targets[0])
+    sink.attach_triple_store(targets[1])
+    sink.attach_relational_engine(targets[2])
+    return sink, targets
+
+
+def backend_states(graph_store, triple_store, engine):
+    rows = {
+        table: sorted(
+            map(repr, (tuple(sorted(r.items())) for r in engine.rows(table)))
+        )
+        for table in engine.tables()
+    }
+    return (
+        graph_store_state(graph_store),
+        frozenset(triple_store.triples()),
+        rows,
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--companies", type=int, default=120)
+    parser.add_argument("--updates", type=int, default=30)
+    parser.add_argument("--batch-window", type=int, default=4)
+    args = parser.parse_args()
+
+    base = business_registry(args.companies)
+    records = change_feed(base, args.updates)
+    print(
+        f"stream smoke: {base.node_count} nodes / {base.edge_count} edges, "
+        f"{len(records)} CDC records, window {args.batch_window}"
+    )
+
+    # Batch reference: materialize the final registry from scratch and
+    # load every backend.
+    final = apply_changes(base, records)
+    reference = IntensionalMaterializer().materialize(
+        company_super_schema(), final,
+        parse_metalog(programs.CONTROL_PROGRAM), instance_oid=9,
+    )
+    ref_targets = make_targets()
+    load_graph_store(company_super_schema(), reference.instance.data, ref_targets[0])
+    load_triple_store(company_super_schema(), reference.instance.data, ref_targets[1])
+    graph_instance_to_relational(
+        company_super_schema(), reference.instance.data, ref_targets[2]
+    )
+    reference_states = backend_states(*ref_targets)
+
+    # Uninterrupted stream.
+    with tempfile.TemporaryDirectory(prefix="stream_smoke_") as log_dir:
+        sink, targets = make_sink(base.copy())
+        report = DeltaStream(
+            GeneratorFeed(records), sink, log_dir,
+            batch_window=args.batch_window, fsync=False,
+        ).run()
+        check(
+            "straight stream matches the batch run on all 3 backends",
+            backend_states(*targets) == reference_states,
+            f"{report.batches_applied} batches, "
+            f"coalesce {report.coalesce_ratio():.2f}",
+        )
+
+    # Crash after the first batch, then resume from the durable log.
+    with tempfile.TemporaryDirectory(prefix="stream_smoke_") as log_dir:
+        crashed_sink, _ = make_sink(base.copy())
+        DeltaStream(
+            GeneratorFeed(records), crashed_sink, log_dir,
+            batch_window=args.batch_window, fsync=False,
+            checkpoint_every=1, max_batches=1,
+        ).run()
+        resumed_sink, targets = make_sink(base.copy())
+        report = DeltaStream(
+            GeneratorFeed(records), resumed_sink, log_dir,
+            batch_window=args.batch_window, fsync=False,
+        ).run(resume=True)
+        check(
+            "crash/resume stream is bit-identical on all 3 backends",
+            report.replayed_records > 0
+            and backend_states(*targets) == reference_states,
+            f"replayed {report.replayed_records} records, "
+            f"{report.batches_applied} batches after resume",
+        )
+
+    # Serve-mode fact stream: crash and resume against the incremental
+    # engine must equal the uninterrupted run.
+    program = "e(X, Y) -> tc(X, Y).\ntc(X, Y), e(Y, Z) -> tc(X, Z)."
+    entries = [
+        {"seq": i, "op": "assert", "predicate": "e",
+         "fact": [f"n{i}", f"n{i + 1}"]}
+        for i in range(16)
+    ]
+    straight = ServeStateSink(program=program, inputs={"e": [("a", "b")]})
+    with tempfile.TemporaryDirectory(prefix="stream_smoke_") as log_dir:
+        DeltaStream(
+            GeneratorFeed(entries), straight, log_dir, batch_window=4,
+            fsync=False,
+        ).run()
+    with tempfile.TemporaryDirectory(prefix="stream_smoke_") as log_dir:
+        crashed = ServeStateSink(program=program, inputs={"e": [("a", "b")]})
+        DeltaStream(
+            GeneratorFeed(entries), crashed, log_dir, batch_window=4,
+            fsync=False, checkpoint_every=1, max_batches=2,
+        ).run()
+        resumed = ServeStateSink(program=program, inputs={"e": [("a", "b")]})
+        DeltaStream(
+            GeneratorFeed(entries), resumed, log_dir, batch_window=4,
+            fsync=False,
+        ).run(resume=True)
+    check(
+        "serve-mode crash/resume matches the uninterrupted fact stream",
+        dict(resumed.state.snapshot.facts) == dict(straight.state.snapshot.facts),
+        f"{resumed.state.snapshot.total_facts()} facts",
+    )
+
+    if _failures:
+        print(
+            f"stream smoke: {len(_failures)} check(s) failed: {_failures}",
+            file=sys.stderr,
+        )
+        return 1
+    print("stream smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,8 @@ translator / materializer).  This CLI exposes each:
     kgmodel reason    schema.gsl data.json rules.metalog -o enriched.json
     kgmodel update    schema.gsl data.json rules.metalog --from changes.json
     kgmodel load      schema.gsl data.json --target graph-store --graceful
+    kgmodel stream    schema.gsl data.json rules.metalog --feed feed.jsonl \
+                      --log-dir wal/ --deploy graph-store --deploy relational
     kgmodel stats     --companies 5000 --seed 42
 
 (Equivalently ``python -m repro.cli ...``.)
@@ -343,6 +345,101 @@ def cmd_load(args) -> int:
     return 4 if quarantine else 0
 
 
+def cmd_stream(args) -> int:
+    import json
+
+    from repro.deploy import (
+        FaultInjector,
+        GraphStore,
+        QuarantineReport,
+        RetryPolicy,
+        TripleStore,
+    )
+    from repro.deploy.relational_engine import RelationalEngine
+    from repro.obs import ResourceGovernor
+    from repro.stream import (
+        DeltaStream,
+        FeedFaultInjector,
+        JsonlFeed,
+        MaterializerSink,
+    )
+
+    schema = parse_gsl(_read(args.schema))
+    schema.validate()
+    data = load_graph(args.data)
+    sigma = parse_metalog(_read(args.program))
+
+    sink = MaterializerSink(
+        schema, data=data, sigma=sigma, instance_oid=args.instance_oid,
+        retry=RetryPolicy(max_attempts=args.retries),
+    )
+    inject_store_faults = args.fault_rate or args.crash_after is not None
+    for target_name in args.deploy or []:
+        if target_name == "graph-store":
+            store = GraphStore()
+            store.deploy(SSST().translate(schema, "property-graph").target_schema)
+            attach = sink.attach_graph_store
+        elif target_name == "triple-store":
+            store = TripleStore()
+            store.deploy(SSST().translate(schema, "rdf").target_schema)
+            attach = sink.attach_triple_store
+        else:
+            store = RelationalEngine()
+            store.deploy(SSST().translate(schema, "relational").target_schema)
+            attach = sink.attach_relational_engine
+        if inject_store_faults:
+            store = FaultInjector(
+                store, fault_rate=args.fault_rate,
+                crash_after=args.crash_after, seed=args.fault_seed,
+            )
+        attach(store)
+
+    source = JsonlFeed(args.feed)
+    if args.torn_rate or args.duplicate_rate or args.reorder_rate:
+        source = FeedFaultInjector(
+            source, seed=args.fault_seed, torn_rate=args.torn_rate,
+            duplicate_rate=args.duplicate_rate, reorder_rate=args.reorder_rate,
+        )
+        print(
+            f"feed faults: torn={args.torn_rate} dup={args.duplicate_rate} "
+            f"reorder={args.reorder_rate} seed={args.fault_seed}",
+            file=sys.stderr,
+        )
+    governor = None
+    if args.budget_ms is not None:
+        governor = ResourceGovernor(
+            budget_seconds=args.budget_ms / 1000.0,
+            graceful=not args.strict_backpressure,
+        )
+
+    quarantine = QuarantineReport()
+    stream = DeltaStream(
+        source, sink, args.log_dir,
+        governor=governor,
+        batch_window=args.batch_window,
+        checkpoint_every=args.checkpoint_every,
+        follow=args.follow,
+        poll_interval=args.poll_interval,
+        max_batches=args.max_batches,
+        quarantine=quarantine,
+    )
+    try:
+        report = stream.run(resume=args.resume)
+    except KeyboardInterrupt:
+        stream.stop()
+        report = stream.report
+        print("\ninterrupted; stream state is checkpointed", file=sys.stderr)
+    print(json.dumps(report.to_json(), indent=2))
+    if args.quarantine:
+        quarantine.save(args.quarantine)
+        print(
+            f"quarantine report ({len(quarantine)} rejection(s)) written to "
+            f"{args.quarantine}",
+            file=sys.stderr,
+        )
+    return 4 if quarantine else 0
+
+
 def cmd_stats(args) -> int:
     from repro.finkg import ShareholdingConfig, generate_shareholding_graph
     from repro.graph import summarize
@@ -428,12 +525,43 @@ def cmd_serve(args) -> int:
         f"materialized {snap.total_facts()} facts over "
         f"{len(snap.predicates())} predicates (epoch {snap.epoch})"
     )
+    stream = None
+    if args.feed:
+        import threading
+
+        from repro.stream import DeltaStream, JsonlFeed, ServeStateSink
+
+        if not args.feed_log:
+            print("error: --feed requires --feed-log DIR", file=sys.stderr)
+            return 2
+        sink = ServeStateSink(state=state)
+        stream = DeltaStream(
+            JsonlFeed(args.feed), sink, args.feed_log,
+            batch_window=args.batch_window, follow=True,
+            poll_interval=args.poll_interval,
+        )
+        resume = stream.checkpoint.exists()
+
+        def _ingest() -> None:
+            try:
+                stream.run(resume=resume)
+            except Exception as exc:
+                print(f"feed ingestion stopped: {exc}", file=sys.stderr)
+
+        threading.Thread(
+            target=_ingest, daemon=True, name="kgmodel-feed"
+        ).start()
+        print(
+            f"ingesting {args.feed} (log: {args.feed_log}, "
+            f"resume: {resume})", flush=True,
+        )
     handlers = ServiceHandlers(
         state,
         cache=ResultCache(args.cache_size),
         readonly=args.readonly,
         default_budget_ms=args.budget_ms,
         default_max_facts=args.max_facts,
+        stream=stream,
     )
     server = KGModelServer(handlers, host=args.host, port=args.port)
     host, port = server.address
@@ -442,6 +570,8 @@ def cmd_serve(args) -> int:
         server.serve_forever()
     except KeyboardInterrupt:
         print("\nshutting down")
+        if stream is not None:
+            stream.stop()
         server.httpd.server_close()
     return 0
 
@@ -602,6 +732,87 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=cmd_load)
 
+    p = sub.add_parser(
+        "stream",
+        help="consume a change feed crash-safely (durable CDC pipeline)",
+    )
+    p.add_argument("schema")
+    p.add_argument("data", help="base instance graph (JSON interchange format)")
+    p.add_argument("program", help="MetaLog rules file")
+    p.add_argument(
+        "--feed", required=True, metavar="FEED.JSONL",
+        help="change feed: one JSON record per line "
+             '({"seq": 1, "op": "add_node", "id": ..., "type": ..., '
+             '"properties": {...}})',
+    )
+    p.add_argument(
+        "--log-dir", required=True, metavar="DIR",
+        help="durable delta log + checkpoint directory (the stream WAL)",
+    )
+    p.add_argument(
+        "--resume", action="store_true",
+        help="restore the checkpointed state and replay the unacknowledged "
+             "log suffix (required when the log directory is not empty)",
+    )
+    p.add_argument(
+        "--follow", action="store_true",
+        help="keep polling the feed after it drains (daemon mode)",
+    )
+    p.add_argument(
+        "--deploy", action="append", metavar="TARGET",
+        choices=["graph-store", "triple-store", "relational"],
+        help="also maintain this deployed target per batch (repeatable)",
+    )
+    p.add_argument("--batch-window", default=64, type=int, metavar="N",
+                   help="records coalesced per batch")
+    p.add_argument("--checkpoint-every", default=8, type=int, metavar="N",
+                   help="checkpoint the sink state every N batches")
+    p.add_argument("--poll-interval", default=0.05, type=float)
+    p.add_argument(
+        "--max-batches", default=None, type=int, metavar="N",
+        help="stop after N applied batches (chaos drills crash mid-feed "
+             "this way)",
+    )
+    p.add_argument(
+        "--budget-ms", default=None, type=float,
+        help="per-batch apply budget driving backpressure",
+    )
+    p.add_argument(
+        "--strict-backpressure", action="store_true",
+        help="a tripped budget raises instead of widening the batch window",
+    )
+    p.add_argument("--instance-oid", default=1, type=int)
+    p.add_argument(
+        "--quarantine", default=None, metavar="OUT.JSON",
+        help="write the per-record rejection report to this file",
+    )
+    p.add_argument(
+        "--retries", default=5, type=int,
+        help="max attempts per target flush on transient faults",
+    )
+    p.add_argument(
+        "--fault-rate", default=0.0, type=float,
+        help="inject transient store faults at this per-mutation probability",
+    )
+    p.add_argument(
+        "--crash-after", default=None, type=int,
+        help="inject a store crash after N successful mutations",
+    )
+    p.add_argument("--fault-seed", default=0, type=int)
+    p.add_argument(
+        "--torn-rate", default=0.0, type=float,
+        help="inject torn (truncated) feed records at this probability",
+    )
+    p.add_argument(
+        "--duplicate-rate", default=0.0, type=float,
+        help="inject duplicated feed records at this probability",
+    )
+    p.add_argument(
+        "--reorder-rate", default=0.0, type=float,
+        help="inject adjacent feed-record swaps at this probability",
+    )
+    p.set_defaults(func=cmd_stream)
+
     p = sub.add_parser("stats", help="synthetic-registry statistics (Sec. 2.1)")
     p.add_argument("--companies", type=int, default=1000)
     p.add_argument("--seed", type=int, default=42)
@@ -639,6 +850,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-columnar", action="store_true",
         help="tuple fact storage instead of the columnar backend",
     )
+    p.add_argument(
+        "--feed", default=None, metavar="FEED.JSONL",
+        help="also ingest fact deltas from this change feed "
+             "(assert/retract records; requires --feed-log)",
+    )
+    p.add_argument(
+        "--feed-log", default=None, metavar="DIR",
+        help="durable delta log + checkpoint directory for --feed "
+             "(auto-resumes when a checkpoint exists)",
+    )
+    p.add_argument("--batch-window", default=64, type=int)
+    p.add_argument("--poll-interval", default=0.05, type=float)
     p.set_defaults(func=cmd_serve)
 
     return parser

@@ -346,7 +346,10 @@ class GraphStore:
             for _edge_id, source, target, label, properties in delta.added_edges:
                 self.create_relationship(source, target, label, **properties)
                 report.edges_added += 1
-        except (IntegrityError, GraphError):
+        except (DeploymentError, GraphError):
+            # DeploymentError covers IntegrityError *and* the transient
+            # class: an injected/transient fault mid-insert must roll the
+            # partial batch back too, or a retry replays onto dirty state.
             self.rollback_to(savepoint)
             if self.tracer is not None:
                 self.tracer.count("deploy.rollbacks", 1)

@@ -78,6 +78,11 @@ class RelationalEngine(SavepointMixin):
     def tables(self) -> List[str]:
         return sorted(self._tables)
 
+    def foreign_keys(self) -> List[ForeignKey]:
+        """The deployed foreign keys (delta appliers order deletes by
+        them: referencing tables must empty out before referenced ones)."""
+        return list(self._foreign_keys)
+
     def table_schema(self, name: str) -> Table:
         return self._stored(name).table
 

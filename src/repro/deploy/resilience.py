@@ -169,8 +169,21 @@ class FaultInjector:
         Seed for the fault stream; the same seed replays the same faults.
     """
 
+    #: ``apply_flush_delta`` makes *batch* applies interceptable too:
+    #: the streaming pipeline mutates stores only through it (the store's
+    #: internal per-record calls bypass the wrapper), so a transient fault
+    #: fires before the batch touches anything and ``crash_after`` counts
+    #: applied batches — exactly the crash-mid-stream granularity the
+    #: chaos battery kills at.
     _MUTATORS = frozenset(
-        {"create_node", "create_relationship", "add", "insert", "append"}
+        {
+            "create_node",
+            "create_relationship",
+            "add",
+            "insert",
+            "append",
+            "apply_flush_delta",
+        }
     )
 
     def __init__(

@@ -151,9 +151,12 @@ class TripleStore(SavepointMixin):
         """Apply a :class:`~repro.deploy.delta.FlushDelta` transactionally.
 
         Removed and updated records carry their old property values, so
-        the exact previously asserted triples can be retracted (the
-        documented entailment caveat of :meth:`retract` applies to the
-        *inferred* supertype triples of removed subjects).  Assertions
+        the exact previously asserted triples can be retracted.  A node
+        removal also retracts the subject's *entailed* supertype triples
+        (rdfs9): the node's incident edges travel in the same delta, so
+        after the flush no surviving statement supports them — leaving
+        them behind would make a stream-maintained store drift from a
+        full reload.  Assertions
         and retractions are both undo-logged, so the whole delta applies
         under one savepoint: any integrity violation rolls everything
         back.  ``schema`` (a super-schema) filters node properties to
@@ -162,8 +165,16 @@ class TripleStore(SavepointMixin):
         """
         from repro.deploy.delta import DeltaFlushReport
 
-        def node_triples(node_id, label, properties) -> List[Triple]:
+        def node_triples(
+            node_id, label, properties, with_entailed: bool = False
+        ) -> List[Triple]:
             triples: List[Triple] = [(node_id, RDF_TYPE, label)]
+            if with_entailed:
+                triples.extend(
+                    (node_id, RDF_TYPE, ancestor)
+                    for ancestor in sorted(self.superclasses_of(label))
+                    if ancestor != label
+                )
             declared = None
             if schema is not None and schema.has_node(label):
                 sm_node = schema.get_node(label)
@@ -181,7 +192,9 @@ class TripleStore(SavepointMixin):
             for node_id, label, properties in delta.removed_nodes:
                 hits = sum(
                     self.retract(s, p, o)
-                    for s, p, o in node_triples(node_id, label, properties)
+                    for s, p, o in node_triples(
+                        node_id, label, properties, with_entailed=True
+                    )
                 )
                 if hits:
                     report.nodes_removed += 1

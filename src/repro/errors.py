@@ -116,3 +116,14 @@ class RetryExhaustedError(DeploymentError):
 
 class CheckpointError(KGModelError):
     """A materialization checkpoint is unreadable or inconsistent."""
+
+
+class StreamError(KGModelError):
+    """The streaming ingestion pipeline hit an unrecoverable condition.
+
+    Per-record problems (malformed feed lines, constraint-violating
+    changes) are quarantined, not raised; this type covers the
+    pipeline-level failures that must stop the stream: a corrupt delta
+    log, a checkpoint written for different inputs, or a sink that can
+    no longer accept batches.
+    """

@@ -31,12 +31,18 @@ _ENGINE_MODES = ("snapshot", "magic", "full")
 
 
 class RequestError(Exception):
-    """A client error with an HTTP status."""
+    """A client error with an HTTP status.
 
-    def __init__(self, status: int, message: str):
+    ``details`` (machine-readable fields — e.g. which predicate failed
+    an arity check, and why) are merged into the JSON error payload next
+    to the human-readable ``error`` message.
+    """
+
+    def __init__(self, status: int, message: str, **details: Any):
         super().__init__(message)
         self.status = status
         self.message = message
+        self.details = details
 
 
 def encode_value(value: Any) -> Any:
@@ -121,8 +127,11 @@ class ServiceHandlers:
         max_visited: int = 100_000,
         max_answers: int = 10_000,
         tracer=None,
+        stream=None,
     ):
         self.state = state
+        #: Optional attached DeltaStream; surfaces under GET /stats.
+        self.stream = stream
         self.metrics = state.metrics
         self.cache = cache if cache is not None else ResultCache()
         self.readonly = readonly
@@ -154,7 +163,7 @@ class ServiceHandlers:
         try:
             status, payload = self._dispatch(route, params, body)
         except RequestError as exc:
-            status, payload = exc.status, {"error": exc.message}
+            status, payload = exc.status, {"error": exc.message, **exc.details}
         except KGModelError as exc:
             status, payload = 400, {"error": str(exc)}
         finally:
@@ -216,12 +225,15 @@ class ServiceHandlers:
 
     def stats(self):
         snap = self.state.snapshot
-        return 200, {
+        payload = {
             "epoch": snap.epoch,
             "uptime_seconds": time.time() - self.started_at,
             "cache": self.cache.stats(),
             "metrics": self.metrics.snapshot(),
         }
+        if self.stream is not None:
+            payload["stream"] = self.stream.stats_summary()
+        return 200, payload
 
     def query(self, params):
         text = params.get("q")
@@ -475,7 +487,25 @@ class ServiceHandlers:
                     400,
                     f"{predicate!r} is derived; deltas may only touch "
                     "extensional predicates",
+                    kind="derived_predicate",
+                    predicate=predicate,
                 )
+        snap = self.state.snapshot
+        for predicate, rows in list(added.items()) + list(removed.items()):
+            arity = snap.arity(predicate)
+            if arity is None:
+                continue  # a brand-new predicate sets its own arity
+            for fact in rows:
+                if len(fact) != arity:
+                    raise RequestError(
+                        400,
+                        f"arity mismatch for {predicate!r}: expected "
+                        f"{arity}, got {len(fact)}",
+                        kind="arity_mismatch",
+                        predicate=predicate,
+                        expected=arity,
+                        got=len(fact),
+                    )
         delta = self.state.apply_delta(added=added, removed=removed)
         snap = self.state.snapshot
         return 200, {

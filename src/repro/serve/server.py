@@ -53,6 +53,10 @@ class _Handler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802
         length = int(self.headers.get("Content-Length") or 0)
         if length > _MAX_BODY:
+            # The unread body would be parsed as the next request on a
+            # kept-alive socket; drop the connection instead of draining
+            # up to _MAX_BODY of garbage.
+            self.close_connection = True
             self._respond(413, {"error": "body too large"})
             return
         raw = self.rfile.read(length) if length else b""

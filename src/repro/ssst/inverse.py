@@ -59,17 +59,20 @@ def _edge_fk_owner(schema: SuperSchema, edge: SMEdge) -> Optional[Tuple[SMNode, 
     return edge.target, edge.source  # one-to-many: flipped
 
 
-def graph_instance_to_relational(
+def collect_relational_rows(
     schema: SuperSchema,
     data: PropertyGraph,
-    engine: RelationalEngine,
-) -> int:
-    """Deploy a plain typed instance graph into the relational engine.
+) -> Dict[str, List[Dict[str, Any]]]:
+    """The complete relational row image of a plain typed instance graph.
 
-    Returns the number of rows inserted.  The engine must already have
-    the translated schema deployed (tables + foreign keys).
+    This is the pure half of :func:`graph_instance_to_relational`: the
+    same one-row-per-hierarchy-member layout, FK patches, and bridge
+    tables, computed without touching an engine.  Edge FK patches mutate
+    entity rows in place, so the edge pass must complete before the rows
+    are read — which is why this returns only once everything is merged.
+    The streaming sinks diff two of these images (as per-table row
+    multisets) to maintain a deployed engine incrementally.
     """
-    inserted = 0
     # Collect per-entity rows first: one row per hierarchy member.
     rows: Dict[str, List[Dict[str, Any]]] = {}
     fk_patches: Dict[Tuple[str, Any], Dict[str, Any]] = {}
@@ -136,10 +139,25 @@ def graph_instance_to_relational(
                     row[attribute.name] = edge.properties[attribute.name]
             bridge_rows.setdefault(sm_edge.type_name, []).append(row)
 
+    for table_name, table_rows in bridge_rows.items():
+        rows.setdefault(table_name, []).extend(table_rows)
+    return rows
+
+
+def graph_instance_to_relational(
+    schema: SuperSchema,
+    data: PropertyGraph,
+    engine: RelationalEngine,
+) -> int:
+    """Deploy a plain typed instance graph into the relational engine.
+
+    Returns the number of rows inserted.  The engine must already have
+    the translated schema deployed (tables + foreign keys).
+    """
+    rows = collect_relational_rows(schema, data)
+    inserted = 0
     with engine.deferred():
         for table_name, table_rows in rows.items():
-            inserted += engine.insert_many(table_name, table_rows)
-        for table_name, table_rows in bridge_rows.items():
             inserted += engine.insert_many(table_name, table_rows)
     return inserted
 

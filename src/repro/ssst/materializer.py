@@ -426,7 +426,12 @@ class IntensionalMaterializer:
             graph = retained.dictionary.graph
 
             removed_nodes, removed_edges = self._resolve_removals(data, delta)
-            self._validate_additions(data, delta, {r[0] for r in removed_nodes})
+            self._validate_additions(
+                data,
+                delta,
+                {r[0] for r in removed_nodes},
+                {r[0] for r in removed_edges},
+            )
 
             # Encode both sides as the I_SM_* facts the load phase would
             # have produced (the OIDs are deterministic functions of the
@@ -565,9 +570,13 @@ class IntensionalMaterializer:
 
     @staticmethod
     def _validate_additions(
-        data: PropertyGraph, delta: RegistryDelta, removed_node_ids: set
+        data: PropertyGraph,
+        delta: RegistryDelta,
+        removed_node_ids: set,
+        removed_edge_ids: Optional[set] = None,
     ) -> None:
         added_node_ids = {record[0] for record in delta.add_nodes}
+        removed_edge_ids = removed_edge_ids or set()
         for node_id, _type_name, _properties in delta.add_nodes:
             if data.has_node(node_id) and node_id not in removed_node_ids:
                 raise SchemaError(
@@ -575,9 +584,10 @@ class IntensionalMaterializer:
                     "(remove it in the same delta to replace it)"
                 )
         for edge_id, source, target, _type_name, _properties in delta.add_edges:
-            if data.has_edge(edge_id):
+            if data.has_edge(edge_id) and edge_id not in removed_edge_ids:
                 raise SchemaError(
-                    f"cannot add edge {edge_id!r}: it already exists"
+                    f"cannot add edge {edge_id!r}: it already exists "
+                    "(remove it in the same delta to replace it)"
                 )
             for endpoint in (source, target):
                 present = (

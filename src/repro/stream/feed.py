@@ -1,0 +1,408 @@
+"""Change-feed sources for the streaming ingestion pipeline.
+
+A feed is a sequence of JSON-encoded change records.  Two shapes are
+understood, matching the two sink levels of :mod:`repro.stream.sinks`:
+
+Registry-level (the SSST path — plain-graph elements)::
+
+    {"seq": 1, "op": "add_node", "id": "C9", "type": "Business",
+     "properties": {"fiscalCode": "FC-C9"}}
+    {"seq": 2, "op": "add_edge", "id": "s9", "source": "P1",
+     "target": "C9", "type": "OWNS", "properties": {"percentage": 0.4}}
+    {"seq": 3, "op": "remove_edge", "id": "s9"}
+    {"seq": 4, "op": "remove_node", "id": "C9"}
+
+Fact-level (the serve path — extensional Vadalog facts)::
+
+    {"seq": 5, "op": "assert", "predicate": "own",
+     "fact": ["P1", "C2", 0.3]}
+    {"seq": 6, "op": "retract", "predicate": "own",
+     "fact": ["P1", "C2", 0.3]}
+
+``seq`` is an optional, monotonically increasing producer sequence
+number used for duplicate suppression; records without one are applied
+as-is.
+
+Sources deliver *raw text* (one record per line), not parsed objects:
+the durable :class:`~repro.stream.log.DeltaLog` persists the exact
+bytes that arrived, so crash replay re-parses the same input and a torn
+record is quarantined identically on first sight and on replay.  Every
+source keeps a resumable ``position`` cursor (byte offset for files,
+record count for generators).
+
+:class:`FeedFaultInjector` is the feed-level sibling of
+:class:`repro.deploy.resilience.FaultInjector`: seeded torn, duplicated
+and reordered records for the chaos battery — deterministic chaos, no
+flaky I/O races.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import StreamError
+from repro.obs.tracer import Tracer
+
+__all__ = [
+    "RawRecord",
+    "FeedRecord",
+    "parse_record",
+    "GeneratorFeed",
+    "JsonlFeed",
+    "FeedFaultInjector",
+    "REGISTRY_OPS",
+    "FACT_OPS",
+]
+
+#: Registry-level operations (plain-graph elements).
+REGISTRY_OPS = frozenset({"add_node", "add_edge", "remove_node", "remove_edge"})
+#: Fact-level operations (extensional Vadalog facts).
+FACT_OPS = frozenset({"assert", "retract"})
+
+_SCALARS = (str, int, float, bool)
+
+
+@dataclass(frozen=True)
+class RawRecord:
+    """One line as read from a source.
+
+    ``position`` is the source cursor *after* this record — seeking a
+    fresh source to it skips everything up to and including the record.
+    """
+
+    text: str
+    position: int
+
+
+@dataclass(frozen=True)
+class FeedRecord:
+    """A validated change record.
+
+    ``key`` identifies the entity the record touches — the coalescer
+    folds all records sharing a key into one net operation:
+    ``("node", id)`` / ``("edge", id)`` for registry records,
+    ``("fact", predicate, fact)`` for fact records.
+    """
+
+    op: str
+    key: Tuple[Any, ...]
+    seq: Optional[int]
+    payload: Dict[str, Any]
+    raw: str
+
+    @property
+    def is_addition(self) -> bool:
+        return self.op in ("add_node", "add_edge", "assert")
+
+
+def _require_scalar(value: Any, what: str) -> Any:
+    if value is None or isinstance(value, _SCALARS):
+        return value
+    raise StreamError(f"{what} must be a scalar, got {type(value).__name__}")
+
+
+def _require_properties(payload: Dict[str, Any]) -> Dict[str, Any]:
+    properties = payload.get("properties", {})
+    if not isinstance(properties, dict):
+        raise StreamError("properties must be an object")
+    for name, value in properties.items():
+        if not isinstance(name, str):
+            raise StreamError("property names must be strings")
+        _require_scalar(value, f"property {name!r}")
+    return properties
+
+
+def parse_record(text: str) -> FeedRecord:
+    """Parse and validate one feed line.
+
+    Raises :class:`~repro.errors.StreamError` for anything malformed —
+    the pipeline quarantines such records instead of wedging.
+    """
+    try:
+        payload = json.loads(text)
+    except (ValueError, TypeError) as exc:
+        raise StreamError(f"not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise StreamError("record must be a JSON object")
+    op = payload.get("op")
+    if op not in REGISTRY_OPS and op not in FACT_OPS:
+        raise StreamError(
+            f"unknown op {op!r} (expected one of "
+            f"{sorted(REGISTRY_OPS | FACT_OPS)})"
+        )
+    seq = payload.get("seq")
+    if seq is not None and (isinstance(seq, bool) or not isinstance(seq, int)):
+        raise StreamError("seq must be an integer")
+
+    if op in FACT_OPS:
+        predicate = payload.get("predicate")
+        if not isinstance(predicate, str) or not predicate:
+            raise StreamError("fact records need a non-empty predicate")
+        fact = payload.get("fact")
+        if not isinstance(fact, list) or not fact:
+            raise StreamError("fact records need a non-empty fact array")
+        for value in fact:
+            _require_scalar(value, "fact value")
+        key = ("fact", predicate, tuple(fact))
+        return FeedRecord(op=op, key=key, seq=seq, payload=payload, raw=text)
+
+    element_id = payload.get("id")
+    if element_id is None:
+        raise StreamError(f"{op} records need an id")
+    _require_scalar(element_id, "id")
+    kind = "node" if op.endswith("_node") else "edge"
+    if op in ("add_node", "add_edge"):
+        type_name = payload.get("type")
+        if not isinstance(type_name, str) or not type_name:
+            raise StreamError(f"{op} records need a non-empty type")
+        _require_properties(payload)
+        if op == "add_edge":
+            for endpoint in ("source", "target"):
+                if payload.get(endpoint) is None:
+                    raise StreamError(f"add_edge records need a {endpoint}")
+                _require_scalar(payload[endpoint], endpoint)
+    return FeedRecord(
+        op=op, key=(kind, element_id), seq=seq, payload=payload, raw=text
+    )
+
+
+# ----------------------------------------------------------------------
+# Sources
+# ----------------------------------------------------------------------
+class GeneratorFeed:
+    """A feed over an in-memory sequence (dicts or pre-encoded lines).
+
+    Dicts are serialized with sorted keys so the same sequence always
+    produces the same bytes (the delta-log replay identity depends on
+    it).  ``position`` counts records consumed; sources built from a
+    list support absolute :meth:`seek`, iterator-backed ones only
+    forward seeks.
+    """
+
+    def __init__(self, records: Iterable[Any], name: str = "generator"):
+        self.name = name
+        if isinstance(records, (list, tuple)):
+            self._records: Optional[List[Any]] = list(records)
+            self._iter = None
+        else:
+            self._records = None
+            self._iter = iter(records)
+        self._position = 0
+        self._eof = False
+
+    @staticmethod
+    def _encode(record: Any) -> str:
+        if isinstance(record, str):
+            return record
+        return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+    @property
+    def position(self) -> int:
+        return self._position
+
+    @property
+    def eof(self) -> bool:
+        return self._eof
+
+    def seek(self, position: int) -> None:
+        if position == self._position:
+            return
+        if self._records is not None:
+            if position < 0 or position > len(self._records):
+                raise StreamError(
+                    f"cannot seek to {position}: feed has "
+                    f"{len(self._records)} records"
+                )
+            self._position = position
+            self._eof = False
+            return
+        if position < self._position:
+            raise StreamError(
+                "iterator-backed feeds only seek forward "
+                f"({self._position} -> {position})"
+            )
+        while self._position < position:
+            try:
+                next(self._iter)
+            except StopIteration:
+                raise StreamError(
+                    f"cannot seek to {position}: feed exhausted at "
+                    f"{self._position}"
+                ) from None
+            self._position += 1
+
+    def poll(self, max_records: int = 256) -> List[RawRecord]:
+        out: List[RawRecord] = []
+        while len(out) < max_records:
+            if self._records is not None:
+                if self._position >= len(self._records):
+                    self._eof = True
+                    break
+                record = self._records[self._position]
+            else:
+                try:
+                    record = next(self._iter)
+                except StopIteration:
+                    self._eof = True
+                    break
+            self._position += 1
+            out.append(RawRecord(self._encode(record), self._position))
+        return out
+
+
+class JsonlFeed:
+    """Tail a JSONL file by byte position.
+
+    Only *complete* lines (newline-terminated) are consumed; a trailing
+    partial line — a producer writing, or a torn write — stays in the
+    file until its newline arrives.  A missing file is an empty feed
+    (the producer has not started yet), not an error.  Decoding is
+    lenient: undecodable bytes are replaced so the record fails JSON
+    parsing and gets quarantined instead of killing the poll loop.
+    """
+
+    def __init__(self, path: str, name: Optional[str] = None):
+        self.path = str(path)
+        self.name = name or os.path.basename(self.path)
+        self._position = 0
+        self._eof = False
+
+    @property
+    def position(self) -> int:
+        return self._position
+
+    @property
+    def eof(self) -> bool:
+        return self._eof
+
+    def seek(self, position: int) -> None:
+        if position < 0:
+            raise StreamError(f"cannot seek to negative offset {position}")
+        self._position = position
+        self._eof = False
+
+    def poll(self, max_records: int = 256) -> List[RawRecord]:
+        try:
+            handle = open(self.path, "rb")
+        except FileNotFoundError:
+            self._eof = True
+            return []
+        out: List[RawRecord] = []
+        with handle:
+            handle.seek(self._position)
+            while len(out) < max_records:
+                start = handle.tell()
+                line = handle.readline()
+                if not line.endswith(b"\n"):
+                    # Partial tail (or EOF): leave it for the next poll.
+                    handle.seek(start)
+                    break
+                self._position = handle.tell()
+                text = line[:-1].decode("utf-8", errors="replace").rstrip("\r")
+                if not text.strip():
+                    continue  # blank separator lines are not records
+                out.append(RawRecord(text, self._position))
+            self._eof = handle.readline() == b""
+        return out
+
+
+# ----------------------------------------------------------------------
+# Feed-level fault injection
+# ----------------------------------------------------------------------
+class FeedFaultInjector:
+    """Wraps a source and injects seeded feed corruption.
+
+    Three independent per-record fault streams, mirroring what lossy
+    transports do to CDC feeds:
+
+    - ``torn_rate``: the record's bytes are truncated mid-way (a torn
+      write) — it will fail parsing and be quarantined;
+    - ``duplicate_rate``: the record is delivered twice (at-least-once
+      transport) — suppressed downstream by ``seq`` dedup;
+    - ``reorder_rate``: the record swaps places with its predecessor in
+      the same poll (out-of-order delivery).
+
+    Faults apply to *delivery*, not to the source cursor: a duplicate
+    shares its original's position, so resume semantics are unchanged.
+    The same seed replays the same fault pattern — the chaos battery
+    computes its expected final state by replaying the survivor set.
+    """
+
+    def __init__(
+        self,
+        source: Any,
+        *,
+        seed: int = 0,
+        torn_rate: float = 0.0,
+        duplicate_rate: float = 0.0,
+        reorder_rate: float = 0.0,
+        tracer: Optional[Tracer] = None,
+    ):
+        for name, rate in (
+            ("torn_rate", torn_rate),
+            ("duplicate_rate", duplicate_rate),
+            ("reorder_rate", reorder_rate),
+        ):
+            if not 0.0 <= rate < 1.0:
+                raise ValueError(f"{name} must be in [0, 1)")
+        self.source = source
+        self.torn_rate = torn_rate
+        self.duplicate_rate = duplicate_rate
+        self.reorder_rate = reorder_rate
+        self.tracer = tracer
+        self._rng = random.Random(seed)
+        self.torn = 0
+        self.duplicated = 0
+        self.reordered = 0
+
+    @property
+    def name(self) -> str:
+        return getattr(self.source, "name", "feed")
+
+    @property
+    def position(self) -> int:
+        return self.source.position
+
+    @property
+    def eof(self) -> bool:
+        return self.source.eof
+
+    def seek(self, position: int) -> None:
+        self.source.seek(position)
+
+    def arm(self, seed: int) -> None:
+        """Re-seed the fault stream (each chaos scenario gets its own)."""
+        self._rng = random.Random(seed)
+
+    def _count(self, what: str) -> None:
+        if self.tracer is not None:
+            self.tracer.count(f"stream.feed_faults.{what}", 1)
+
+    def poll(self, max_records: int = 256) -> List[RawRecord]:
+        out: List[RawRecord] = []
+        for record in self.source.poll(max_records):
+            if self.torn_rate and self._rng.random() < self.torn_rate:
+                record = RawRecord(
+                    record.text[: max(1, len(record.text) // 2)],
+                    record.position,
+                )
+                self.torn += 1
+                self._count("torn")
+            out.append(record)
+            if self.duplicate_rate and self._rng.random() < self.duplicate_rate:
+                out.append(record)
+                self.duplicated += 1
+                self._count("duplicated")
+            if (
+                self.reorder_rate
+                and len(out) >= 2
+                and self._rng.random() < self.reorder_rate
+            ):
+                out[-1], out[-2] = out[-2], out[-1]
+                self.reordered += 1
+                self._count("reordered")
+        return out

@@ -729,3 +729,102 @@ class TestResilienceObservability:
         counters = tracer.metrics.counters()
         assert counters["deploy.faults_injected"] > 0
         assert counters["deploy.retries"] == counters["deploy.faults_injected"]
+
+
+# ----------------------------------------------------------------------
+# Jitter sequencing + crash-after reproducibility (the streaming pipeline
+# leans on both: retried flushes and chaos crash points must replay
+# identically under the same seed)
+# ----------------------------------------------------------------------
+class TestRetryJitterSequencing:
+    def test_per_attempt_jitter_differs_but_replays(self):
+        policy = RetryPolicy(
+            max_attempts=6, base_delay=0.05, multiplier=2.0,
+            max_delay=10.0, jitter=0.25, seed=11, sleep=lambda _s: None,
+        )
+        first = [policy.delay(n) for n in range(1, 6)]
+        second = [policy.delay(n) for n in range(1, 6)]
+        assert first == second  # delay() is a pure function of (seed, n)
+        # Jitter fractions differ across attempts (no lockstep retries).
+        fractions = [
+            d / min(0.05 * 2.0 ** (n - 1), 10.0)
+            for n, d in enumerate(first, start=1)
+        ]
+        assert len(set(round(f, 9) for f in fractions)) > 1
+
+    def test_jitter_stays_within_declared_band(self):
+        policy = RetryPolicy(
+            max_attempts=8, base_delay=0.1, multiplier=2.0,
+            max_delay=1.0, jitter=0.5, seed=3, sleep=lambda _s: None,
+        )
+        for n, delay in enumerate(policy.schedule(), start=1):
+            backoff = min(0.1 * 2.0 ** (n - 1), 1.0)
+            assert backoff <= delay <= backoff * 1.5
+
+    def test_different_seeds_give_different_sequences(self):
+        kwargs = dict(
+            max_attempts=6, base_delay=0.05, jitter=0.25,
+            sleep=lambda _s: None,
+        )
+        assert (
+            RetryPolicy(seed=1, **kwargs).schedule()
+            != RetryPolicy(seed=2, **kwargs).schedule()
+        )
+
+    def test_call_sleeps_exactly_the_schedule(self):
+        slept = []
+        policy = RetryPolicy(
+            max_attempts=4, base_delay=0.05, jitter=0.25, seed=5,
+            sleep=fake_sleep(slept),
+        )
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 4:
+                raise TransientDeploymentError("transient")
+            return "ok"
+
+        assert policy.call(flaky) == "ok"
+        assert slept == policy.schedule()
+
+
+class TestCrashAfterReproducibility:
+    def crash_run(self, seed):
+        """Load until the injected crash; returns (mutations, state)."""
+        store = deployed_graph_store()
+        injector = FaultInjector(store, crash_after=17, seed=seed)
+        graph = PropertyGraph("data")
+        for i in range(40):
+            graph.add_node(
+                f"p{i}", "PhysicalPerson",
+                fiscalCode=f"FC-{i}", name=f"N{i}", gender="female",
+            )
+        with pytest.raises(CrashFault):
+            load_graph_store(
+                company_super_schema(), graph, injector, batch_size=1,
+            )
+        return injector.mutations_applied, graph_store_state(store)
+
+    def test_same_seed_crashes_at_the_same_point(self):
+        first = self.crash_run(seed=42)
+        second = self.crash_run(seed=42)
+        assert first == second
+        assert first[0] == 17
+
+    def test_arm_reseeds_the_transient_stream(self):
+        def fault_pattern(injector):
+            pattern = []
+            for _ in range(50):
+                try:
+                    injector._inject("probe")
+                    pattern.append(False)
+                    injector.mutations_applied += 1
+                except TransientDeploymentError:
+                    pattern.append(True)
+            return pattern
+
+        a = FaultInjector(deployed_graph_store(), fault_rate=0.3, seed=9)
+        b = FaultInjector(deployed_graph_store(), fault_rate=0.3, seed=1234)
+        b.arm(9)
+        assert fault_pattern(a) == fault_pattern(b)

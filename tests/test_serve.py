@@ -508,3 +508,142 @@ class TestConcurrencyBattery:
         for thread in threads:
             thread.join(timeout=30)
         assert errors == []
+
+
+# ---------------------------------------------------------------------------
+# Keep-alive connection reuse + /delta validation
+# ---------------------------------------------------------------------------
+
+
+class TestKeepAlive:
+    def test_one_socket_serves_many_requests(self):
+        import http.client
+
+        handlers = ServiceHandlers(make_state())
+        with build_server(handlers) as server:
+            host, port = server.address
+            conn = http.client.HTTPConnection(host, port, timeout=10)
+            try:
+                conn.request("GET", "/healthz")
+                response = conn.getresponse()
+                assert response.status == 200
+                response.read()
+                sock = conn.sock
+                assert sock is not None
+                # GETs and a POST ride the same TCP connection.
+                for _ in range(3):
+                    conn.request("GET", "/schema")
+                    response = conn.getresponse()
+                    assert response.status == 200
+                    response.read()
+                    assert conn.sock is sock
+                body = json.dumps({"added": {"e": [["k1", "k2"]]}}).encode()
+                conn.request(
+                    "POST", "/delta", body=body,
+                    headers={"Content-Type": "application/json"},
+                )
+                response = conn.getresponse()
+                assert response.status == 200
+                assert json.loads(response.read())["epoch"] == 1
+                assert conn.sock is sock
+                conn.request("GET", "/healthz")
+                response = conn.getresponse()
+                assert json.loads(response.read())["epoch"] == 1
+                assert conn.sock is sock
+            finally:
+                conn.close()
+
+    def test_oversized_body_closes_the_connection(self, monkeypatch):
+        import http.client
+
+        from repro.serve import server as server_module
+
+        monkeypatch.setattr(server_module, "_MAX_BODY", 64)
+        handlers = ServiceHandlers(make_state())
+        with build_server(handlers) as server:
+            host, port = server.address
+            conn = http.client.HTTPConnection(host, port, timeout=10)
+            try:
+                # The unread oversized body cannot be allowed to sit in
+                # the socket: it would be parsed as the next request.
+                conn.request("POST", "/delta", body=b"x" * 1000)
+                response = conn.getresponse()
+                assert response.status == 413
+                response.read()
+                with pytest.raises(
+                    (ConnectionError, http.client.HTTPException, OSError)
+                ):
+                    conn.request("GET", "/healthz")
+                    conn.getresponse()
+            finally:
+                conn.close()
+
+    def test_malformed_json_body_is_structured_400(self):
+        import http.client
+
+        handlers = ServiceHandlers(make_state())
+        with build_server(handlers) as server:
+            host, port = server.address
+            conn = http.client.HTTPConnection(host, port, timeout=10)
+            try:
+                conn.request("POST", "/delta", body=b"{not json")
+                response = conn.getresponse()
+                assert response.status == 400
+                assert "JSON" in json.loads(response.read())["error"]
+                # The connection survives a body-level 400.
+                conn.request("GET", "/healthz")
+                assert conn.getresponse().status == 200
+            finally:
+                conn.close()
+
+
+class TestDeltaValidation:
+    def post_delta(self, handlers, body):
+        return handlers.handle("POST", "/delta", {}, body)
+
+    def test_arity_mismatch_is_structured_400(self):
+        handlers = ServiceHandlers(make_state())
+        status, payload = self.post_delta(
+            handlers, {"added": {"e": [["a", "b", "c"]]}}
+        )
+        assert status == 400
+        assert payload["kind"] == "arity_mismatch"
+        assert payload["predicate"] == "e"
+        assert (payload["expected"], payload["got"]) == (2, 3)
+
+    def test_arity_checked_on_removals_too(self):
+        handlers = ServiceHandlers(make_state())
+        status, payload = self.post_delta(
+            handlers, {"removed": {"e": [["a"]]}}
+        )
+        assert status == 400
+        assert payload["kind"] == "arity_mismatch"
+
+    def test_new_predicate_sets_its_own_arity(self):
+        handlers = ServiceHandlers(make_state())
+        status, _ = self.post_delta(
+            handlers, {"added": {"brand_new": [["a", "b", "c"]]}}
+        )
+        assert status == 200
+
+    def test_derived_predicate_rejected_with_kind(self):
+        handlers = ServiceHandlers(make_state())
+        status, payload = self.post_delta(
+            handlers, {"added": {"tc": [["a", "b"]]}}
+        )
+        assert status == 400
+        assert payload["kind"] == "derived_predicate"
+        assert payload["predicate"] == "tc"
+
+    def test_non_scalar_values_rejected(self):
+        handlers = ServiceHandlers(make_state())
+        status, payload = self.post_delta(
+            handlers, {"added": {"e": [["a", {"x": 1}]]}}
+        )
+        assert status == 400
+
+    def test_rejected_delta_leaves_state_untouched(self):
+        handlers = ServiceHandlers(make_state())
+        before = handlers.state.snapshot.epoch
+        self.post_delta(handlers, {"added": {"e": [["a", "b", "c"]]}})
+        assert handlers.state.snapshot.epoch == before
