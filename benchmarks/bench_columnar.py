@@ -73,8 +73,17 @@ def _backend_row(companies: int, seed: int, columnar: bool, memory: bool) -> dic
     return row
 
 
-def run_size(companies: int, seed: int, memory: bool, verify: bool) -> dict:
+def run_size(
+    companies: int, seed: int, memory: bool, verify: bool,
+    columnar_only: bool = False,
+) -> dict:
     col = _backend_row(companies, seed, columnar=True, memory=memory)
+    if columnar_only:
+        # Sweep-extension mode (large sizes, repeat-min protocols): no
+        # tuple twin, no cross-backend speedups, differential carried by
+        # the full two-backend runs at the smaller sizes.
+        del col["instance"]
+        return {"companies": companies, "columnar": col}
     tup = _backend_row(companies, seed, columnar=False, memory=memory)
     ok = True
     if verify:
@@ -174,6 +183,9 @@ def main() -> int:
                         help="skip the tracemalloc pass (halves runtime)")
     parser.add_argument("--no-verify", action="store_true",
                         help="skip the columnar-vs-tuple differential check")
+    parser.add_argument("--columnar-only", action="store_true",
+                        help="skip the tuple backend (sweep extension; "
+                        "payload is not E-COL-schema complete)")
     parser.add_argument("--require-load-speedup", type=float, default=None,
                         help="fail unless every size clears this load speedup")
     parser.add_argument("--check", metavar="FILE", default=None,
@@ -190,8 +202,21 @@ def main() -> int:
 
     rows = []
     for companies in args.sizes:
-        row = run_size(companies, args.seed, not args.no_memory, not args.no_verify)
+        row = run_size(
+            companies, args.seed, not args.no_memory, not args.no_verify,
+            columnar_only=args.columnar_only,
+        )
         rows.append(row)
+        if args.columnar_only:
+            col = row["columnar"]
+            print(
+                f"E-COL {companies} companies (columnar only): load "
+                f"{col['load_seconds']:.2f}s, reason "
+                f"{col['reason_seconds']:.2f}s, flush "
+                f"{col['flush_seconds']:.2f}s, total "
+                f"{col['total_seconds']:.2f}s"
+            )
+            continue
         mem = (
             f", heap -{row['heap_reduction'] * 100:.0f}%"
             if "heap_reduction" in row
@@ -213,7 +238,7 @@ def main() -> int:
         "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
         "results": rows,
     }
-    problems = validate(payload)
+    problems = [] if args.columnar_only else validate(payload)
     for problem in problems:
         print(f"schema: {problem}", file=sys.stderr)
     with open(args.out, "w", encoding="utf-8") as handle:

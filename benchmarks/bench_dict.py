@@ -1,0 +1,289 @@
+"""E-DICT — bulk vs per-object graph/dictionary boundary.
+
+The columnar engine made the chase fast enough that the per-object
+graph boundary became the Amdahl wall of the control pipeline: loading
+a 50k-company registry spent most of its time in per-node dictionary
+lookups (``graph_to_database``), per-fact ``has_node`` probes
+(``materialize_into_graph`` / ``_flush_instance_facts``), and the
+one-object-at-a-time ``to_dictionary`` encoders.  This bench times each
+boundary layer with the column-wise fast path (``bulk=True``) against
+the per-object oracle (``bulk=False``) and verifies the two are
+bit-identical: same relations in the same order on extraction, same
+graphs after write-back, same dictionary encodings.
+
+The emitted JSON is validated against an inline schema before it is
+written, and ``--check FILE`` re-validates an existing payload (used by
+the CI ``dict-smoke`` job).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_dict.py
+    PYTHONPATH=src python benchmarks/bench_dict.py \
+        --sizes 5000 --out BENCH_DICT.json --require-extract-speedup 1.5
+    PYTHONPATH=src python benchmarks/bench_dict.py --check BENCH_DICT.json
+"""
+
+import argparse
+import json
+import os
+import resource
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from repro.core import GraphDictionary
+from repro.core.instances import SuperInstance
+from repro.finkg import programs
+from repro.finkg.company_schema import company_super_schema
+from repro.graph.property_graph import PropertyGraph
+from repro.metalog import (
+    GraphCatalog,
+    compile_metalog,
+    graph_to_database,
+    parse_metalog,
+)
+from repro.metalog.mtv import materialize_into_graph
+from repro.vadalog import Engine
+
+from bench_incremental import business_registry
+
+
+def _snapshot(graph):
+    nodes = [
+        (node.id, node.label, sorted(node.properties.items(), key=repr))
+        for node in graph.nodes()
+    ]
+    edges = [
+        (edge.id, edge.source, edge.target, edge.label,
+         sorted(edge.properties.items(), key=repr))
+        for edge in graph.edges()
+    ]
+    return nodes, edges
+
+
+def _sorted_snapshot(graph):
+    """Insertion-order-independent form: the dictionary encoders emit
+    family-by-family under ``bulk=True`` so only content is contractual."""
+    nodes, edges = _snapshot(graph)
+    return sorted(nodes, key=repr), sorted(edges, key=repr)
+
+
+def _identical_databases(fast, slow) -> bool:
+    if fast.predicates() != slow.predicates():
+        return False
+    return all(
+        list(fast.relation(predicate)) == list(slow.relation(predicate))
+        for predicate in fast.predicates()
+    )
+
+
+def run_size(companies: int, seed: int, verify: bool, repeat: int = 3) -> dict:
+    registry = business_registry(companies, seed=seed)
+    schema = company_super_schema()
+    sigma = parse_metalog(programs.CONTROL_PROGRAM)
+    catalog = GraphCatalog.from_graph(registry)
+    compiled = compile_metalog(sigma, catalog)
+
+    # Each phase is repeated and the minimum kept: the first run of
+    # either path pays one-off costs (hash caches, result fact-set
+    # construction) that would be misattributed to whichever ran first.
+    timings = {"bulk": {}, "perobj": {}}
+    databases = {}
+    for key, bulk in (("bulk", True), ("perobj", False)):
+        best = float("inf")
+        for _ in range(repeat):
+            start = time.perf_counter()
+            databases[key] = graph_to_database(
+                registry, compiled.catalog,
+                node_labels=compiled.input_node_labels,
+                edge_labels=compiled.input_edge_labels,
+                columnar=True, bulk=bulk,
+            )
+            best = min(best, time.perf_counter() - start)
+        timings[key]["extract_seconds"] = best
+
+    result = Engine(columnar=True).run(
+        compiled.program, database=databases["bulk"]
+    )
+    graphs = {}
+    for key, bulk in (("bulk", True), ("perobj", False)):
+        best = float("inf")
+        for _ in range(repeat):
+            target = registry.copy()
+            start = time.perf_counter()
+            materialize_into_graph(result, compiled, target, bulk=bulk)
+            best = min(best, time.perf_counter() - start)
+            graphs[key] = target
+        timings[key]["materialize_seconds"] = best
+
+    encodings = {}
+    instance = SuperInstance.from_plain_graph(schema, registry, 9)
+    for key, bulk in (("bulk", True), ("perobj", False)):
+        best = float("inf")
+        for _ in range(repeat):
+            dictionary = GraphDictionary()
+            start = time.perf_counter()
+            dictionary.store(schema, bulk=bulk)
+            instance.to_dictionary(dictionary.graph, bulk=bulk)
+            best = min(best, time.perf_counter() - start)
+            encodings[key] = dictionary.graph
+        timings[key]["encode_seconds"] = best
+
+    ok = True
+    if verify:
+        ok = (
+            _identical_databases(databases["bulk"], databases["perobj"])
+            and _snapshot(graphs["bulk"]) == _snapshot(graphs["perobj"])
+            and _sorted_snapshot(encodings["bulk"])
+            == _sorted_snapshot(encodings["perobj"])
+        )
+
+    for rows in timings.values():
+        for field in list(rows):
+            rows[field] = round(rows[field], 4)
+
+    def speedup(field):
+        return round(
+            timings["perobj"][field] / max(timings["bulk"][field], 1e-9), 2
+        )
+
+    return {
+        "companies": companies,
+        "bulk": timings["bulk"],
+        "perobj": timings["perobj"],
+        "extract_speedup": speedup("extract_seconds"),
+        "materialize_speedup": speedup("materialize_seconds"),
+        "encode_speedup": speedup("encode_seconds"),
+        "differential_ok": ok,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Payload schema (kept dependency-free: no jsonschema in the image)
+# ---------------------------------------------------------------------------
+
+_PATH_FIELDS = {
+    "extract_seconds": (int, float),
+    "materialize_seconds": (int, float),
+    "encode_seconds": (int, float),
+}
+_ROW_FIELDS = {
+    "companies": int,
+    "bulk": dict,
+    "perobj": dict,
+    "extract_speedup": (int, float),
+    "materialize_speedup": (int, float),
+    "encode_speedup": (int, float),
+    "differential_ok": bool,
+}
+_TOP_FIELDS = {
+    "experiment": str,
+    "program": str,
+    "seed": int,
+    "peak_rss_kb": int,
+    "results": list,
+}
+
+
+def validate(payload: dict) -> list:
+    """Structural check of a BENCH_DICT payload; returns problem strings."""
+    problems = []
+
+    def check(obj, fields, where):
+        for field, types in fields.items():
+            if field not in obj:
+                problems.append(f"{where}: missing field '{field}'")
+            elif not isinstance(obj[field], types):
+                problems.append(
+                    f"{where}: field '{field}' has type "
+                    f"{type(obj[field]).__name__}"
+                )
+
+    check(payload, _TOP_FIELDS, "payload")
+    if payload.get("experiment") != "E-DICT":
+        problems.append("payload: experiment must be 'E-DICT'")
+    for i, row in enumerate(payload.get("results") or []):
+        where = f"results[{i}]"
+        if not isinstance(row, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        check(row, _ROW_FIELDS, where)
+        for path in ("bulk", "perobj"):
+            sub = row.get(path)
+            if isinstance(sub, dict):
+                check(sub, _PATH_FIELDS, f"{where}.{path}")
+        if not row.get("differential_ok", False):
+            problems.append(f"{where}: differential_ok is not true")
+    if not payload.get("results"):
+        problems.append("payload: results is empty")
+    return problems
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sizes", type=int, nargs="+", default=[5000])
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--out", default="BENCH_DICT.json")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="timing repetitions per phase (minimum kept)")
+    parser.add_argument("--no-verify", action="store_true",
+                        help="skip the bulk-vs-per-object differential gate")
+    parser.add_argument("--require-extract-speedup", type=float, default=None,
+                        help="fail unless every size clears this extraction "
+                        "speedup")
+    parser.add_argument("--check", metavar="FILE", default=None,
+                        help="validate an existing payload and exit")
+    args = parser.parse_args()
+
+    if args.check is not None:
+        with open(args.check, "r", encoding="utf-8") as handle:
+            problems = validate(json.load(handle))
+        for problem in problems:
+            print(f"schema: {problem}", file=sys.stderr)
+        print(f"{args.check}: {'INVALID' if problems else 'schema OK'}")
+        return 1 if problems else 0
+
+    rows = []
+    for companies in args.sizes:
+        row = run_size(
+            companies, args.seed, not args.no_verify, repeat=args.repeat
+        )
+        rows.append(row)
+        print(
+            f"E-DICT {companies} companies: extract "
+            f"{row['perobj']['extract_seconds']:.2f}s -> "
+            f"{row['bulk']['extract_seconds']:.2f}s "
+            f"({row['extract_speedup']:.1f}x), materialize "
+            f"{row['materialize_speedup']:.1f}x, encode "
+            f"{row['encode_speedup']:.1f}x, differential "
+            f"{'OK' if row['differential_ok'] else 'MISMATCH'}"
+        )
+
+    payload = {
+        "experiment": "E-DICT",
+        "program": "CONTROL_PROGRAM",
+        "seed": args.seed,
+        "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        "results": rows,
+    }
+    problems = validate(payload)
+    for problem in problems:
+        print(f"schema: {problem}", file=sys.stderr)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+
+    if problems:
+        return 1
+    if args.require_extract_speedup is not None and any(
+        row["extract_speedup"] < args.require_extract_speedup for row in rows
+    ):
+        print(f"extract speedup below required {args.require_extract_speedup}x")
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

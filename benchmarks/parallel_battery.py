@@ -23,6 +23,71 @@ sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 from repro.vadalog import Engine, parse_program
 
 
+def graph_boundary_differential(companies: int = 400) -> int:
+    """Bulk vs per-object graph boundary, both storage backends.
+
+    Extracts a business registry through ``graph_to_database`` with
+    ``bulk=True`` and ``bulk=False`` and requires bit-identical relation
+    content *and order* (stable extraction order), then runs the control
+    program and requires the materialized graphs to match, for both the
+    tuple and the columnar backend.  Returns the mismatch count.
+    """
+    from benchmarks.bench_incremental import business_registry
+    from repro.metalog import (
+        GraphCatalog, compile_metalog, graph_to_database, parse_metalog,
+    )
+    from repro.metalog.mtv import materialize_into_graph
+
+    control = (
+        "(x: Business)[:OWNS; percentage: w](y: Business),"
+        " v = msum(w, <x>), v > 0.5"
+        " -> exists c : (x)[c: CONTROLS](y)."
+    )
+    graph = business_registry(companies)
+    catalog = GraphCatalog.from_graph(graph)
+    compiled = compile_metalog(parse_metalog(control), catalog)
+    mismatches = 0
+    for columnar in (False, True):
+        fast = graph_to_database(
+            graph, compiled.catalog, columnar=columnar, bulk=True
+        )
+        slow = graph_to_database(
+            graph, compiled.catalog, columnar=columnar, bulk=False
+        )
+        if fast.predicates() != slow.predicates() or any(
+            list(fast.relation(p)) != list(slow.relation(p))
+            for p in fast.predicates()
+        ):
+            mismatches += 1
+            print(f"MISMATCH graph extraction columnar={columnar}")
+            continue
+        result = Engine().run(compiled.program, database=fast)
+        targets = []
+        for bulk in (True, False):
+            target = graph.copy()
+            materialize_into_graph(result, compiled, target, bulk=bulk)
+            targets.append(target)
+        fast_graph, slow_graph = targets
+        fast_snap = (
+            [(n.id, n.label, sorted(n.properties.items(), key=repr))
+             for n in fast_graph.nodes()],
+            [(e.id, e.source, e.target, e.label,
+              sorted(e.properties.items(), key=repr))
+             for e in fast_graph.edges()],
+        )
+        slow_snap = (
+            [(n.id, n.label, sorted(n.properties.items(), key=repr))
+             for n in slow_graph.nodes()],
+            [(e.id, e.source, e.target, e.label,
+              sorted(e.properties.items(), key=repr))
+             for e in slow_graph.edges()],
+        )
+        if fast_snap != slow_snap:
+            mismatches += 1
+            print(f"MISMATCH graph write-back columnar={columnar}")
+    return mismatches
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--workers", type=int, default=2)
@@ -67,11 +132,13 @@ def main() -> int:
                 mismatches += 1
                 print(f"MISMATCH {kind} seed={seed} predicate={predicate}")
                 break
+    boundary_mismatches = graph_boundary_differential()
+    mismatches += boundary_mismatches
     elapsed = time.perf_counter() - start
     print(
         f"parallel battery: {len(cases)} programs, workers={args.workers}, "
-        f"backend={args.backend or 'auto'}, mismatches={mismatches}, "
-        f"{elapsed:.1f}s"
+        f"backend={args.backend or 'auto'}, mismatches={mismatches} "
+        f"(graph boundary: {boundary_mismatches}), {elapsed:.1f}s"
     )
     return 1 if mismatches else 0
 

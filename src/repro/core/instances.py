@@ -20,7 +20,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.core.schema import SuperSchema
 from repro.errors import SchemaError
-from repro.graph.property_graph import PropertyGraph
+from repro.graph.property_graph import ABSENT, PropertyGraph
 
 
 class SuperInstance:
@@ -66,12 +66,23 @@ class SuperInstance:
     # ------------------------------------------------------------------
     # Load: plain graph -> I_SM_* constructs (Algorithm 2, line 4)
     # ------------------------------------------------------------------
-    def to_dictionary(self, graph: PropertyGraph) -> PropertyGraph:
+    def to_dictionary(
+        self, graph: PropertyGraph, bulk: bool = True
+    ) -> PropertyGraph:
         """Encode this instance as ``I_SM_*`` constructs in ``graph``.
 
         The schema must already be serialized in the same graph (its
         construct OIDs are the ``SM_REFERENCES`` targets).
+
+        ``bulk=True`` (the default) encodes label-at-a-time through the
+        graph's column accessors — the registry-scale load path of
+        Algorithm 2 — while ``bulk=False`` keeps the per-object loop as
+        a differential oracle.  Both produce the same dictionary
+        content; only graph insertion order differs (per-label vs
+        interleaved).
         """
+        if bulk:
+            return self._to_dictionary_bulk(graph)
         ioid = self.instance_oid
         schema = self.schema
 
@@ -168,6 +179,120 @@ class SuperInstance:
                 attach(edge_iid, "I_SM_HAS_EDGE_PROPERTY", attr_iid)
         return graph
 
+    def _to_dictionary_bulk(self, graph: PropertyGraph) -> PropertyGraph:
+        """Column-wise encoding core of :meth:`to_dictionary`.
+
+        One :meth:`~repro.graph.property_graph.PropertyGraph.nodes_table`
+        / ``edges_table`` call per data label pulls the instance out as
+        columns, and one ``add_nodes_bulk`` / ``add_edges_bulk`` call
+        per construct family writes the ``I_SM_*`` encoding back — no
+        per-element property-dict iteration survives.  The ``ABSENT``
+        sentinel keeps the per-object semantics exact: a property whose
+        stored value is ``None`` still encodes as an ``I_SM_Attribute``
+        with ``value=None``, while a property missing from the element
+        produces nothing.
+        """
+        ioid = self.instance_oid
+        schema = self.schema
+        data = self.data
+        constants = {"instanceOID": ioid}
+
+        def emit_references(sources: List[str], targets: List[str]) -> None:
+            graph.add_edges_bulk(
+                "SM_REFERENCES",
+                [f"{s}-[SM_REFERENCES]->{t}" for s, t in zip(sources, targets)],
+                sources, targets, constants=constants,
+            )
+
+        def emit_attributes(
+            owner_iids: List[str], attr_iids: List[str], values: List[Any],
+            attr_oid: str, attach_label: str,
+        ) -> None:
+            # ``keep_none=True``: a stored None is a real attribute value
+            # here (the ABSENT filter already removed missing ones).
+            graph.add_nodes_bulk(
+                "I_SM_Attribute", attr_iids, ("value",), [values],
+                constants=constants, keep_none=True,
+            )
+            emit_references(attr_iids, [attr_oid] * len(attr_iids))
+            graph.add_edges_bulk(
+                attach_label,
+                [f"{o}-[{attach_label}]->{a}"
+                 for o, a in zip(owner_iids, attr_iids)],
+                owner_iids, attr_iids, constants=constants,
+            )
+
+        for label in sorted(data.node_labels()):
+            sm_node = schema.get_node(label)
+            attributes = {
+                a.name: a for a in schema.inherited_attributes(sm_node)
+            }
+            names = tuple(attributes)
+            ids, columns = data.nodes_table(label, names, default=ABSENT)
+            if not ids:
+                continue
+            node_iids = [f"{ioid}:i-node:{nid}" for nid in ids]
+            graph.add_nodes_bulk(
+                "I_SM_Node", node_iids, ("sourceOID",), [list(ids)],
+                constants=constants,
+            )
+            emit_references(node_iids, [sm_node.oid] * len(node_iids))
+            for name, column in zip(names, columns):
+                present = [
+                    i for i, value in enumerate(column) if value is not ABSENT
+                ]
+                if not present:
+                    continue
+                emit_attributes(
+                    [node_iids[i] for i in present],
+                    [f"{ioid}:i-nattr:{ids[i]}:{name}" for i in present],
+                    [column[i] for i in present],
+                    attributes[name].oid, "I_SM_HAS_NODE_PROPERTY",
+                )
+
+        for label in sorted(data.edge_labels()):
+            sm_edge = schema.get_edge(label)
+            attributes = {a.name: a for a in sm_edge.attributes}
+            names = tuple(attributes)
+            ids, sources, targets, columns = data.edges_table(
+                label, names, default=ABSENT
+            )
+            if not ids:
+                continue
+            edge_iids = [f"{ioid}:i-edge:{eid}" for eid in ids]
+            graph.add_nodes_bulk(
+                "I_SM_Edge", edge_iids, ("sourceOID",), [list(ids)],
+                constants=constants,
+            )
+            emit_references(edge_iids, [sm_edge.oid] * len(edge_iids))
+            graph.add_edges_bulk(
+                "I_SM_FROM",
+                [f"{eiid}-[I_SM_FROM]" for eiid in edge_iids],
+                edge_iids,
+                [f"{ioid}:i-node:{s}" for s in sources],
+                constants=constants,
+            )
+            graph.add_edges_bulk(
+                "I_SM_TO",
+                [f"{eiid}-[I_SM_TO]" for eiid in edge_iids],
+                edge_iids,
+                [f"{ioid}:i-node:{t}" for t in targets],
+                constants=constants,
+            )
+            for name, column in zip(names, columns):
+                present = [
+                    i for i, value in enumerate(column) if value is not ABSENT
+                ]
+                if not present:
+                    continue
+                emit_attributes(
+                    [edge_iids[i] for i in present],
+                    [f"{ioid}:i-eattr:{ids[i]}:{name}" for i in present],
+                    [column[i] for i in present],
+                    attributes[name].oid, "I_SM_HAS_EDGE_PROPERTY",
+                )
+        return graph
+
     # ------------------------------------------------------------------
     # Flush: I_SM_* constructs -> plain graph (Algorithm 2, line 9)
     # ------------------------------------------------------------------
@@ -191,60 +316,86 @@ class SuperInstance:
             for attribute in edge.attributes:
                 attribute_name_by_oid[attribute.oid] = attribute.name
 
-        def referenced(iid: Any) -> Optional[Any]:
-            for edge in graph.out_edges(iid, "SM_REFERENCES"):
-                return edge.target
-            return None
+        # Link maps are built once with one bulk edges_table pass per
+        # label instead of a filtered out_edges scan per construct.  Per
+        # owner, bucket order equals out-edge insertion order, so the
+        # decoded property dicts match the per-construct scans exactly.
+        refs: Dict[Any, Any] = {}
+        _, sources, targets, _ = graph.edges_table("SM_REFERENCES")
+        for source, target in zip(sources, targets):
+            if source not in refs:  # first reference wins, as before
+                refs[source] = target
 
-        def attributes_of(iid: Any, link: str) -> Dict[str, Any]:
+        def link_map(label: str, last_wins: bool) -> Dict[Any, Any]:
+            mapping: Dict[Any, Any] = {}
+            _, sources, targets, _ = graph.edges_table(label)
+            if last_wins:
+                mapping.update(zip(sources, targets))
+            else:
+                for source, target in zip(sources, targets):
+                    mapping.setdefault(source, []).append(target)
+            return mapping
+
+        node_prop_links = link_map("I_SM_HAS_NODE_PROPERTY", last_wins=False)
+        edge_prop_links = link_map("I_SM_HAS_EDGE_PROPERTY", last_wins=False)
+
+        def attributes_of(iid: Any, links: Dict[Any, Any]) -> Dict[str, Any]:
             values: Dict[str, Any] = {}
-            for edge in graph.out_edges(iid, link):
-                attr_node = graph.node(edge.target)
+            for attr_iid in links.get(iid, ()):
+                attr_node = graph.node(attr_iid)
                 if attr_node.get("instanceOID") != instance_oid:
                     continue
-                target = referenced(edge.target)
-                attr_name = attribute_name_by_oid.get(target)
+                attr_name = attribute_name_by_oid.get(refs.get(attr_iid))
                 if attr_name is not None:
                     values[attr_name] = attr_node.get("value")
             return values
 
         data = PropertyGraph(name)
         plain_id_by_iid: Dict[Any, Any] = {}
-        for inode in sorted(graph.nodes("I_SM_Node"), key=lambda n: str(n.id)):
-            if inode.get("instanceOID") != instance_oid:
+        node_ids, node_cols = graph.nodes_table(
+            "I_SM_Node", ("instanceOID", "sourceOID")
+        )
+        node_ioids, node_sources = node_cols
+        for i in sorted(range(len(node_ids)), key=lambda j: str(node_ids[j])):
+            if node_ioids[i] != instance_oid:
                 continue
-            type_name = node_type_by_oid.get(referenced(inode.id))
+            iid = node_ids[i]
+            type_name = node_type_by_oid.get(refs.get(iid))
             if type_name is None:
                 continue
-            plain_id = inode.get("sourceOID")
+            plain_id = node_sources[i]
             if plain_id is None:
-                plain_id = inode.id  # derived node: keep the invented OID
-            plain_id_by_iid[inode.id] = plain_id
+                plain_id = iid  # derived node: keep the invented OID
+            plain_id_by_iid[iid] = plain_id
             data.add_node(
                 plain_id, type_name,
-                **attributes_of(inode.id, "I_SM_HAS_NODE_PROPERTY"),
+                **attributes_of(iid, node_prop_links),
             )
-        for iedge in sorted(graph.nodes("I_SM_Edge"), key=lambda n: str(n.id)):
-            if iedge.get("instanceOID") != instance_oid:
+        from_map = link_map("I_SM_FROM", last_wins=True)
+        to_map = link_map("I_SM_TO", last_wins=True)
+        edge_ids, edge_cols = graph.nodes_table(
+            "I_SM_Edge", ("instanceOID", "sourceOID")
+        )
+        edge_ioids, edge_sources = edge_cols
+        for i in sorted(range(len(edge_ids)), key=lambda j: str(edge_ids[j])):
+            if edge_ioids[i] != instance_oid:
                 continue
-            type_name = edge_type_by_oid.get(referenced(iedge.id))
+            iid = edge_ids[i]
+            type_name = edge_type_by_oid.get(refs.get(iid))
             if type_name is None:
                 continue
-            source = target = None
-            for e in graph.out_edges(iedge.id, "I_SM_FROM"):
-                source = plain_id_by_iid.get(e.target)
-            for e in graph.out_edges(iedge.id, "I_SM_TO"):
-                target = plain_id_by_iid.get(e.target)
+            source = plain_id_by_iid.get(from_map.get(iid))
+            target = plain_id_by_iid.get(to_map.get(iid))
             if source is None or target is None:
                 continue
             if not data.has_node(source) or not data.has_node(target):
                 continue
-            plain_edge_id = iedge.get("sourceOID")
+            plain_edge_id = edge_sources[i]
             if plain_edge_id is None:
-                plain_edge_id = iedge.id
+                plain_edge_id = iid
             data.add_edge(
                 source, target, type_name, edge_id=plain_edge_id,
-                **attributes_of(iedge.id, "I_SM_HAS_EDGE_PROPERTY"),
+                **attributes_of(iid, edge_prop_links),
             )
         return cls(schema, instance_oid, data)
 

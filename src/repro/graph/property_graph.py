@@ -24,6 +24,10 @@ from typing import Any, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.errors import DeploymentError, GraphError
 
+#: Sentinel distinguishing "property absent on the element" from a stored
+#: ``None`` value in the bulk table accessors (``nodes_table``/``edges_table``).
+ABSENT = object()
+
 
 @dataclass(frozen=True, slots=True)
 class Node:
@@ -87,8 +91,11 @@ class PropertyGraph:
         self._edges: Dict[Any, Edge] = {}
         self._out: Dict[Any, List[Any]] = {}
         self._in: Dict[Any, List[Any]] = {}
-        self._nodes_by_label: Dict[str, Set[Any]] = {}
-        self._edges_by_label: Dict[str, Set[Any]] = {}
+        # Label buckets are insertion-ordered dicts (value always None):
+        # membership/removal stay O(1) like a set, but per-label iteration
+        # follows insertion order, so extraction order is deterministic.
+        self._nodes_by_label: Dict[str, Dict[Any, None]] = {}
+        self._edges_by_label: Dict[str, Dict[Any, None]] = {}
         self._auto_id = 1
         # Bumped by every deletion; insertion marks embed the epoch at
         # capture time so a popitem rollback can detect that the
@@ -119,7 +126,7 @@ class PropertyGraph:
         self._out[node_id] = []
         self._in[node_id] = []
         if label is not None:
-            self._nodes_by_label.setdefault(label, set()).add(node_id)
+            self._nodes_by_label.setdefault(label, {})[node_id] = None
         return node
 
     def add_edge(
@@ -147,7 +154,7 @@ class PropertyGraph:
         self._out[source].append(edge_id)
         self._in[target].append(edge_id)
         if label is not None:
-            self._edges_by_label.setdefault(label, set()).add(edge_id)
+            self._edges_by_label.setdefault(label, {})[edge_id] = None
         return edge
 
     def _fresh_id(self, prefix: str) -> str:
@@ -203,14 +210,14 @@ class PropertyGraph:
             self._out[edge.source].remove(edge_id)
             self._in[edge.target].remove(edge_id)
             if edge.label is not None:
-                self._edges_by_label[edge.label].discard(edge_id)
+                self._edges_by_label[edge.label].pop(edge_id, None)
             undone += 1
         while len(self._nodes) > node_mark:
             node_id, node = self._nodes.popitem()
             del self._out[node_id]
             del self._in[node_id]
             if node.label is not None:
-                self._nodes_by_label[node.label].discard(node_id)
+                self._nodes_by_label[node.label].pop(node_id, None)
             undone += 1
         return undone
 
@@ -234,7 +241,7 @@ class PropertyGraph:
         self._out[edge.source].remove(edge_id)
         self._in[edge.target].remove(edge_id)
         if edge.label is not None:
-            self._edges_by_label[edge.label].discard(edge_id)
+            self._edges_by_label[edge.label].pop(edge_id, None)
 
     def remove_node(self, node_id: Any) -> None:
         """Remove a node together with all its incident edges."""
@@ -248,7 +255,7 @@ class PropertyGraph:
         del self._out[node_id]
         del self._in[node_id]
         if node.label is not None:
-            self._nodes_by_label[node.label].discard(node_id)
+            self._nodes_by_label[node.label].pop(node_id, None)
 
     # ------------------------------------------------------------------
     # Access
@@ -403,6 +410,204 @@ class PropertyGraph:
                 adj[edge.source].append(edge.target)
         return adj
 
+    # ------------------------------------------------------------------
+    # Bulk (columnar) accessors
+    # ------------------------------------------------------------------
+    # These four methods are the graph side of the columnar fast path:
+    # the PG<->relational boundary of Section 4 moves whole labels at a
+    # time as parallel column lists, so neither side pays a per-element
+    # Python attribute/dict lookup or a per-fact ``has_node`` probe.
+
+    def nodes_table(
+        self,
+        label: str,
+        names: Iterable[str] = (),
+        default: Any = None,
+    ) -> Tuple[List[Any], List[List[Any]]]:
+        """Return ``(ids, columns)`` for every node with ``label``.
+
+        ``columns`` holds one list per property name in ``names``, aligned
+        with ``ids``; a property absent on a node yields ``default`` (pass
+        :data:`ABSENT` to distinguish a stored ``None`` from a missing
+        property).  Row order is node insertion order — deterministic for
+        any deterministic construction sequence.
+        """
+        bucket = self._nodes_by_label.get(label)
+        if not bucket:
+            return [], [[] for _ in names]
+        nodes = self._nodes
+        ids = list(bucket)
+        props = [nodes[node_id].properties for node_id in ids]
+        columns = [[p.get(name, default) for p in props] for name in names]
+        return ids, columns
+
+    def edges_table(
+        self,
+        label: str,
+        names: Iterable[str] = (),
+        default: Any = None,
+    ) -> Tuple[List[Any], List[Any], List[Any], List[List[Any]]]:
+        """Return ``(ids, sources, targets, columns)`` for edges with ``label``.
+
+        Same contract as :meth:`nodes_table`, plus the two endpoint
+        columns of the incidence function ``mu``.
+        """
+        bucket = self._edges_by_label.get(label)
+        if not bucket:
+            return [], [], [], [[] for _ in names]
+        store = self._edges
+        edges = [store[edge_id] for edge_id in bucket]
+        ids = [e.id for e in edges]
+        sources = [e.source for e in edges]
+        targets = [e.target for e in edges]
+        columns = [[e.properties.get(name, default) for e in edges] for name in names]
+        return ids, sources, targets, columns
+
+    def add_nodes_bulk(
+        self,
+        label: Optional[str],
+        ids: List[Any],
+        names: Tuple[str, ...] = (),
+        columns: Iterable[List[Any]] = (),
+        constants: Optional[Dict[str, Any]] = None,
+        keep_none: bool = False,
+    ) -> None:
+        """Add many nodes with one shared label in a single column pass.
+
+        ``columns`` provides one aligned value list per name in ``names``;
+        ``None`` cells are dropped unless ``keep_none`` (matching the
+        per-object convention that an unassigned property is absent, not
+        ``None``).  ``constants`` adds the same extra properties to every
+        node.  All OIDs must be fresh — duplicates raise
+        :class:`~repro.errors.GraphError` with the store unchanged, the
+        same contract as :meth:`add_node`.
+        """
+        if not ids:
+            return
+        nodes = self._nodes
+        seen = set(ids)
+        clash = nodes.keys() & seen
+        if clash:
+            bad = sorted(clash, key=str)[0]
+            raise GraphError(
+                f"node {bad!r} already exists in {self.name!r}"
+            )
+        if len(seen) != len(ids):
+            dup = [i for i in ids if ids.count(i) > 1]
+            raise GraphError(
+                f"duplicate node OID {dup[0]!r} in bulk add to {self.name!r}"
+            )
+        if names:
+            rows = zip(*columns)
+            if keep_none:
+                prop_iter = (dict(zip(names, row)) for row in rows)
+            else:
+                prop_iter = (
+                    {n: v for n, v in zip(names, row) if v is not None}
+                    for row in rows
+                )
+        else:
+            prop_iter = ({} for _ in ids)
+        out, inn = self._out, self._in
+        if constants:
+            const = dict(constants)
+            for node_id, props in zip(ids, prop_iter):
+                props.update(const)
+                nodes[node_id] = Node(node_id, label, props)
+                out[node_id] = []
+                inn[node_id] = []
+        else:
+            for node_id, props in zip(ids, prop_iter):
+                nodes[node_id] = Node(node_id, label, props)
+                out[node_id] = []
+                inn[node_id] = []
+        if label is not None:
+            bucket = self._nodes_by_label.setdefault(label, {})
+            for node_id in ids:
+                bucket[node_id] = None
+
+    def add_edges_bulk(
+        self,
+        label: Optional[str],
+        ids: List[Any],
+        sources: List[Any],
+        targets: List[Any],
+        names: Tuple[str, ...] = (),
+        columns: Iterable[List[Any]] = (),
+        constants: Optional[Dict[str, Any]] = None,
+        keep_none: bool = False,
+    ) -> None:
+        """Add many edges with one shared label in a single column pass.
+
+        Same contract as :meth:`add_nodes_bulk`; every endpoint must
+        already exist (``mu`` stays total), checked up front via one set
+        difference instead of two probes per edge.
+        """
+        if not ids:
+            return
+        edges = self._edges
+        nodes = self._nodes
+        missing = set(sources).union(targets).difference(nodes)
+        if missing:
+            bad = sorted(missing, key=str)[0]
+            raise GraphError(f"unknown source node {bad!r} in {self.name!r}")
+        seen = set(ids)
+        clash = edges.keys() & seen
+        if clash:
+            bad = sorted(clash, key=str)[0]
+            raise GraphError(
+                f"edge {bad!r} already exists in {self.name!r}"
+            )
+        if len(seen) != len(ids):
+            dup = [i for i in ids if ids.count(i) > 1]
+            raise GraphError(
+                f"duplicate edge OID {dup[0]!r} in bulk add to {self.name!r}"
+            )
+        if names:
+            rows = zip(*columns)
+            if keep_none:
+                prop_iter = (dict(zip(names, row)) for row in rows)
+            else:
+                prop_iter = (
+                    {n: v for n, v in zip(names, row) if v is not None}
+                    for row in rows
+                )
+        else:
+            prop_iter = ({} for _ in ids)
+        out, inn = self._out, self._in
+        if constants:
+            const = dict(constants)
+            for edge_id, source, target, props in zip(
+                ids, sources, targets, prop_iter
+            ):
+                props.update(const)
+                edges[edge_id] = Edge(edge_id, source, target, label, props)
+                out[source].append(edge_id)
+                inn[target].append(edge_id)
+        else:
+            for edge_id, source, target, props in zip(
+                ids, sources, targets, prop_iter
+            ):
+                edges[edge_id] = Edge(edge_id, source, target, label, props)
+                out[source].append(edge_id)
+                inn[target].append(edge_id)
+        if label is not None:
+            bucket = self._edges_by_label.setdefault(label, {})
+            for edge_id in ids:
+                bucket[edge_id] = None
+
+    def existing_node_ids(self, ids: Iterable[Any]) -> Set[Any]:
+        """Return the subset of ``ids`` already present as node OIDs.
+
+        One C-level set intersection, replacing per-id ``has_node`` probes
+        on bulk write-back paths.
+        """
+        return self._nodes.keys() & set(ids)
+
+    def existing_edge_ids(self, ids: Iterable[Any]) -> Set[Any]:
+        """Return the subset of ``ids`` already present as edge OIDs."""
+        return self._edges.keys() & set(ids)
+
     def copy(self, name: Optional[str] = None) -> "PropertyGraph":
         """Return a deep-enough copy (properties are shallow-copied dicts).
 
@@ -424,10 +629,10 @@ class PropertyGraph:
         clone._out = {node_id: list(ids) for node_id, ids in self._out.items()}
         clone._in = {node_id: list(ids) for node_id, ids in self._in.items()}
         clone._nodes_by_label = {
-            label: set(ids) for label, ids in self._nodes_by_label.items()
+            label: dict(ids) for label, ids in self._nodes_by_label.items()
         }
         clone._edges_by_label = {
-            label: set(ids) for label, ids in self._edges_by_label.items()
+            label: dict(ids) for label, ids in self._edges_by_label.items()
         }
         clone._auto_id = self._auto_id
         clone._mutation_epoch = self._mutation_epoch

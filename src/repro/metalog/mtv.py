@@ -54,7 +54,7 @@ from repro.metalog.ast import (
 from repro.vadalog.ast import Annotation, Atom, NegatedAtom, Program, Rule, SkolemTerm
 from repro.vadalog.database import Database
 from repro.vadalog.engine import Engine, EvaluationResult
-from repro.vadalog.terms import ANONYMOUS, Variable, is_variable
+from repro.vadalog.terms import ANONYMOUS, Variable, fact_sort_key, is_variable
 
 
 @dataclass
@@ -68,6 +68,12 @@ class CompiledMetaLog:
     derived_node_labels: Set[str] = field(default_factory=set)
     derived_edge_labels: Set[str] = field(default_factory=set)
     auxiliary_predicates: Set[str] = field(default_factory=set)
+    #: Per-label property names some head atom actually mentions.  The
+    #: write-back uses this to tell a *derived* ``None`` (the program
+    #: mentioned the attribute — clear any stale value) from a merely
+    #: *absent* one (the compiler's positional placeholder — leave the
+    #: existing property alone).
+    head_properties: Dict[str, Set[str]] = field(default_factory=dict)
 
 
 def invert_path(path: PathExpr) -> PathExpr:
@@ -94,6 +100,9 @@ class _Compiler:
         self._fresh_preds = itertools.count(1)
         self.extra_rules: List[Rule] = []
         self.auxiliary: Set[str] = set()
+        # label -> property names mentioned by some head atom (see
+        # CompiledMetaLog.head_properties).
+        self.head_properties: Dict[str, Set[str]] = {}
 
     def fresh_variable(self, hint: str = "v") -> Variable:
         return Variable(f"_{hint}{next(self._fresh_vars)}")
@@ -346,8 +355,11 @@ class _Compiler:
                 continue  # bare (x) in the head only situates an edge
             names = self.catalog.node_properties.get(atom.label, [])
             terms: List[Any] = [resolve(node_var(atom))] + [None] * len(names)
-            for name, term in atom.attributes:
-                terms[self.catalog.node_position(atom.label, name)] = resolve(term)
+            if atom.attributes:
+                mentioned = self.head_properties.setdefault(atom.label, set())
+                for name, term in atom.attributes:
+                    terms[self.catalog.node_position(atom.label, name)] = resolve(term)
+                    mentioned.add(name)
             atoms.append(Atom(atom.label, tuple(terms)))
         for source, path, target in pattern.hops():
             if not isinstance(path, PathEdge):
@@ -363,8 +375,11 @@ class _Compiler:
             else:
                 oid = self.fresh_variable("e")  # implicit existential OID
             terms = [oid, resolve(src), resolve(tgt)] + [None] * len(names)
-            for name, term in edge.attributes:
-                terms[self.catalog.edge_position(edge.label, name)] = resolve(term)
+            if edge.attributes:
+                mentioned = self.head_properties.setdefault(edge.label, set())
+                for name, term in edge.attributes:
+                    terms[self.catalog.edge_position(edge.label, name)] = resolve(term)
+                    mentioned.add(name)
             atoms.append(Atom(edge.label, tuple(terms)))
         return atoms
 
@@ -435,6 +450,7 @@ def compile_metalog(
         derived_node_labels=derived_nodes,
         derived_edge_labels=derived_edges,
         auxiliary_predicates=compiler.auxiliary,
+        head_properties=compiler.head_properties,
     )
 
 
@@ -449,37 +465,63 @@ def graph_to_database(
     node_labels: Optional[Iterable[str]] = None,
     edge_labels: Optional[Iterable[str]] = None,
     columnar: bool = False,
+    bulk: bool = True,
 ) -> Database:
     """Extract a relational instance from a property graph (phase 1).
 
     ``columnar=True`` loads straight into dictionary-encoded columnar
     relations, so an engine run with the (default) columnar backend
     skips the tuple-to-columnar conversion copy.
+
+    Labels are processed in sorted order (relation creation order — and
+    with it interner code assignment — used to follow nondeterministic
+    ``set`` iteration), and rows within a label follow the graph's node/
+    edge insertion order; the whole extraction is reproducible across
+    runs.
+
+    ``bulk=True`` (the default) moves whole labels at a time: one
+    :meth:`~repro.graph.property_graph.PropertyGraph.nodes_table` /
+    ``edges_table`` call per label feeds the backend's column-wise
+    insert, so the hot path never builds a per-node property tuple in
+    Python.  ``bulk=False`` keeps the per-object loop as a differential
+    oracle.
     """
     database = Database(columnar=columnar)
     node_labels = (
-        set(node_labels) if node_labels is not None else set(catalog.node_properties)
+        list(node_labels) if node_labels is not None
+        else list(catalog.node_properties)
     )
     edge_labels = (
-        set(edge_labels) if edge_labels is not None else set(catalog.edge_properties)
+        list(edge_labels) if edge_labels is not None
+        else list(catalog.edge_properties)
     )
-    for label in node_labels:
+    for label in sorted(node_labels):
         names = catalog.node_properties.get(label, [])
         relation = database.relation(label)
         relation.arity = 1 + len(names)
-        relation.add_many(
-            (node.id, *(node.properties.get(n) for n in names))
-            for node in graph.nodes(label)
-        )
-    for label in edge_labels:
+        if bulk:
+            ids, columns = graph.nodes_table(label, names)
+            if ids:
+                database.add_columns(label, [ids, *columns])
+        else:
+            relation.add_many(
+                (node.id, *(node.properties.get(n) for n in names))
+                for node in graph.nodes(label)
+            )
+    for label in sorted(edge_labels):
         names = catalog.edge_properties.get(label, [])
         relation = database.relation(label)
         relation.arity = 3 + len(names)
-        relation.add_many(
-            (edge.id, edge.source, edge.target,
-             *(edge.properties.get(n) for n in names))
-            for edge in graph.edges(label)
-        )
+        if bulk:
+            ids, sources, targets, columns = graph.edges_table(label, names)
+            if ids:
+                database.add_columns(label, [ids, sources, targets, *columns])
+        else:
+            relation.add_many(
+                (edge.id, edge.source, edge.target,
+                 *(edge.properties.get(n) for n in names))
+                for edge in graph.edges(label)
+            )
     return database
 
 
@@ -494,41 +536,181 @@ class MaterializationOutcome:
     new_edges: int = 0
 
 
+def _apply_node_update(
+    graph: PropertyGraph,
+    oid: Any,
+    names: List[str],
+    values: Tuple[Any, ...],
+    clearable: Iterable[str],
+) -> None:
+    """Fold one derived node fact into an existing node's properties.
+
+    Non-``None`` values overwrite; a ``None`` at a *head-mentioned*
+    position clears the property (the program derived "no value", so a
+    stale value from a prior materialization must not survive), while a
+    ``None`` at an unmentioned position is merely the compiler's
+    placeholder and leaves the property untouched.
+    """
+    properties = graph.node(oid).properties
+    for name, value in zip(names, values):
+        if value is not None:
+            properties[name] = value
+        elif name in clearable:
+            properties.pop(name, None)
+
+
+def _apply_edge_update(
+    graph: PropertyGraph,
+    oid: Any,
+    names: List[str],
+    values: Tuple[Any, ...],
+    clearable: Iterable[str],
+) -> None:
+    """Edge twin of :func:`_apply_node_update`."""
+    properties = graph.edge(oid).properties
+    for name, value in zip(names, values):
+        if value is not None:
+            properties[name] = value
+        elif name in clearable:
+            properties.pop(name, None)
+
+
 def materialize_into_graph(
     result: EvaluationResult,
     compiled: CompiledMetaLog,
     graph: PropertyGraph,
+    bulk: bool = True,
 ) -> Tuple[int, int]:
     """Write the derived node/edge facts back into ``graph``.
 
-    Returns ``(new_nodes, new_edges)``.  Facts whose OID already exists in
-    the graph update its properties instead of duplicating it.
+    Returns ``(new_nodes, new_edges)``.  Facts whose OID already exists
+    in the graph update its properties instead of duplicating it —
+    including existing *edges*, which earlier versions skipped outright.
+    Updates distinguish a derived ``None`` from an absent property via
+    ``compiled.head_properties`` (see :func:`_apply_node_update`).
+
+    Facts are applied in :func:`~repro.vadalog.terms.fact_sort_key`
+    order, which is identical across storage backends.  ``bulk=True``
+    (the default) partitions each label's facts into fresh-OID creations
+    (one column-wise ``add_nodes_bulk``/``add_edges_bulk`` per label, no
+    per-fact ``has_node`` probes) and the rare updates, which take the
+    per-object path; ``bulk=False`` keeps the all-per-object loop as a
+    differential oracle.  Both orders of application are equivalent:
+    updates only ever touch their own OID.
     """
     new_nodes = 0
     new_edges = 0
     catalog = compiled.catalog
+    head_properties = compiled.head_properties
     for label in sorted(compiled.derived_node_labels):
         names = catalog.node_properties.get(label, [])
-        for fact in sorted(result.facts(label), key=repr):
-            oid, *values = fact
-            properties = {n: v for n, v in zip(names, values) if v is not None}
-            if graph.has_node(oid):
-                for name, value in properties.items():
-                    graph.set_node_property(oid, name, value)
-            else:
-                graph.add_node(oid, label, **properties)
-                new_nodes += 1
+        facts = sorted(result.facts(label), key=fact_sort_key)
+        if not facts:
+            continue
+        clearable = head_properties.get(label, ())
+        if not bulk:
+            for fact in facts:
+                oid = fact[0]
+                if graph.has_node(oid):
+                    _apply_node_update(graph, oid, names, fact[1:], clearable)
+                else:
+                    properties = {
+                        n: v for n, v in zip(names, fact[1:]) if v is not None
+                    }
+                    graph.add_node(oid, label, **properties)
+                    new_nodes += 1
+            continue
+        existing = graph.existing_node_ids([fact[0] for fact in facts])
+        fresh: List[Tuple[Any, ...]] = []
+        updates: List[Tuple[Any, ...]] = []
+        if existing:
+            seen: Set[Any] = set()
+            for fact in facts:
+                oid = fact[0]
+                if oid in existing or oid in seen:
+                    updates.append(fact)
+                else:
+                    seen.add(oid)
+                    fresh.append(fact)
+        else:
+            # All OIDs are new; only intra-batch duplicates update.
+            seen = set()
+            for fact in facts:
+                if fact[0] in seen:
+                    updates.append(fact)
+                else:
+                    seen.add(fact[0])
+                    fresh.append(fact)
+        if fresh:
+            columns = list(zip(*fresh))
+            graph.add_nodes_bulk(
+                label, list(columns[0]), tuple(names),
+                [list(col) for col in columns[1:]],
+            )
+            new_nodes += len(fresh)
+        for fact in updates:
+            _apply_node_update(graph, fact[0], names, fact[1:], clearable)
     for label in sorted(compiled.derived_edge_labels):
         names = catalog.edge_properties.get(label, [])
-        for fact in sorted(result.facts(label), key=repr):
-            oid, source, target, *values = fact
+        facts = sorted(result.facts(label), key=fact_sort_key)
+        if not facts:
+            continue
+        clearable = head_properties.get(label, ())
+        if not bulk:
+            for fact in facts:
+                oid, source, target = fact[0], fact[1], fact[2]
+                if graph.has_edge(oid):
+                    _apply_edge_update(graph, oid, names, fact[3:], clearable)
+                    continue
+                if not graph.has_node(source) or not graph.has_node(target):
+                    continue  # dangling derivation; endpoints not loaded
+                properties = {
+                    n: v for n, v in zip(names, fact[3:]) if v is not None
+                }
+                graph.add_edge(source, target, label, edge_id=oid, **properties)
+                new_edges += 1
+            continue
+        existing = graph.existing_edge_ids([fact[0] for fact in facts])
+        fresh = []
+        updates = []
+        seen = set()
+        for fact in facts:
+            oid = fact[0]
+            if oid in existing or oid in seen:
+                updates.append(fact)
+            else:
+                seen.add(oid)
+                fresh.append(fact)
+        if fresh:
+            endpoints = {f[1] for f in fresh} | {f[2] for f in fresh}
+            present = graph.existing_node_ids(endpoints)
+            if len(present) != len(endpoints):
+                fresh = [
+                    f for f in fresh if f[1] in present and f[2] in present
+                ]
+            if fresh:
+                columns = list(zip(*fresh))
+                graph.add_edges_bulk(
+                    label, list(columns[0]), list(columns[1]),
+                    list(columns[2]), tuple(names),
+                    [list(col) for col in columns[3:]],
+                )
+                new_edges += len(fresh)
+        for fact in updates:
+            oid = fact[0]
             if graph.has_edge(oid):
-                continue
-            if not graph.has_node(source) or not graph.has_node(target):
-                continue  # dangling derivation; endpoints were not loaded
-            properties = {n: v for n, v in zip(names, values) if v is not None}
-            graph.add_edge(source, target, label, edge_id=oid, **properties)
-            new_edges += 1
+                _apply_edge_update(graph, oid, names, fact[3:], clearable)
+            elif graph.has_node(fact[1]) and graph.has_node(fact[2]):
+                # Its first occurrence was dropped as dangling but this
+                # duplicate-OID fact has valid endpoints: create it, as
+                # the sequential per-object loop would have.
+                properties = {
+                    n: v for n, v in zip(names, fact[3:]) if v is not None
+                }
+                graph.add_edge(
+                    fact[1], fact[2], label, edge_id=oid, **properties
+                )
+                new_edges += 1
     return new_nodes, new_edges
 
 

@@ -23,7 +23,7 @@ from repro.obs.governor import ResourceGovernor
 from repro.serve.cache import ResultCache
 from repro.serve.state import ServeState, StateSnapshot
 from repro.vadalog.magic import parse_query
-from repro.vadalog.terms import Null, SkolemValue
+from repro.vadalog.terms import Null, SkolemValue, fact_sort_key
 
 __all__ = ["RequestError", "ServiceHandlers", "encode_value", "encode_fact"]
 
@@ -264,7 +264,8 @@ class ServiceHandlers:
         if mode == "snapshot":
             facts = snap.facts.get(query.predicate, frozenset())
             answers = sorted(
-                (fact for fact in facts if query.matches(fact)), key=repr
+                (fact for fact in facts if query.matches(fact)),
+                key=fact_sort_key,
             )
             status, result = 200, {
                 "status": "fixpoint",
@@ -322,7 +323,7 @@ class ServiceHandlers:
         stats = answer.stats
         return 200, {
             "status": answer.status,
-            "answers": sorted(answer.facts, key=repr),
+            "answers": sorted(answer.facts, key=fact_sort_key),
             "engine_stats": {
                 "iterations": stats.iterations,
                 "facts_derived": stats.facts_derived,

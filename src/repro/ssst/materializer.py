@@ -26,6 +26,8 @@ KG) is reproduced by the E-PERF benchmark on synthetic data.
 
 from __future__ import annotations
 
+import gc
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Any, Dict, List, Optional, Tuple
@@ -50,6 +52,7 @@ from repro.ssst.incremental import (
 from repro.ssst.views import catalog_from_super_schema, input_views, output_views
 from repro.vadalog.database import Database
 from repro.vadalog.engine import Engine, EvaluationResult, EvaluationStats
+from repro.vadalog.terms import fact_sort_key
 
 #: Instance-construct labels extracted from the dictionary for phase 1.
 _INSTANCE_NODE_LABELS = ("I_SM_Node", "I_SM_Edge", "I_SM_Attribute")
@@ -148,6 +151,32 @@ class RetainedMaterialization:
 _COMPILE_CACHE_LIMIT = 8
 
 
+@contextmanager
+def _deferred_full_gc():
+    """Defer full (gen-2) garbage collections for a registry-scale run.
+
+    A from-scratch materialization allocates millions of long-lived
+    containers (the dictionary graph, the chase extension); with the
+    default thresholds CPython re-scans that whole heap every few
+    thousand surviving allocations, which measures as multiple seconds
+    of pause time per 50k-company run.  Almost everything the chase
+    frees is acyclic and dies by refcount, so full cycles are deferred
+    — not disabled — while young-generation collection keeps running.
+    One full collection on exit picks up whatever cyclic garbage the
+    run produced; thresholds are always restored.
+    """
+    if not gc.isenabled():  # caller manages GC — stay out of the way
+        yield
+        return
+    gen0, gen1, gen2 = gc.get_threshold()
+    gc.set_threshold(gen0, gen1, max(gen2, 1) * 50)
+    try:
+        yield
+    finally:
+        gc.set_threshold(gen0, gen1, gen2)
+        gc.collect()
+
+
 class IntensionalMaterializer:
     """Runs Algorithm 2 over a super-schema instance."""
 
@@ -208,6 +237,7 @@ class IntensionalMaterializer:
         self._compile_cache[key] = entry
         return entry
 
+    @_deferred_full_gc()
     def materialize(
         self,
         schema: SuperSchema,
@@ -617,7 +647,9 @@ class IntensionalMaterializer:
                     graph.remove_node(fact[0])
                     flushed += 1
         for label in _INSTANCE_NODE_LABELS:
-            for fact in sorted(delta_flush.added.get(label, ()), key=repr):
+            for fact in sorted(
+                delta_flush.added.get(label, ()), key=fact_sort_key
+            ):
                 oid, inst, third = fact
                 if graph.has_node(oid):
                     continue
@@ -629,7 +661,9 @@ class IntensionalMaterializer:
                 graph.add_node(oid, label, **properties)
                 flushed += 1
         for label in _INSTANCE_EDGE_LABELS:
-            for fact in sorted(delta_flush.added.get(label, ()), key=repr):
+            for fact in sorted(
+                delta_flush.added.get(label, ()), key=fact_sort_key
+            ):
                 oid, source, target, inst = fact
                 if graph.has_edge(oid):
                     continue
@@ -651,12 +685,18 @@ class IntensionalMaterializer:
 
 
 def _flush_instance_facts(
-    database: Database, graph: PropertyGraph
+    database: Database, graph: PropertyGraph, bulk: bool = True
 ) -> "tuple[int, int]":
     """Write new I_SM_* facts back into the dictionary graph.
 
     Facts whose OID already exists in the graph are the ones loaded in
-    phase 1 and are skipped; only derived instance constructs are added.
+    phase 1 and are skipped; only derived instance constructs are added,
+    in :func:`~repro.vadalog.terms.fact_sort_key` order so the flush is
+    deterministic across processes.  ``bulk=True`` (the default) writes
+    each label's fresh constructs through the column-wise
+    ``add_nodes_bulk`` / ``add_edges_bulk`` graph accessors; the
+    per-object path is kept as a differential oracle.
+
     Returns ``(added, dropped)``: the number of new graph elements and
     the number of derived edges dropped because an endpoint OID is
     absent from the graph (output views referencing constructs the
@@ -665,20 +705,120 @@ def _flush_instance_facts(
     """
     added = 0
     dropped = 0
+    if not bulk:
+        for label in _INSTANCE_NODE_LABELS:
+            for fact in sorted(database.facts(label), key=fact_sort_key):
+                oid, inst, third = fact
+                if graph.has_node(oid):
+                    continue
+                properties: Dict[str, Any] = {"instanceOID": inst}
+                if label == "I_SM_Attribute":
+                    properties["value"] = third
+                elif third is not None:
+                    properties["sourceOID"] = third
+                graph.add_node(oid, label, **properties)
+                added += 1
+        for label in _INSTANCE_EDGE_LABELS:
+            for fact in sorted(database.facts(label), key=fact_sort_key):
+                oid, source, target, inst = fact
+                if graph.has_edge(oid):
+                    continue
+                if not graph.has_node(source) or not graph.has_node(target):
+                    dropped += 1
+                    continue
+                graph.add_edge(
+                    source, target, label, edge_id=oid, instanceOID=inst
+                )
+                added += 1
+        return added, dropped
+
+    # Most facts were loaded in phase 1 and already exist in the graph:
+    # drop them *before* sorting so the deterministic order is paid only
+    # for the fresh tail, not the full extension.  Reading decoded
+    # *columns* instead of fact tuples keeps the existing-OID filter on
+    # one column; per-fact tuples are built for the fresh tail only.
     for label in _INSTANCE_NODE_LABELS:
-        for fact in sorted(database.facts(label), key=repr):
-            oid, inst, third = fact
-            if graph.has_node(oid):
+        cols = database.columns(label)
+        if cols is None:
+            continue
+        ids, insts, thirds = cols
+        existing = graph.existing_node_ids(ids)
+        by_oid: Dict[Any, Any] = {}
+        for row, oid in enumerate(ids):
+            if oid in existing:
                 continue
-            properties: Dict[str, Any] = {"instanceOID": inst}
-            if label == "I_SM_Attribute":
-                properties["value"] = third
-            elif third is not None:
-                properties["sourceOID"] = third
-            graph.add_node(oid, label, **properties)
-            added += 1
+            fact = (oid, insts[row], thirds[row])
+            prev = by_oid.get(oid)
+            if prev is None or fact_sort_key(fact) < fact_sort_key(prev):
+                # Duplicate OIDs are rare; the sort-first fact wins,
+                # exactly as in the sequential sorted loop.
+                by_oid[oid] = fact
+        if not by_oid:
+            continue
+        fresh = sorted(by_oid.values(), key=fact_sort_key)
+        columns = list(zip(*fresh))
+        if label == "I_SM_Attribute":
+            graph.add_nodes_bulk(
+                label,
+                list(columns[0]),
+                ("instanceOID", "value"),
+                [list(columns[1]), list(columns[2])],
+                keep_none=True,
+            )
+        else:
+            graph.add_nodes_bulk(
+                label,
+                list(columns[0]),
+                ("instanceOID", "sourceOID"),
+                [list(columns[1]), list(columns[2])],
+            )
+        added += len(fresh)
     for label in _INSTANCE_EDGE_LABELS:
-        for fact in sorted(database.facts(label), key=repr):
+        cols = database.columns(label)
+        if cols is None:
+            continue
+        ids, sources_col, targets_col, insts = cols
+        existing = graph.existing_edge_ids(ids)
+        candidates: Dict[Any, List[Any]] = {}
+        for row, oid in enumerate(ids):
+            if oid in existing:
+                continue
+            fact = (oid, sources_col[row], targets_col[row], insts[row])
+            candidates.setdefault(oid, []).append(fact)
+        fresh = []
+        leftovers = []
+        for cands in candidates.values():
+            if len(cands) > 1:
+                # Same OID more than once: the sort-first fact wins; the
+                # rest are only addable if the winner is dropped as
+                # dangling — retried below, in order.
+                cands.sort(key=fact_sort_key)
+                leftovers.extend(cands[1:])
+            fresh.append(cands[0])
+        fresh.sort(key=fact_sort_key)
+        leftovers.sort(key=fact_sort_key)
+        endpoints = {fact[1] for fact in fresh}
+        endpoints.update(fact[2] for fact in fresh)
+        present = graph.existing_node_ids(endpoints)
+        if len(present) != len(endpoints):
+            kept = [
+                fact for fact in fresh
+                if fact[1] in present and fact[2] in present
+            ]
+            dropped += len(fresh) - len(kept)
+            fresh = kept
+        if fresh:
+            columns = list(zip(*fresh))
+            graph.add_edges_bulk(
+                label,
+                list(columns[0]),
+                list(columns[1]),
+                list(columns[2]),
+                ("instanceOID",),
+                [list(columns[3])],
+            )
+            added += len(fresh)
+        for fact in leftovers:
             oid, source, target, inst = fact
             if graph.has_edge(oid):
                 continue

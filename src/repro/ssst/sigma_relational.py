@@ -40,7 +40,7 @@ from repro.ssst.inverse import _edge_fk_owner
 from repro.vadalog.ast import Atom, Condition, NegatedAtom, Program, Rule, TermExpr
 from repro.vadalog.database import Database
 from repro.vadalog.engine import Engine
-from repro.vadalog.terms import ANONYMOUS, Variable
+from repro.vadalog.terms import ANONYMOUS, Variable, fact_sort_key
 
 
 @dataclass
@@ -323,7 +323,7 @@ def reason_over_relational(
             tuple(row.get(c) for c in header) for row in engine_db.rows(table_name)
         }
         fresh_rows: List[Dict[str, Any]] = []
-        for fact in sorted(result.facts(table_name), key=repr):
+        for fact in sorted(result.facts(table_name), key=fact_sort_key):
             if fact in existing:
                 continue
             fresh_rows.append(dict(zip(header, fact)))

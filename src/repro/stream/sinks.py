@@ -61,6 +61,7 @@ from repro.ssst.inverse import collect_relational_rows
 from repro.ssst.materializer import IntensionalMaterializer
 from repro.stream.coalesce import CoalescedBatch
 from repro.stream.feed import FACT_OPS, REGISTRY_OPS, FeedRecord
+from repro.vadalog.terms import fact_sort_key
 
 __all__ = [
     "ApplyResult",
@@ -284,13 +285,15 @@ class RelationalEngineTarget:
         for table in self._delete_order():
             batch = [
                 dict(self._row_of[(t, k)])
-                for (t, k) in sorted(removed_keys, key=repr)
+                for (t, k) in sorted(removed_keys, key=fact_sort_key)
                 if t == table
             ]
             if batch:
                 removed[table] = batch
         added: Dict[str, List[Dict[str, Any]]] = {}
-        for (table, key), count in sorted(inserts.items(), key=repr):
+        for (table, key), count in sorted(
+            inserts.items(), key=fact_sort_key
+        ):
             row_source = new_row_of if (table, key) in new_row_of else self._row_of
             added.setdefault(table, []).extend(
                 dict(row_source[(table, key)]) for _ in range(count)
@@ -570,10 +573,10 @@ class ServeStateSink:
         snapshot = self.state.snapshot
         return {
             "edb": {
-                predicate: sorted(
-                    ([encode_value(term) for term in fact] for fact in bucket),
-                    key=repr,
-                )
+                predicate: [
+                    [encode_value(term) for term in fact]
+                    for fact in sorted(bucket, key=fact_sort_key)
+                ]
                 for predicate, bucket in snapshot.edb.items()
             }
         }

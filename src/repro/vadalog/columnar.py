@@ -294,6 +294,28 @@ class ColumnarRelation:
             return _compress(rows, self._live)
         return rows
 
+    def value_columns(self) -> Optional[List[List[Any]]]:
+        """Decoded value columns of the live extension; None for arity-0.
+
+        The column-wise twin of :meth:`__iter__`: each column is one
+        C-speed ``map`` over the interner's value list, and no per-row
+        tuple is ever built.  Write-back paths that filter on a single
+        position (the flush intersects OIDs against the graph before
+        touching anything else) read this instead of materializing the
+        whole extension as tuples.
+        """
+        self._ensure_resident()
+        cols = self._cols
+        if not cols:
+            return None
+        nrows = self._nrows
+        getitem = self._interner.values.__getitem__
+        if self._ndead:
+            live = self._live
+            keep = [row for row in range(nrows) if live[row]]
+            return [[getitem(col[row]) for row in keep] for col in cols]
+        return [list(map(getitem, _islice(col, nrows))) for col in cols]
+
     def __contains__(self, fact: Fact) -> bool:
         self._ensure_resident()
         eqrow = self._probe_eqrow(fact)
@@ -515,22 +537,54 @@ class ColumnarRelation:
         keep_list = keep.tolist()
         return [fact for fact, kept in zip(fact_list, keep_list) if kept]
 
-    def _bulk_insert(self, fact_list: List[Any]) -> Optional[Any]:
-        """Vectorized insert core; returns the kept-row bool mask.
+    def add_columns(self, cols: Sequence[Sequence[Any]]) -> int:
+        """Insert facts given as parallel value columns; returns #new.
 
-        Encodes whole columns (one C-speed ``map`` over the interner
-        dict per column), dedups on vectorized FNV-1a row hashes
-        (suspect hashes are verified exactly, so collisions stay
-        correct), extends the columns in one shot, and maintains the
-        sorted row table, overlay, and any built indexes.  Returns
-        ``None`` when the batch is too small or numpy is unavailable —
-        the caller falls back to per-fact :meth:`add`.
+        The column-wise twin of :meth:`add_many`: callers that already
+        hold their data as columns (the graph/dictionary extraction
+        layer) skip the transpose entirely and feed the vectorized
+        insert core directly.  Small batches and numpy-free environments
+        fall back to the per-fact path.
+        """
+        if self._spilled:
+            self._ensure_resident()
+        col_list = [c if isinstance(c, list) else list(c) for c in cols]
+        if self._arity is None:
+            self.arity = len(col_list)
+        elif len(col_list) != self._arity:
+            raise EvaluationError(
+                f"arity mismatch for {self.name!r}: expected {self._arity}, "
+                f"got {len(col_list)} columns"
+            )
+        if not col_list:
+            return 0
+        count = len(col_list[0])
+        for col in col_list[1:]:
+            if len(col) != count:
+                raise EvaluationError(
+                    f"ragged columns for {self.name!r}: {len(col)} != {count}"
+                )
+        if not count:
+            return 0
+        if _np is not None and count >= 64:
+            keep = self._bulk_insert_cols(col_list, count)
+            if keep is not None:
+                return int(keep.sum())
+        added = 0
+        add = self.add
+        for fact in zip(*col_list):
+            if add(fact):
+                added += 1
+        return added
+
+    def _bulk_insert(self, fact_list: List[Any]) -> Optional[Any]:
+        """Vectorized insert; returns the kept-row bool mask.
+
+        Returns ``None`` when the batch is too small or numpy is
+        unavailable — the caller falls back to per-fact :meth:`add`.
         """
         if _np is None or len(fact_list) < 64:
             return None
-        interner = self._interner
-        codes_get = interner._codes.get
-        encode = interner.encode
         arity = self._arity
         if arity is None:
             arity = len(fact_list[0])
@@ -541,10 +595,32 @@ class ColumnarRelation:
                     f"arity mismatch for {self.name!r}: expected {arity}, "
                     f"got {len(fact)}"
                 )
+        if not arity:
+            return None  # propositional facts: per-fact path
+        return self._bulk_insert_cols(list(zip(*fact_list)), len(fact_list))
+
+    def _bulk_insert_cols(
+        self, val_cols: Sequence[Sequence[Any]], nfacts: int
+    ) -> Optional[Any]:
+        """Vectorized insert core over value columns; kept-row bool mask.
+
+        Encodes whole columns (one C-speed ``map`` over the interner
+        dict per column), dedups on vectorized FNV-1a row hashes
+        (suspect hashes are verified exactly, so collisions stay
+        correct), extends the columns in one shot, and maintains the
+        sorted row table, overlay, any built indexes, and — when it is
+        current — the numpy mirror cache including its sorted join keys
+        (see :meth:`_npcache_append`).
+        """
+        if not val_cols:
+            return None
+        arity = self._arity
+        interner = self._interner
+        codes_get = interner._codes.get
+        encode = interner.encode
         # Column-wise encode, with a per-value fallback only for columns
         # that contain bools (tagged dict keys) or still-unseen values.
         code_cols: List[List[int]] = []
-        val_cols = zip(*fact_list) if arity else ()
         for col_vals in val_cols:
             if any(v.__class__ is bool for v in col_vals):
                 code_cols.append(
@@ -563,7 +639,7 @@ class ColumnarRelation:
         exact = _np.asarray(code_cols, dtype=_np.int64).T
         eq_np = interner.eq_array()
         prime = _np.uint64(_FNV_PRIME)
-        hashes = _np.full(len(fact_list), _FNV_OFFSET, dtype=_np.uint64)
+        hashes = _np.full(nfacts, _FNV_OFFSET, dtype=_np.uint64)
         for j in range(arity):
             hashes = (hashes ^ eq_np[exact[:, j]]) * prime
         # Candidate duplicates: repeated hash within the batch, or hash
@@ -583,7 +659,7 @@ class ColumnarRelation:
             )
             suspect_mask |= _np.isin(hashes, overlay_keys)
         suspect = suspect_mask.nonzero()[0]
-        keep = _np.ones(len(fact_list), dtype=bool)
+        keep = _np.ones(nfacts, dtype=bool)
         if len(suspect):
             # Resolve the (rare) suspects exactly, in batch order.
             eq = interner.eq
@@ -599,7 +675,7 @@ class ColumnarRelation:
         if not added:
             return keep
         first_row = self._nrows
-        if added != len(fact_list):
+        if added != nfacts:
             exact = exact[keep]
             hashes = hashes[keep]
             for j, col in enumerate(self._cols):
@@ -611,6 +687,8 @@ class ColumnarRelation:
                 col.extend(code_cols[j])
         self._live.extend(b"\x01" * added)
         self._nrows += added
+        cache = self._npcache
+        prev_version = self._version
         self._version += 1
         # Row-table maintenance: big batches re-sort once; small ones
         # land in the overlay like per-fact adds.
@@ -649,7 +727,73 @@ class ColumnarRelation:
                         index2[key] = [first_row + offset]
                     else:
                         cbucket.append(first_row + offset)
+        self._npcache_append(cache, prev_version, exact, first_row, added)
         return keep
+
+    def _npcache_append(
+        self, cache: Optional[Dict[str, Any]], prev_version: int,
+        exact: Any, first_row: int, added: int,
+    ) -> None:
+        """Extend the numpy mirror cache instead of invalidating it.
+
+        This is the incremental sorted-join-key maintenance of the chase
+        inner loop: each commit's delta merges into the existing sorted
+        ``np_join_key`` arrays, so iteration ``k+1`` pays O(delta log
+        delta + n) for the merge instead of O(n log n) for a full
+        re-sort of every key shape in use.
+
+        Only the bulk-insert path calls this (new rows are all live and
+        appended at the end).  The merged keys are bit-identical to a
+        full rebuild: the rebuild stable-argsorts keys taken in
+        ascending row order, and since every new row id exceeds every
+        existing one, inserting the (stable-sorted) new block at
+        ``searchsorted(side="right")`` positions reproduces exactly the
+        tie order the full stable sort would produce.  A cache whose
+        version predates this batch (per-fact adds or removes happened
+        since it was built) is left alone and rebuilds lazily.
+        """
+        if cache is None or cache["version"] != prev_version:
+            return
+        new_cols = [
+            _np.ascontiguousarray(exact[:, j]) for j in range(exact.shape[1])
+        ]
+        cache["cols"] = [
+            _np.concatenate((old, new))
+            for old, new in zip(cache["cols"], new_cols)
+        ]
+        new_rows = _np.arange(first_row, first_row + added, dtype=_np.int64)
+        cache["rows"] = _np.concatenate((cache["rows"], new_rows))
+        keys_cache = cache["keys"]
+        if keys_cache:
+            prime = _np.uint64(_FNV_PRIME)
+            merged: Dict[Tuple[int, ...], Tuple[Any, Any]] = {}
+            offsets = _np.arange(added)
+            for positions, (skeys, srows) in keys_cache.items():
+                if len(positions) == 1:
+                    nk = new_cols[positions[0]]
+                else:
+                    nk = _np.full(added, _FNV_OFFSET, dtype=_np.uint64)
+                    for position in positions:
+                        nk = (
+                            nk ^ new_cols[position].astype(_np.uint64)
+                        ) * prime
+                norder = _np.argsort(nk, kind="stable")
+                nk = nk[norder]
+                nrows_sorted = new_rows[norder]
+                idx_new = _np.searchsorted(skeys, nk, side="right") + offsets
+                total = len(skeys) + added
+                mkeys = _np.empty(total, dtype=skeys.dtype)
+                mrows = _np.empty(total, dtype=srows.dtype)
+                new_mask = _np.zeros(total, dtype=bool)
+                new_mask[idx_new] = True
+                mkeys[idx_new] = nk
+                mrows[idx_new] = nrows_sorted
+                old_mask = ~new_mask
+                mkeys[old_mask] = skeys
+                mrows[old_mask] = srows
+                merged[positions] = (mkeys, mrows)
+            cache["keys"] = merged
+        cache["version"] = self._version
 
     def remove(self, fact: Fact) -> bool:
         """Delete a fact (``==``-level); returns True when present.

@@ -97,6 +97,17 @@ class Relation:
             backing.add(tup)
         return len(backing) - before
 
+    def add_columns(self, cols: Sequence[Sequence[Any]]) -> int:
+        """Insert facts given as parallel value columns; returns #new.
+
+        The tuple backend has no columnar fast path, so this is just
+        :meth:`add_many` over the transposed rows — it exists so the
+        graph/dictionary extraction layer can stay backend-agnostic.
+        """
+        if not cols:
+            return 0
+        return self.add_many(zip(*cols))
+
     def remove(self, fact: Fact) -> bool:
         """Delete a fact; returns True when it was present.
 
@@ -236,6 +247,15 @@ class Database:
         """Insert many facts; returns the number of new ones."""
         return self.relation(predicate).add_many(facts)
 
+    def add_columns(self, predicate: str, cols: Sequence[Sequence[Any]]) -> int:
+        """Insert facts given as parallel value columns; returns #new.
+
+        Columnar relations feed the vectorized insert core directly
+        (no per-fact tuple is ever built); the tuple backend transposes
+        and falls back to :meth:`add_all` semantics.
+        """
+        return self.relation(predicate).add_columns(cols)
+
     def add_all_report(self, predicate: str, facts: List[Fact]) -> List[Fact]:
         """Insert many facts; returns the ones that were new, in order.
 
@@ -276,6 +296,23 @@ class Database:
         """A snapshot set of the facts of ``predicate`` (empty if unknown)."""
         relation = self._relations.get(predicate)
         return set(relation) if relation is not None else set()
+
+    def columns(self, predicate: str) -> Optional[List[List[Any]]]:
+        """Decoded value columns of ``predicate``; None if empty/arity-0.
+
+        Columnar relations decode column-wise (no per-fact tuple);
+        the tuple backend transposes its extension.  Relations are
+        ``==``-level sets either way, so the columns carry no duplicate
+        rows — only same-OID rows with different payloads.
+        """
+        relation = self._relations.get(predicate)
+        if relation is None or not len(relation):
+            return None
+        getter = getattr(relation, "value_columns", None)
+        if getter is not None:
+            return getter()
+        transposed = list(zip(*relation))
+        return [list(col) for col in transposed] if transposed else None
 
     def has(self, predicate: str, fact: Tuple[Any, ...]) -> bool:
         relation = self._relations.get(predicate)

@@ -72,7 +72,13 @@ from repro.vadalog.database import Database, Fact
 from repro.vadalog.engine import Engine, EvaluationResult, EvaluationStats
 from repro.vadalog.parser import parse_program
 from repro.vadalog.stratify import stratify
-from repro.vadalog.terms import ANONYMOUS, Variable, is_variable, values_equal
+from repro.vadalog.terms import (
+    ANONYMOUS,
+    Variable,
+    fact_sort_key,
+    is_variable,
+    values_equal,
+)
 
 __all__ = [
     "Query",
@@ -627,7 +633,7 @@ class QueryAnswer:
     def bindings(self) -> List[Dict[str, Any]]:
         """One mapping per answer, free variable name -> value."""
         out: List[Dict[str, Any]] = []
-        for fact in sorted(self.facts, key=repr):
+        for fact in sorted(self.facts, key=fact_sort_key):
             row: Dict[str, Any] = {}
             for term, value in zip(self.query.terms, fact):
                 if is_variable(term) and term != ANONYMOUS:

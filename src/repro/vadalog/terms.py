@@ -124,6 +124,93 @@ def values_equal(a: Any, b: Any) -> bool:
     return a == b
 
 
+#: Sort-key type tags, in the order the corresponding values sort.
+_TAG_NONE = 0
+_TAG_BOOL = 1
+_TAG_NUMBER = 2
+_TAG_STRING = 3
+_TAG_NULL = 4
+_TAG_SKOLEM = 5
+_TAG_SEQUENCE = 6
+_TAG_OTHER = 7
+
+_EMPTY: Tuple[Any, ...] = ()
+
+
+def value_sort_key(value: Any) -> Tuple[Any, ...]:
+    """A deterministic, backend-independent total-order key for one term.
+
+    Every key is a ``(type-tag, number, text, nested)`` 4-tuple, so keys
+    of different runtime types always compare (the tag decides first).
+    Replaces the old ``key=repr`` flush orderings, which were O(repr)
+    per fact and ordered numerics lexically (``"10" < "9"``) — and whose
+    order could diverge between the tuple and columnar backends because
+    ``1`` and ``1.0`` render differently while the storage layers may
+    surface either representative.
+
+    Properties relied on across the code base:
+
+    * numerics order numerically (``9 < 10``), with a deterministic
+      int-before-float tiebreak for ``1`` vs ``1.0``;
+    * booleans never interleave with ``0``/``1``;
+    * NaN sorts after every other number (instead of poisoning the
+      comparison chain);
+    * labeled nulls order by ``(ordinal, label)`` and Skolem values by
+      ``(functor, arguments)``, both independent of invention order;
+    * anything unknown falls back to ``(type name, repr)`` — stable, if
+      slow, and only ever hit off the hot path.
+    """
+    if value is None:
+        return (_TAG_NONE, 0, "", _EMPTY)
+    cls = value.__class__
+    if cls is bool:
+        return (_TAG_BOOL, 1 if value else 0, "", _EMPTY)
+    if cls is int:
+        return (_TAG_NUMBER, value, "", _EMPTY)
+    if cls is float:
+        if value != value:  # NaN: larger than every number, equal to itself
+            return (_TAG_NUMBER, float("inf"), "nan", _EMPTY)
+        return (_TAG_NUMBER, value, "f", _EMPTY)
+    if cls is str:
+        return (_TAG_STRING, 0, value, _EMPTY)
+    if cls is Null:
+        return (_TAG_NULL, value.ordinal, value.label, _EMPTY)
+    if cls is SkolemValue:
+        return (
+            _TAG_SKOLEM,
+            0,
+            value.functor,
+            tuple(value_sort_key(a) for a in value.arguments),
+        )
+    if cls is tuple or cls is list:
+        return (
+            _TAG_SEQUENCE,
+            len(value),
+            "",
+            tuple(value_sort_key(v) for v in value),
+        )
+    if isinstance(value, bool):  # bool subclasses, pathological but cheap
+        return (_TAG_BOOL, 1 if value else 0, "", _EMPTY)
+    if isinstance(value, (int, float)):
+        if value != value:
+            return (_TAG_NUMBER, float("inf"), "nan", _EMPTY)
+        return (_TAG_NUMBER, value, "", _EMPTY)
+    if isinstance(value, str):
+        return (_TAG_STRING, 0, value, _EMPTY)
+    return (_TAG_OTHER, 0, f"{type(value).__name__}:{value!r}", _EMPTY)
+
+
+def fact_sort_key(fact: Any) -> Tuple[Tuple[Any, ...], ...]:
+    """Deterministic sort key for a whole fact (any iterable of terms).
+
+    The shared flush/emit ordering: every place that writes a fact set
+    into an ordered target (graph write-back, relational insert batches,
+    serve answers) sorts with this key so the order is identical across
+    storage backends and Python processes.
+    """
+    return tuple(value_sort_key(term) for term in fact)
+
+
 def format_term(term: Any) -> str:
     """Human-readable rendering of any term."""
     if isinstance(term, (Variable, Null, SkolemValue)):
