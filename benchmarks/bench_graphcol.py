@@ -1,0 +1,423 @@
+"""E-GRAPHCOL — columnar vs object property-graph backing store.
+
+The chase went columnar (E-COL) and the graph/dictionary boundary went
+column-wise (E-DICT); after that the *graph itself* — one slotted Node/
+Edge object plus one dict per element — became the largest resident
+allocation of the control pipeline.  This bench runs E-CTRL (the
+CONTROL_PROGRAM materialization over a generated registry) with the
+graph backend switched between :class:`ColumnarPropertyGraph` (interned
+code columns, lazy views) and the object oracle, measuring:
+
+- wall time per phase (build / extract / chase / flush) per backend;
+- the Python-heap peak (``tracemalloc``) per backend, and the columnar
+  reduction — the headline number;
+- the serve layer's snapshot-freeze cost, cold (every column block
+  rebuilt) vs warm (pure copy-on-write reuse) — the zero-copy epoch
+  claim in numbers;
+- a differential gate: both backends must derive the identical facts
+  and land the identical graph (sha256 over repr-sorted derivations
+  plus post-flush element counts).
+
+The pipeline here is the direct one — ``compile_metalog`` →
+``graph_to_database`` → ``Engine.run`` → ``materialize_into_graph`` —
+rather than :class:`IntensionalMaterializer`: the materializer carries
+a large backend-independent transient (schema instance assembly) that
+buries the graph's contribution to the peak; the direct pipeline's peak
+is graph-dominated, so the reduction is attributable to the backend
+under test.
+
+Sizes above ``--object-cap`` run columnar-only (the object backend
+would not fit the memory budget — which is the point), so the sweep can
+carry an honest ≥250k-company E-CTRL row.  The emitted JSON is
+validated against an inline schema before writing; ``--check FILE``
+re-validates an existing payload (the CI ``graph-smoke`` job uses it).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_graphcol.py
+    PYTHONPATH=src python benchmarks/bench_graphcol.py \
+        --sizes 5000 50000 --out BENCH_GRAPHCOL.json \
+        --require-heap-reduction 0.30
+    PYTHONPATH=src python benchmarks/bench_graphcol.py \
+        --check BENCH_GRAPHCOL.json
+"""
+
+import argparse
+import hashlib
+import json
+import os
+import resource
+import sys
+import time
+import tracemalloc
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from repro.cli import demo_serve_inputs
+from repro.finkg import programs
+from repro.finkg.generator import ShareholdingConfig, generate_shareholding_data
+from repro.graph import make_graph
+from repro.metalog import (
+    GraphCatalog,
+    compile_metalog,
+    graph_to_database,
+    parse_metalog,
+)
+from repro.metalog.mtv import materialize_into_graph
+from repro.serve import ServeState
+from repro.vadalog import Engine
+
+
+def build_registry(companies: int, seed: int, columnar: bool):
+    """The bench_incremental business registry on a chosen backend."""
+    data = generate_shareholding_data(
+        ShareholdingConfig(companies=companies, seed=seed)
+    )
+    graph = make_graph("registry", columnar=columnar)
+    for pid in data.persons:
+        graph.add_node(pid, "PhysicalPerson", fiscalCode=f"FC-{pid}")
+    for cid in data.companies:
+        graph.add_node(
+            cid, "Business",
+            fiscalCode=f"FC-{cid}", businessName=f"{cid} SpA",
+        )
+    for index, stake in enumerate(data.stakes):
+        graph.add_edge(
+            stake.owner, stake.company, "OWNS",
+            edge_id=f"stake-{index}", percentage=stake.percentage,
+        )
+    return graph
+
+
+def _materialize(companies: int, seed: int, columnar: bool, digest=True):
+    """Direct E-CTRL pipeline on a chosen graph backend.
+
+    The relation backend stays columnar on both rows: only the graph
+    backing store varies, so speedups/heap deltas are attributable.
+    Derived facts are flushed back into the registry itself (no copy),
+    matching how the serve layer materializes in place.  The memory
+    pass sets ``digest=False``: the differential digest's repr-sort is
+    bench instrumentation, not pipeline, and its transient would land
+    on both backends' peaks equally, diluting the relative reduction.
+    """
+    start = time.perf_counter()
+    registry = build_registry(companies, seed, columnar)
+    build_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    sigma = parse_metalog(programs.CONTROL_PROGRAM)
+    compiled = compile_metalog(sigma, GraphCatalog.from_graph(registry))
+    database = graph_to_database(
+        registry, compiled.catalog,
+        node_labels=compiled.input_node_labels,
+        edge_labels=compiled.input_edge_labels,
+        columnar=True, bulk=True,
+    )
+    extract_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    result = Engine(columnar=True).run(compiled.program, database=database)
+    chase_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    new_nodes, new_edges = materialize_into_graph(
+        result, compiled, registry, bulk=True
+    )
+    flush_seconds = time.perf_counter() - start
+
+    # Backend-differential digest: repr-sorted derivations per label
+    # plus the post-flush element counts.  A hash keeps the row small
+    # enough to live in the JSON payload at any sweep size.
+    fingerprint = hashlib.sha256()
+    if digest:
+        for label in sorted(
+            compiled.derived_node_labels | compiled.derived_edge_labels
+        ):
+            for line in sorted(map(repr, result.facts(label))):
+                fingerprint.update(line.encode("utf-8"))
+                fingerprint.update(b"\n")
+        fingerprint.update(
+            f"nodes={registry.node_count} "
+            f"edges={registry.edge_count}".encode()
+        )
+    phases = {
+        "build_seconds": round(build_seconds, 4),
+        "total_seconds": round(
+            extract_seconds + chase_seconds + flush_seconds, 4
+        ),
+        "extract_seconds": round(extract_seconds, 4),
+        "chase_seconds": round(chase_seconds, 4),
+        "flush_seconds": round(flush_seconds, 4),
+        "controls_derived": new_nodes + new_edges,
+    }
+    return phases, fingerprint.hexdigest()
+
+
+def _backend_row(
+    companies: int, seed: int, columnar: bool, memory: bool
+) -> dict:
+    phases, digest = _materialize(companies, seed, columnar)
+    row = {"backend": "columnar" if columnar else "object"}
+    row.update(phases)
+    row["digest"] = digest
+    if memory:
+        # Separate pass: tracemalloc distorts wall time, so timing and
+        # memory never share a run.
+        tracemalloc.start()
+        _materialize(companies, seed, columnar, digest=False)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        row["peak_heap_bytes"] = peak
+    return row
+
+
+def _freeze_row(companies: int, seed: int, repeat: int = 3) -> dict:
+    """Cold vs copy-on-write snapshot-freeze cost, white-box.
+
+    Deliberately reaches into ``ServeState`` internals: clearing the
+    block cache forces every column block to be rebuilt (cold), a
+    second freeze with nothing mutated is a pure COW sweep (warm).
+    """
+    program_text, inputs = demo_serve_inputs(companies, seed)
+    state = ServeState(program_text, inputs=inputs, check_wardedness=False)
+    cold = warm = eager = float("inf")
+    for _ in range(repeat):
+        state._block_cache.clear()
+        start = time.perf_counter()
+        snap = state._freeze(epoch=0)
+        cold = min(cold, time.perf_counter() - start)
+        start = time.perf_counter()
+        state._freeze(epoch=0)
+        warm = min(warm, time.perf_counter() - start)
+        # Pre-PR baseline: materialize every relation into an eager
+        # frozenset (what freezing cost before column blocks existed).
+        db = state._result.database
+        start = time.perf_counter()
+        for predicate in db.predicates():
+            frozenset(db.relation(predicate))
+        eager = min(eager, time.perf_counter() - start)
+    return {
+        "facts": snap.total_facts(),
+        "cold_ms": round(cold * 1000.0, 3),
+        "warm_ms": round(warm * 1000.0, 3),
+        "eager_ms": round(eager * 1000.0, 3),
+        "reuse_speedup": round(cold / max(warm, 1e-9), 1),
+        "block_speedup": round(eager / max(cold, 1e-9), 1),
+    }
+
+
+def run_size(
+    companies: int, seed: int, memory: bool, verify: bool,
+    columnar_only: bool = False, freeze: bool = True,
+) -> dict:
+    col = _backend_row(companies, seed, columnar=True, memory=memory)
+    result = {"companies": companies}
+    if columnar_only:
+        # Sweep-extension mode for sizes where the object backend would
+        # blow the memory budget: no twin, no cross-backend deltas; the
+        # differential gate is carried by the smaller two-backend rows.
+        result["columnar"] = col
+    else:
+        obj = _backend_row(companies, seed, columnar=False, memory=memory)
+        ok = True
+        if verify:
+            ok = col["digest"] == obj["digest"]
+        result.update(
+            columnar=col,
+            object=obj,
+            build_speedup=round(
+                obj["build_seconds"] / max(col["build_seconds"], 1e-9), 2
+            ),
+            total_speedup=round(
+                obj["total_seconds"] / max(col["total_seconds"], 1e-9), 2
+            ),
+            differential_ok=ok,
+        )
+        if memory:
+            result["heap_reduction"] = round(
+                1.0 - col["peak_heap_bytes"] / max(obj["peak_heap_bytes"], 1),
+                3,
+            )
+    if freeze:
+        result["freeze"] = _freeze_row(companies, seed)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Payload schema (kept dependency-free: no jsonschema in the image)
+# ---------------------------------------------------------------------------
+
+_BACKEND_FIELDS = {
+    "backend": str,
+    "build_seconds": (int, float),
+    "total_seconds": (int, float),
+    "extract_seconds": (int, float),
+    "chase_seconds": (int, float),
+    "flush_seconds": (int, float),
+    "controls_derived": int,
+    "digest": str,
+}
+_FREEZE_FIELDS = {
+    "facts": int,
+    "cold_ms": (int, float),
+    "warm_ms": (int, float),
+    "eager_ms": (int, float),
+    "reuse_speedup": (int, float),
+    "block_speedup": (int, float),
+}
+_ROW_FIELDS = {
+    "companies": int,
+    "columnar": dict,
+}
+_TOP_FIELDS = {
+    "experiment": str,
+    "program": str,
+    "seed": int,
+    "peak_rss_kb": int,
+    "results": list,
+}
+
+
+def validate(payload: dict) -> list:
+    """Structural check of a BENCH_GRAPHCOL payload; returns problems."""
+    problems = []
+
+    def check(obj, fields, where):
+        for field, types in fields.items():
+            if field not in obj:
+                problems.append(f"{where}: missing field '{field}'")
+            elif not isinstance(obj[field], types):
+                problems.append(
+                    f"{where}: field '{field}' has type "
+                    f"{type(obj[field]).__name__}"
+                )
+
+    check(payload, _TOP_FIELDS, "payload")
+    if payload.get("experiment") != "E-GRAPHCOL":
+        problems.append("payload: experiment must be 'E-GRAPHCOL'")
+    two_backend_rows = 0
+    for i, row in enumerate(payload.get("results") or []):
+        where = f"results[{i}]"
+        if not isinstance(row, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        check(row, _ROW_FIELDS, where)
+        for backend in ("columnar", "object"):
+            sub = row.get(backend)
+            if isinstance(sub, dict):
+                check(sub, _BACKEND_FIELDS, f"{where}.{backend}")
+        if "object" in row:
+            two_backend_rows += 1
+            if not row.get("differential_ok", False):
+                problems.append(f"{where}: differential_ok is not true")
+        freeze = row.get("freeze")
+        if isinstance(freeze, dict):
+            check(freeze, _FREEZE_FIELDS, f"{where}.freeze")
+    if not payload.get("results"):
+        problems.append("payload: results is empty")
+    elif not two_backend_rows:
+        problems.append(
+            "payload: no two-backend row carries the differential gate"
+        )
+    return problems
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sizes", type=int, nargs="+", default=[5000, 20000])
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--no-memory", action="store_true",
+                        help="skip the tracemalloc pass (halves runtime)")
+    parser.add_argument("--no-verify", action="store_true",
+                        help="skip the cross-backend differential gate")
+    parser.add_argument("--no-freeze", action="store_true",
+                        help="skip the snapshot-freeze section")
+    parser.add_argument("--object-cap", type=int, default=100_000,
+                        help="sizes above this run columnar-only")
+    parser.add_argument("--freeze-cap", type=int, default=50_000,
+                        help="skip the freeze section above this size")
+    parser.add_argument("--require-heap-reduction", type=float, default=None,
+                        help="fail unless every two-backend memory row "
+                             "clears this fractional heap reduction")
+    parser.add_argument("--out", default="BENCH_GRAPHCOL.json")
+    parser.add_argument("--check", metavar="FILE", default=None,
+                        help="validate an existing payload and exit")
+    args = parser.parse_args()
+
+    if args.check is not None:
+        with open(args.check, "r", encoding="utf-8") as handle:
+            problems = validate(json.load(handle))
+        for problem in problems:
+            print(f"schema: {problem}", file=sys.stderr)
+        print(f"{args.check}: {'INVALID' if problems else 'schema OK'}")
+        return 1 if problems else 0
+
+    rows = []
+    for companies in args.sizes:
+        row = run_size(
+            companies, args.seed,
+            memory=not args.no_memory,
+            verify=not args.no_verify,
+            columnar_only=companies > args.object_cap,
+            freeze=not args.no_freeze and companies <= args.freeze_cap,
+        )
+        rows.append(row)
+        line = (
+            f"E-GRAPHCOL {companies} companies: columnar total "
+            f"{row['columnar']['total_seconds']:.1f}s"
+        )
+        if "object" in row:
+            line += (
+                f" vs object {row['object']['total_seconds']:.1f}s "
+                f"({row['total_speedup']:.2f}x)"
+            )
+            if "heap_reduction" in row:
+                line += f", heap -{row['heap_reduction'] * 100:.0f}%"
+            line += (
+                ", differential "
+                f"{'OK' if row['differential_ok'] else 'MISMATCH'}"
+            )
+        if "freeze" in row:
+            line += (
+                f"; freeze cold {row['freeze']['cold_ms']:.1f}ms / warm "
+                f"{row['freeze']['warm_ms']:.2f}ms vs eager "
+                f"{row['freeze']['eager_ms']:.1f}ms "
+                f"({row['freeze']['block_speedup']:.0f}x block)"
+            )
+        print(line)
+
+    payload = {
+        "experiment": "E-GRAPHCOL",
+        "program": "CONTROL_PROGRAM",
+        "seed": args.seed,
+        "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        "results": rows,
+    }
+    problems = validate(payload)
+    for problem in problems:
+        print(f"schema: {problem}", file=sys.stderr)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+
+    if problems:
+        return 1
+    if args.require_heap_reduction is not None:
+        gated = [
+            row for row in rows
+            if "heap_reduction" in row
+            and row["heap_reduction"] < args.require_heap_reduction
+        ]
+        if gated:
+            print(
+                f"heap reduction below required "
+                f"{args.require_heap_reduction:.0%}: "
+                f"{[(r['companies'], r['heap_reduction']) for r in gated]}"
+            )
+            return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,26 +17,37 @@ engine-time speedup.  The emitted JSON is schema-validated before
 writing, and ``--check FILE`` re-validates an existing payload (the CI
 ``serve-smoke`` job uses it).
 
+``--clients N`` additionally runs a multi-client load phase per size:
+N threads, each with one keep-alive HTTP connection, hammer the real
+:class:`KGModelServer` with snapshot point queries while a writer
+thread interleaves ``POST /delta`` requests — so the reported p50/p99
+are measured *under epoch churn*, exercising the zero-copy snapshot
+freeze (readers must never block on, or observe, a half-frozen epoch).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_serve.py
     PYTHONPATH=src python benchmarks/bench_serve.py \
-        --sizes 1000 5000 --queries 12 --out BENCH_SERVE.json
+        --sizes 1000 5000 --queries 12 --clients 8 --out BENCH_SERVE.json
     PYTHONPATH=src python benchmarks/bench_serve.py --check BENCH_SERVE.json
 """
 
 import argparse
+import http.client
 import json
 import os
 import random
 import resource
 import statistics
 import sys
+import threading
 import time
+import urllib.parse
 
 sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 
 from repro.cli import demo_serve_inputs
+from repro.serve import ServeState, ServiceHandlers, build_server
 from repro.vadalog import parse_program
 from repro.vadalog.magic import GoalDirectedEvaluator, Query
 from repro.vadalog.terms import Variable
@@ -114,6 +125,93 @@ def run_size(companies, seed, queries, full_samples):
     }
 
 
+def run_load(companies, seed, clients, requests_per_client, deltas):
+    """Concurrent keep-alive load against the real HTTP server.
+
+    Every client thread owns one persistent connection and issues
+    snapshot point queries; one writer connection interleaves ``deltas``
+    POST /delta requests across the run.  Latency percentiles therefore
+    include the scheduling noise of epoch publication — exactly what a
+    monitoring SLO would see.
+    """
+    program_text, inputs = demo_serve_inputs(companies, seed)
+    state = ServeState(program_text, inputs=inputs, check_wardedness=False)
+    handlers = ServiceHandlers(state)
+    names = [name for (name,) in inputs["company"]]
+
+    lock = threading.Lock()
+    latencies = []
+    errors = [0]
+    barrier = threading.Barrier(clients + 2)  # clients + writer + main
+
+    def client_worker(worker, host, port):
+        rng = random.Random(seed * 1000 + worker)
+        subjects = [rng.choice(names) for _ in range(16)]
+        conn = http.client.HTTPConnection(host, port, timeout=30)
+        local, wrong = [], 0
+        barrier.wait()
+        for i in range(requests_per_client):
+            query = urllib.parse.quote(f'controls("{subjects[i % 16]}", B)?')
+            start = time.perf_counter()
+            conn.request("GET", f"/query?q={query}&engine=snapshot")
+            response = conn.getresponse()
+            response.read()
+            local.append(time.perf_counter() - start)
+            if response.status != 200:
+                wrong += 1
+        conn.close()
+        with lock:
+            latencies.extend(local)
+            errors[0] += wrong
+
+    def writer_worker(host, port):
+        rng = random.Random(seed - 1)
+        conn = http.client.HTTPConnection(host, port, timeout=30)
+        barrier.wait()
+        for i in range(deltas):
+            body = json.dumps(
+                {"added": {"own": [[f"LOAD{i}", rng.choice(names), 0.01]]}}
+            ).encode()
+            conn.request(
+                "POST", "/delta", body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            response.read()
+            if response.status != 200:
+                with lock:
+                    errors[0] += 1
+            time.sleep(0.002)  # spread epochs across the read window
+        conn.close()
+
+    with build_server(handlers) as server:
+        host, port = server.address
+        threads = [
+            threading.Thread(target=client_worker, args=(n, host, port))
+            for n in range(clients)
+        ]
+        threads.append(threading.Thread(target=writer_worker, args=(host, port)))
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        wall_start = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - wall_start
+
+    total = len(latencies)
+    return {
+        "clients": clients,
+        "requests": total,
+        "deltas": deltas,
+        "errors": errors[0],
+        "epochs": state.snapshot.epoch,
+        "p50_ms": round(_percentile(latencies, 0.50) * 1000.0, 3),
+        "p99_ms": round(_percentile(latencies, 0.99) * 1000.0, 3),
+        "throughput_rps": round(total / max(wall, 1e-9), 1),
+    }
+
+
 # ---------------------------------------------------------------------------
 # Payload schema (dependency-free: no jsonschema in the image)
 # ---------------------------------------------------------------------------
@@ -133,6 +231,17 @@ _ROW_FIELDS = {
     "full": dict,
     "engine_speedup": (int, float),
     "differential_ok": bool,
+}
+#: Optional per-row section emitted by ``--clients N``.
+_LOAD_FIELDS = {
+    "clients": int,
+    "requests": int,
+    "deltas": int,
+    "errors": int,
+    "epochs": int,
+    "p50_ms": (int, float),
+    "p99_ms": (int, float),
+    "throughput_rps": (int, float),
 }
 _TOP_FIELDS = {
     "experiment": str,
@@ -172,6 +281,16 @@ def validate(payload: dict) -> list:
                 check(sub, _MODE_FIELDS, f"{where}.{mode}")
         if not row.get("differential_ok", False):
             problems.append(f"{where}: differential_ok is not true")
+        load = row.get("load")
+        if load is not None:
+            if not isinstance(load, dict):
+                problems.append(f"{where}.load: not an object")
+            else:
+                check(load, _LOAD_FIELDS, f"{where}.load")
+                if load.get("errors", 0):
+                    problems.append(
+                        f"{where}.load: {load['errors']} request errors"
+                    )
     if not payload.get("results"):
         problems.append("payload: results is empty")
     return problems
@@ -185,6 +304,13 @@ def main() -> int:
                         help="point queries per size (magic path)")
     parser.add_argument("--full-samples", type=int, default=6,
                         help="how many of those also run the full chase")
+    parser.add_argument("--clients", type=int, default=0,
+                        help="keep-alive HTTP clients for the load phase "
+                             "(0 skips it)")
+    parser.add_argument("--load-requests", type=int, default=40,
+                        help="snapshot queries per client in the load phase")
+    parser.add_argument("--load-deltas", type=int, default=6,
+                        help="interleaved POST /delta epochs during load")
     parser.add_argument("--out", default="BENCH_SERVE.json")
     parser.add_argument("--require-speedup", type=float, default=None,
                         help="fail unless every size clears this engine "
@@ -215,6 +341,18 @@ def main() -> int:
             f"{row['engine_speedup']:.1f}x, differential "
             f"{'OK' if row['differential_ok'] else 'MISMATCH'}"
         )
+        if args.clients > 0:
+            load = run_load(
+                companies, args.seed, args.clients,
+                args.load_requests, args.load_deltas,
+            )
+            row["load"] = load
+            print(
+                f"  load {load['clients']} clients x {args.load_requests}: "
+                f"p50 {load['p50_ms']:.1f}ms p99 {load['p99_ms']:.1f}ms "
+                f"({load['throughput_rps']:.0f} req/s, "
+                f"{load['epochs']} epochs, {load['errors']} errors)"
+            )
 
     payload = {
         "experiment": "E-SERVE",

@@ -19,7 +19,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.core.schema import SuperSchema
 from repro.errors import SchemaError
-from repro.graph.property_graph import PropertyGraph
+from repro.graph import make_graph
 from repro.metalog.analysis import GraphCatalog
 
 #: Node construct labels of the super-model dictionary and their ordered
@@ -89,8 +89,11 @@ def dictionary_catalog(include_instances: bool = True) -> GraphCatalog:
 class GraphDictionary:
     """A named dictionary of schemas stored as one property graph."""
 
-    def __init__(self, name: str = "super-model-dictionary"):
-        self.graph = PropertyGraph(name)
+    def __init__(self, name: str = "super-model-dictionary",
+                 columnar: Optional[bool] = None):
+        # The dictionary graph is the registry-scale store; it defaults
+        # to the columnar backend (REPRO_GRAPH_BACKEND overrides).
+        self.graph = make_graph(name, columnar=columnar)
         self._schema_names: Dict[Any, str] = {}
 
     def store(self, schema: SuperSchema, bulk: bool = True) -> Any:

@@ -20,6 +20,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.core.schema import SuperSchema
 from repro.errors import SchemaError
+from repro.graph import make_graph
 from repro.graph.property_graph import ABSENT, PropertyGraph
 
 
@@ -350,7 +351,7 @@ class SuperInstance:
                     values[attr_name] = attr_node.get("value")
             return values
 
-        data = PropertyGraph(name)
+        data = make_graph(name)
         plain_id_by_iid: Dict[Any, Any] = {}
         node_ids, node_cols = graph.nodes_table(
             "I_SM_Node", ("instanceOID", "sourceOID")

@@ -22,6 +22,7 @@ from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.deploy.delta import DeltaFlushReport, FlushDelta
 from repro.errors import DeploymentError, GraphError, IntegrityError, ModelError
+from repro.graph import make_graph
 from repro.graph.property_graph import Edge, Node, PropertyGraph
 from repro.metalog.analysis import GraphCatalog
 from repro.models.property_graph import PGSchema
@@ -59,10 +60,11 @@ class StructuralSavepoint:
 class GraphStore:
     """An in-memory graph database enforcing a PG-model schema."""
 
-    def __init__(self, name: str = "graph-store", tracer: Optional[Tracer] = None):
+    def __init__(self, name: str = "graph-store", tracer: Optional[Tracer] = None,
+                 columnar: Optional[bool] = None):
         self.name = name
         self.tracer = tracer
-        self.graph = PropertyGraph(name)
+        self.graph = make_graph(name, columnar=columnar)
         self._schema: Optional[PGSchema] = None
         self._node_properties: Dict[str, Dict[str, Any]] = {}
         self._relationships: Dict[str, List[Tuple[Set[str], Set[str], Dict[str, Any]]]] = {}

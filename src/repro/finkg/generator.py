@@ -33,7 +33,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.graph.property_graph import PropertyGraph
+from repro.graph import make_graph
 
 #: Plausible Italian surnames for the family-detection programs.
 _SURNAMES = (
@@ -232,12 +232,13 @@ def _split_capital(rng: random.Random, parts: int, dispersed: float) -> List[flo
 
 def generate_shareholding_graph(
     config: Optional[ShareholdingConfig] = None,
-) -> PropertyGraph:
+    columnar: Optional[bool] = None,
+):
     """The flat Section 2.1 shareholding graph: OWNS edges with
     percentages between shareholder nodes."""
     config = config or ShareholdingConfig()
     data = generate_shareholding_data(config)
-    graph = PropertyGraph("shareholding")
+    graph = make_graph("shareholding", columnar=columnar)
     for person in data.persons:
         graph.add_node(person, "Person")
     for company in data.companies:
@@ -249,7 +250,8 @@ def generate_shareholding_graph(
 
 def generate_company_kg(
     config: Optional[ShareholdingConfig] = None,
-) -> PropertyGraph:
+    columnar: Optional[bool] = None,
+):
     """A typed Company KG instance conforming to the Figure 4 schema.
 
     Persons become PhysicalPerson nodes (with surnames for the family
@@ -260,7 +262,7 @@ def generate_company_kg(
     config = config or ShareholdingConfig()
     rng = random.Random(config.seed + 1)
     data = generate_shareholding_data(config)
-    graph = PropertyGraph("company-kg")
+    graph = make_graph("company-kg", columnar=columnar)
     for person in data.persons:
         surname = rng.choice(_SURNAMES)
         first = rng.choice(_FIRST_NAMES)

@@ -49,7 +49,9 @@ def graph_from_json(text: str) -> PropertyGraph:
         payload = json.loads(text)
     except json.JSONDecodeError as exc:
         raise GraphError(f"invalid graph JSON: {exc}") from exc
-    graph = PropertyGraph(payload.get("name", "graph"))
+    from repro.graph import make_graph  # io loads before the package init
+
+    graph = make_graph(payload.get("name", "graph"))
     for node in payload.get("nodes", []):
         graph.add_node(node["id"], node.get("label"), **node.get("properties", {}))
     for edge in payload.get("edges", []):

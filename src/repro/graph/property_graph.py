@@ -320,13 +320,22 @@ class PropertyGraph:
         for edge in self.in_edges(node_id, label):
             yield self._nodes[edge.source]
 
-    def node_labels(self) -> Set[str]:
-        """Return the set of node labels in use."""
-        return {label for label, ids in self._nodes_by_label.items() if ids}
+    def node_labels(self) -> Tuple[str, ...]:
+        """Return the node labels in use, as a sorted tuple.
 
-    def edge_labels(self) -> Set[str]:
-        """Return the set of edge labels in use."""
-        return {label for label, ids in self._edges_by_label.items() if ids}
+        Sorted (not a ``set``) so that callers iterating the labels get a
+        deterministic order regardless of hash seeding — the same
+        sorted-label rule the flush/extraction paths follow.
+        """
+        return tuple(sorted(
+            label for label, ids in self._nodes_by_label.items() if ids
+        ))
+
+    def edge_labels(self) -> Tuple[str, ...]:
+        """Return the edge labels in use, as a sorted tuple."""
+        return tuple(sorted(
+            label for label, ids in self._edges_by_label.items() if ids
+        ))
 
     def out_degree(self, node_id: Any) -> int:
         return len(self._out.get(node_id, ()))

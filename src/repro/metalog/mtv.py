@@ -485,8 +485,15 @@ def graph_to_database(
     insert, so the hot path never builds a per-node property tuple in
     Python.  ``bulk=False`` keeps the per-object loop as a differential
     oracle.
+
+    A columnar source graph shares its value dictionary with the
+    extraction database (both sides are append-only), so OIDs and
+    property values are interned once instead of twice.
     """
-    database = Database(columnar=columnar)
+    database = Database(
+        columnar=columnar,
+        interner=getattr(graph, "interner", None) if columnar else None,
+    )
     node_labels = (
         list(node_labels) if node_labels is not None
         else list(catalog.node_properties)

@@ -8,11 +8,34 @@ state (which :func:`repro.vadalog.incremental.apply_delta` mutates in
 place — the live database, the ``edb`` buckets, the aggregate
 accumulators are all writer-private).  After the base run and after
 every delta the writer *freezes* the world into a :class:`StateSnapshot`
-— plain dicts of frozensets/tuples with no reference into any mutable
-engine structure — and publishes it with a single attribute assignment.
-Attribute reads are atomic in CPython, so readers grab a coherent epoch
-with ``state.snapshot`` and never block, no matter how long a delta
-takes.
+and publishes it with a single attribute assignment.  Attribute reads
+are atomic in CPython, so readers grab a coherent epoch with
+``state.snapshot`` and never block, no matter how long a delta takes.
+
+Zero-copy epochs
+----------------
+
+Freezing used to build one frozenset per predicate — O(total facts)
+tuple boxing on *every* epoch, which dominated delta latency once the
+model outgrew the delta.  Columnar relations now freeze into
+:class:`FrozenColumnBlock` views instead, which is sound because of
+three append-only invariants of the storage layer
+(:mod:`repro.vadalog.columnar`):
+
+- appends extend the code columns *in place*; a block pins the row
+  count at freeze time (``islice``) so later appends stay invisible;
+- removals only tombstone the live mask in place; a block copies the
+  mask bytes (only when dead rows exist — the common all-live case
+  shares everything);
+- ``compact()``/``spill()``/``reset()`` *replace* the column list
+  objects rather than mutating them, so a block holding the old lists
+  keeps the old epoch's bytes alive and correct.
+
+The relation's monotonic ``_version`` counter keys a copy-on-write
+cache: predicates untouched by a delta reuse the previous epoch's
+block outright, so freeze cost tracks the delta, not the model.  The
+tuple (non-columnar) backend still freezes to frozensets and acts as
+the differential oracle.
 
 Metrics are shared across threads, so unlike the engine-internal
 :class:`~repro.obs.metrics.MetricsRegistry` (lockless by design, single
@@ -23,17 +46,30 @@ from __future__ import annotations
 
 import threading
 import time
+from collections.abc import Set as _AbstractSet
 from dataclasses import dataclass, field
-from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+from itertools import compress as _compress, islice as _islice
+from typing import (
+    AbstractSet,
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.obs.metrics import MetricsRegistry
 from repro.vadalog.ast import Program
+from repro.vadalog.columnar import ColumnarRelation
 from repro.vadalog.database import Fact
 from repro.vadalog.engine import Engine, EvaluationResult
 from repro.vadalog.magic import GoalDirectedEvaluator
 from repro.vadalog.parser import parse_program
 
-__all__ = ["ServeMetrics", "ServeState", "StateSnapshot"]
+__all__ = ["FrozenColumnBlock", "ServeMetrics", "ServeState", "StateSnapshot"]
 
 #: Latency buckets for request histograms (milliseconds).
 LATENCY_BUCKETS_MS = (
@@ -70,20 +106,81 @@ class ServeMetrics:
             return self.registry.snapshot()
 
 
+class FrozenColumnBlock(_AbstractSet):
+    """An immutable set-of-facts view over shared interned columns.
+
+    Holds *references* to a :class:`ColumnarRelation`'s code columns
+    plus the row count at freeze time — no per-fact tuples are built
+    until somebody iterates.  The only bytes copied at freeze are the
+    live mask, and only when the relation carries tombstones.  Safe to
+    share across threads and epochs: the columns are append-only, the
+    row-count cap hides later appends, and in-place tombstoning cannot
+    reach the copied mask (see the module docstring for the full
+    invariant list).
+
+    Subclasses :class:`collections.abc.Set`, so ``block == {...}``
+    comparisons against literal sets/frozensets behave exactly like the
+    frozensets these blocks replaced.  Membership is a linear scan —
+    snapshot queries filter by iteration, so nothing hot needs hashed
+    probes; avoid comparing two large blocks directly (convert one to
+    a set first).
+    """
+
+    __slots__ = ("_cols", "_nrows", "_count", "_live", "_values")
+
+    def __init__(self, relation: ColumnarRelation):
+        relation._ensure_resident()
+        self._cols = list(relation._cols)  # snapshot of column *refs*
+        self._nrows = relation._nrows
+        self._count = relation._nrows - relation._ndead
+        self._live = (
+            bytes(relation._live[: relation._nrows])
+            if relation._ndead
+            else None
+        )
+        self._values = relation._interner.values
+
+    @classmethod
+    def _from_iterable(cls, iterable):
+        # Set-algebra results (|, &, -) materialize as plain frozensets.
+        return frozenset(iterable)
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __iter__(self):
+        cols = self._cols
+        if not cols:  # arity-0 (propositional) extension
+            return iter([()] * self._count)
+        getitem = self._values.__getitem__
+        rows = _islice(zip(*[map(getitem, col) for col in cols]), self._nrows)
+        if self._live is not None:
+            return _compress(rows, self._live)
+        return rows
+
+    def __contains__(self, fact) -> bool:
+        return any(row == fact for row in self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        arity = len(self._cols)
+        return f"FrozenColumnBlock(rows={self._count}, arity={arity})"
+
+
 @dataclass(frozen=True)
 class StateSnapshot:
     """One immutable epoch of the materialized model.
 
     ``facts`` holds every predicate of the model (extensional and
-    derived) as frozensets; ``edb`` holds the extensional slice as plain
-    tuples, ready to be fed to a private per-request engine run
-    (``inputs=`` builds a fresh database, sharing no storage — safe
-    under concurrency, unlike handing the live columnar relations to
-    another thread).
+    derived) as immutable fact sets — :class:`FrozenColumnBlock` views
+    for columnar relations, plain frozensets for the tuple backend;
+    ``edb`` holds the extensional slice as plain tuples, ready to be
+    fed to a private per-request engine run (``inputs=`` builds a fresh
+    database, sharing no storage — safe under concurrency, unlike
+    handing the live columnar relations to another thread).
     """
 
     epoch: int
-    facts: Mapping[str, FrozenSet[Fact]]
+    facts: Mapping[str, AbstractSet[Fact]]
     edb: Mapping[str, Tuple[Fact, ...]]
     created_at: float = field(default_factory=time.time)
 
@@ -130,6 +227,13 @@ class ServeState:
         )
         self._write_lock = threading.Lock()
         self._listeners: List[Any] = []
+        #: COW cache: predicate -> (relation, version, block).  A block
+        #: is reused verbatim while the relation object and its
+        #: monotonic mutation counter both still match.
+        self._block_cache: Dict[
+            str, Tuple[ColumnarRelation, int, FrozenColumnBlock]
+        ] = {}
+        self._snapshot: Optional[StateSnapshot] = None
 
         start = time.perf_counter()
         self._result: EvaluationResult = self.engine.run(
@@ -145,19 +249,55 @@ class ServeState:
 
     # -- snapshot construction (writer thread only) -------------------
 
-    def _freeze(self, epoch: int) -> StateSnapshot:
+    def _freeze(
+        self, epoch: int, touched: Optional[Set[str]] = None
+    ) -> StateSnapshot:
         db = self._result.database
-        facts = {
-            predicate: frozenset(db.relation(predicate))
-            for predicate in db.predicates()
-        }
+        cache = self._block_cache
+        facts: Dict[str, AbstractSet[Fact]] = {}
+        for predicate in db.predicates():
+            relation = db.relation(predicate)
+            if not isinstance(relation, ColumnarRelation):
+                # Tuple backend: eager frozenset (the oracle path).
+                facts[predicate] = frozenset(relation)
+                continue
+            entry = cache.get(predicate)
+            if (
+                entry is not None
+                and entry[0] is relation
+                and entry[1] == relation._version
+            ):
+                facts[predicate] = entry[2]
+                continue
+            block = FrozenColumnBlock(relation)
+            # Read the version *after* construction: rehydrating a
+            # spilled relation bumps it.
+            cache[predicate] = (relation, relation._version, block)
+            facts[predicate] = block
+        prev = self._snapshot
         state = self._result.state
         if state is not None:
-            edb = {
-                predicate: tuple(bucket)
-                for predicate, bucket in state.edb.items()
-                if bucket
-            }
+            if prev is not None and touched is not None:
+                # Delta freeze: only re-tuple the extensional buckets
+                # the delta named; everything else aliases the previous
+                # epoch's tuples (buckets are writer-private and only
+                # mutated for touched predicates).
+                prev_edb = prev.edb
+                edb = {
+                    predicate: (
+                        prev_edb[predicate]
+                        if predicate not in touched and predicate in prev_edb
+                        else tuple(bucket)
+                    )
+                    for predicate, bucket in state.edb.items()
+                    if bucket
+                }
+            else:
+                edb = {
+                    predicate: tuple(bucket)
+                    for predicate, bucket in state.edb.items()
+                    if bucket
+                }
         else:  # pragma: no cover - retained runs always carry state
             idb = self.program.idb_predicates()
             edb = {
@@ -194,7 +334,10 @@ class ServeState:
                 added=dict(added) if added else None,
                 removed=dict(removed) if removed else None,
             )
-            snapshot = self._freeze(epoch=self._snapshot.epoch + 1)
+            touched = set(added or ()) | set(removed or ())
+            snapshot = self._freeze(
+                epoch=self._snapshot.epoch + 1, touched=touched
+            )
             self._snapshot = snapshot  # atomic publication
             elapsed_ms = (time.perf_counter() - start) * 1000.0
         self.metrics.observe("serve.delta_ms", elapsed_ms)

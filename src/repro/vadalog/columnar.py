@@ -11,8 +11,8 @@ This module keeps the same :class:`Relation` facade but stores facts
 column-wise:
 
 * a per-database :class:`ValueInterner` maps each constant to a small
-  integer *code*; columns are plain Python lists of shared code ints, so
-  a stored cell costs one 8-byte list slot regardless of the value;
+  integer *code*; columns are ``array('i')`` buffers of codes, so a
+  stored cell costs four bytes regardless of the value;
 * row membership/dedup goes through a sorted-hash row table: two
   parallel ``array`` buffers (FNV-1a row hash, row id) ordered by hash,
   probed with ``bisect`` (~16 bytes/row), plus a small dict overlay for
@@ -77,6 +77,18 @@ _U64 = 0xFFFFFFFFFFFFFFFF
 #: relative bound in :meth:`ColumnarRelation._maybe_rebuild`).
 _OVERLAY_LIMIT = 1024
 
+#: Typecode of the relation code columns: C ``int``, 4 bytes per code
+#: instead of a list slot's 8-byte pointer plus a boxed int.  Interner
+#: codes are dense indices into ``ValueInterner.values`` and stay far
+#: below 2**31; ``array('i')`` raises ``OverflowError`` rather than
+#: wrapping if that ever changes.
+_CODE = "i"
+
+
+def _code_col() -> array:
+    """A fresh, empty code column."""
+    return array(_CODE)
+
 
 class ValueInterner:
     """Append-only two-level dictionary encoding for constants.
@@ -91,7 +103,9 @@ class ValueInterner:
 
     def __init__(self) -> None:
         self.values: List[Any] = []  # code -> first-seen exact value
-        self.eq: List[int] = []  # code -> ==-class representative code
+        # code -> ==-class representative code; an ``array('i')`` so a
+        # million-code dictionary costs 4 MB, not a list of boxed ints.
+        self.eq: array = _code_col()
         self._codes: Dict[Any, int] = {}  # exact key -> code
         # ==-class reps for the only cross-type family (bool vs 0/1).
         self._eqcodes: Dict[Any, int] = {}
@@ -234,8 +248,8 @@ class ColumnarRelation:
         self.name = name
         self._interner = interner if interner is not None else ValueInterner()
         self._arity = arity
-        self._cols: List[List[int]] = (
-            [[] for _ in range(arity)] if arity is not None else []
+        self._cols: List[array] = (
+            [_code_col() for _ in range(arity)] if arity is not None else []
         )
         self._nrows = 0
         self._live = bytearray()
@@ -270,7 +284,7 @@ class ColumnarRelation:
             )
         self._arity = value
         if value is not None and not self._cols:
-            self._cols = [[] for _ in range(value)]
+            self._cols = [_code_col() for _ in range(value)]
 
     # -- basic protocol --------------------------------------------------
     def __len__(self) -> int:
@@ -636,7 +650,7 @@ class ColumnarRelation:
             if None in raw:
                 raw = interner.encode_fill(col_vals, raw)
             code_cols.append(raw)
-        exact = _np.asarray(code_cols, dtype=_np.int64).T
+        exact = _np.asarray(code_cols, dtype=_np.int32).T
         eq_np = interner.eq_array()
         prime = _np.uint64(_FNV_PRIME)
         hashes = _np.full(nfacts, _FNV_OFFSET, dtype=_np.uint64)
@@ -822,7 +836,7 @@ class ColumnarRelation:
         self.add_many(facts)
 
     def _clear_storage(self) -> None:
-        self._cols = [[] for _ in range(self._arity)] if self._arity else []
+        self._cols = [_code_col() for _ in range(self._arity)] if self._arity else []
         self._nrows = 0
         self._live = bytearray()
         self._ndead = 0
@@ -866,7 +880,9 @@ class ColumnarRelation:
             return
         live = self._live
         keep = [row for row in range(self._nrows) if live[row]]
-        self._cols = [[col[row] for row in keep] for col in self._cols]
+        self._cols = [
+            array(_CODE, [col[row] for row in keep]) for col in self._cols
+        ]
         self._nrows = len(keep)
         self._live = bytearray(b"\x01" * self._nrows)
         self._ndead = 0
@@ -970,7 +986,7 @@ class ColumnarRelation:
             self._ensure_resident()
         cache = self._npcache
         if cache is None or cache["version"] != self._version:
-            cols = [_np.asarray(col, dtype=_np.int64) for col in self._cols]
+            cols = [_np.array(col, dtype=_np.int32) for col in self._cols]
             if self._ndead:
                 rows = _np.frombuffer(
                     bytes(self._live), dtype=_np.uint8
@@ -1043,7 +1059,7 @@ class ColumnarRelation:
         return self._live
 
     @property
-    def columns(self) -> List[List[int]]:
+    def columns(self) -> List[array]:
         return self._cols
 
     @property
@@ -1138,7 +1154,7 @@ class ColumnarRelation:
         self.compact()
         count = self._nrows
         self._store.write(self.name, self._arity, self._cols)
-        self._cols = [[] for _ in range(self._arity)]
+        self._cols = [_code_col() for _ in range(self._arity)]
         self._ht_sorted = array("Q")
         self._ht_sorted_rows = array("q")
         self._overlay = {}
@@ -1164,7 +1180,8 @@ class SpillStore:
     """sqlite3-backed cold storage for columnar pages.
 
     One row per (relation, column, page): codes are packed as raw
-    ``array('q')`` bytes, so round-trips are exact and cheap.  The
+    code-column (``array('i')``) bytes, so round-trips are exact and
+    cheap.  The
     interner always stays in memory — codes are only meaningful within
     the owning database's process.
     """
@@ -1187,30 +1204,28 @@ class SpillStore:
         )
         self._conn.commit()
 
-    def write(self, name: str, arity: int, cols: List[List[int]]) -> None:
+    def write(self, name: str, arity: int, cols: List[Sequence[int]]) -> None:
         cur = self._conn.cursor()
         cur.execute("DELETE FROM pages WHERE rel = ?", (name,))
         page_rows = self.PAGE_ROWS
         for col_no in range(arity):
             col = cols[col_no]
             for page_no, start in enumerate(range(0, len(col), page_rows)):
-                blob = array("q", col[start : start + page_rows]).tobytes()
+                blob = array(_CODE, col[start : start + page_rows]).tobytes()
                 cur.execute(
                     "INSERT INTO pages (rel, col, page, data) VALUES (?, ?, ?, ?)",
                     (name, col_no, page_no, blob),
                 )
         self._conn.commit()
 
-    def read(self, name: str, arity: int) -> List[List[int]]:
-        cols: List[List[int]] = [[] for _ in range(arity)]
+    def read(self, name: str, arity: int) -> List[array]:
+        cols = [_code_col() for _ in range(arity)]
         cur = self._conn.execute(
             "SELECT col, page, data FROM pages WHERE rel = ? ORDER BY col, page",
             (name,),
         )
         for col_no, _page, blob in cur:
-            page = array("q")
-            page.frombytes(blob)
-            cols[col_no].extend(page)
+            cols[col_no].frombytes(blob)
         return cols
 
     def close(self) -> None:

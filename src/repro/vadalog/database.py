@@ -219,10 +219,24 @@ class Database:
     converts between the two.
     """
 
-    def __init__(self, columnar: bool = False, spill_path: Optional[str] = None):
+    def __init__(
+        self,
+        columnar: bool = False,
+        spill_path: Optional[str] = None,
+        interner: Optional[ValueInterner] = None,
+    ):
         self._relations: Dict[str, Relation] = {}
         self.columnar = columnar
-        self._interner: Optional[ValueInterner] = ValueInterner() if columnar else None
+        # An externally supplied interner (e.g. the columnar property
+        # graph's, when extracting) is shared, not copied: interners are
+        # append-only, so producer and consumer can keep encoding into
+        # the same dictionary and values present on either side are
+        # stored once.
+        self._interner: Optional[ValueInterner] = (
+            (interner if interner is not None else ValueInterner())
+            if columnar
+            else None
+        )
         self._spill_path = spill_path
         self._store: Optional[SpillStore] = None
 

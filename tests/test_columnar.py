@@ -527,5 +527,5 @@ class TestSpill:
         store = SpillStore()
         cols = [list(range(20000)), [i * 3 for i in range(20000)]]
         store.write("r", 2, cols)
-        assert store.read("r", 2) == cols
+        assert [list(col) for col in store.read("r", 2)] == cols
         store.close()

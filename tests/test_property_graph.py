@@ -47,8 +47,15 @@ class TestConstruction:
 
 class TestAccess:
     def test_labels(self, graph):
-        assert graph.node_labels() == {"Person", "Company"}
-        assert graph.edge_labels() == {"OWNS", "KNOWS"}
+        # Sorted tuples, not sets: label iteration order is part of the
+        # deterministic-flush contract (PR 9's sorted-label rule).
+        assert graph.node_labels() == ("Company", "Person")
+        assert graph.edge_labels() == ("KNOWS", "OWNS")
+
+    def test_labels_deterministic_after_removal(self, graph):
+        graph.remove_node("c")
+        assert graph.node_labels() == ("Person",)
+        assert graph.edge_labels() == ("KNOWS",)
 
     def test_nodes_by_label(self, graph):
         assert {n.id for n in graph.nodes("Person")} == {"a", "b"}
